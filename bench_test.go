@@ -1,0 +1,324 @@
+package saql
+
+// Benchmarks regenerating the paper's experiments E1–E8 (see DESIGN.md §4
+// and EXPERIMENTS.md). Each benchmark corresponds to one table/figure-
+// equivalent; cmd/saql-bench prints the same measurements as paper-style
+// tables.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func benchCtx() context.Context { return context.Background() }
+
+var benchOnce sync.Once
+var benchEvents []*Event
+var benchScenario *AttackScenario
+
+// benchStream builds one mixed background+attack stream reused by all
+// benchmarks (generation cost excluded from timings).
+func benchStream(b *testing.B) ([]*Event, *AttackScenario) {
+	b.Helper()
+	benchOnce.Do(func() {
+		start := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+		wl, err := NewWorkload(WorkloadConfig{
+			Hosts: []Host{
+				{AgentID: "ws-victim", Kind: Workstation},
+				{AgentID: "ws-2", Kind: Workstation},
+				{AgentID: "mail-1", Kind: MailServer},
+				{AgentID: "web-1", Kind: WebServer},
+				{AgentID: "db-1", Kind: DBServer},
+			},
+			Start:    start,
+			Duration: 30 * time.Minute,
+			Seed:     42,
+		})
+		if err != nil {
+			panic(err)
+		}
+		events := wl.Drain()
+		benchScenario = &AttackScenario{
+			Workstation: "ws-victim", MailServer: "mail-1", DBServer: "db-1",
+			AttackerIP: "172.16.0.129", Start: start.Add(12 * time.Minute),
+		}
+		events = append(events, AttackEventsOnly(benchScenario.Events())...)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+		benchEvents = events
+	})
+	return benchEvents, benchScenario
+}
+
+// runQueries pumps b.N events (cycling over the stream) through an engine.
+func runQueries(b *testing.B, queries []NamedQuery, sharing bool) {
+	b.Helper()
+	events, _ := benchStream(b)
+	eng := New(WithSharing(sharing))
+	for _, nq := range queries {
+		if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Process(events[i%len(events)])
+	}
+	b.StopTimer()
+	eng.Flush()
+	b.ReportMetric(float64(eng.Stats().Alerts), "alerts")
+}
+
+// --- E1: the paper's Queries 1–4 -------------------------------------------
+
+func BenchmarkE1_PaperQueries(b *testing.B) {
+	_, scenario := benchStream(b)
+	all := scenario.DemoQueries(30*time.Second, 5)
+	cases := map[string]NamedQuery{
+		"Q1_rule":       all[4], // the exfiltration rule (paper Query 1)
+		"Q2_timeseries": all[6],
+		"Q3_invariant":  all[5],
+		"Q4_outlier":    all[7],
+	}
+	for name, nq := range cases {
+		b.Run(name, func(b *testing.B) { runQueries(b, []NamedQuery{nq}, true) })
+	}
+}
+
+// --- E2: the full 8-query kill-chain demo ----------------------------------
+
+func BenchmarkE2_KillChain(b *testing.B) {
+	_, scenario := benchStream(b)
+	runQueries(b, scenario.DemoQueries(30*time.Second, 5), true)
+}
+
+// --- E3: concurrent-query scaling, sharing vs per-query copies -------------
+
+// e3Queries builds n semantically compatible variants of the time-series
+// query (same patterns, different thresholds), the concurrent-analyst
+// situation the master–dependent-query scheme targets.
+func e3Queries(scenario *AttackScenario, n int) []NamedQuery {
+	base := scenario.DemoQueries(30*time.Second, 5)[6]
+	out := make([]NamedQuery, n)
+	for i := range out {
+		out[i] = base
+		out[i].Name = fmt.Sprintf("%s-v%d", base.Name, i)
+		out[i].SAQL = base.SAQL + fmt.Sprintf("\nalert ss[0].avg_amount > %d", 1000000+i*1000)
+	}
+	return out
+}
+
+func BenchmarkE3_ConcurrentQueries(b *testing.B) {
+	_, scenario := benchStream(b)
+	for _, n := range []int{1, 4, 16, 64} {
+		queries := e3Queries(scenario, n)
+		b.Run(fmt.Sprintf("saql_shared/queries=%d", n), func(b *testing.B) {
+			runQueries(b, queries, true)
+		})
+		b.Run(fmt.Sprintf("saql_noshare/queries=%d", n), func(b *testing.B) {
+			runQueries(b, queries, false)
+		})
+		b.Run(fmt.Sprintf("baseline_cep/queries=%d", n), func(b *testing.B) {
+			events, _ := benchStream(b)
+			eng := NewBaselineEngine()
+			for _, nq := range queries {
+				q, err := CompileQuery(nq.Name, nq.SAQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Add(q)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Process(events[i%len(events)])
+			}
+		})
+	}
+}
+
+// --- E4: per-model engine overhead ------------------------------------------
+
+func BenchmarkE4_ModelOverhead(b *testing.B) {
+	_, scenario := benchStream(b)
+	all := scenario.DemoQueries(30*time.Second, 5)
+	models := map[string]NamedQuery{
+		"rule":       all[4],
+		"timeseries": all[6],
+		"invariant":  all[5],
+		"outlier":    all[7],
+	}
+	for name, nq := range models {
+		b.Run(name, func(b *testing.B) {
+			events, _ := benchStream(b)
+			q, err := CompileQuery(nq.Name, nq.SAQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Process(events[i%len(events)], nil)
+			}
+		})
+	}
+}
+
+// --- E5: stream replayer throughput ------------------------------------------
+
+func BenchmarkE5_Replayer(b *testing.B) {
+	events, _ := benchStream(b)
+	dir := b.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.AppendAll(events); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("store_append", func(b *testing.B) {
+		dir := b.TempDir()
+		s, _ := OpenStore(dir, StoreOptions{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Append(events[i%len(events)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay_maxspeed", func(b *testing.B) {
+		rep := NewReplayer(store)
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			stats, err := rep.Replay(benchCtx(), ReplayOptions{Speed: 0}, func(*Event) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			done += int(stats.Events)
+		}
+	})
+}
+
+// --- E6: window state maintenance --------------------------------------------
+
+func BenchmarkE6_Windows(b *testing.B) {
+	for _, win := range []string{"10 s", "1 min", "10 min"} {
+		b.Run("len="+win, func(b *testing.B) {
+			events, _ := benchStream(b)
+			src := fmt.Sprintf(`proc p write ip i as evt #time(%s)
+state[3] ss { avg_amount := avg(evt.amount) } group by p
+alert ss[0].avg_amount > 1000000000
+return p`, win)
+			q, err := CompileQuery("win", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Process(events[i%len(events)], nil)
+			}
+		})
+	}
+	// Group cardinality ablation: group by process vs by destination IP
+	// (many more groups).
+	for _, g := range []struct{ name, expr string }{
+		{"groups=proc", "p"},
+		{"groups=dstip", "i.dstip"},
+		{"groups=proc_and_ip", "p, i.dstip"},
+	} {
+		b.Run(g.name, func(b *testing.B) {
+			events, _ := benchStream(b)
+			src := fmt.Sprintf(`proc p write ip i as evt #time(1 min)
+state ss { amt := sum(evt.amount) } group by %s
+alert ss.amt > 1000000000
+return %s`, g.expr, "ss.amt")
+			q, err := CompileQuery("grp", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Process(events[i%len(events)], nil)
+			}
+		})
+	}
+}
+
+// --- E7: clustering (outlier model) -------------------------------------------
+
+func BenchmarkE7_Clustering(b *testing.B) {
+	// The engine clusters one point per group at window close; this
+	// isolates the clustering cost via increasingly many dstip groups fed
+	// to the paper's DBSCAN spec and the KMEANS ablation.
+	for _, method := range []string{`DBSCAN(100000, 3)`, `KMEANS(3)`} {
+		for _, groups := range []int{16, 64, 256} {
+			name := fmt.Sprintf("%s/groups=%d", method[:6], groups)
+			b.Run(name, func(b *testing.B) {
+				src := fmt.Sprintf(`proc p write ip i as evt #time(10 s)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method=%q)
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt`, method)
+				q, err := CompileQuery("clu", src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Synthetic per-group traffic: one event per group per
+				// window.
+				start := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+				var evs []*Event
+				for w := 0; w < 64; w++ {
+					for g := 0; g < groups; g++ {
+						evs = append(evs, &Event{
+							Time:    start.Add(time.Duration(w)*10*time.Second + time.Duration(g)*time.Millisecond),
+							AgentID: "db-1",
+							Subject: Process("sqlservr.exe", 1680),
+							Op:      OpWrite,
+							Object:  NetConn("10.0.0.2", 1433, fmt.Sprintf("10.0.%d.%d", g/250, g%250), 49000),
+							Amount:  50000 + float64(g),
+						})
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q.Process(evs[i%len(evs)], nil)
+				}
+			})
+		}
+	}
+}
+
+// --- E8: parser/compiler throughput -------------------------------------------
+
+func BenchmarkE8_Parser(b *testing.B) {
+	_, scenario := benchStream(b)
+	queries := scenario.DemoQueries(30*time.Second, 5)
+	b.Run("validate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := Validate(queries[i%len(queries)].SAQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nq := queries[i%len(queries)]
+			if _, err := CompileQuery(nq.Name, nq.SAQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

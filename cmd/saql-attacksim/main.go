@@ -1,0 +1,96 @@
+// Command saql-attacksim generates the demonstration dataset of the paper:
+// deterministic background activity for a small enterprise (workstations,
+// mail server, web server, database server, domain controller) with the
+// five-step APT kill chain injected, and writes it to an event store for
+// later replay (see cmd/saql-replayer).
+//
+// Usage:
+//
+//	saql-attacksim -out ./data -duration 30m -seed 42 -attack-at 12m
+//	saql-attacksim -out ./data -ground-truth   # also print the labelled attack events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"saql"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "saql-attacksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out         = flag.String("out", "", "store directory to write (required)")
+		duration    = flag.Duration("duration", 30*time.Minute, "background duration")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		attackAt    = flag.Duration("attack-at", 12*time.Minute, "attack start offset into the stream")
+		stepGap     = flag.Duration("step-gap", 90*time.Second, "gap between attack steps")
+		startStr    = flag.String("start", "2020-02-27T09:00:00Z", "stream start time (RFC3339)")
+		groundTruth = flag.Bool("ground-truth", false, "print the labelled attack events")
+		noAttack    = flag.Bool("benign", false, "generate background only (no attack)")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	start, err := time.Parse(time.RFC3339, *startStr)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+
+	wl, err := saql.NewWorkload(saql.WorkloadConfig{
+		Hosts: []saql.Host{
+			{AgentID: "ws-victim", Kind: saql.Workstation},
+			{AgentID: "ws-2", Kind: saql.Workstation},
+			{AgentID: "mail-1", Kind: saql.MailServer},
+			{AgentID: "web-1", Kind: saql.WebServer},
+			{AgentID: "db-1", Kind: saql.DBServer},
+			{AgentID: "dc-1", Kind: saql.DomainController},
+		},
+		Start: start, Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	events := wl.Drain()
+
+	if !*noAttack {
+		scenario := &saql.AttackScenario{
+			Workstation: "ws-victim", MailServer: "mail-1", DBServer: "db-1",
+			AttackerIP: "172.16.0.129",
+			Start:      start.Add(*attackAt), StepGap: *stepGap,
+		}
+		labeled := scenario.Events()
+		if *groundTruth {
+			fmt.Println("--- ground-truth attack events ---")
+			for _, l := range labeled {
+				fmt.Printf("[%s] %s\n", l.Step, l.Event)
+			}
+		}
+		events = append(events, saql.AttackEventsOnly(labeled)...)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+
+	store, err := saql.OpenStore(*out, saql.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	if err := store.AppendAll(events); err != nil {
+		return err
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events (%s .. %s) to %s\n",
+		len(events), events[0].Time.Format(time.RFC3339), events[len(events)-1].Time.Format(time.RFC3339), *out)
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"saql"
+)
+
+func testStore(t *testing.T) *saql.Store {
+	t.Helper()
+	store, err := saql.OpenStore(t.TempDir(), saql.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	var events []*saql.Event
+	for i := 0; i < 100; i++ {
+		agent := "db-1"
+		if i%2 == 0 {
+			agent = "ws-1"
+		}
+		events = append(events, &saql.Event{
+			Time:    start.Add(time.Duration(i) * time.Second),
+			AgentID: agent,
+			Subject: saql.Process("cmd.exe", 10),
+			Op:      saql.OpStart,
+			Object:  saql.Process("osql.exe", int32(100+i)),
+		})
+	}
+	if err := store.AppendAll(events); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestDoReplaySummary(t *testing.T) {
+	rep := saql.NewReplayer(testStore(t))
+	resp := doReplay(context.Background(), rep, replayRequest{
+		Hosts: []string{"db-1"},
+		Speed: 0,
+	})
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if resp.Events != 50 {
+		t.Errorf("events = %d, want 50", resp.Events)
+	}
+	if resp.SpanSec < 90 {
+		t.Errorf("span = %v", resp.SpanSec)
+	}
+}
+
+func TestDoReplayWithQuery(t *testing.T) {
+	rep := saql.NewReplayer(testStore(t))
+	resp := doReplay(context.Background(), rep, replayRequest{
+		Speed: 0,
+		Query: `proc p["%cmd.exe"] start proc q["%osql.exe"] as e return distinct p, q`,
+	})
+	if resp.Error != "" {
+		t.Fatalf("error: %s", resp.Error)
+	}
+	if len(resp.Alerts) != 1 {
+		t.Errorf("alerts = %d, want 1 (distinct)", len(resp.Alerts))
+	}
+}
+
+func TestDoReplayErrors(t *testing.T) {
+	rep := saql.NewReplayer(testStore(t))
+	if resp := doReplay(context.Background(), rep, replayRequest{From: "not-a-time"}); resp.Error == "" {
+		t.Error("bad from accepted")
+	}
+	if resp := doReplay(context.Background(), rep, replayRequest{To: "also-bad"}); resp.Error == "" {
+		t.Error("bad to accepted")
+	}
+	if resp := doReplay(context.Background(), rep, replayRequest{Query: "not a query"}); resp.Error == "" {
+		t.Error("bad query accepted")
+	}
+	if resp := doReplay(context.Background(), rep, replayRequest{Speed: -2}); resp.Error == "" {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestDoReplayTimeRange(t *testing.T) {
+	rep := saql.NewReplayer(testStore(t))
+	resp := doReplay(context.Background(), rep, replayRequest{
+		From: "2020-02-27T09:00:10Z",
+		To:   "2020-02-27T09:00:20Z",
+	})
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	if resp.Events != 10 {
+		t.Errorf("events = %d, want 10", resp.Events)
+	}
+}

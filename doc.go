@@ -1,0 +1,46 @@
+// Package saql is a stream-based query system for real-time abnormal system
+// behavior detection over enterprise system monitoring data, reproducing the
+// SAQL system of Gao et al. ("Querying Streaming System Monitoring Data for
+// Enterprise System Anomaly Detection", ICDE 2020; USENIX Security 2018).
+//
+// SAQL ingests a real-time feed of system events — ⟨subject, operation,
+// object⟩ interactions between processes, files, and network connections
+// collected from enterprise hosts — and evaluates anomaly queries written in
+// the Stream-based Anomaly Query Language against it. The language expresses
+// four families of anomaly models:
+//
+//   - rule-based: multievent patterns with attribute constraints, entity
+//     joins, and temporal ordering (`with evt1 -> evt2`);
+//   - time-series: sliding-window states with history access (ss[0], ss[1])
+//     for moving-average style detectors;
+//   - invariant-based: invariants learned over training windows and
+//     violated by unseen behaviour;
+//   - outlier-based: peer comparison via clustering (DBSCAN) of per-group
+//     window aggregates.
+//
+// # Quick start
+//
+//	eng := saql.New()
+//	err := eng.AddQuery("exfil", `
+//	    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+//	    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+//	    proc p4 read file f1 as evt3
+//	    with evt1 -> evt2 -> evt3
+//	    return distinct p1, p2, p3, f1, p4`)
+//	for _, ev := range events {
+//	    for _, alert := range eng.Process(ev) {
+//	        fmt.Println(alert)
+//	    }
+//	}
+//
+// Concurrent queries are scheduled with the master–dependent-query scheme:
+// semantically compatible queries share one copy of the stream, with the
+// weakest query (the master) performing pattern matching and dependents
+// refining its intermediate results.
+//
+// The module also ships the full demonstration substrate of the paper: a
+// deterministic multi-host workload simulator (NewWorkload), the five-step
+// APT kill-chain generator (AttackScenario), an embedded event store and
+// stream replayer (OpenStore, NewReplayer), and a generic per-query-copy CEP
+// baseline for comparison experiments.
+package saql

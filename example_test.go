@@ -1,0 +1,74 @@
+package saql_test
+
+import (
+	"fmt"
+	"time"
+
+	"saql"
+)
+
+// The smallest complete use: one rule-based query over three events.
+func ExampleEngine_Process() {
+	eng := saql.New()
+	err := eng.AddQuery("dump-read", `
+proc p1["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt1
+proc p2 read file f1 as evt2
+with evt1 -> evt2
+return p1, f1, p2`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	t0 := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	events := []*saql.Event{
+		{Time: t0, AgentID: "db-1", Subject: saql.Process("sqlservr.exe", 1680),
+			Op: saql.OpWrite, Object: saql.File(`C:\db\backup1.dmp`), Amount: 5e7},
+		{Time: t0.Add(time.Second), AgentID: "db-1", Subject: saql.Process("sbblv.exe", 3112),
+			Op: saql.OpRead, Object: saql.File(`C:\db\backup1.dmp`), Amount: 5e7},
+	}
+	for _, ev := range events {
+		for _, alert := range eng.Process(ev) {
+			fmt.Println(alert)
+		}
+	}
+	// Output:
+	// ALERT [rule] query=dump-read at=09:00:01.000 p1=sqlservr.exe f1=C:\db\backup1.dmp p2=sbblv.exe
+}
+
+// Validate checks a query without registering it — what the command-line UI
+// does on every keystroke-submitted query.
+func ExampleValidate() {
+	err := saql.Validate(`proc p start proc q as e return zz`)
+	fmt.Println(err)
+	// Output:
+	// semantic error at 1:33: unknown identifier "zz"
+}
+
+// A time-series query over sliding windows: alert when a window's average
+// network volume spikes above the 3-window moving average.
+func ExampleEngine_Flush() {
+	eng := saql.New()
+	_ = eng.AddQuery("sma", `
+proc p write ip i as evt #time(1 min)
+state[3] ss { avg_amount := avg(evt.amount) } group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount`)
+
+	t0 := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	conn := saql.NetConn("10.0.3.10", 1433, "203.0.113.77", 8443)
+	for minute, amount := range []float64{1000, 1200, 900, 500000} {
+		eng.Process(&saql.Event{
+			Time:    t0.Add(time.Duration(minute) * time.Minute),
+			AgentID: "db-1",
+			Subject: saql.Process("sqlservr.exe", 1680),
+			Op:      saql.OpWrite, Object: conn, Amount: amount,
+		})
+	}
+	// End of stream: close the open spike window.
+	for _, alert := range eng.Flush() {
+		fmt.Println(alert)
+	}
+	// Output:
+	// ALERT [time-series] query=sma at=09:04:00.000 group=sqlservr.exe p=sqlservr.exe ss[0].avg_amount=500000
+}

@@ -1,0 +1,55 @@
+// Quickstart: compile one rule-based SAQL query and run it over a handful
+// of hand-built system events — the smallest end-to-end use of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"saql"
+)
+
+func main() {
+	// A rule-based query in the style of the paper's Query 1: a command
+	// shell launches the database dump utility, the database writes the
+	// dump file, and another process reads it back.
+	const query = `
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4 read file f1 as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, p2, p3, f1, p4
+`
+	eng := saql.New()
+	if err := eng.AddQuery("exfil-prep", query); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the event sequence the query describes, with an unrelated
+	// event mixed in.
+	t0 := time.Now().UTC()
+	cmd := saql.Process("cmd.exe", 4120)
+	osql := saql.Process("osql.exe", 4121)
+	sqlservr := saql.Process("sqlservr.exe", 1680)
+	malware := saql.Process("sbblv.exe", 5200)
+	dump := saql.File(`C:\db\backup1.dmp`)
+
+	events := []*saql.Event{
+		{Time: t0, AgentID: "db-1", Subject: cmd, Op: saql.OpStart, Object: osql},
+		{Time: t0.Add(1 * time.Second), AgentID: "db-1", Subject: saql.Process("chrome.exe", 9), Op: saql.OpWrite,
+			Object: saql.NetConn("10.0.0.5", 50000, "8.8.8.8", 443), Amount: 1500}, // noise
+		{Time: t0.Add(2 * time.Second), AgentID: "db-1", Subject: sqlservr, Op: saql.OpWrite, Object: dump, Amount: 50 << 20},
+		{Time: t0.Add(3 * time.Second), AgentID: "db-1", Subject: malware, Op: saql.OpRead, Object: dump, Amount: 50 << 20},
+	}
+
+	for _, ev := range events {
+		for _, alert := range eng.Process(ev) {
+			fmt.Println(alert)
+		}
+	}
+
+	stats := eng.Stats()
+	fmt.Printf("\nprocessed %d events, %d alert(s)\n", stats.Events, stats.Alerts)
+}

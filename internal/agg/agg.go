@@ -1,0 +1,287 @@
+// Package agg implements the aggregation functions available inside SAQL
+// state blocks: avg, sum, count, min, max, set, distinct (count), stddev,
+// variance, median, percentile, first, and last. The state maintainer creates
+// one aggregator per state field per group per window and streams matched
+// event attribute values into it; Result is taken when the window closes.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"saql/internal/value"
+)
+
+// Aggregator accumulates values for one state field within one window.
+type Aggregator interface {
+	// Add folds one value into the aggregate. Non-numeric values are an
+	// error for numeric aggregators; set aggregators stringify.
+	Add(v value.Value) error
+	// Result returns the aggregate for the closing window.
+	Result() value.Value
+	// Reset clears the aggregator for reuse in the next window.
+	Reset()
+}
+
+// Factory creates fresh aggregators; params are the extra literal arguments
+// of the call (e.g. the 95 in percentile(x, 95)).
+type Factory func(params []value.Value) (Aggregator, error)
+
+var registry = map[string]Factory{
+	"avg":   func(p []value.Value) (Aggregator, error) { return noParams("avg", p, &meanAgg{}) },
+	"mean":  func(p []value.Value) (Aggregator, error) { return noParams("mean", p, &meanAgg{}) },
+	"sum":   func(p []value.Value) (Aggregator, error) { return noParams("sum", p, &sumAgg{}) },
+	"count": func(p []value.Value) (Aggregator, error) { return noParams("count", p, &countAgg{}) },
+	"min":   func(p []value.Value) (Aggregator, error) { return noParams("min", p, &minMaxAgg{isMin: true}) },
+	"max":   func(p []value.Value) (Aggregator, error) { return noParams("max", p, &minMaxAgg{}) },
+	"set":   func(p []value.Value) (Aggregator, error) { return noParams("set", p, newSetAgg()) },
+	"distinct": func(p []value.Value) (Aggregator, error) {
+		return noParams("distinct", p, &distinctAgg{set: newSetAgg()})
+	},
+	"stddev": func(p []value.Value) (Aggregator, error) {
+		return noParams("stddev", p, &varianceAgg{sample: true, sqrt: true})
+	},
+	"variance": func(p []value.Value) (Aggregator, error) { return noParams("variance", p, &varianceAgg{sample: true}) },
+	"median":   func(p []value.Value) (Aggregator, error) { return noParams("median", p, &percentileAgg{pct: 50}) },
+	"first":    func(p []value.Value) (Aggregator, error) { return noParams("first", p, &firstLastAgg{first: true}) },
+	"last":     func(p []value.Value) (Aggregator, error) { return noParams("last", p, &firstLastAgg{}) },
+	"percentile": func(p []value.Value) (Aggregator, error) {
+		if len(p) != 1 {
+			return nil, fmt.Errorf("agg: percentile requires one parameter, got %d", len(p))
+		}
+		pct, ok := p[0].AsFloat()
+		if !ok || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("agg: percentile parameter must be a number in [0,100], got %v", p[0])
+		}
+		return &percentileAgg{pct: pct}, nil
+	},
+}
+
+func noParams(name string, p []value.Value, a Aggregator) (Aggregator, error) {
+	if len(p) != 0 {
+		return nil, fmt.Errorf("agg: %s takes no extra parameters, got %d", name, len(p))
+	}
+	return a, nil
+}
+
+// IsAggregator reports whether name is a registered aggregation function.
+func IsAggregator(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// New creates an aggregator by name.
+func New(name string, params []value.Value) (Aggregator, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("agg: unknown aggregation function %q", name)
+	}
+	return f(params)
+}
+
+// Names returns the sorted list of registered aggregation function names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --------------------------------------------------------------------------
+
+type meanAgg struct {
+	sum float64
+	n   int
+}
+
+func (a *meanAgg) Add(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("agg: avg requires numeric input, got %s", v.Kind())
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+
+func (a *meanAgg) Result() value.Value {
+	if a.n == 0 {
+		return value.Float(0)
+	}
+	return value.Float(a.sum / float64(a.n))
+}
+
+func (a *meanAgg) Reset() { a.sum, a.n = 0, 0 }
+
+type sumAgg struct{ sum float64 }
+
+func (a *sumAgg) Add(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("agg: sum requires numeric input, got %s", v.Kind())
+	}
+	a.sum += f
+	return nil
+}
+
+func (a *sumAgg) Result() value.Value { return value.Float(a.sum) }
+func (a *sumAgg) Reset()              { a.sum = 0 }
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) Add(value.Value) error { a.n++; return nil }
+func (a *countAgg) Result() value.Value   { return value.Int(a.n) }
+func (a *countAgg) Reset()                { a.n = 0 }
+
+type minMaxAgg struct {
+	isMin bool
+	cur   float64
+	seen  bool
+}
+
+func (a *minMaxAgg) Add(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("agg: min/max requires numeric input, got %s", v.Kind())
+	}
+	if !a.seen {
+		a.cur, a.seen = f, true
+		return nil
+	}
+	if (a.isMin && f < a.cur) || (!a.isMin && f > a.cur) {
+		a.cur = f
+	}
+	return nil
+}
+
+func (a *minMaxAgg) Result() value.Value {
+	if !a.seen {
+		return value.Null
+	}
+	return value.Float(a.cur)
+}
+
+func (a *minMaxAgg) Reset() { a.cur, a.seen = 0, false }
+
+type setAgg struct{ members map[string]struct{} }
+
+func newSetAgg() *setAgg { return &setAgg{members: map[string]struct{}{}} }
+
+func (a *setAgg) Add(v value.Value) error {
+	a.members[v.String()] = struct{}{}
+	return nil
+}
+
+func (a *setAgg) Result() value.Value {
+	out := make([]string, 0, len(a.members))
+	for m := range a.members {
+		out = append(out, m)
+	}
+	return value.SetOf(out...)
+}
+
+func (a *setAgg) Reset() { a.members = map[string]struct{}{} }
+
+type distinctAgg struct{ set *setAgg }
+
+func (a *distinctAgg) Add(v value.Value) error { return a.set.Add(v) }
+func (a *distinctAgg) Result() value.Value     { return value.Int(int64(len(a.set.members))) }
+func (a *distinctAgg) Reset()                  { a.set.Reset() }
+
+// varianceAgg implements Welford's online algorithm for numeric stability.
+type varianceAgg struct {
+	sample bool // sample (n-1) vs population (n)
+	sqrt   bool // stddev vs variance
+	n      int
+	mean   float64
+	m2     float64
+}
+
+func (a *varianceAgg) Add(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("agg: stddev/variance requires numeric input, got %s", v.Kind())
+	}
+	a.n++
+	d := f - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (f - a.mean)
+	return nil
+}
+
+func (a *varianceAgg) Result() value.Value {
+	if a.n < 2 {
+		return value.Float(0)
+	}
+	div := float64(a.n)
+	if a.sample {
+		div = float64(a.n - 1)
+	}
+	v := a.m2 / div
+	if a.sqrt {
+		v = math.Sqrt(v)
+	}
+	return value.Float(v)
+}
+
+func (a *varianceAgg) Reset() { a.n, a.mean, a.m2 = 0, 0, 0 }
+
+type percentileAgg struct {
+	pct  float64
+	vals []float64
+}
+
+func (a *percentileAgg) Add(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("agg: percentile/median requires numeric input, got %s", v.Kind())
+	}
+	a.vals = append(a.vals, f)
+	return nil
+}
+
+func (a *percentileAgg) Result() value.Value {
+	if len(a.vals) == 0 {
+		return value.Float(0)
+	}
+	s := make([]float64, len(a.vals))
+	copy(s, a.vals)
+	sort.Float64s(s)
+	// Linear interpolation between closest ranks.
+	rank := a.pct / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return value.Float(s[lo])
+	}
+	frac := rank - float64(lo)
+	return value.Float(s[lo]*(1-frac) + s[hi]*frac)
+}
+
+func (a *percentileAgg) Reset() { a.vals = a.vals[:0] }
+
+type firstLastAgg struct {
+	first bool
+	val   value.Value
+	seen  bool
+}
+
+func (a *firstLastAgg) Add(v value.Value) error {
+	if a.first && a.seen {
+		return nil
+	}
+	a.val, a.seen = v, true
+	return nil
+}
+
+func (a *firstLastAgg) Result() value.Value {
+	if !a.seen {
+		return value.Null
+	}
+	return a.val
+}
+
+func (a *firstLastAgg) Reset() { a.val, a.seen = value.Null, false }

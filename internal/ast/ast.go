@@ -1,0 +1,380 @@
+// Package ast defines the abstract syntax tree of the SAQL language: event
+// patterns with entity/attribute constraints, global constraints, temporal
+// relationships, sliding-window specs, state blocks with aggregation and
+// grouping, invariant blocks, cluster specs, alert conditions, and return
+// clauses. The parser produces these nodes; sema validates them; the engine
+// compiles them into executable queries.
+package ast
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"saql/internal/event"
+	"saql/internal/lexer"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() lexer.Pos
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+// Query is a complete parsed SAQL query.
+type Query struct {
+	Name       string        // optional, set by the caller for scheduling/UI
+	Globals    []*Constraint // e.g. agentid = "db-server-1"
+	Patterns   []*EventPattern
+	Temporal   *TemporalClause // with evt1 -> evt2 -> ...
+	Window     *WindowSpec     // #time(10 min) — shared by all patterns
+	State      *StateBlock
+	Invariant  *InvariantBlock
+	Cluster    *ClusterSpec
+	Alerts     []Expr // each alert line; any true condition raises an alert
+	Return     *ReturnClause
+	SourcePos  lexer.Pos
+	SourceText string // original query text, for UI echo
+}
+
+// Pos implements Node.
+func (q *Query) Pos() lexer.Pos { return q.SourcePos }
+
+// IsStateful reports whether the query maintains sliding-window state (as
+// opposed to a pure rule-based pattern query).
+func (q *Query) IsStateful() bool { return q.State != nil }
+
+// String reconstructs a normalised form of the query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for _, g := range q.Globals {
+		sb.WriteString(g.String())
+		sb.WriteByte('\n')
+	}
+	for i, p := range q.Patterns {
+		sb.WriteString(p.String())
+		if i == len(q.Patterns)-1 && q.Window != nil {
+			sb.WriteString(" " + q.Window.String())
+		}
+		sb.WriteByte('\n')
+	}
+	if q.Temporal != nil {
+		sb.WriteString(q.Temporal.String() + "\n")
+	}
+	if q.State != nil {
+		sb.WriteString(q.State.String() + "\n")
+	}
+	if q.Invariant != nil {
+		sb.WriteString(q.Invariant.String() + "\n")
+	}
+	if q.Cluster != nil {
+		sb.WriteString(q.Cluster.String() + "\n")
+	}
+	for _, a := range q.Alerts {
+		sb.WriteString("alert " + a.String() + "\n")
+	}
+	if q.Return != nil {
+		sb.WriteString(q.Return.String() + "\n")
+	}
+	return sb.String()
+}
+
+// Constraint is a global attribute constraint such as `agentid = "xxx"`.
+type Constraint struct {
+	Attr     string
+	Op       CompareOp
+	Val      *Literal
+	ConstPos lexer.Pos
+}
+
+// Pos implements Node.
+func (c *Constraint) Pos() lexer.Pos { return c.ConstPos }
+
+// String renders the constraint.
+func (c *Constraint) String() string {
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val)
+}
+
+// ---------------------------------------------------------------------------
+// Event patterns
+// ---------------------------------------------------------------------------
+
+// EventPattern is one event clause: `proc p1["%cmd.exe"] start proc p2 as evt1`.
+type EventPattern struct {
+	Subject *EntityPattern
+	Ops     []event.Op // alternation: read || write
+	Object  *EntityPattern
+	Alias   string // `as evt1`; may be empty
+	PatPos  lexer.Pos
+}
+
+// Pos implements Node.
+func (p *EventPattern) Pos() lexer.Pos { return p.PatPos }
+
+// String renders the pattern.
+func (p *EventPattern) String() string {
+	ops := make([]string, len(p.Ops))
+	for i, o := range p.Ops {
+		ops[i] = o.String()
+	}
+	s := fmt.Sprintf("%s %s %s", p.Subject, strings.Join(ops, " || "), p.Object)
+	if p.Alias != "" {
+		s += " as " + p.Alias
+	}
+	return s
+}
+
+// EntityPattern is an entity occurrence with optional variable binding and
+// attribute constraints: `proc p1["%cmd.exe"]`, `ip i1[dstip="10.0.0.1"]`.
+type EntityPattern struct {
+	Type        event.EntityType
+	Var         string // may be empty (anonymous entity)
+	Constraints []*AttrConstraint
+	EntPos      lexer.Pos
+}
+
+// Pos implements Node.
+func (e *EntityPattern) Pos() lexer.Pos { return e.EntPos }
+
+// String renders the entity pattern.
+func (e *EntityPattern) String() string {
+	s := e.Type.String()
+	if e.Var != "" {
+		s += " " + e.Var
+	}
+	if len(e.Constraints) > 0 {
+		cs := make([]string, len(e.Constraints))
+		for i, c := range e.Constraints {
+			cs[i] = c.String()
+		}
+		s += "[" + strings.Join(cs, ", ") + "]"
+	}
+	return s
+}
+
+// AttrConstraint constrains one attribute of an entity. A bare string
+// constraint ("%osql.exe") leaves Attr empty and matches the entity's
+// default attribute with % wildcards.
+type AttrConstraint struct {
+	Attr string // empty means default attribute
+	Op   CompareOp
+	Val  *Literal
+}
+
+// String renders the constraint.
+func (c *AttrConstraint) String() string {
+	if c.Attr == "" {
+		return c.Val.String()
+	}
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val)
+}
+
+// TemporalClause is `with evt1 -> evt2 -> evt3`, requiring the named events
+// to occur in time order.
+type TemporalClause struct {
+	Order  []string // event aliases in required order
+	TemPos lexer.Pos
+}
+
+// Pos implements Node.
+func (t *TemporalClause) Pos() lexer.Pos { return t.TemPos }
+
+// String renders the clause.
+func (t *TemporalClause) String() string {
+	return "with " + strings.Join(t.Order, " -> ")
+}
+
+// WindowSpec is `#time(L)` or `#time(L, H)`: window length and hop. Hop == 0
+// means tumbling (hop == length).
+type WindowSpec struct {
+	Length time.Duration
+	Hop    time.Duration
+	WinPos lexer.Pos
+}
+
+// Pos implements Node.
+func (w *WindowSpec) Pos() lexer.Pos { return w.WinPos }
+
+// EffectiveHop returns the hop, defaulting to the length (tumbling window).
+func (w *WindowSpec) EffectiveHop() time.Duration {
+	if w.Hop > 0 {
+		return w.Hop
+	}
+	return w.Length
+}
+
+// String renders the window spec using SAQL duration syntax (e.g. "10 min").
+func (w *WindowSpec) String() string {
+	if w.Hop > 0 && w.Hop != w.Length {
+		return fmt.Sprintf("#time(%s, %s)", formatDuration(w.Length), formatDuration(w.Hop))
+	}
+	return fmt.Sprintf("#time(%s)", formatDuration(w.Length))
+}
+
+// formatDuration renders a duration in the largest SAQL unit that divides it
+// exactly, so that WindowSpec.String() re-parses.
+func formatDuration(d time.Duration) string {
+	type unit struct {
+		d    time.Duration
+		name string
+	}
+	units := []unit{
+		{24 * time.Hour, "day"},
+		{time.Hour, "h"},
+		{time.Minute, "min"},
+		{time.Second, "s"},
+		{time.Millisecond, "ms"},
+	}
+	for _, u := range units {
+		if d >= u.d && d%u.d == 0 {
+			return fmt.Sprintf("%d %s", d/u.d, u.name)
+		}
+	}
+	// Sub-millisecond or irregular: fall back to fractional seconds.
+	return fmt.Sprintf("%g s", d.Seconds())
+}
+
+// ---------------------------------------------------------------------------
+// State, invariant, cluster blocks
+// ---------------------------------------------------------------------------
+
+// StateBlock is `state[3] ss { avg_amount := avg(evt.amount) } group by p`.
+type StateBlock struct {
+	History  int    // number of past windows retained (state[3]); >= 1
+	Name     string // state variable name, e.g. ss
+	Fields   []*StateField
+	GroupBy  []Expr
+	StatePos lexer.Pos
+}
+
+// Pos implements Node.
+func (s *StateBlock) Pos() lexer.Pos { return s.StatePos }
+
+// String renders the block.
+func (s *StateBlock) String() string {
+	var sb strings.Builder
+	sb.WriteString("state")
+	if s.History > 1 {
+		fmt.Fprintf(&sb, "[%d]", s.History)
+	}
+	sb.WriteString(" " + s.Name + " {\n")
+	for _, f := range s.Fields {
+		fmt.Fprintf(&sb, "  %s := %s\n", f.Name, f.Expr)
+	}
+	sb.WriteString("}")
+	if len(s.GroupBy) > 0 {
+		gs := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			gs[i] = g.String()
+		}
+		sb.WriteString(" group by " + strings.Join(gs, ", "))
+	}
+	return sb.String()
+}
+
+// StateField is one computed state field: `avg_amount := avg(evt.amount)`.
+type StateField struct {
+	Name string
+	Expr Expr // normally an aggregation call
+}
+
+// InvariantBlock is:
+//
+//	invariant[10][offline] {
+//	  a := empty_set          // init
+//	  a = a union ss.set_proc // update, applied per closed window
+//	}
+type InvariantBlock struct {
+	TrainWindows int  // number of training windows
+	Offline      bool // offline: freeze after training; online: keep updating
+	Inits        []*InvariantStmt
+	Updates      []*InvariantStmt
+	InvPos       lexer.Pos
+}
+
+// Pos implements Node.
+func (b *InvariantBlock) Pos() lexer.Pos { return b.InvPos }
+
+// String renders the block.
+func (b *InvariantBlock) String() string {
+	mode := "online"
+	if b.Offline {
+		mode = "offline"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "invariant[%d][%s] {\n", b.TrainWindows, mode)
+	for _, s := range b.Inits {
+		fmt.Fprintf(&sb, "  %s := %s\n", s.Var, s.Expr)
+	}
+	for _, s := range b.Updates {
+		fmt.Fprintf(&sb, "  %s = %s\n", s.Var, s.Expr)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// InvariantStmt assigns an invariant variable; Init distinguishes `:=` from `=`.
+type InvariantStmt struct {
+	Var  string
+	Expr Expr
+	Init bool
+}
+
+// ClusterSpec is:
+//
+//	cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+type ClusterSpec struct {
+	Points   Expr   // argument of all(...): one coordinate vector per group
+	Distance string // "ed" euclidean, "md" manhattan, "cd" chebyshev, "cos" cosine
+	Method   string // e.g. `DBSCAN(100000, 5)` or `KMEANS(3)`
+	CluPos   lexer.Pos
+}
+
+// Pos implements Node.
+func (c *ClusterSpec) Pos() lexer.Pos { return c.CluPos }
+
+// String renders the spec.
+func (c *ClusterSpec) String() string {
+	return fmt.Sprintf("cluster(points=all(%s), distance=%q, method=%q)", c.Points, c.Distance, c.Method)
+}
+
+// ReturnClause is `return distinct p1, p2, ss[0].avg_amount`.
+type ReturnClause struct {
+	Distinct bool
+	Items    []*ReturnItem
+	RetPos   lexer.Pos
+}
+
+// Pos implements Node.
+func (r *ReturnClause) Pos() lexer.Pos { return r.RetPos }
+
+// String renders the clause.
+func (r *ReturnClause) String() string {
+	items := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		items[i] = it.String()
+	}
+	s := "return "
+	if r.Distinct {
+		s += "distinct "
+	}
+	return s + strings.Join(items, ", ")
+}
+
+// ReturnItem is one returned expression with an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// String renders the item.
+func (r *ReturnItem) String() string {
+	if r.Alias != "" {
+		return r.Expr.String() + " as " + r.Alias
+	}
+	return r.Expr.String()
+}

@@ -1,0 +1,231 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+	"saql/internal/lexer"
+	"saql/internal/value"
+)
+
+func TestWindowSpecString(t *testing.T) {
+	cases := []struct {
+		spec WindowSpec
+		want string
+	}{
+		{WindowSpec{Length: 10 * time.Minute}, "#time(10 min)"},
+		{WindowSpec{Length: 10 * time.Second}, "#time(10 s)"},
+		{WindowSpec{Length: 2 * time.Hour}, "#time(2 h)"},
+		{WindowSpec{Length: 24 * time.Hour}, "#time(1 day)"},
+		{WindowSpec{Length: 500 * time.Millisecond}, "#time(500 ms)"},
+		{WindowSpec{Length: 90 * time.Second}, "#time(90 s)"},
+		{WindowSpec{Length: 10 * time.Minute, Hop: 2 * time.Minute}, "#time(10 min, 2 min)"},
+		{WindowSpec{Length: time.Minute, Hop: time.Minute}, "#time(1 min)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Errorf("WindowSpec%v = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveHop(t *testing.T) {
+	w := WindowSpec{Length: time.Minute}
+	if w.EffectiveHop() != time.Minute {
+		t.Error("tumbling hop should equal length")
+	}
+	w.Hop = 10 * time.Second
+	if w.EffectiveHop() != 10*time.Second {
+		t.Error("explicit hop ignored")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	// (ss[0].amt + 5) > |procs diff a| && !cluster.outlier
+	e := &BinaryExpr{
+		Op: OpAnd,
+		Left: &BinaryExpr{
+			Op: OpGt,
+			Left: &BinaryExpr{
+				Op:    OpAdd,
+				Left:  &FieldExpr{Base: &IndexExpr{Base: &Ident{Name: "ss"}, Index: 0}, Field: "amt"},
+				Right: &Literal{Val: value.Int(5)},
+			},
+			Right: &CardExpr{X: &BinaryExpr{
+				Op:    OpDiff,
+				Left:  &Ident{Name: "procs"},
+				Right: &Ident{Name: "a"},
+			}},
+		},
+		Right: &UnaryExpr{Op: '!', X: &FieldExpr{Base: &Ident{Name: "cluster"}, Field: "outlier"}},
+	}
+	got := e.String()
+	for _, want := range []string{"ss[0].amt", "|", "diff", "!cluster.outlier", "&&"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("expr string %q missing %q", got, want)
+		}
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if got := (&Literal{Val: value.String("x%y")}).String(); got != `"x%y"` {
+		t.Errorf("string literal = %q", got)
+	}
+	if got := (&Literal{Val: value.EmptySet()}).String(); got != "empty_set" {
+		t.Errorf("empty set literal = %q", got)
+	}
+	if got := (&Literal{Val: value.Float(2.5)}).String(); got != "2.5" {
+		t.Errorf("float literal = %q", got)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := &Query{
+		Globals: []*Constraint{{Attr: "agentid", Op: CmpEq, Val: &Literal{Val: value.String("db-1")}}},
+		Patterns: []*EventPattern{{
+			Subject: &EntityPattern{Type: event.EntityProcess, Var: "p",
+				Constraints: []*AttrConstraint{{Op: CmpEq, Val: &Literal{Val: value.String("%osql.exe")}}}},
+			Ops:    []event.Op{event.OpRead, event.OpWrite},
+			Object: &EntityPattern{Type: event.EntityNetConn, Var: "i"},
+			Alias:  "evt",
+		}},
+		Window: &WindowSpec{Length: 10 * time.Minute},
+		State: &StateBlock{
+			History: 3, Name: "ss",
+			Fields:  []*StateField{{Name: "amt", Expr: &CallExpr{Func: "sum", Args: []Expr{&FieldExpr{Base: &Ident{Name: "evt"}, Field: "amount"}}}}},
+			GroupBy: []Expr{&Ident{Name: "p"}},
+		},
+		Alerts: []Expr{&BinaryExpr{Op: OpGt,
+			Left:  &FieldExpr{Base: &Ident{Name: "ss"}, Field: "amt"},
+			Right: &Literal{Val: value.Int(1000)}}},
+		Return: &ReturnClause{Distinct: true, Items: []*ReturnItem{{Expr: &Ident{Name: "p"}, Alias: "proc"}}},
+	}
+	s := q.String()
+	for _, want := range []string{
+		`agentid = "db-1"`, "read || write", "as evt", "#time(10 min)",
+		"state[3] ss", "sum(evt.amount)", "group by p", "alert", "return distinct", "p as proc",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("query string missing %q:\n%s", want, s)
+		}
+	}
+	if !q.IsStateful() {
+		t.Error("query with state block should be stateful")
+	}
+}
+
+func TestInvariantAndClusterStrings(t *testing.T) {
+	inv := &InvariantBlock{
+		TrainWindows: 10, Offline: true,
+		Inits:   []*InvariantStmt{{Var: "a", Expr: &Literal{Val: value.EmptySet()}, Init: true}},
+		Updates: []*InvariantStmt{{Var: "a", Expr: &BinaryExpr{Op: OpUnion, Left: &Ident{Name: "a"}, Right: &FieldExpr{Base: &Ident{Name: "ss"}, Field: "s"}}}},
+	}
+	s := inv.String()
+	if !strings.Contains(s, "invariant[10][offline]") || !strings.Contains(s, "a := empty_set") {
+		t.Errorf("invariant string = %q", s)
+	}
+	online := &InvariantBlock{TrainWindows: 5, Offline: false, Inits: inv.Inits}
+	if !strings.Contains(online.String(), "[online]") {
+		t.Errorf("online invariant string = %q", online.String())
+	}
+	cl := &ClusterSpec{
+		Points:   &FieldExpr{Base: &Ident{Name: "ss"}, Field: "amt"},
+		Distance: "ed",
+		Method:   "DBSCAN(100000, 5)",
+	}
+	if got := cl.String(); !strings.Contains(got, `all(ss.amt)`) || !strings.Contains(got, `"DBSCAN(100000, 5)"`) {
+		t.Errorf("cluster string = %q", got)
+	}
+}
+
+func TestTemporalString(t *testing.T) {
+	tc := &TemporalClause{Order: []string{"e1", "e2", "e3"}}
+	if tc.String() != "with e1 -> e2 -> e3" {
+		t.Errorf("temporal string = %q", tc.String())
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	e := &BinaryExpr{
+		Op:   OpAnd,
+		Left: &CallExpr{Func: "abs", Args: []Expr{&UnaryExpr{Op: '-', X: &Ident{Name: "x"}}}},
+		Right: &CardExpr{X: &FieldExpr{
+			Base: &IndexExpr{Base: &Ident{Name: "ss"}, Index: 1}, Field: "f"}},
+	}
+	var kinds []string
+	Walk(e, func(n Expr) {
+		switch n.(type) {
+		case *BinaryExpr:
+			kinds = append(kinds, "bin")
+		case *CallExpr:
+			kinds = append(kinds, "call")
+		case *UnaryExpr:
+			kinds = append(kinds, "unary")
+		case *Ident:
+			kinds = append(kinds, "ident")
+		case *CardExpr:
+			kinds = append(kinds, "card")
+		case *FieldExpr:
+			kinds = append(kinds, "field")
+		case *IndexExpr:
+			kinds = append(kinds, "index")
+		}
+	})
+	want := map[string]int{"bin": 1, "call": 1, "unary": 1, "ident": 2, "card": 1, "field": 1, "index": 1}
+	got := map[string]int{}
+	for _, k := range kinds {
+		got[k]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("walk visited %d %s nodes, want %d", got[k], k, n)
+		}
+	}
+	Walk(nil, func(Expr) { t.Error("walk of nil should not visit") })
+}
+
+func TestCompareOpStrings(t *testing.T) {
+	ops := map[CompareOp]string{
+		CmpEq: "=", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v = %q", op, op.String())
+		}
+	}
+	binOps := map[BinOp]string{
+		OpOr: "||", OpAnd: "&&", OpUnion: "union", OpDiff: "diff", OpIn: "in", OpMod: "%",
+	}
+	for op, want := range binOps {
+		if op.String() != want {
+			t.Errorf("%v = %q", op, op.String())
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	pos := lexer.Pos{Line: 3, Col: 7}
+	nodes := []Node{
+		&Literal{LitPos: pos},
+		&Ident{IdPos: pos},
+		&CallExpr{CallPos: pos},
+		&UnaryExpr{UPos: pos},
+		&CardExpr{CPos: pos},
+		&Constraint{ConstPos: pos},
+		&EventPattern{PatPos: pos},
+		&EntityPattern{EntPos: pos},
+		&TemporalClause{TemPos: pos},
+		&WindowSpec{WinPos: pos},
+		&StateBlock{StatePos: pos},
+		&InvariantBlock{InvPos: pos},
+		&ClusterSpec{CluPos: pos},
+		&ReturnClause{RetPos: pos},
+	}
+	for _, n := range nodes {
+		if n.Pos() != pos {
+			t.Errorf("%T.Pos() = %v", n, n.Pos())
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"saql/internal/lexer"
+	"saql/internal/value"
+)
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// CompareOp enumerates comparison operators.
+type CompareOp uint8
+
+// Comparison operators. CmpEq covers both `=` and `==` (SAQL treats them
+// identically in constraint position); string equality applies % wildcards.
+const (
+	CmpInvalid CompareOp = iota
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator.
+func (o CompareOp) String() string {
+	switch o {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// BinOp enumerates binary expression operators.
+type BinOp uint8
+
+// Binary operators, including set operators union/diff/intersect and the
+// membership test `in`.
+const (
+	OpInvalid BinOp = iota
+	OpOr            // ||
+	OpAnd           // &&
+	OpEq            // ==, =
+	OpNe            // !=
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpUnion
+	OpDiff
+	OpIntersect
+	OpIn
+)
+
+var binOpNames = map[BinOp]string{
+	OpOr: "||", OpAnd: "&&", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpUnion: "union", OpDiff: "diff", OpIntersect: "intersect", OpIn: "in",
+}
+
+// String renders the operator.
+func (o BinOp) String() string {
+	if s, ok := binOpNames[o]; ok {
+		return s
+	}
+	return "?"
+}
+
+// Literal is a constant: string, number, boolean, or empty_set.
+type Literal struct {
+	Val    value.Value
+	LitPos lexer.Pos
+}
+
+// Pos implements Node.
+func (l *Literal) Pos() lexer.Pos { return l.LitPos }
+func (l *Literal) exprNode()      {}
+
+// String renders the literal; strings are quoted.
+func (l *Literal) String() string {
+	if l.Val.Kind() == value.KindString {
+		return strconv.Quote(l.Val.Str())
+	}
+	if l.Val.Kind() == value.KindSet && l.Val.SetLen() == 0 {
+		return "empty_set"
+	}
+	return l.Val.String()
+}
+
+// Ident references an entity variable (p1), event alias (evt), state name
+// (ss), invariant variable (a), or the special `cluster` namespace.
+type Ident struct {
+	Name  string
+	IdPos lexer.Pos
+}
+
+// Pos implements Node.
+func (i *Ident) Pos() lexer.Pos { return i.IdPos }
+func (i *Ident) exprNode()      {}
+
+// String renders the identifier.
+func (i *Ident) String() string { return i.Name }
+
+// FieldExpr accesses an attribute or state field: p1.exe_name, ss.set_proc,
+// cluster.outlier, or (with Index) ss[0].avg_amount.
+type FieldExpr struct {
+	Base  Expr // Ident or IndexExpr
+	Field string
+}
+
+// Pos implements Node.
+func (f *FieldExpr) Pos() lexer.Pos { return f.Base.Pos() }
+func (f *FieldExpr) exprNode()      {}
+
+// String renders the access.
+func (f *FieldExpr) String() string { return f.Base.String() + "." + f.Field }
+
+// IndexExpr is state-history indexing: ss[0], ss[2].
+type IndexExpr struct {
+	Base  Expr
+	Index int
+}
+
+// Pos implements Node.
+func (x *IndexExpr) Pos() lexer.Pos { return x.Base.Pos() }
+func (x *IndexExpr) exprNode()      {}
+
+// String renders the indexing.
+func (x *IndexExpr) String() string { return fmt.Sprintf("%s[%d]", x.Base, x.Index) }
+
+// CallExpr is a function or aggregation call: avg(evt.amount), set(p2.exe_name),
+// abs(x), all(ss.amt).
+type CallExpr struct {
+	Func    string
+	Args    []Expr
+	CallPos lexer.Pos
+}
+
+// Pos implements Node.
+func (c *CallExpr) Pos() lexer.Pos { return c.CallPos }
+func (c *CallExpr) exprNode()      {}
+
+// String renders the call.
+func (c *CallExpr) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Func + "(" + strings.Join(args, ", ") + ")"
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op    BinOp
+	Left  Expr
+	Right Expr
+}
+
+// Pos implements Node.
+func (b *BinaryExpr) Pos() lexer.Pos { return b.Left.Pos() }
+func (b *BinaryExpr) exprNode()      {}
+
+// String renders the operation fully parenthesised.
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op.String() + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Op   byte // '!' or '-'
+	X    Expr
+	UPos lexer.Pos
+}
+
+// Pos implements Node.
+func (u *UnaryExpr) Pos() lexer.Pos { return u.UPos }
+func (u *UnaryExpr) exprNode()      {}
+
+// String renders the operation.
+func (u *UnaryExpr) String() string { return string(u.Op) + u.X.String() }
+
+// CardExpr is the set-cardinality form |expr|, as in `|ss.set_proc diff a| > 0`.
+type CardExpr struct {
+	X    Expr
+	CPos lexer.Pos
+}
+
+// Pos implements Node.
+func (c *CardExpr) Pos() lexer.Pos { return c.CPos }
+func (c *CardExpr) exprNode()      {}
+
+// String renders the form.
+func (c *CardExpr) String() string { return "|" + c.X.String() + "|" }
+
+// Walk visits e and all sub-expressions in depth-first order, calling fn for
+// each. Walk is used by sema for reference checking and by the scheduler for
+// signature extraction.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *FieldExpr:
+		Walk(x.Base, fn)
+	case *IndexExpr:
+		Walk(x.Base, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *CardExpr:
+		Walk(x.X, fn)
+	}
+}

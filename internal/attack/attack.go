@@ -1,0 +1,186 @@
+// Package attack generates the paper's demonstration APT attack: a
+// five-step kill chain performed across a workstation and the SQL database
+// server, producing exactly the system events the paper's 8 SAQL queries
+// detect. The real demo executed live exploits (e.g. CVE-2008-0081) in a
+// controlled testbed; offline, this package injects the same observable
+// event traces, each labelled with its attack step (c1..c5) as ground truth
+// for detection-accuracy accounting.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"saql/internal/event"
+)
+
+// Step identifies an attack stage.
+type Step string
+
+// The five attack steps of the paper's demonstration (Section III).
+const (
+	StepInitialCompromise   Step = "c1" // crafted email with malicious Excel macro
+	StepMalwareInfection    Step = "c2" // macro downloads and runs a malicious script
+	StepPrivilegeEscalation Step = "c3" // port scan + gsecdump credential theft
+	StepPenetration         Step = "c4" // VBScript drops a second backdoor on the DB server
+	StepDataExfiltration    Step = "c5" // osql dump + exfil to the attacker host
+)
+
+// Steps lists all attack steps in order.
+var Steps = []Step{
+	StepInitialCompromise, StepMalwareInfection, StepPrivilegeEscalation,
+	StepPenetration, StepDataExfiltration,
+}
+
+// Labeled is an attack event with its ground-truth step.
+type Labeled struct {
+	Event *event.Event
+	Step  Step
+}
+
+// Scenario configures the kill chain: the victim hosts and the timing.
+type Scenario struct {
+	Workstation string    // victim workstation agent id
+	MailServer  string    // mail server agent id
+	DBServer    string    // SQL database server agent id
+	AttackerIP  string    // external attacker address (the paper's XXX.129)
+	Start       time.Time // time of the initial compromise
+	// StepGap separates consecutive attack steps; zero means 90 seconds.
+	StepGap time.Duration
+}
+
+func (s *Scenario) gap() time.Duration {
+	if s.StepGap > 0 {
+		return s.StepGap
+	}
+	return 90 * time.Second
+}
+
+// normalized returns a copy of the scenario with unset fields filled with
+// the demo topology. Scenario methods never mutate the receiver, so a
+// single Scenario value is safe to share across goroutines.
+func (s *Scenario) normalized() Scenario {
+	c := *s
+	if c.Workstation == "" {
+		c.Workstation = "ws-victim"
+	}
+	if c.MailServer == "" {
+		c.MailServer = "mail-1"
+	}
+	if c.DBServer == "" {
+		c.DBServer = "db-1"
+	}
+	if c.AttackerIP == "" {
+		c.AttackerIP = "172.16.0.129"
+	}
+	return c
+}
+
+// Events generates the full labelled kill chain in time order.
+func (sc *Scenario) Events() []Labeled {
+	s := sc.normalized()
+	var out []Labeled
+	at := s.Start
+	emit := func(step Step, agent string, subj event.Entity, op event.Op, obj event.Entity, amount float64, dt time.Duration) {
+		at = at.Add(dt)
+		out = append(out, Labeled{
+			Step: step,
+			Event: &event.Event{
+				Time: at, AgentID: agent,
+				Subject: subj, Op: op, Object: obj, Amount: amount,
+			},
+		})
+	}
+
+	wsIP := "10.0.1.50"
+	dbIP := "10.0.3.10"
+	conn := func(src string, dst string, dport int32) event.Entity {
+		return event.NetConn(src, 49333, dst, dport)
+	}
+
+	// Processes involved.
+	outlook := event.Process("outlook.exe", 2210)
+	excel := event.Process("excel.exe", 2311)
+	wscript := event.Process("wscript.exe", 2412)
+	backdoor := event.Process("java.exe", 2513) // backdoor masquerading as java
+	gsecdump := event.Process("gsecdump.exe", 2614)
+	cscript := event.Process("cscript.exe", 3011)
+	sbblv := event.Process("sbblv.exe", 3112)
+	cmd := event.Process("cmd.exe", 3213)
+	osql := event.Process("osql.exe", 3314)
+	sqlservr := event.Process("sqlservr.exe", 1680)
+	services := event.Process("services.exe", 620)
+
+	// --- c1: Initial Compromise -------------------------------------------
+	// The victim receives the crafted email and Outlook writes the
+	// attachment with the malicious macro to disk.
+	attachment := event.File(`C:\Users\victim\AppData\Outlook\invoice_q3.xls`)
+	emit(StepInitialCompromise, s.Workstation, outlook, event.OpRead, conn(wsIP, "10.0.2.10", 993), 184_320, 0)
+	emit(StepInitialCompromise, s.Workstation, outlook, event.OpWrite, attachment, 181_248, 2*time.Second)
+
+	// --- c2: Malware Infection ---------------------------------------------
+	// The victim opens the Excel file; the macro (CVE-2008-0081) launches
+	// wscript, which downloads the payload and opens a backdoor.
+	payload := event.File(`C:\Users\victim\AppData\Temp\svch0st.js`)
+	emit(StepMalwareInfection, s.Workstation, outlook, event.OpStart, excel, 0, s.gap())
+	emit(StepMalwareInfection, s.Workstation, excel, event.OpRead, attachment, 181_248, 3*time.Second)
+	emit(StepMalwareInfection, s.Workstation, excel, event.OpStart, wscript, 0, 2*time.Second)
+	emit(StepMalwareInfection, s.Workstation, wscript, event.OpRead, conn(wsIP, s.AttackerIP, 443), 421_100, 4*time.Second)
+	emit(StepMalwareInfection, s.Workstation, wscript, event.OpWrite, payload, 421_100, 1*time.Second)
+	emit(StepMalwareInfection, s.Workstation, wscript, event.OpStart, backdoor, 0, 2*time.Second)
+	emit(StepMalwareInfection, s.Workstation, backdoor, event.OpConnect, conn(wsIP, s.AttackerIP, 8443), 512, 1*time.Second)
+
+	// --- c3: Privilege Escalation -------------------------------------------
+	// Through the backdoor the attacker scans the internal network for the
+	// database server, then runs gsecdump to steal credentials.
+	emitScan := func(octet int) {
+		target := fmt.Sprintf("10.0.3.%d", octet)
+		emit(StepPrivilegeEscalation, s.Workstation, backdoor, event.OpConnect, conn(wsIP, target, 1433), 64, 400*time.Millisecond)
+	}
+	at = at.Add(s.gap())
+	for octet := 2; octet <= 12; octet++ {
+		emitScan(octet)
+	}
+	emit(StepPrivilegeEscalation, s.Workstation, backdoor, event.OpStart, gsecdump, 0, 2*time.Second)
+	emit(StepPrivilegeEscalation, s.Workstation, gsecdump, event.OpRead, event.File(`C:\Windows\System32\config\SAM`), 65_536, 1*time.Second)
+	emit(StepPrivilegeEscalation, s.Workstation, gsecdump, event.OpWrite, conn(wsIP, s.AttackerIP, 8443), 4_096, 1*time.Second)
+
+	// --- c4: Penetration into Database Server -------------------------------
+	// With stolen credentials the attacker reaches the DB server and drops
+	// a VBScript that installs the second backdoor (sbblv.exe).
+	dropper := event.File(`C:\Windows\Temp\update_svc.vbs`)
+	backdoor2 := event.File(`C:\Windows\Temp\sbblv.exe`)
+	emit(StepPenetration, s.DBServer, services, event.OpStart, cscript, 0, s.gap())
+	emit(StepPenetration, s.DBServer, cscript, event.OpWrite, dropper, 12_288, 1*time.Second)
+	emit(StepPenetration, s.DBServer, cscript, event.OpWrite, backdoor2, 96_256, 2*time.Second)
+	emit(StepPenetration, s.DBServer, cscript, event.OpStart, sbblv, 0, 2*time.Second)
+	emit(StepPenetration, s.DBServer, sbblv, event.OpConnect, conn(dbIP, s.AttackerIP, 8443), 512, 1*time.Second)
+
+	// --- c5: Data Exfiltration ----------------------------------------------
+	// The attacker dumps the database with osql and ships the dump home.
+	dump := event.File(`C:\db\backup1.dmp`)
+	emit(StepDataExfiltration, s.DBServer, cmd, event.OpStart, osql, 0, s.gap())
+	emit(StepDataExfiltration, s.DBServer, osql, event.OpWrite, conn(dbIP, dbIP, 1433), 2_048, 1*time.Second)
+	emit(StepDataExfiltration, s.DBServer, sqlservr, event.OpWrite, dump, 52_428_800, 8*time.Second)
+	emit(StepDataExfiltration, s.DBServer, sbblv, event.OpRead, dump, 52_428_800, 5*time.Second)
+	// Exfiltration in chunks: several large sends to the attacker.
+	for i := 0; i < 5; i++ {
+		emit(StepDataExfiltration, s.DBServer, sbblv, event.OpWrite, conn(dbIP, s.AttackerIP, 8443), 10_485_760, 2*time.Second)
+	}
+	return out
+}
+
+// EventsOnly strips labels.
+func EventsOnly(labeled []Labeled) []*event.Event {
+	out := make([]*event.Event, len(labeled))
+	for i, l := range labeled {
+		out[i] = l.Event
+	}
+	return out
+}
+
+// End returns the time of the last attack event.
+func (s *Scenario) End() time.Time {
+	evs := s.Events()
+	return evs[len(evs)-1].Event.Time
+}

@@ -1,0 +1,127 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+)
+
+// NamedQuery pairs a SAQL query with its name and the attack step it is
+// designed to detect ("" for the advanced anomaly queries constructed
+// without attack knowledge).
+type NamedQuery struct {
+	Name  string
+	Step  Step // which kill-chain step the query targets (rule queries)
+	SAQL  string
+	Model string // rule | time-series | invariant | outlier
+}
+
+// DemoQueries constructs the 8 SAQL queries of the paper's demonstration:
+// one rule-based query per attack step (using knowledge of the attack) plus
+// the three advanced anomaly queries (invariant-based, time-series, and
+// outlier-based) that assume no knowledge of the attack details.
+//
+// window is the sliding-window length for the stateful queries; the paper
+// uses 10s-10min windows. trainWindows is the invariant training count (the
+// paper uses 100 for the demo; tests use smaller values for speed).
+func (sc *Scenario) DemoQueries(window time.Duration, trainWindows int) []NamedQuery {
+	s := sc.normalized()
+	winSecs := int(window / time.Second)
+	if winSecs < 1 {
+		winSecs = 1
+	}
+
+	return []NamedQuery{
+		{
+			Name: "rule-c1-phishing-attachment", Step: StepInitialCompromise, Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1["%%outlook.exe"] read ip i1 as evt1
+proc p1 write file f1["%%invoice%%"] as evt2
+with evt1 -> evt2
+return distinct p1, f1, i1`, s.Workstation),
+		},
+		{
+			Name: "rule-c2-macro-dropper", Step: StepMalwareInfection, Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1["%%excel.exe"] start proc p2["%%wscript.exe"] as evt1
+proc p2 read ip i1[dstip=%q] as evt2
+proc p2 write file f1 as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, p2, f1, i1`, s.Workstation, s.AttackerIP),
+		},
+		{
+			Name: "rule-c3-credential-theft", Step: StepPrivilegeEscalation, Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1 start proc p2["%%gsecdump.exe"] as evt1
+proc p2 read file f1["%%SAM%%"] as evt2
+proc p2 write ip i1[dstip=%q] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, p2, f1, i1`, s.Workstation, s.AttackerIP),
+		},
+		{
+			Name: "rule-c4-vbs-backdoor-drop", Step: StepPenetration, Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1["%%cscript.exe"] write file f1["%%.vbs"] as evt1
+proc p1 write file f2["%%.exe"] as evt2
+proc p1 start proc p2 as evt3
+proc p2 connect ip i1[dstip=%q] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, f1, f2, p2, i1`, s.DBServer, s.AttackerIP),
+		},
+		{
+			Name: "rule-c5-database-exfiltration", Step: StepDataExfiltration, Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1["%%cmd.exe"] start proc p2["%%osql.exe"] as evt1
+proc p3["%%sqlservr.exe"] write file f1["%%backup1.dmp"] as evt2
+proc p4["%%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip=%q] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1`, s.DBServer, s.AttackerIP),
+		},
+		{
+			Name: "anomaly-invariant-office-children", Model: "invariant",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1["%%excel.exe"] start proc p2 as evt #time(%d s)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[%d][offline] {
+  a := empty_set
+  a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc`, s.Workstation, winSecs, trainWindows),
+		},
+		{
+			Name: "anomaly-timeseries-db-network", Model: "time-series",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p write ip i as evt #time(%d s)
+state[3] ss {
+  avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 1000000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount`, s.DBServer, winSecs),
+		},
+		{
+			// Peer comparison of outgoing destinations on the database
+			// server across all processes: the exfiltration target
+			// receives an order of magnitude more data than any peer.
+			Name: "anomaly-outlier-db-peers", Model: "outlier",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p read || write ip i as evt #time(%d s)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(1000000, 3)")
+alert cluster.outlier && ss.amt > 10000000
+return i.dstip, ss.amt`, s.DBServer, winSecs),
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"saql/internal/event"
+)
+
+// RansomwareScenario is a second built-in attack for exercising the
+// operations the APT kill chain does not use (execute, rename, delete) and
+// the count-based stateful models: a phishing payload encrypts user
+// documents in place (read → write .locked rename → original delete) at a
+// rate no interactive application exhibits.
+type RansomwareScenario struct {
+	Host       string    // victim workstation agent id
+	AttackerIP string    // C2 address
+	Start      time.Time // execution time of the payload
+	// Files is how many documents get encrypted; zero means 40.
+	Files int
+	// PerFile is the time spent per file; zero means 600ms.
+	PerFile time.Duration
+}
+
+func (r *RansomwareScenario) normalized() RansomwareScenario {
+	c := *r
+	if c.Host == "" {
+		c.Host = "ws-victim"
+	}
+	if c.AttackerIP == "" {
+		c.AttackerIP = "172.16.0.129"
+	}
+	if c.Files <= 0 {
+		c.Files = 40
+	}
+	if c.PerFile <= 0 {
+		c.PerFile = 600 * time.Millisecond
+	}
+	return c
+}
+
+// Events generates the labelled ransomware trace in time order. All events
+// carry the single step label "ransom".
+func (rc *RansomwareScenario) Events() []Labeled {
+	r := rc.normalized()
+	const step = Step("ransom")
+	var out []Labeled
+	at := r.Start
+	emit := func(subj event.Entity, op event.Op, obj event.Entity, amount float64, dt time.Duration) {
+		at = at.Add(dt)
+		out = append(out, Labeled{Step: step, Event: &event.Event{
+			Time: at, AgentID: r.Host, Subject: subj, Op: op, Object: obj, Amount: amount,
+		}})
+	}
+
+	chrome := event.Process("chrome.exe", 2290)
+	payload := event.Process("inv0ice_viewer.exe", 2660)
+	dropped := event.File(`C:\Users\victim\Downloads\inv0ice_viewer.exe`)
+
+	// Delivery: drive-by download, user executes the payload.
+	emit(chrome, event.OpWrite, dropped, 1_482_752, 0)
+	emit(chrome, event.OpExecute, dropped, 0, 3*time.Second)
+	emit(chrome, event.OpStart, payload, 0, 200*time.Millisecond)
+	// Key exchange with the C2.
+	emit(payload, event.OpConnect, event.NetConn("10.0.1.50", 49555, r.AttackerIP, 443), 512, time.Second)
+
+	// Encryption loop: read doc, write doc.locked, delete doc.
+	for i := 0; i < r.Files; i++ {
+		doc := event.File(fmt.Sprintf(`C:\Users\victim\Documents\report_%03d.docx`, i))
+		locked := event.File(doc.Path + ".locked")
+		size := 200_000 + float64(i%7)*35_000
+		emit(payload, event.OpRead, doc, size, r.PerFile/3)
+		emit(payload, event.OpWrite, locked, size, r.PerFile/3)
+		emit(payload, event.OpDelete, doc, 0, r.PerFile/3)
+	}
+	// The ransom note.
+	emit(payload, event.OpWrite, event.File(`C:\Users\victim\Desktop\HOW_TO_RECOVER.txt`), 2_048, time.Second)
+	return out
+}
+
+// DetectionQueries returns SAQL queries for the ransomware behaviour:
+// a rule query for the delivery chain and two stateful queries with no
+// knowledge of the malware — a mass-delete detector and an encryption-churn
+// detector (high write+delete rate from one process over many distinct
+// files).
+func (rc *RansomwareScenario) DetectionQueries(window time.Duration) []NamedQuery {
+	r := rc.normalized()
+	winSecs := int(window / time.Second)
+	if winSecs < 1 {
+		winSecs = 1
+	}
+	return []NamedQuery{
+		{
+			Name: "ransom-delivery-chain", Step: "ransom", Model: "rule",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p1 write file f1["%%.exe"] as evt1
+proc p1 execute file f1 as evt2
+proc p2 connect ip i1[dstip=%q] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, f1, p2, i1`, r.Host, r.AttackerIP),
+		},
+		{
+			Name: "ransom-mass-delete", Model: "stateful",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p delete file f as evt #time(%d s)
+state ss {
+  n := count(evt)
+  victims := distinct(f.name)
+} group by p
+alert ss.n > 10 && ss.victims > 10
+return p, ss.n, ss.victims`, r.Host, winSecs),
+		},
+		{
+			Name: "ransom-encryption-churn", Model: "stateful",
+			SAQL: fmt.Sprintf(`
+agentid = %q
+proc p write file f["%%.locked"] as evt #time(%d s)
+state ss {
+  locked := count(evt)
+  bytes := sum(evt.amount)
+} group by p
+alert ss.locked > 5
+return p, ss.locked, ss.bytes`, r.Host, winSecs),
+		},
+	}
+}

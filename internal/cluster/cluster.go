@@ -1,0 +1,326 @@
+// Package cluster implements the clustering algorithms behind SAQL's
+// outlier-based anomaly model: DBSCAN (the method used by the paper's
+// Query 4) and k-means as an ablation alternative, over arbitrary-dimension
+// points with pluggable distance metrics (euclidean "ed", manhattan "md",
+// chebyshev "cd", cosine "cos").
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distance computes the distance between two points of equal dimension.
+type Distance func(a, b []float64) float64
+
+// Euclidean is the L2 distance ("ed" in SAQL cluster specs).
+func Euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Manhattan is the L1 distance ("md").
+func Manhattan(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Chebyshev is the L∞ distance ("cd").
+func Chebyshev(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Cosine is the cosine distance 1 - cos(a, b) ("cos"). Zero vectors are at
+// distance 1 from everything except another zero vector.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	// Clamp for floating error.
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// ByName resolves a SAQL distance name to a Distance.
+func ByName(name string) (Distance, error) {
+	switch name {
+	case "ed", "euclidean":
+		return Euclidean, nil
+	case "md", "manhattan":
+		return Manhattan, nil
+	case "cd", "chebyshev":
+		return Chebyshev, nil
+	case "cos", "cosine":
+		return Cosine, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown distance %q", name)
+	}
+}
+
+// Noise is the label DBSCAN assigns to outlier points.
+const Noise = -1
+
+// Result labels each input point. Labels[i] is the cluster id of point i
+// (>= 0) or Noise. Outlier[i] is the SAQL-facing outlier flag.
+type Result struct {
+	Labels   []int
+	Outlier  []bool
+	Clusters int // number of clusters found (excluding noise)
+}
+
+// Size returns the number of points in cluster label (0 for Noise queries
+// use the Outlier slice instead).
+func (r *Result) Size(label int) int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == label {
+			n++
+		}
+	}
+	return n
+}
+
+// DBSCAN clusters points with parameters eps (neighbourhood radius) and
+// minPts (minimum neighbourhood size, inclusive of the point itself, to
+// form a core point). Points labelled Noise are outliers.
+//
+// The implementation is the standard region-growing algorithm with an
+// O(n²) neighbourhood scan, which is appropriate for the per-window group
+// counts SAQL clusters (one point per group-by key, typically tens to a few
+// thousands).
+func DBSCAN(points [][]float64, eps float64, minPts int, dist Distance) (*Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN eps must be positive, got %g", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: DBSCAN minPts must be >= 1, got %d", minPts)
+	}
+	if dist == nil {
+		dist = Euclidean
+	}
+	if err := checkDims(points); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+
+	neighbours := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if dist(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbours(i)
+		if len(nb) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		// Start a new cluster and grow it.
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jnb := neighbours(j)
+			if len(jnb) >= minPts {
+				queue = append(queue, jnb...)
+			}
+		}
+		cluster++
+	}
+
+	out := &Result{Labels: labels, Outlier: make([]bool, n), Clusters: cluster}
+	for i, l := range labels {
+		out.Outlier[i] = l == Noise
+	}
+	return out, nil
+}
+
+// KMeans clusters points into k clusters using Lloyd's algorithm with
+// deterministic farthest-first seeding, then flags as outliers the points
+// whose distance to their centroid exceeds mean + 3·stddev of all such
+// distances. It is provided as the ablation comparator for DBSCAN in the
+// outlier-model experiments.
+func KMeans(points [][]float64, k int, dist Distance) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if dist == nil {
+		dist = Euclidean
+	}
+	if err := checkDims(points); err != nil {
+		return nil, err
+	}
+	n := len(points)
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+
+	// Farthest-first seeding: deterministic and spread out.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[0]...))
+	for len(centroids) < k {
+		best, bestD := 0, -1.0
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := dist(p, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[best]...))
+	}
+
+	labels := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := dist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Outliers: distance to own centroid > mean + 3σ.
+	dists := make([]float64, n)
+	var mean float64
+	for i, p := range points {
+		dists[i] = dist(p, centroids[labels[i]])
+		mean += dists[i]
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, d := range dists {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(n)
+	sd := math.Sqrt(variance)
+
+	out := &Result{Labels: labels, Outlier: make([]bool, n), Clusters: k}
+	for i, d := range dists {
+		out.Outlier[i] = sd > 0 && d > mean+3*sd
+	}
+	return out, nil
+}
+
+// Run dispatches by method name ("dbscan" or "kmeans") with the numeric
+// parameters from the SAQL cluster spec.
+func Run(method string, params []float64, points [][]float64, dist Distance) (*Result, error) {
+	switch method {
+	case "dbscan":
+		if len(params) != 2 {
+			return nil, fmt.Errorf("cluster: DBSCAN requires (eps, minPts)")
+		}
+		return DBSCAN(points, params[0], int(params[1]), dist)
+	case "kmeans":
+		if len(params) != 1 {
+			return nil, fmt.Errorf("cluster: KMEANS requires (k)")
+		}
+		return KMeans(points, int(params[0]), dist)
+	default:
+		return nil, fmt.Errorf("cluster: unknown method %q", method)
+	}
+}
+
+func checkDims(points [][]float64) error {
+	if len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	return nil
+}

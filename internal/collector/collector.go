@@ -1,0 +1,321 @@
+// Package collector simulates the paper's data collection agents. The real
+// SAQL deployment monitors kernel audit frameworks (auditd on Linux, ETW on
+// Windows, DTrace on MacOS) across ~150 enterprise hosts; offline, this
+// package generates the same ⟨subject, operation, object⟩ event schema with
+// realistic per-host behaviour profiles (workstations, database servers,
+// web servers, mail servers, domain controllers), deterministic under a
+// seed so experiments are reproducible.
+package collector
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"saql/internal/event"
+)
+
+// HostKind selects a behaviour profile for a simulated host.
+type HostKind uint8
+
+// Host profiles.
+const (
+	Workstation HostKind = iota
+	DBServer
+	WebServer
+	MailServer
+	DomainController
+)
+
+// String names the host kind.
+func (k HostKind) String() string {
+	switch k {
+	case Workstation:
+		return "workstation"
+	case DBServer:
+		return "db-server"
+	case WebServer:
+		return "web-server"
+	case MailServer:
+		return "mail-server"
+	case DomainController:
+		return "domain-controller"
+	default:
+		return "unknown"
+	}
+}
+
+// Host describes one simulated host.
+type Host struct {
+	AgentID string
+	Kind    HostKind
+	// Rate is the average background event rate in events/second.
+	// Zero uses the profile default.
+	Rate float64
+}
+
+func (h Host) rate() float64 {
+	if h.Rate > 0 {
+		return h.Rate
+	}
+	switch h.Kind {
+	case DBServer, WebServer:
+		return 20
+	case MailServer, DomainController:
+		return 10
+	default:
+		return 5
+	}
+}
+
+// procInfo is a background process template.
+type procInfo struct {
+	exe string
+	pid int32
+	// weights for the activity mix
+	wFile, wNet, wSpawn float64
+	children            []string
+	files               []string
+	dstIPs              []string
+	netAmount           float64 // lognormal median bytes per network op
+}
+
+// Generator produces the background event stream for a set of hosts,
+// deterministic under seed. Events are emitted in global time order.
+type Generator struct {
+	hosts []hostState
+	rng   *rand.Rand
+	end   time.Time
+	seq   uint64
+}
+
+type hostState struct {
+	host  Host
+	procs []procInfo
+	next  time.Time
+	gap   float64 // mean inter-event gap seconds
+}
+
+// Config configures a Generator.
+type Config struct {
+	Hosts    []Host
+	Start    time.Time
+	Duration time.Duration
+	Seed     int64
+}
+
+// New creates a background generator.
+func New(cfg Config) (*Generator, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("collector: no hosts configured")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("collector: non-positive duration %v", cfg.Duration)
+	}
+	g := &Generator{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		end: cfg.Start.Add(cfg.Duration),
+	}
+	for _, h := range cfg.Hosts {
+		hs := hostState{host: h, procs: profileProcs(h, g.rng), gap: 1 / h.rate()}
+		// Stagger hosts' first events deterministically.
+		hs.next = cfg.Start.Add(time.Duration(g.rng.Float64() * hs.gap * float64(time.Second)))
+		g.hosts = append(g.hosts, hs)
+	}
+	return g, nil
+}
+
+// profileProcs builds the process mix for a host kind.
+func profileProcs(h Host, rng *rand.Rand) []procInfo {
+	pid := func() int32 { return int32(1000 + rng.Intn(30000)) }
+	internal := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("10.0.%d.%d", 1+rng.Intn(3), 2+rng.Intn(200))
+		}
+		return out
+	}
+	external := []string{"93.184.216.34", "151.101.1.140", "142.250.72.206", "104.16.133.229"}
+
+	switch h.Kind {
+	case DBServer:
+		return []procInfo{
+			{exe: "sqlservr.exe", pid: pid(), wFile: 0.3, wNet: 0.65, wSpawn: 0.05,
+				children: []string{"sqlagent.exe"},
+				files:    []string{`C:\db\master.mdf`, `C:\db\tempdb.mdf`, `C:\db\app.mdf`, `C:\db\app_log.ldf`},
+				dstIPs:   internal(12), netAmount: 48_000},
+			{exe: "svchost.exe", pid: pid(), wFile: 0.7, wNet: 0.3,
+				files:  []string{`C:\Windows\System32\config\SYSTEM`, `C:\Windows\Temp\etl.log`},
+				dstIPs: internal(2), netAmount: 2_000},
+		}
+	case WebServer:
+		return []procInfo{
+			{exe: "apache.exe", pid: pid(), wFile: 0.35, wNet: 0.45, wSpawn: 0.2,
+				children: []string{"php-cgi.exe", "perl.exe"},
+				files:    []string{`/var/www/index.php`, `/var/www/app/config.php`, `/var/log/apache/access.log`},
+				dstIPs:   internal(20), netAmount: 12_000},
+			{exe: "sshd", pid: pid(), wFile: 0.5, wNet: 0.5,
+				files:  []string{`/var/log/auth.log`},
+				dstIPs: internal(3), netAmount: 1_500},
+		}
+	case MailServer:
+		return []procInfo{
+			{exe: "exchange.exe", pid: pid(), wFile: 0.4, wNet: 0.6,
+				files:  []string{`C:\mail\queue\q1.eml`, `C:\mail\store\mailbox.edb`},
+				dstIPs: append(internal(8), external...), netAmount: 25_000},
+			{exe: "smtpd.exe", pid: pid(), wFile: 0.3, wNet: 0.7,
+				files:  []string{`C:\mail\spool\s.tmp`},
+				dstIPs: append(internal(4), external...), netAmount: 8_000},
+		}
+	case DomainController:
+		return []procInfo{
+			{exe: "lsass.exe", pid: pid(), wFile: 0.5, wNet: 0.5,
+				files:  []string{`C:\Windows\NTDS\ntds.dit`},
+				dstIPs: internal(15), netAmount: 1_200},
+			{exe: "dns.exe", pid: pid(), wFile: 0.1, wNet: 0.9,
+				files:  []string{`C:\Windows\System32\dns\zone.dns`},
+				dstIPs: internal(25), netAmount: 400},
+		}
+	default: // Workstation
+		return []procInfo{
+			{exe: "chrome.exe", pid: pid(), wFile: 0.25, wNet: 0.75,
+				files:  []string{`C:\Users\u\AppData\Local\Chrome\Cache\f_1`, `C:\Users\u\Downloads\doc.pdf`},
+				dstIPs: external, netAmount: 30_000},
+			{exe: "outlook.exe", pid: pid(), wFile: 0.4, wNet: 0.6,
+				files:  []string{`C:\Users\u\AppData\Outlook\inbox.ost`, `C:\Users\u\Downloads\attach.tmp`},
+				dstIPs: []string{"10.0.2.10"}, netAmount: 15_000},
+			{exe: "excel.exe", pid: pid(), wFile: 0.7, wNet: 0.1, wSpawn: 0.2,
+				children: []string{"splwow64.exe"}, // print helper: Excel's one legitimate child
+				files:    []string{`C:\Users\u\Documents\q3.xlsx`, `C:\Users\u\Documents\budget.xlsx`},
+				dstIPs:   []string{"10.0.2.15"}, netAmount: 5_000},
+			{exe: "explorer.exe", pid: pid(), wFile: 0.8, wSpawn: 0.2,
+				children: []string{"notepad.exe", "winword.exe", "calc.exe"},
+				files:    []string{`C:\Users\u\Desktop\notes.txt`},
+				dstIPs:   nil, netAmount: 0},
+			{exe: "svchost.exe", pid: pid(), wFile: 0.6, wNet: 0.4,
+				files:  []string{`C:\Windows\Temp\upd.tmp`},
+				dstIPs: []string{"10.0.2.20"}, netAmount: 1_000},
+		}
+	}
+}
+
+// Next returns the next background event in global time order, or false at
+// the end of the configured duration.
+func (g *Generator) Next() (*event.Event, bool) {
+	// Pick the host with the earliest next-event time.
+	hi := -1
+	for i := range g.hosts {
+		if g.hosts[i].next.After(g.end) {
+			continue
+		}
+		if hi == -1 || g.hosts[i].next.Before(g.hosts[hi].next) {
+			hi = i
+		}
+	}
+	if hi == -1 {
+		return nil, false
+	}
+	hs := &g.hosts[hi]
+	ev := g.emit(hs)
+	// Exponential inter-arrival with the host's mean gap.
+	gap := g.expDuration(hs.gap)
+	hs.next = hs.next.Add(gap)
+	return ev, true
+}
+
+// Drain produces all remaining events.
+func (g *Generator) Drain() []*event.Event {
+	var out []*event.Event
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func (g *Generator) expDuration(meanSeconds float64) time.Duration {
+	u := g.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(-math.Log(u) * meanSeconds * float64(time.Second))
+}
+
+// lognormal returns a lognormal sample with the given median.
+func (g *Generator) lognormal(median float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(g.rng.NormFloat64()*0.8)
+}
+
+func (g *Generator) emit(hs *hostState) *event.Event {
+	// Pick a process weighted uniformly (profiles already encode mix via
+	// their activity weights).
+	p := &hs.procs[g.rng.Intn(len(hs.procs))]
+	subj := event.Process(p.exe, p.pid)
+
+	g.seq++
+	at := hs.next
+	r := g.rng.Float64() * (p.wFile + p.wNet + p.wSpawn)
+	switch {
+	case r < p.wFile && len(p.files) > 0:
+		f := event.File(p.files[g.rng.Intn(len(p.files))])
+		op := event.OpRead
+		if g.rng.Float64() < 0.4 {
+			op = event.OpWrite
+		}
+		return &event.Event{
+			ID: g.seq, Time: at, AgentID: hs.host.AgentID,
+			Subject: subj, Op: op, Object: f,
+			Amount: g.lognormal(4096),
+		}
+	case r < p.wFile+p.wNet && len(p.dstIPs) > 0:
+		dst := p.dstIPs[g.rng.Intn(len(p.dstIPs))]
+		conn := event.NetConn(hostIP(hs.host.AgentID), int32(49000+g.rng.Intn(3000)), dst, wellKnownPort(g.rng))
+		op := event.OpWrite
+		if g.rng.Float64() < 0.45 {
+			op = event.OpRead
+		}
+		return &event.Event{
+			ID: g.seq, Time: at, AgentID: hs.host.AgentID,
+			Subject: subj, Op: op, Object: conn,
+			Amount: g.lognormal(p.netAmount),
+		}
+	case len(p.children) > 0:
+		child := event.Process(p.children[g.rng.Intn(len(p.children))], int32(2000+g.rng.Intn(40000)))
+		return &event.Event{
+			ID: g.seq, Time: at, AgentID: hs.host.AgentID,
+			Subject: subj, Op: event.OpStart, Object: child,
+		}
+	default:
+		// Fall back to a file touch on the first file or a self loopback.
+		f := event.File(`C:\Windows\Temp\idle.tmp`)
+		if len(p.files) > 0 {
+			f = event.File(p.files[0])
+		}
+		return &event.Event{
+			ID: g.seq, Time: at, AgentID: hs.host.AgentID,
+			Subject: subj, Op: event.OpRead, Object: f,
+			Amount: g.lognormal(1024),
+		}
+	}
+}
+
+// hostIP derives a stable source IP from the agent id.
+func hostIP(agentID string) string {
+	var h uint32 = 2166136261
+	for i := 0; i < len(agentID); i++ {
+		h ^= uint32(agentID[i])
+		h *= 16777619
+	}
+	return fmt.Sprintf("10.0.0.%d", 2+h%250)
+}
+
+func wellKnownPort(rng *rand.Rand) int32 {
+	ports := []int32{80, 443, 445, 1433, 3306, 8080, 53, 25}
+	return ports[rng.Intn(len(ports))]
+}

@@ -1,0 +1,176 @@
+package collector
+
+import (
+	"testing"
+	"time"
+
+	"saql/internal/event"
+)
+
+var base = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+
+func config(seed int64) Config {
+	return Config{
+		Hosts: []Host{
+			{AgentID: "ws-1", Kind: Workstation},
+			{AgentID: "db-1", Kind: DBServer},
+			{AgentID: "web-1", Kind: WebServer},
+			{AgentID: "mail-1", Kind: MailServer},
+			{AgentID: "dc-1", Kind: DomainController},
+		},
+		Start:    base,
+		Duration: 2 * time.Minute,
+		Seed:     seed,
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	g1, err := New(config(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(config(7))
+	a, b := g1.Drain(), g2.Drain()
+	if len(a) == 0 {
+		t.Fatal("no events generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].AgentID != b[i].AgentID ||
+			a[i].Subject != b[i].Subject || a[i].Op != b[i].Op || a[i].Object != b[i].Object {
+			t.Fatalf("event %d differs under same seed", i)
+		}
+	}
+	g3, _ := New(config(8))
+	c := g3.Drain()
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Subject != c[i].Subject || !a[i].Time.Equal(c[i].Time) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestEventTimeOrderAndBounds(t *testing.T) {
+	g, _ := New(config(1))
+	var last time.Time
+	n := 0
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if n > 0 && ev.Time.Before(last) {
+			t.Fatalf("event %d out of order", n)
+		}
+		if ev.Time.Before(base) || ev.Time.After(base.Add(2*time.Minute)) {
+			t.Fatalf("event outside duration: %v", ev.Time)
+		}
+		last = ev.Time
+		n++
+	}
+	// 5 hosts at 5..20 events/s for 120s: expect thousands of events.
+	if n < 1000 {
+		t.Errorf("events = %d, suspiciously few", n)
+	}
+}
+
+func TestHostsEmitTheirProfiles(t *testing.T) {
+	g, _ := New(config(3))
+	byAgent := map[string]map[string]bool{}
+	types := map[event.Type]int{}
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if byAgent[ev.AgentID] == nil {
+			byAgent[ev.AgentID] = map[string]bool{}
+		}
+		byAgent[ev.AgentID][ev.Subject.ExeName] = true
+		types[ev.EventType()]++
+		if ev.Subject.Type != event.EntityProcess {
+			t.Fatal("subject must be a process")
+		}
+	}
+	if !byAgent["db-1"]["sqlservr.exe"] {
+		t.Error("db server never ran sqlservr.exe")
+	}
+	if !byAgent["web-1"]["apache.exe"] {
+		t.Error("web server never ran apache.exe")
+	}
+	if !byAgent["ws-1"]["chrome.exe"] {
+		t.Error("workstation never ran chrome")
+	}
+	// All three event categories must appear.
+	for _, typ := range []event.Type{event.TypeFile, event.TypeProcess, event.TypeNetwork} {
+		if types[typ] == 0 {
+			t.Errorf("no %v events generated", typ)
+		}
+	}
+}
+
+func TestExcelSpawnsOnlyPrintHelper(t *testing.T) {
+	// The invariant query's training data: Excel's benign children are
+	// splwow64.exe only, so wscript.exe in the attack is a violation.
+	g, _ := New(Config{
+		Hosts:    []Host{{AgentID: "ws", Kind: Workstation, Rate: 50}},
+		Start:    base,
+		Duration: 5 * time.Minute,
+		Seed:     11,
+	})
+	spawns := map[string]bool{}
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Subject.ExeName == "excel.exe" && ev.Op == event.OpStart {
+			spawns[ev.Object.ExeName] = true
+		}
+	}
+	if len(spawns) == 0 {
+		t.Fatal("excel never spawned its helper (invariant training starves)")
+	}
+	if len(spawns) != 1 || !spawns["splwow64.exe"] {
+		t.Errorf("excel children = %v, want only splwow64.exe", spawns)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Start: base, Duration: time.Minute}); err == nil {
+		t.Error("no hosts accepted")
+	}
+	if _, err := New(Config{Hosts: []Host{{AgentID: "h"}}, Start: base}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestHostKindString(t *testing.T) {
+	kinds := map[HostKind]string{
+		Workstation: "workstation", DBServer: "db-server", WebServer: "web-server",
+		MailServer: "mail-server", DomainController: "domain-controller",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCustomRate(t *testing.T) {
+	slow, _ := New(Config{Hosts: []Host{{AgentID: "h", Kind: Workstation, Rate: 1}}, Start: base, Duration: time.Minute, Seed: 5})
+	fast, _ := New(Config{Hosts: []Host{{AgentID: "h", Kind: Workstation, Rate: 50}}, Start: base, Duration: time.Minute, Seed: 5})
+	ns, nf := len(slow.Drain()), len(fast.Drain())
+	if nf < ns*10 {
+		t.Errorf("rate scaling wrong: slow=%d fast=%d", ns, nf)
+	}
+}

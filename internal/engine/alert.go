@@ -1,0 +1,92 @@
+// Package engine implements the SAQL anomaly query engine: it compiles
+// checked queries into executable form and evaluates them over the system
+// event stream — multievent matching for rule-based queries, sliding-window
+// state maintenance for stateful queries, invariant training/detection,
+// window clustering for outlier queries, and alert generation. The
+// concurrent query scheduler (internal/scheduler) drives engine queries in
+// master–dependent groups.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+// ModelKind classifies a query by the anomaly model it expresses, mirroring
+// the paper's four families.
+type ModelKind uint8
+
+// Anomaly model kinds.
+const (
+	KindRule ModelKind = iota
+	KindTimeSeries
+	KindInvariant
+	KindOutlier
+	KindStateful // windowed aggregation without history/invariant/cluster
+)
+
+// String names the model kind.
+func (k ModelKind) String() string {
+	switch k {
+	case KindRule:
+		return "rule"
+	case KindTimeSeries:
+		return "time-series"
+	case KindInvariant:
+		return "invariant"
+	case KindOutlier:
+		return "outlier"
+	case KindStateful:
+		return "stateful"
+	default:
+		return "unknown"
+	}
+}
+
+// NamedValue is one returned attribute of an alert.
+type NamedValue struct {
+	Name string
+	Val  value.Value
+}
+
+// Alert is a detection produced by a query.
+type Alert struct {
+	Query     string
+	Kind      ModelKind
+	EventTime time.Time // event time of the trigger (window end for stateful queries)
+	Detected  time.Time // wall-clock time the engine raised the alert
+	GroupKey  string    // group-by key for stateful queries; empty for rule queries
+	Values    []NamedValue
+	Events    []*event.Event // the matched events (rule queries)
+}
+
+// Latency is the detection delay: wall-clock detection time minus the event
+// time of the triggering activity.
+func (a *Alert) Latency() time.Duration { return a.Detected.Sub(a.EventTime) }
+
+// String renders the alert as the command-line UI prints it.
+func (a *Alert) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ALERT [%s] query=%s at=%s", a.Kind, a.Query, a.EventTime.Format("15:04:05.000"))
+	if a.GroupKey != "" {
+		fmt.Fprintf(&sb, " group=%s", a.GroupKey)
+	}
+	for _, nv := range a.Values {
+		fmt.Fprintf(&sb, " %s=%s", nv.Name, nv.Val)
+	}
+	return sb.String()
+}
+
+// key returns the distinct-suppression key for `return distinct`.
+func (a *Alert) key() string {
+	var sb strings.Builder
+	for _, nv := range a.Values {
+		sb.WriteString(nv.Val.String())
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}

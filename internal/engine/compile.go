@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"saql/internal/ast"
+	"saql/internal/cluster"
+	"saql/internal/event"
+	"saql/internal/invariant"
+	"saql/internal/matcher"
+	"saql/internal/parser"
+	"saql/internal/sema"
+	"saql/internal/value"
+	"saql/internal/window"
+)
+
+// CompileOptions tune a compiled query's resource bounds.
+type CompileOptions struct {
+	// MatchHorizon bounds how long a partial multievent match may wait for
+	// its next event. Zero uses the query's #time window, or 10 minutes.
+	MatchHorizon time.Duration
+	// MaxPartials caps the multievent matcher's partial-match table.
+	MaxPartials int
+	// MaxDistinct caps the `return distinct` suppression table.
+	MaxDistinct int
+	// GroupIdleWindows is how many consecutive empty windows a group's
+	// state survives before it is evicted. Zero derives it from the
+	// query's history/training depth.
+	GroupIdleWindows int
+}
+
+func (o CompileOptions) withDefaults() CompileOptions {
+	if o.MaxPartials <= 0 {
+		o.MaxPartials = 4096
+	}
+	if o.MaxDistinct <= 0 {
+		o.MaxDistinct = 1 << 16
+	}
+	return o
+}
+
+// Query is a compiled, executable SAQL query. A Query is not safe for
+// concurrent use; the engine serialises event delivery per query.
+type Query struct {
+	Name string
+	AST  *ast.Query
+	Info *sema.Info
+	Kind ModelKind
+
+	opts CompileOptions
+
+	// Pattern matching.
+	patterns []*matcher.Pattern
+	global   matcher.GlobalPred
+	seq      *matcher.SeqMatcher // nil for stateful queries
+
+	// Stateful execution.
+	stateful   bool
+	winMgr     *window.Manager
+	fieldArgs  []ast.Expr // aggregation argument per state field
+	groupBy    []ast.Expr
+	historyLen int
+	idleLimit  int
+	groups     map[string]*groupRuntime
+
+	// Invariant model.
+	invSpec  invariant.Spec
+	invInits map[string]value.Value
+	hasInv   bool
+
+	// Outlier model.
+	hasCluster  bool
+	clusterDist cluster.Distance
+	clusterName string
+	clusterArgs []float64
+	pointsExpr  ast.Expr
+
+	// Output.
+	alerts   []ast.Expr
+	returnC  *ast.ReturnClause
+	distinct map[string]struct{}
+
+	stats QueryStats
+	now   func() time.Time
+}
+
+// QueryStats counts a query's runtime activity.
+type QueryStats struct {
+	Events        int64 // events offered
+	PatternHits   int64 // pattern-level matches
+	Matches       int64 // completed multievent matches
+	WindowsClosed int64
+	Alerts        int64
+	Suppressed    int64 // alerts dropped by `return distinct`
+	EvalErrors    int64
+}
+
+// groupRuntime is the persistent per-group state across windows.
+type groupRuntime struct {
+	key     string
+	history *window.History
+	inv     *invariant.State
+	// Latest non-empty bindings, used to evaluate alert/return expressions
+	// for windows in which the group had activity.
+	idleWindows int
+}
+
+// Compile parses, checks, and compiles SAQL source into an executable query.
+func Compile(name, src string, opts CompileOptions) (*Query, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name
+	return CompileAST(name, q, opts)
+}
+
+// CompileAST checks and compiles a parsed query.
+func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) {
+	info, err := sema.Check(q)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	cq := &Query{
+		Name:    name,
+		AST:     q,
+		Info:    info,
+		opts:    opts,
+		global:  matcher.CompileGlobals(q.Globals),
+		alerts:  q.Alerts,
+		returnC: q.Return,
+		now:     time.Now,
+		groups:  map[string]*groupRuntime{},
+	}
+	if q.Return != nil && q.Return.Distinct {
+		cq.distinct = map[string]struct{}{}
+	}
+
+	// Compile patterns.
+	for i, p := range q.Patterns {
+		cp, err := matcher.Compile(i, p)
+		if err != nil {
+			return nil, err
+		}
+		cq.patterns = append(cq.patterns, cp)
+	}
+
+	cq.stateful = q.State != nil
+	if !cq.stateful {
+		// Rule-based query: build the sequence matcher.
+		var order []int
+		if q.Temporal != nil {
+			for _, alias := range q.Temporal.Order {
+				order = append(order, info.Aliases[alias])
+			}
+		}
+		horizon := opts.MatchHorizon
+		if horizon == 0 && q.Window != nil {
+			horizon = q.Window.Length
+		}
+		seq, err := matcher.NewSeqMatcher(cq.patterns, cq.global, order, matcher.Config{
+			Horizon:     horizon,
+			MaxPartials: opts.MaxPartials,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cq.seq = seq
+		cq.Kind = KindRule
+		return cq, nil
+	}
+
+	// Stateful query: window manager and aggregation plumbing.
+	spec := window.Spec{Length: q.Window.Length, Hop: q.Window.Hop}
+	fields := make([]window.FieldSpec, 0, len(q.State.Fields))
+	for _, f := range q.State.Fields {
+		call := f.Expr.(*ast.CallExpr) // guaranteed by sema
+		fs := window.FieldSpec{Name: f.Name, AggName: call.Func}
+		for _, extra := range call.Args[1:] {
+			fs.AggParams = append(fs.AggParams, extra.(*ast.Literal).Val)
+		}
+		fields = append(fields, fs)
+		cq.fieldArgs = append(cq.fieldArgs, rewriteBareAlias(call.Args[0], info))
+	}
+	mgr, err := window.NewManager(spec, fields)
+	if err != nil {
+		return nil, err
+	}
+	cq.winMgr = mgr
+	cq.groupBy = q.State.GroupBy
+
+	cq.historyLen = q.State.History
+	if cq.historyLen < info.MaxStateIndex+1 {
+		cq.historyLen = info.MaxStateIndex + 1
+	}
+
+	if q.Invariant != nil {
+		cq.hasInv = true
+		mode := invariant.Offline
+		if !q.Invariant.Offline {
+			mode = invariant.Online
+		}
+		cq.invSpec = invariant.Spec{TrainWindows: q.Invariant.TrainWindows, Mode: mode}
+		// Initial values are constant expressions; evaluate once.
+		cq.invInits = map[string]value.Value{}
+		for _, st := range q.Invariant.Inits {
+			lit, ok := st.Expr.(*ast.Literal)
+			if !ok {
+				return nil, fmt.Errorf("engine: invariant init %q must be a literal (e.g. empty_set)", st.Var)
+			}
+			cq.invInits[st.Var] = lit.Val
+		}
+	}
+
+	if q.Cluster != nil {
+		cq.hasCluster = true
+		dist, err := cluster.ByName(q.Cluster.Distance)
+		if err != nil {
+			return nil, err
+		}
+		cq.clusterDist = dist
+		cq.clusterName = info.ClusterMethod
+		cq.clusterArgs = info.ClusterParams
+		cq.pointsExpr = q.Cluster.Points
+	}
+
+	cq.idleLimit = opts.GroupIdleWindows
+	if cq.idleLimit <= 0 {
+		cq.idleLimit = cq.historyLen + 8
+		if cq.hasInv && cq.invSpec.TrainWindows+8 > cq.idleLimit {
+			cq.idleLimit = cq.invSpec.TrainWindows + 8
+		}
+	}
+
+	switch {
+	case cq.hasCluster:
+		cq.Kind = KindOutlier
+	case cq.hasInv:
+		cq.Kind = KindInvariant
+	case info.MaxStateIndex > 0 || q.State.History > 1:
+		cq.Kind = KindTimeSeries
+	default:
+		cq.Kind = KindStateful
+	}
+	return cq, nil
+}
+
+// rewriteBareAlias rewrites a bare event-alias argument (count(evt)) into
+// the literal 1, so counting aggregators count occurrences.
+func rewriteBareAlias(e ast.Expr, info *sema.Info) ast.Expr {
+	if id, ok := e.(*ast.Ident); ok {
+		if _, isAlias := info.Aliases[id.Name]; isAlias {
+			return &ast.Literal{Val: value.Int(1), LitPos: id.Pos()}
+		}
+	}
+	return e
+}
+
+// Stats returns a snapshot of the query's runtime counters.
+func (q *Query) Stats() QueryStats { return q.stats }
+
+// Patterns exposes the compiled event patterns (used by the scheduler to
+// build dependent-query residual filters).
+func (q *Query) Patterns() []*matcher.Pattern { return q.patterns }
+
+// GlobalMatches reports whether ev satisfies the query's global constraints.
+func (q *Query) GlobalMatches(ev *event.Event) bool { return q.global(ev) }
+
+// GroupCount reports how many groups currently hold state (stateful queries).
+func (q *Query) GroupCount() int { return len(q.groups) }
+
+// SetClock overrides the wall clock used for Alert.Detected (tests and the
+// replayer's virtual time).
+func (q *Query) SetClock(now func() time.Time) { q.now = now }

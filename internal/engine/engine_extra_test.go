@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+)
+
+// Additional engine coverage: multi-field states, exotic aggregations,
+// resource bounds, group eviction, and compile options.
+
+func TestMultiFieldState(t *testing.T) {
+	q := compile(t, "multi", `
+proc p write ip i as evt #time(1 min)
+state ss {
+  total := sum(evt.amount)
+  peak := max(evt.amount)
+  n := count(evt)
+  dsts := set(i.dstip)
+} group by p
+alert ss.n > 2 && ss.peak > 1000
+return p, ss.total, ss.peak, ss.n, ss.dsts`)
+	p := event.Process("x.exe", 1)
+	evs := []*event.Event{
+		ev(t0.Add(1*time.Second), "h", p, event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 500),
+		ev(t0.Add(2*time.Second), "h", p, event.OpWrite, event.NetConn("1.1.1.1", 1, "3.3.3.3", 2), 2000),
+		ev(t0.Add(3*time.Second), "h", p, event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 100),
+		ev(t0.Add(2*time.Minute), "h", p, event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 1),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	vals := map[string]string{}
+	for _, nv := range alerts[0].Values {
+		vals[nv.Name] = nv.Val.String()
+	}
+	if vals["ss.total"] != "2600" {
+		t.Errorf("total = %s", vals["ss.total"])
+	}
+	if vals["ss.peak"] != "2000" {
+		t.Errorf("peak = %s", vals["ss.peak"])
+	}
+	if vals["ss.n"] != "3" {
+		t.Errorf("n = %s", vals["ss.n"])
+	}
+	if !strings.Contains(vals["ss.dsts"], "3.3.3.3") {
+		t.Errorf("dsts = %s", vals["ss.dsts"])
+	}
+}
+
+func TestPercentileAggregationInQuery(t *testing.T) {
+	q := compile(t, "pctl", `
+proc p write ip i as evt #time(1 min)
+state ss { p95 := percentile(evt.amount, 95) } group by p
+alert ss.p95 > 90
+return p, ss.p95`)
+	p := event.Process("x.exe", 1)
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	var evs []*event.Event
+	for i := 1; i <= 100; i++ {
+		evs = append(evs, ev(t0.Add(time.Duration(i)*100*time.Millisecond), "h", p, event.OpWrite, conn, float64(i)))
+	}
+	evs = append(evs, ev(t0.Add(2*time.Minute), "h", p, event.OpWrite, conn, 1))
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	got, _ := alerts[0].Values[1].Val.AsFloat()
+	if got < 95 || got > 96 {
+		t.Errorf("p95 = %v", got)
+	}
+}
+
+func TestGroupEviction(t *testing.T) {
+	q, err := Compile("evict", `
+proc p write ip i as evt #time(10 s)
+state ss { amt := sum(evt.amount) } group by p
+alert ss.amt > 1000000000
+return p`, CompileOptions{GroupIdleWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	// Group "old.exe" appears once, then only "new.exe" is active.
+	q.Process(ev(t0.Add(1*time.Second), "h", event.Process("old.exe", 1), event.OpWrite, conn, 5), nil)
+	for i := 1; i <= 6; i++ {
+		q.Process(ev(t0.Add(time.Duration(i)*10*time.Second+time.Second), "h", event.Process("new.exe", 2), event.OpWrite, conn, 5), nil)
+	}
+	if n := q.GroupCount(); n != 1 {
+		t.Errorf("groups after eviction = %d, want 1 (old.exe evicted)", n)
+	}
+}
+
+func TestDistinctCapBounded(t *testing.T) {
+	q, err := Compile("cap", `proc p start proc c as e return p, c`, CompileOptions{MaxDistinct: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 distinct parent/child pairs; the suppression table must stay
+	// bounded while alerts keep flowing.
+	var alerts int
+	for i := 0; i < 10; i++ {
+		e := ev(t0.Add(time.Duration(i)*time.Second), "h",
+			event.Process("p", int32(i)), event.OpStart, event.Process("c", int32(100+i)), 0)
+		alerts += len(q.Process(e, nil))
+	}
+	if alerts != 10 {
+		t.Errorf("alerts = %d, want 10 (cap must not suppress novel alerts)", alerts)
+	}
+	if len(q.distinct) > 4 {
+		t.Errorf("distinct table = %d entries, cap 4", len(q.distinct))
+	}
+}
+
+func TestFirstLastAggregation(t *testing.T) {
+	q := compile(t, "firstlast", `
+proc p write file f as evt #time(1 min)
+state ss {
+  first_file := first(f.name)
+  last_file := last(f.name)
+} group by p
+alert ss.first_file != ss.last_file
+return p, ss.first_file, ss.last_file`)
+	p := event.Process("x.exe", 1)
+	evs := []*event.Event{
+		ev(t0.Add(1*time.Second), "h", p, event.OpWrite, event.File("/a"), 1),
+		ev(t0.Add(2*time.Second), "h", p, event.OpWrite, event.File("/b"), 1),
+		ev(t0.Add(3*time.Second), "h", p, event.OpWrite, event.File("/c"), 1),
+		ev(t0.Add(2*time.Minute), "h", p, event.OpWrite, event.File("/a"), 1),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	if alerts[0].Values[1].Val.String() != "/a" || alerts[0].Values[2].Val.String() != "/c" {
+		t.Errorf("first/last = %v / %v", alerts[0].Values[1].Val, alerts[0].Values[2].Val)
+	}
+}
+
+func TestMultiPatternStatefulQuery(t *testing.T) {
+	// Two patterns feed the same state block: file writes and network
+	// writes both count toward the total.
+	q := compile(t, "multi-pattern", `
+proc p write file f as e1 #time(1 min)
+proc p write ip i as e2
+state ss { n := count(e1) } group by p
+alert ss.n > 2
+return p, ss.n`)
+	p := event.Process("x.exe", 1)
+	evs := []*event.Event{
+		ev(t0.Add(1*time.Second), "h", p, event.OpWrite, event.File("/a"), 1),
+		ev(t0.Add(2*time.Second), "h", p, event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 1),
+		ev(t0.Add(3*time.Second), "h", p, event.OpWrite, event.File("/b"), 1),
+		ev(t0.Add(2*time.Minute), "h", p, event.OpWrite, event.File("/c"), 1),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (both patterns feed the state)", len(alerts))
+	}
+	if alerts[0].Values[1].Val.IntVal() != 3 {
+		t.Errorf("count = %v, want 3", alerts[0].Values[1].Val)
+	}
+}
+
+func TestStateHistoryDeeperThanDeclared(t *testing.T) {
+	// sema/compiler widen the history ring when alerts index beyond the
+	// declared state[k].
+	q := compile(t, "widen", `
+proc p write ip i as evt #time(10 s)
+state[2] ss { amt := sum(evt.amount) } group by p
+alert ss[1].amt > 10
+return p, ss[1].amt`)
+	if q.historyLen != 2 {
+		t.Errorf("historyLen = %d", q.historyLen)
+	}
+	p := event.Process("x.exe", 1)
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	evs := []*event.Event{
+		ev(t0.Add(1*time.Second), "h", p, event.OpWrite, conn, 100),
+		ev(t0.Add(11*time.Second), "h", p, event.OpWrite, conn, 1),
+		ev(t0.Add(21*time.Second), "h", p, event.OpWrite, conn, 1),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	if got, _ := alerts[0].Values[1].Val.AsFloat(); got != 100 {
+		t.Errorf("ss[1].amt = %v, want 100", got)
+	}
+}
+
+func TestReturnAliasNames(t *testing.T) {
+	q := compile(t, "alias", `
+proc p write ip i as evt #time(1 min)
+state ss { amt := sum(evt.amount) } group by p
+alert ss.amt > 0
+return p as process, ss.amt as total_bytes`)
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	evs := []*event.Event{
+		ev(t0.Add(time.Second), "h", event.Process("x", 1), event.OpWrite, conn, 10),
+		ev(t0.Add(2*time.Minute), "h", event.Process("x", 1), event.OpWrite, conn, 10),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+	if alerts[0].Values[0].Name != "process" || alerts[0].Values[1].Name != "total_bytes" {
+		t.Errorf("names = %v", alerts[0].Values)
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	q := compile(t, "clock", `proc p start proc c as e return p`)
+	fixed := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	q.SetClock(func() time.Time { return fixed })
+	alerts := q.Process(ev(t0, "h", event.Process("a", 1), event.OpStart, event.Process("b", 2), 0), nil)
+	if len(alerts) != 1 || !alerts[0].Detected.Equal(fixed) {
+		t.Errorf("detected = %v", alerts[0].Detected)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	q := compile(t, "stats", `
+proc p write ip i as evt #time(10 s)
+state ss { amt := sum(evt.amount) } group by p
+alert ss.amt > 5
+return p`)
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	for i := 0; i < 5; i++ {
+		q.Process(ev(t0.Add(time.Duration(i)*10*time.Second), "h", event.Process("x", 1), event.OpWrite, conn, 10), nil)
+	}
+	st := q.Stats()
+	if st.Events != 5 {
+		t.Errorf("events = %d", st.Events)
+	}
+	if st.PatternHits != 5 {
+		t.Errorf("hits = %d", st.PatternHits)
+	}
+	if st.WindowsClosed != 4 {
+		t.Errorf("windows = %d", st.WindowsClosed)
+	}
+	if st.Alerts != 4 {
+		t.Errorf("alerts = %d", st.Alerts)
+	}
+}

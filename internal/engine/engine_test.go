@@ -1,0 +1,535 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+var t0 = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC) // aligned to 10-minute windows
+
+func ev(at time.Time, agent string, subj event.Entity, op event.Op, obj event.Entity, amount float64) *event.Event {
+	return &event.Event{Time: at, AgentID: agent, Subject: subj, Op: op, Object: obj, Amount: amount}
+}
+
+func compile(t *testing.T, name, src string) *Query {
+	t.Helper()
+	q, err := Compile(name, src, CompileOptions{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return q
+}
+
+func processAll(q *Query, events []*event.Event) []*Alert {
+	var alerts []*Alert
+	for _, e := range events {
+		alerts = append(alerts, q.Process(e, nil)...)
+	}
+	return alerts
+}
+
+// --- Rule-based (paper Query 1) ------------------------------------------
+
+const exfilQuery = `
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="172.16.0.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+`
+
+func exfilEvents(agent string, start time.Time) []*event.Event {
+	cmd := event.Process("cmd.exe", 100)
+	osql := event.Process("osql.exe", 101)
+	sql := event.Process("sqlservr.exe", 50)
+	mal := event.Process("sbblv.exe", 200)
+	dump := event.File(`C:\db\backup1.dmp`)
+	exfil := event.NetConn("10.0.0.2", 49000, "172.16.0.129", 8080)
+	return []*event.Event{
+		ev(start, agent, cmd, event.OpStart, osql, 0),
+		ev(start.Add(30*time.Second), agent, sql, event.OpWrite, dump, 5e6),
+		ev(start.Add(60*time.Second), agent, mal, event.OpRead, dump, 5e6),
+		ev(start.Add(90*time.Second), agent, mal, event.OpWrite, exfil, 5e6),
+	}
+}
+
+func TestRuleQueryDetectsExfiltration(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	if q.Kind != KindRule {
+		t.Fatalf("kind = %v, want rule", q.Kind)
+	}
+	alerts := processAll(q, exfilEvents("db-server", t0))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	got := map[string]string{}
+	for _, nv := range a.Values {
+		got[nv.Name] = nv.Val.String()
+	}
+	if got["p1"] != "cmd.exe" || got["p2"] != "osql.exe" || got["p3"] != "sqlservr.exe" {
+		t.Errorf("process attributes wrong: %v", got)
+	}
+	if got["i1"] != "172.16.0.129" {
+		t.Errorf("i1 = %q, want exfil IP (context-aware dstip shortcut)", got["i1"])
+	}
+	if !strings.Contains(got["f1"], "backup1.dmp") {
+		t.Errorf("f1 = %q", got["f1"])
+	}
+}
+
+func TestRuleQueryEnforcesTemporalOrder(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	evs := exfilEvents("db-server", t0)
+	// Swap steps 2 and 3: sbblv reads the dump before sqlservr writes it.
+	evs[1], evs[2] = evs[2], evs[1]
+	evs[1].Time, evs[2].Time = evs[2].Time, evs[1].Time
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("out-of-order sequence should not match, got %d alerts", len(alerts))
+	}
+}
+
+func TestRuleQueryEnforcesEntityJoin(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	evs := exfilEvents("db-server", t0)
+	// sbblv reads a DIFFERENT file than sqlservr wrote: f1 join must fail.
+	evs[2].Object = event.File(`C:\db\backup1.dmp.copy`)
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("broken f1 join should not match, got %d alerts", len(alerts))
+	}
+	// p4 join: a different process exfiltrates.
+	evs2 := exfilEvents("db-server", t0)
+	evs2[3].Subject = event.Process("other.exe", 999)
+	if alerts := processAll(q, evs2); len(alerts) != 0 {
+		t.Errorf("broken p4 join should not match, got %d alerts", len(alerts))
+	}
+}
+
+func TestRuleQueryGlobalConstraint(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	if alerts := processAll(q, exfilEvents("workstation-7", t0)); len(alerts) != 0 {
+		t.Errorf("events from another agent must not match, got %d alerts", len(alerts))
+	}
+}
+
+func TestRuleQueryDistinctSuppression(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	evs := exfilEvents("db-server", t0)
+	evs = append(evs, exfilEvents("db-server", t0.Add(2*time.Minute))...)
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Errorf("distinct should suppress the repeat (same entities), got %d", len(alerts))
+	}
+	if q.Stats().Suppressed == 0 {
+		t.Error("suppression counter should be > 0")
+	}
+}
+
+func TestRuleQueryInterleavedNoise(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	evs := exfilEvents("db-server", t0)
+	noise := []*event.Event{
+		ev(t0.Add(10*time.Second), "db-server", event.Process("svchost.exe", 9), event.OpWrite, event.File(`C:\Windows\log`), 100),
+		ev(t0.Add(40*time.Second), "db-server", event.Process("chrome.exe", 10), event.OpWrite, event.NetConn("10.0.0.2", 1, "8.8.8.8", 443), 2000),
+		ev(t0.Add(70*time.Second), "db-server", event.Process("cmd.exe", 11), event.OpStart, event.Process("ping.exe", 12), 0),
+	}
+	all := []*event.Event{evs[0], noise[0], evs[1], noise[1], evs[2], noise[2], evs[3]}
+	alerts := processAll(q, all)
+	if len(alerts) != 1 {
+		t.Errorf("alerts = %d, want 1 despite noise", len(alerts))
+	}
+}
+
+// --- Time-series (paper Query 2) ------------------------------------------
+
+const smaQuery = `
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+  avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+`
+
+// netWrites emits one network write of the given amount per window for proc.
+func netWrites(agent string, proc event.Entity, amounts []float64, start time.Time, winLen time.Duration) []*event.Event {
+	conn := event.NetConn("10.0.0.5", 40000, "172.16.0.129", 443)
+	var out []*event.Event
+	for i, amt := range amounts {
+		out = append(out, ev(start.Add(time.Duration(i)*winLen).Add(winLen/2), agent, proc, event.OpWrite, conn, amt))
+	}
+	return out
+}
+
+func TestTimeSeriesSpikesDetected(t *testing.T) {
+	q := compile(t, "sma", smaQuery)
+	if q.Kind != KindTimeSeries {
+		t.Fatalf("kind = %v, want time-series", q.Kind)
+	}
+	sql := event.Process("sqlservr.exe", 50)
+	// Three calm windows then a massive spike in window 4.
+	evs := netWrites("db", sql, []float64{1000, 1200, 900, 900000, 800}, t0, 10*time.Minute)
+	alerts := processAll(q, evs)
+	// Window 4 (the spike) closes when the window-5 event advances the
+	// watermark past its end.
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want exactly 1 (the spike window)", len(alerts))
+	}
+	a := alerts[0]
+	if a.Values[0].Val.String() != "sqlservr.exe" {
+		t.Errorf("return p = %v", a.Values[0].Val)
+	}
+	if got, _ := a.Values[1].Val.AsFloat(); got != 900000 {
+		t.Errorf("ss[0].avg_amount = %v, want 900000", a.Values[1].Val)
+	}
+	if got, _ := a.Values[2].Val.AsFloat(); got != 900 {
+		t.Errorf("ss[1].avg_amount = %v, want 900 (previous window)", a.Values[2].Val)
+	}
+}
+
+func TestTimeSeriesNoAlertBeforeHistory(t *testing.T) {
+	q := compile(t, "sma", smaQuery)
+	sql := event.Process("sqlservr.exe", 50)
+	// A big first window must not alert: ss[1]/ss[2] do not exist yet and
+	// null comparisons are false.
+	evs := netWrites("db", sql, []float64{900000, 800}, t0, 10*time.Minute)
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("alerts before history filled = %d, want 0", len(alerts))
+	}
+}
+
+func TestTimeSeriesSmallSpikeBelowFloorIgnored(t *testing.T) {
+	q := compile(t, "sma", smaQuery)
+	p := event.Process("notepad.exe", 7)
+	// Spike shape but absolute value below the 10000 floor.
+	evs := netWrites("ws", p, []float64{10, 12, 9, 5000, 8}, t0, 10*time.Minute)
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("sub-floor spike should not alert, got %d", len(alerts))
+	}
+}
+
+func TestTimeSeriesPerGroupIsolation(t *testing.T) {
+	q := compile(t, "sma", smaQuery)
+	sql := event.Process("sqlservr.exe", 50)
+	chrome := event.Process("chrome.exe", 60)
+	evs := append(netWrites("db", sql, []float64{1000, 1100, 1000, 1000, 1000}, t0, 10*time.Minute),
+		netWrites("db", chrome, []float64{2000, 2100, 1900, 990000, 1000}, t0, 10*time.Minute)...)
+	// Interleave by time.
+	alerts := processAll(q, sortByTime(evs))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (chrome only)", len(alerts))
+	}
+	if alerts[0].Values[0].Val.String() != "chrome.exe" {
+		t.Errorf("alert group = %v, want chrome.exe", alerts[0].Values[0].Val)
+	}
+}
+
+func sortByTime(evs []*event.Event) []*event.Event {
+	out := append([]*event.Event(nil), evs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Time.Before(out[j-1].Time); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// --- Invariant (paper Query 3) --------------------------------------------
+
+const invariantQuery = `
+proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[3][offline] {
+  a := empty_set
+  a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+`
+
+func apacheSpawn(child string, at time.Time) *event.Event {
+	return ev(at, "web", event.Process("apache.exe", 30), event.OpStart, event.Process(child, 31), 0)
+}
+
+func TestInvariantDetectsUnseenChild(t *testing.T) {
+	q := compile(t, "inv", invariantQuery)
+	if q.Kind != KindInvariant {
+		t.Fatalf("kind = %v, want invariant", q.Kind)
+	}
+	evs := []*event.Event{
+		// Training windows 1..3: normal CGI children.
+		apacheSpawn("php-cgi.exe", t0.Add(1*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(11*time.Second)),
+		apacheSpawn("perl.exe", t0.Add(21*time.Second)),
+		// Window 4: apache spawns a shell — never seen in training.
+		apacheSpawn("cmd.exe", t0.Add(31*time.Second)),
+		// Window 5 advances the watermark so window 4 closes.
+		apacheSpawn("php-cgi.exe", t0.Add(41*time.Second)),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if !alerts[0].Values[1].Val.SetContains("cmd.exe") {
+		t.Errorf("alert set = %v, want cmd.exe member", alerts[0].Values[1].Val)
+	}
+}
+
+func TestInvariantNoAlertDuringTraining(t *testing.T) {
+	q := compile(t, "inv", invariantQuery)
+	evs := []*event.Event{
+		apacheSpawn("php-cgi.exe", t0.Add(1*time.Second)),
+		apacheSpawn("weird1.exe", t0.Add(11*time.Second)), // training: absorbed
+		apacheSpawn("weird2.exe", t0.Add(21*time.Second)), // training: absorbed
+		apacheSpawn("php-cgi.exe", t0.Add(31*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(41*time.Second)),
+	}
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("training-phase anomalies must not alert, got %d", len(alerts))
+	}
+}
+
+func TestInvariantOfflineFrozen(t *testing.T) {
+	q := compile(t, "inv", invariantQuery)
+	evs := []*event.Event{
+		apacheSpawn("php-cgi.exe", t0.Add(1*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(11*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(21*time.Second)),
+		// cmd.exe appears twice after training: offline invariant stays
+		// frozen, so BOTH windows alert.
+		apacheSpawn("cmd.exe", t0.Add(31*time.Second)),
+		apacheSpawn("cmd.exe", t0.Add(41*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(51*time.Second)),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 2 {
+		t.Errorf("offline invariant should alert twice, got %d", len(alerts))
+	}
+}
+
+func TestInvariantOnlineAbsorbs(t *testing.T) {
+	online := strings.Replace(invariantQuery, "[offline]", "[online]", 1)
+	q := compile(t, "inv-online", online)
+	evs := []*event.Event{
+		apacheSpawn("php-cgi.exe", t0.Add(1*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(11*time.Second)),
+		apacheSpawn("php-cgi.exe", t0.Add(21*time.Second)),
+		apacheSpawn("cmd.exe", t0.Add(31*time.Second)), // alerts, then absorbed
+		apacheSpawn("cmd.exe", t0.Add(41*time.Second)), // now invariant: silent
+		apacheSpawn("php-cgi.exe", t0.Add(51*time.Second)),
+	}
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Errorf("online invariant should alert once then absorb, got %d", len(alerts))
+	}
+}
+
+// --- Outlier (paper Query 4) ----------------------------------------------
+
+const outlierQuery = `
+agentid = "db-server"
+proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 3)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+`
+
+func TestOutlierDetectsExfilIP(t *testing.T) {
+	q := compile(t, "outlier", outlierQuery)
+	if q.Kind != KindOutlier {
+		t.Fatalf("kind = %v, want outlier", q.Kind)
+	}
+	sql := event.Process("sqlservr.exe", 50)
+	var evs []*event.Event
+	// 8 normal client IPs, ~50KB each within window 1.
+	for i := 0; i < 8; i++ {
+		conn := event.NetConn("10.0.0.2", 1433, clientIP(i), 49000)
+		evs = append(evs, ev(t0.Add(time.Duration(i)*time.Second), "db-server", sql, event.OpWrite, conn, 50000+float64(i)*100))
+	}
+	// The exfiltration IP moves 50MB.
+	exfil := event.NetConn("10.0.0.2", 1433, "172.16.0.129", 8080)
+	evs = append(evs, ev(t0.Add(20*time.Second), "db-server", sql, event.OpWrite, exfil, 5e7))
+	// Next-window event closes window 1.
+	evs = append(evs, ev(t0.Add(11*time.Minute), "db-server", sql, event.OpWrite, event.NetConn("10.0.0.2", 1433, clientIP(0), 49000), 50000))
+
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].Values[0].Val.String() != "172.16.0.129" {
+		t.Errorf("outlier IP = %v", alerts[0].Values[0].Val)
+	}
+}
+
+func TestOutlierQuietWindowNoAlert(t *testing.T) {
+	q := compile(t, "outlier", outlierQuery)
+	sql := event.Process("sqlservr.exe", 50)
+	var evs []*event.Event
+	for i := 0; i < 8; i++ {
+		conn := event.NetConn("10.0.0.2", 1433, clientIP(i), 49000)
+		evs = append(evs, ev(t0.Add(time.Duration(i)*time.Second), "db-server", sql, event.OpWrite, conn, 50000))
+	}
+	evs = append(evs, ev(t0.Add(11*time.Minute), "db-server", sql, event.OpWrite, event.NetConn("10.0.0.2", 1433, clientIP(0), 49000), 50000))
+	if alerts := processAll(q, evs); len(alerts) != 0 {
+		t.Errorf("uniform traffic should not alert, got %d", len(alerts))
+	}
+}
+
+func clientIP(i int) string {
+	return "10.0.1." + string(rune('0'+i))
+}
+
+// --- Engine mechanics ------------------------------------------------------
+
+func TestFlushClosesOpenWindows(t *testing.T) {
+	q := compile(t, "sma", smaQuery)
+	sql := event.Process("sqlservr.exe", 50)
+	evs := netWrites("db", sql, []float64{1000, 1000, 1000, 900000}, t0, 10*time.Minute)
+	alerts := processAll(q, evs)
+	if len(alerts) != 0 {
+		t.Fatalf("spike window still open, alerts = %d", len(alerts))
+	}
+	alerts = q.Flush(nil)
+	if len(alerts) != 1 {
+		t.Errorf("flush alerts = %d, want 1", len(alerts))
+	}
+}
+
+func TestStatefulCountAggregation(t *testing.T) {
+	q := compile(t, "count", `
+proc p start proc c as evt #time(1 min)
+state ss { n := count(evt) } group by p
+alert ss.n > 3
+return p, ss.n`)
+	var evs []*event.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, ev(t0.Add(time.Duration(i)*time.Second), "h", event.Process("bash", 1), event.OpStart, event.Process("ls", int32(100+i)), 0))
+	}
+	evs = append(evs, ev(t0.Add(2*time.Minute), "h", event.Process("bash", 1), event.OpStart, event.Process("ls", 200), 0))
+	alerts := processAll(q, evs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if got := alerts[0].Values[1].Val.IntVal(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
+func TestEngineErrorReporting(t *testing.T) {
+	// A query whose alert divides by a state field that is zero in some
+	// windows exercises the runtime error path.
+	q := compile(t, "err", `
+proc p write ip i as evt #time(1 min)
+state ss { amt := sum(evt.amount) } group by p
+alert 1 / (ss.amt - ss.amt) > 0
+return p`)
+	rep := NewErrorReporter(8, nil)
+	report := func(err error) {
+		if qe, ok := err.(*QueryError); ok {
+			rep.Report(qe.Query, qe.Err)
+		}
+	}
+	evs := []*event.Event{
+		ev(t0, "h", event.Process("a", 1), event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 10),
+		ev(t0.Add(2*time.Minute), "h", event.Process("a", 1), event.OpWrite, event.NetConn("1.1.1.1", 1, "2.2.2.2", 2), 10),
+	}
+	for _, e := range evs {
+		q.Process(e, report)
+	}
+	if rep.Total() == 0 {
+		t.Error("division by zero should be reported")
+	}
+	if len(rep.Recent()) == 0 || rep.Recent()[0].Query != "err" {
+		t.Errorf("recent errors = %v", rep.Recent())
+	}
+	if q.Stats().EvalErrors == 0 {
+		t.Error("EvalErrors counter should be > 0")
+	}
+}
+
+func TestCompileRejectsBadQueries(t *testing.T) {
+	bad := []string{
+		`proc p start proc q as e state ss {x := count(e)} group by p alert ss.x > 0 return p`,                    // state without window
+		`proc p start proc q as e #time(1 min) state ss {x := frob(e.amount)} group by p alert ss.x > 0 return p`, // unknown agg
+		`proc p start proc q as e #time(1 min) state ss {x := count(e)} group by p alert ss[5].x > 0 return p`,    // index out of range
+		`file f read proc p as e return p`,  // subject must be process
+		`proc p start proc q as e return r`, // unknown identifier
+	}
+	for _, src := range bad {
+		if _, err := Compile("bad", src, CompileOptions{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestHitsRespectGlobals(t *testing.T) {
+	q := compile(t, "exfil", exfilQuery)
+	e := exfilEvents("db-server", t0)[0]
+	if len(q.Hits(e)) != 1 {
+		t.Errorf("hits = %v, want pattern 0", q.Hits(e))
+	}
+	other := exfilEvents("laptop", t0)[0]
+	if len(q.Hits(other)) != 0 {
+		t.Error("wrong agent should yield no hits")
+	}
+}
+
+func TestAlertRendering(t *testing.T) {
+	a := &Alert{
+		Query:     "q1",
+		Kind:      KindRule,
+		EventTime: t0,
+		Detected:  t0.Add(time.Second),
+		Values:    []NamedValue{{Name: "p1", Val: value.String("cmd.exe")}},
+	}
+	s := a.String()
+	if !strings.Contains(s, "q1") || !strings.Contains(s, "cmd.exe") || !strings.Contains(s, "rule") {
+		t.Errorf("alert string = %q", s)
+	}
+	if a.Latency() != time.Second {
+		t.Errorf("latency = %v", a.Latency())
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	kinds := map[ModelKind]string{
+		KindRule: "rule", KindTimeSeries: "time-series", KindInvariant: "invariant",
+		KindOutlier: "outlier", KindStateful: "stateful",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestHoppingWindowQuery(t *testing.T) {
+	q := compile(t, "hop", `
+proc p write ip i as evt #time(10 min, 5 min)
+state ss { amt := sum(evt.amount) } group by p
+alert ss.amt > 100000
+return p, ss.amt`)
+	sql := event.Process("x.exe", 1)
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	evs := []*event.Event{
+		ev(t0.Add(6*time.Minute), "h", sql, event.OpWrite, conn, 200000),
+		ev(t0.Add(21*time.Minute), "h", sql, event.OpWrite, conn, 10),
+	}
+	alerts := processAll(q, evs)
+	// The 200000 write at minute 6 is inside two hopping windows
+	// ([0,10) and [5,15)), both of which alert.
+	if len(alerts) != 2 {
+		t.Errorf("hopping-window alerts = %d, want 2", len(alerts))
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// QueryError is a runtime error attributed to a query.
+type QueryError struct {
+	Query string
+	Time  time.Time
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("query %q: %v", e.Query, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// ErrorReporter collects runtime errors raised during query execution (the
+// paper's error reporter component). It retains a bounded ring of recent
+// errors and a total count; an optional callback observes every error.
+type ErrorReporter struct {
+	mu      sync.Mutex
+	recent  []*QueryError
+	max     int
+	total   int64
+	onError func(*QueryError)
+	now     func() time.Time
+}
+
+// NewErrorReporter creates a reporter retaining up to max recent errors.
+func NewErrorReporter(max int, onError func(*QueryError)) *ErrorReporter {
+	if max <= 0 {
+		max = 128
+	}
+	return &ErrorReporter{max: max, onError: onError, now: time.Now}
+}
+
+// Report records a runtime error for query.
+func (r *ErrorReporter) Report(query string, err error) {
+	if err == nil {
+		return
+	}
+	qe := &QueryError{Query: query, Time: r.now(), Err: err}
+	r.mu.Lock()
+	r.total++
+	r.recent = append(r.recent, qe)
+	if len(r.recent) > r.max {
+		r.recent = r.recent[len(r.recent)-r.max:]
+	}
+	cb := r.onError
+	r.mu.Unlock()
+	if cb != nil {
+		cb(qe)
+	}
+}
+
+// Recent returns a copy of the retained recent errors, oldest first.
+func (r *ErrorReporter) Recent() []*QueryError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryError, len(r.recent))
+	copy(out, r.recent)
+	return out
+}
+
+// Total returns the number of errors ever reported.
+func (r *ErrorReporter) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

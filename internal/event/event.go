@@ -1,0 +1,337 @@
+// Package event defines the system monitoring data model of the paper:
+// system entities (processes, files, network connections) and system events
+// represented as ⟨subject, operation, object⟩ (SVO) triples, each occurring on
+// a particular host (agent) at a particular time and carrying the
+// security-related attributes the SAQL language can constrain and return
+// (exe_name, PID, file name, src/dst IP, port, amount, ...).
+package event
+
+import (
+	"fmt"
+	"time"
+
+	"saql/internal/value"
+)
+
+// EntityType identifies the kind of a system entity.
+type EntityType uint8
+
+// System entity types. Following the paper's data model, subjects are
+// processes and objects are files, processes, or network connections.
+const (
+	EntityInvalid EntityType = iota
+	EntityProcess
+	EntityFile
+	EntityNetConn
+)
+
+// String returns the SAQL keyword for the entity type (proc, file, ip).
+func (t EntityType) String() string {
+	switch t {
+	case EntityProcess:
+		return "proc"
+	case EntityFile:
+		return "file"
+	case EntityNetConn:
+		return "ip"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseEntityType maps a SAQL keyword to an entity type.
+func ParseEntityType(s string) (EntityType, error) {
+	switch s {
+	case "proc", "process":
+		return EntityProcess, nil
+	case "file":
+		return EntityFile, nil
+	case "ip", "conn", "netconn":
+		return EntityNetConn, nil
+	default:
+		return EntityInvalid, fmt.Errorf("event: unknown entity type %q", s)
+	}
+}
+
+// Op is a system call level operation recorded between subject and object.
+type Op uint8
+
+// Operations in the event taxonomy. File events use read/write/execute/
+// delete/rename; process events use start/end; network events use
+// read/write (the paper treats sends as writes to an ip entity and receives
+// as reads) plus connect/accept for connection setup.
+const (
+	OpInvalid Op = iota
+	OpRead
+	OpWrite
+	OpExecute
+	OpStart
+	OpEnd
+	OpDelete
+	OpRename
+	OpConnect
+	OpAccept
+)
+
+// String returns the SAQL keyword for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpExecute:
+		return "execute"
+	case OpStart:
+		return "start"
+	case OpEnd:
+		return "end"
+	case OpDelete:
+		return "delete"
+	case OpRename:
+		return "rename"
+	case OpConnect:
+		return "connect"
+	case OpAccept:
+		return "accept"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseOp maps a SAQL keyword to an operation.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "read", "recv":
+		return OpRead, nil
+	case "write", "send":
+		return OpWrite, nil
+	case "execute", "exec":
+		return OpExecute, nil
+	case "start", "fork", "spawn":
+		return OpStart, nil
+	case "end", "exit", "terminate":
+		return OpEnd, nil
+	case "delete", "unlink":
+		return OpDelete, nil
+	case "rename":
+		return OpRename, nil
+	case "connect":
+		return OpConnect, nil
+	case "accept":
+		return OpAccept, nil
+	default:
+		return OpInvalid, fmt.Errorf("event: unknown operation %q", s)
+	}
+}
+
+// Type is the event category derived from the object entity.
+type Type uint8
+
+// Event categories per the paper: file events, process events, network events.
+const (
+	TypeInvalid Type = iota
+	TypeFile
+	TypeProcess
+	TypeNetwork
+)
+
+// String names the event category.
+func (t Type) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeProcess:
+		return "process"
+	case TypeNetwork:
+		return "network"
+	default:
+		return "invalid"
+	}
+}
+
+// Entity is a system entity instance observed by a collection agent. The
+// populated fields depend on Type; unset fields are zero.
+type Entity struct {
+	Type EntityType
+
+	// Process attributes.
+	ExeName string // executable name, e.g. "osql.exe"
+	PID     int32
+	User    string
+	CmdLine string
+
+	// File attributes.
+	Path string // full path; the "name" attribute matches the base name too
+
+	// Network connection attributes.
+	SrcIP    string
+	DstIP    string
+	SrcPort  int32
+	DstPort  int32
+	Protocol string // "tcp" or "udp"
+}
+
+// Process constructs a process entity.
+func Process(exe string, pid int32) Entity {
+	return Entity{Type: EntityProcess, ExeName: exe, PID: pid}
+}
+
+// File constructs a file entity.
+func File(path string) Entity {
+	return Entity{Type: EntityFile, Path: path}
+}
+
+// NetConn constructs a network connection entity.
+func NetConn(srcIP string, srcPort int32, dstIP string, dstPort int32) Entity {
+	return Entity{Type: EntityNetConn, SrcIP: srcIP, SrcPort: srcPort, DstIP: dstIP, DstPort: dstPort, Protocol: "tcp"}
+}
+
+// Key returns a stable identity string for the entity, used for joins on
+// shared entity variables across event patterns (e.g. the same f1 appearing
+// in two patterns of Query 1).
+func (e *Entity) Key() string {
+	switch e.Type {
+	case EntityProcess:
+		return fmt.Sprintf("p:%s/%d", e.ExeName, e.PID)
+	case EntityFile:
+		return "f:" + e.Path
+	case EntityNetConn:
+		return fmt.Sprintf("n:%s:%d>%s:%d", e.SrcIP, e.SrcPort, e.DstIP, e.DstPort)
+	default:
+		return "?"
+	}
+}
+
+// DefaultAttr returns the value of the entity's default attribute — the one a
+// bare string constraint like ["%osql.exe"] matches against: exe_name for
+// processes, path for files, dstip for connections.
+func (e *Entity) DefaultAttr() string {
+	switch e.Type {
+	case EntityProcess:
+		return e.ExeName
+	case EntityFile:
+		return e.Path
+	case EntityNetConn:
+		return e.DstIP
+	default:
+		return ""
+	}
+}
+
+// Attr resolves a SAQL attribute name on the entity. The second result
+// reports whether the attribute exists for this entity type. Attribute names
+// follow the paper (exe_name, pid, name, path, srcip, dstip, sport, dport)
+// with common aliases accepted.
+func (e *Entity) Attr(name string) (value.Value, bool) {
+	switch e.Type {
+	case EntityProcess:
+		switch name {
+		case "exe_name", "exename", "exe", "name":
+			return value.String(e.ExeName), true
+		case "pid":
+			return value.Int(int64(e.PID)), true
+		case "user", "username":
+			return value.String(e.User), true
+		case "cmdline", "cmd", "args":
+			return value.String(e.CmdLine), true
+		}
+	case EntityFile:
+		switch name {
+		case "name", "path", "filename", "file_name":
+			return value.String(e.Path), true
+		case "basename":
+			return value.String(baseName(e.Path)), true
+		}
+	case EntityNetConn:
+		switch name {
+		case "srcip", "src_ip", "sip":
+			return value.String(e.SrcIP), true
+		case "dstip", "dst_ip", "dip":
+			return value.String(e.DstIP), true
+		case "sport", "src_port", "srcport":
+			return value.Int(int64(e.SrcPort)), true
+		case "dport", "dst_port", "dstport":
+			return value.Int(int64(e.DstPort)), true
+		case "protocol", "proto":
+			return value.String(e.Protocol), true
+		}
+	}
+	return value.Null, false
+}
+
+func baseName(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// String renders the entity compactly for alert output.
+func (e *Entity) String() string {
+	switch e.Type {
+	case EntityProcess:
+		return fmt.Sprintf("proc(%s pid=%d)", e.ExeName, e.PID)
+	case EntityFile:
+		return fmt.Sprintf("file(%s)", e.Path)
+	case EntityNetConn:
+		return fmt.Sprintf("ip(%s:%d->%s:%d)", e.SrcIP, e.SrcPort, e.DstIP, e.DstPort)
+	default:
+		return "entity(?)"
+	}
+}
+
+// Event is a single system monitoring record: subject performed Op on object
+// at Time on host AgentID. Amount carries the data size in bytes for
+// read/write events (file I/O and network transfer volume).
+type Event struct {
+	ID      uint64 // globally unique, assigned by the feed
+	Time    time.Time
+	AgentID string // host identifier
+	Subject Entity // always a process
+	Op      Op
+	Object  Entity
+	Amount  float64 // bytes moved, when applicable
+}
+
+// EventType categorises the event by its object entity.
+func (ev *Event) EventType() Type {
+	switch ev.Object.Type {
+	case EntityFile:
+		return TypeFile
+	case EntityProcess:
+		return TypeProcess
+	case EntityNetConn:
+		return TypeNetwork
+	default:
+		return TypeInvalid
+	}
+}
+
+// Attr resolves event-level attributes: amount, agentid, time (unix nanos),
+// and id. Entity attributes are resolved through the bound entity variables,
+// not through the event.
+func (ev *Event) Attr(name string) (value.Value, bool) {
+	switch name {
+	case "amount", "amt", "bytes":
+		return value.Float(ev.Amount), true
+	case "agentid", "agent_id", "host":
+		return value.String(ev.AgentID), true
+	case "time", "ts", "timestamp":
+		return value.Int(ev.Time.UnixNano()), true
+	case "id":
+		return value.Int(int64(ev.ID)), true
+	case "optype", "op", "operation":
+		return value.String(ev.Op.String()), true
+	}
+	return value.Null, false
+}
+
+// String renders the event as a single human-readable line, the format the
+// command-line UI prints when echoing matched events.
+func (ev *Event) String() string {
+	return fmt.Sprintf("[%s %s] %s %s %s amount=%.0f",
+		ev.Time.Format("15:04:05.000"), ev.AgentID, ev.Subject.String(), ev.Op, ev.Object.String(), ev.Amount)
+}

@@ -1,0 +1,198 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"saql/internal/value"
+)
+
+func TestParseEntityType(t *testing.T) {
+	cases := map[string]EntityType{
+		"proc": EntityProcess, "process": EntityProcess,
+		"file": EntityFile,
+		"ip":   EntityNetConn, "conn": EntityNetConn,
+	}
+	for s, want := range cases {
+		got, err := ParseEntityType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEntityType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseEntityType("socket"); err == nil {
+		t.Error("unknown entity type should error")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	cases := map[string]Op{
+		"read": OpRead, "recv": OpRead,
+		"write": OpWrite, "send": OpWrite,
+		"start": OpStart, "fork": OpStart,
+		"execute": OpExecute, "exec": OpExecute,
+		"end": OpEnd, "exit": OpEnd,
+		"delete": OpDelete, "rename": OpRename,
+		"connect": OpConnect, "accept": OpAccept,
+	}
+	for s, want := range cases {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("mmap"); err == nil {
+		t.Error("unknown op should error")
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for op := OpRead; op <= OpAccept; op++ {
+		parsed, err := ParseOp(op.String())
+		if err != nil {
+			t.Errorf("ParseOp(%q): %v", op.String(), err)
+			continue
+		}
+		if parsed != op {
+			t.Errorf("round trip %v -> %q -> %v", op, op.String(), parsed)
+		}
+	}
+}
+
+func TestEntityAttrProcess(t *testing.T) {
+	p := Process("osql.exe", 1234)
+	p.User = "dbadmin"
+	p.CmdLine = "osql.exe -E"
+
+	if v, ok := p.Attr("exe_name"); !ok || v.Str() != "osql.exe" {
+		t.Errorf("exe_name = %v, %v", v, ok)
+	}
+	if v, ok := p.Attr("pid"); !ok || v.IntVal() != 1234 {
+		t.Errorf("pid = %v, %v", v, ok)
+	}
+	if v, ok := p.Attr("user"); !ok || v.Str() != "dbadmin" {
+		t.Errorf("user = %v, %v", v, ok)
+	}
+	if _, ok := p.Attr("dstip"); ok {
+		t.Error("process should not have dstip")
+	}
+}
+
+func TestEntityAttrFile(t *testing.T) {
+	f := File(`C:\db\backup1.dmp`)
+	if v, ok := f.Attr("name"); !ok || v.Str() != `C:\db\backup1.dmp` {
+		t.Errorf("name = %v, %v", v, ok)
+	}
+	if v, ok := f.Attr("basename"); !ok || v.Str() != "backup1.dmp" {
+		t.Errorf("basename = %v, %v", v, ok)
+	}
+	u := File("/var/log/syslog")
+	if v, ok := u.Attr("basename"); !ok || v.Str() != "syslog" {
+		t.Errorf("unix basename = %v, %v", v, ok)
+	}
+}
+
+func TestEntityAttrNetConn(t *testing.T) {
+	n := NetConn("10.0.0.5", 49152, "172.16.0.129", 443)
+	if v, ok := n.Attr("dstip"); !ok || v.Str() != "172.16.0.129" {
+		t.Errorf("dstip = %v, %v", v, ok)
+	}
+	if v, ok := n.Attr("srcip"); !ok || v.Str() != "10.0.0.5" {
+		t.Errorf("srcip = %v, %v", v, ok)
+	}
+	if v, ok := n.Attr("dport"); !ok || v.IntVal() != 443 {
+		t.Errorf("dport = %v, %v", v, ok)
+	}
+	if v, ok := n.Attr("protocol"); !ok || v.Str() != "tcp" {
+		t.Errorf("protocol = %v, %v", v, ok)
+	}
+}
+
+func TestDefaultAttr(t *testing.T) {
+	p := Process("cmd.exe", 1)
+	f := File("/tmp/x")
+	n := NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	if p.DefaultAttr() != "cmd.exe" {
+		t.Errorf("proc default = %q", p.DefaultAttr())
+	}
+	if f.DefaultAttr() != "/tmp/x" {
+		t.Errorf("file default = %q", f.DefaultAttr())
+	}
+	if n.DefaultAttr() != "2.2.2.2" {
+		t.Errorf("conn default = %q", n.DefaultAttr())
+	}
+}
+
+func TestEntityKeyUniqueness(t *testing.T) {
+	a := Process("x.exe", 1)
+	b := Process("x.exe", 2)
+	c := Process("y.exe", 1)
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Error("distinct processes must have distinct keys")
+	}
+	f1, f2 := File("/a"), File("/b")
+	if f1.Key() == f2.Key() {
+		t.Error("distinct files must have distinct keys")
+	}
+	// Same identity yields same key.
+	a2 := Process("x.exe", 1)
+	if a.Key() != a2.Key() {
+		t.Error("identical entities must share a key")
+	}
+}
+
+func TestEventType(t *testing.T) {
+	ts := time.Now()
+	fe := Event{Time: ts, Subject: Process("a", 1), Op: OpWrite, Object: File("/f")}
+	pe := Event{Time: ts, Subject: Process("a", 1), Op: OpStart, Object: Process("b", 2)}
+	ne := Event{Time: ts, Subject: Process("a", 1), Op: OpWrite, Object: NetConn("1.1.1.1", 1, "2.2.2.2", 2)}
+	if fe.EventType() != TypeFile {
+		t.Errorf("file event type = %v", fe.EventType())
+	}
+	if pe.EventType() != TypeProcess {
+		t.Errorf("process event type = %v", pe.EventType())
+	}
+	if ne.EventType() != TypeNetwork {
+		t.Errorf("network event type = %v", ne.EventType())
+	}
+}
+
+func TestEventAttr(t *testing.T) {
+	ev := Event{
+		ID:      7,
+		Time:    time.Unix(100, 0),
+		AgentID: "db-server-1",
+		Subject: Process("sqlservr.exe", 99),
+		Op:      OpWrite,
+		Object:  NetConn("10.0.0.2", 5000, "172.16.0.129", 8080),
+		Amount:  1 << 20,
+	}
+	if v, ok := ev.Attr("amount"); !ok || v.FloatVal() != 1<<20 {
+		t.Errorf("amount = %v, %v", v, ok)
+	}
+	if v, ok := ev.Attr("agentid"); !ok || v.Str() != "db-server-1" {
+		t.Errorf("agentid = %v, %v", v, ok)
+	}
+	if v, ok := ev.Attr("time"); !ok || v.IntVal() != time.Unix(100, 0).UnixNano() {
+		t.Errorf("time = %v, %v", v, ok)
+	}
+	if v, ok := ev.Attr("optype"); !ok || v.Str() != "write" {
+		t.Errorf("optype = %v, %v", v, ok)
+	}
+	if _, ok := ev.Attr("nope"); ok {
+		t.Error("unknown event attribute should fail")
+	}
+	if v, _ := ev.Attr("amount"); v.Kind() != value.KindFloat {
+		t.Error("amount should be a float value")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	p := Process("cmd.exe", 42)
+	if got := p.String(); got != "proc(cmd.exe pid=42)" {
+		t.Errorf("proc string = %q", got)
+	}
+	ev := Event{Time: time.Unix(0, 0).UTC(), AgentID: "h1", Subject: p, Op: OpStart, Object: Process("osql.exe", 43)}
+	if s := ev.String(); s == "" {
+		t.Error("event string should not be empty")
+	}
+}

@@ -1,0 +1,471 @@
+// Package expr evaluates SAQL expressions against an environment of bound
+// entity variables, event aliases, sliding-window states, invariant
+// variables, and clustering results. The engine uses it for alert
+// conditions, return items, group-by keys, aggregation arguments, and
+// invariant updates.
+//
+// Null propagation follows SAQL's tolerant semantics: comparing against a
+// missing value (e.g. ss[2] before three windows have closed) is false
+// rather than an error, and arithmetic over null yields null, so alert
+// conditions simply do not fire until enough state exists.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+// StateView resolves sliding-window state fields: histIndex 0 is the current
+// (most recently closed) window, 1 the one before it, and so on.
+type StateView interface {
+	StateField(histIndex int, field string) (value.Value, bool)
+}
+
+// ClusterView resolves cluster.* fields for the group under evaluation
+// ("outlier", "cluster_id", "size").
+type ClusterView interface {
+	ClusterField(field string) (value.Value, bool)
+}
+
+// Env is the evaluation environment. Any component may be nil/empty; lookups
+// then miss and resolve to null per SAQL tolerance rules.
+type Env struct {
+	Entities  map[string]*event.Entity // entity var -> bound entity
+	Events    map[string]*event.Event  // event alias -> bound event
+	StateName string                   // e.g. "ss"
+	State     StateView
+	Vars      map[string]value.Value // invariant variables
+	Cluster   ClusterView
+}
+
+// Eval evaluates e in env.
+func Eval(e ast.Expr, env *Env) (value.Value, error) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return x.Val, nil
+
+	case *ast.Ident:
+		return evalIdent(x, env)
+
+	case *ast.FieldExpr:
+		return evalField(x, env)
+
+	case *ast.IndexExpr:
+		return value.Null, fmt.Errorf("expr: state index %s must be followed by a field access", x)
+
+	case *ast.CallExpr:
+		return evalCall(x, env)
+
+	case *ast.UnaryExpr:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		switch x.Op {
+		case '!':
+			b, ok := v.AsBool()
+			if !ok {
+				return value.Null, fmt.Errorf("expr: ! requires a boolean, got %s", v.Kind())
+			}
+			return value.Bool(!b), nil
+		case '-':
+			if v.IsNull() {
+				return value.Null, nil
+			}
+			return v.Neg()
+		default:
+			return value.Null, fmt.Errorf("expr: unknown unary operator %q", string(x.Op))
+		}
+
+	case *ast.CardExpr:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		switch v.Kind() {
+		case value.KindSet:
+			return value.Int(int64(v.SetLen())), nil
+		case value.KindInt:
+			iv := v.IntVal()
+			if iv < 0 {
+				iv = -iv
+			}
+			return value.Int(iv), nil
+		case value.KindFloat:
+			return value.Float(math.Abs(v.FloatVal())), nil
+		case value.KindNull:
+			return value.Int(0), nil
+		default:
+			return value.Null, fmt.Errorf("expr: |...| requires a set or number, got %s", v.Kind())
+		}
+
+	case *ast.BinaryExpr:
+		return evalBinary(x, env)
+	}
+	return value.Null, fmt.Errorf("expr: unsupported expression %T", e)
+}
+
+// EvalBool evaluates e and coerces the result to a boolean condition.
+func EvalBool(e ast.Expr, env *Env) (bool, error) {
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("expr: condition %s is %s, not boolean", e, v.Kind())
+	}
+	return b, nil
+}
+
+func evalIdent(x *ast.Ident, env *Env) (value.Value, error) {
+	// Invariant variables shadow everything else.
+	if env.Vars != nil {
+		if v, ok := env.Vars[x.Name]; ok {
+			return v, nil
+		}
+	}
+	// Context-aware shortcut: a bare entity variable means its default
+	// attribute (p1 -> p1.exe_name, i1 -> i1.dstip, f1 -> f1.name).
+	if env.Entities != nil {
+		if ent, ok := env.Entities[x.Name]; ok {
+			return value.String(ent.DefaultAttr()), nil
+		}
+	}
+	if env.Events != nil {
+		if _, ok := env.Events[x.Name]; ok {
+			return value.Null, fmt.Errorf("expr: event alias %q is not a value; access an attribute like %s.amount", x.Name, x.Name)
+		}
+	}
+	if x.Name == env.StateName {
+		return value.Null, fmt.Errorf("expr: state %q is not a value; access a field like %s.field", x.Name, x.Name)
+	}
+	// Unbound identifiers resolve to null: the entity may simply not be
+	// bound for this group/window.
+	return value.Null, nil
+}
+
+func evalField(x *ast.FieldExpr, env *Env) (value.Value, error) {
+	switch base := x.Base.(type) {
+	case *ast.Ident:
+		name := base.Name
+		if name == "cluster" {
+			if env.Cluster == nil {
+				return value.Null, nil
+			}
+			if v, ok := env.Cluster.ClusterField(x.Field); ok {
+				return v, nil
+			}
+			return value.Null, fmt.Errorf("expr: unknown cluster field %q", x.Field)
+		}
+		if name == env.StateName && env.State != nil {
+			if v, ok := env.State.StateField(0, x.Field); ok {
+				return v, nil
+			}
+			return value.Null, nil
+		}
+		if env.Entities != nil {
+			if ent, ok := env.Entities[name]; ok {
+				if v, ok := ent.Attr(x.Field); ok {
+					return v, nil
+				}
+				return value.Null, fmt.Errorf("expr: entity %q (%s) has no attribute %q", name, ent.Type, x.Field)
+			}
+		}
+		if env.Events != nil {
+			if ev, ok := env.Events[name]; ok {
+				if v, ok := ev.Attr(x.Field); ok {
+					return v, nil
+				}
+				return value.Null, fmt.Errorf("expr: event %q has no attribute %q", name, x.Field)
+			}
+		}
+		// Unbound base: tolerate as null (group may not bind this var).
+		return value.Null, nil
+
+	case *ast.IndexExpr:
+		id, ok := base.Base.(*ast.Ident)
+		if !ok {
+			return value.Null, fmt.Errorf("expr: cannot index %s", base.Base)
+		}
+		if id.Name != env.StateName {
+			return value.Null, fmt.Errorf("expr: %q is not the state variable (%q)", id.Name, env.StateName)
+		}
+		if env.State == nil {
+			return value.Null, nil
+		}
+		if v, ok := env.State.StateField(base.Index, x.Field); ok {
+			return v, nil
+		}
+		return value.Null, nil
+
+	default:
+		return value.Null, fmt.Errorf("expr: unsupported field base %T", x.Base)
+	}
+}
+
+func evalCall(x *ast.CallExpr, env *Env) (value.Value, error) {
+	args := make([]value.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	return CallScalar(x.Func, args)
+}
+
+// CallScalar invokes a built-in scalar function. Aggregation functions are
+// rejected here; they are only valid inside state blocks, where the engine
+// intercepts them.
+func CallScalar(name string, args []value.Value) (value.Value, error) {
+	num1 := func() (float64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("expr: %s takes 1 argument, got %d", name, len(args))
+		}
+		if args[0].IsNull() {
+			return math.NaN(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return 0, fmt.Errorf("expr: %s requires a number, got %s", name, args[0].Kind())
+		}
+		return f, nil
+	}
+	wrap := func(f float64) (value.Value, error) {
+		if math.IsNaN(f) {
+			return value.Null, nil
+		}
+		return value.Float(f), nil
+	}
+	switch name {
+	case "abs":
+		f, err := num1()
+		if err != nil {
+			return value.Null, err
+		}
+		return wrap(math.Abs(f))
+	case "sqrt":
+		f, err := num1()
+		if err != nil {
+			return value.Null, err
+		}
+		if f < 0 {
+			return value.Null, fmt.Errorf("expr: sqrt of negative number %g", f)
+		}
+		return wrap(math.Sqrt(f))
+	case "log":
+		f, err := num1()
+		if err != nil {
+			return value.Null, err
+		}
+		if f <= 0 {
+			return value.Null, fmt.Errorf("expr: log of non-positive number %g", f)
+		}
+		return wrap(math.Log(f))
+	case "floor":
+		f, err := num1()
+		if err != nil {
+			return value.Null, err
+		}
+		return wrap(math.Floor(f))
+	case "ceil":
+		f, err := num1()
+		if err != nil {
+			return value.Null, err
+		}
+		return wrap(math.Ceil(f))
+	case "pow":
+		if len(args) != 2 {
+			return value.Null, fmt.Errorf("expr: pow takes 2 arguments, got %d", len(args))
+		}
+		a, ok1 := args[0].AsFloat()
+		b, ok2 := args[1].AsFloat()
+		if !ok1 || !ok2 {
+			return value.Null, fmt.Errorf("expr: pow requires numbers")
+		}
+		return value.Float(math.Pow(a, b)), nil
+	case "len", "size":
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("expr: %s takes 1 argument, got %d", name, len(args))
+		}
+		switch args[0].Kind() {
+		case value.KindSet:
+			return value.Int(int64(args[0].SetLen())), nil
+		case value.KindString:
+			return value.Int(int64(len(args[0].Str()))), nil
+		case value.KindNull:
+			return value.Int(0), nil
+		default:
+			return value.Null, fmt.Errorf("expr: %s requires a set or string", name)
+		}
+	case "contains":
+		if len(args) != 2 {
+			return value.Null, fmt.Errorf("expr: contains takes 2 arguments, got %d", len(args))
+		}
+		switch args[0].Kind() {
+		case value.KindSet:
+			return value.Bool(args[0].SetContains(args[1].String())), nil
+		case value.KindString:
+			return value.Bool(strings.Contains(strings.ToLower(args[0].Str()), strings.ToLower(args[1].String()))), nil
+		case value.KindNull:
+			return value.Bool(false), nil
+		default:
+			return value.Null, fmt.Errorf("expr: contains requires a set or string")
+		}
+	case "avg", "sum", "count", "min", "max", "set", "distinct", "stddev",
+		"variance", "median", "percentile", "first", "last", "mean":
+		return value.Null, fmt.Errorf("expr: aggregation function %q is only valid inside a state block", name)
+	}
+	return value.Null, fmt.Errorf("expr: unknown function %q", name)
+}
+
+func evalBinary(x *ast.BinaryExpr, env *Env) (value.Value, error) {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case ast.OpAnd, ast.OpOr:
+		lv, err := Eval(x.Left, env)
+		if err != nil {
+			return value.Null, err
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return value.Null, fmt.Errorf("expr: %s requires boolean operands, got %s", x.Op, lv.Kind())
+		}
+		if x.Op == ast.OpAnd && !lb {
+			return value.Bool(false), nil
+		}
+		if x.Op == ast.OpOr && lb {
+			return value.Bool(true), nil
+		}
+		rv, err := Eval(x.Right, env)
+		if err != nil {
+			return value.Null, err
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return value.Null, fmt.Errorf("expr: %s requires boolean operands, got %s", x.Op, rv.Kind())
+		}
+		return value.Bool(rb), nil
+	}
+
+	lv, err := Eval(x.Left, env)
+	if err != nil {
+		return value.Null, err
+	}
+	rv, err := Eval(x.Right, env)
+	if err != nil {
+		return value.Null, err
+	}
+
+	switch x.Op {
+	case ast.OpEq, ast.OpNe:
+		eq := equalWithWildcards(lv, rv)
+		if x.Op == ast.OpNe {
+			eq = !eq
+		}
+		return value.Bool(eq), nil
+
+	case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		// Ordered comparison against null is false, never an error:
+		// this is what makes ss[2]-referencing alerts silent before
+		// enough windows exist.
+		if lv.IsNull() || rv.IsNull() {
+			return value.Bool(false), nil
+		}
+		c, err := lv.Compare(rv)
+		if err != nil {
+			return value.Null, err
+		}
+		switch x.Op {
+		case ast.OpLt:
+			return value.Bool(c < 0), nil
+		case ast.OpLe:
+			return value.Bool(c <= 0), nil
+		case ast.OpGt:
+			return value.Bool(c > 0), nil
+		default:
+			return value.Bool(c >= 0), nil
+		}
+
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv, ast.OpMod:
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null, nil
+		}
+		var op byte
+		switch x.Op {
+		case ast.OpAdd:
+			op = '+'
+		case ast.OpSub:
+			op = '-'
+		case ast.OpMul:
+			op = '*'
+		case ast.OpDiv:
+			op = '/'
+		default:
+			op = '%'
+		}
+		return lv.Arith(op, rv)
+
+	case ast.OpUnion:
+		return setOp(lv, rv, "union")
+	case ast.OpDiff:
+		return setOp(lv, rv, "diff")
+	case ast.OpIntersect:
+		return setOp(lv, rv, "intersect")
+
+	case ast.OpIn:
+		if rv.Kind() == value.KindSet {
+			return value.Bool(rv.SetContains(lv.String())), nil
+		}
+		if rv.IsNull() {
+			return value.Bool(false), nil
+		}
+		return value.Null, fmt.Errorf("expr: 'in' requires a set on the right, got %s", rv.Kind())
+	}
+	return value.Null, fmt.Errorf("expr: unsupported binary operator %s", x.Op)
+}
+
+func setOp(l, r value.Value, op string) (value.Value, error) {
+	// Null-tolerance: treat null as the empty set so invariant updates work
+	// on the first window.
+	if l.IsNull() {
+		l = value.EmptySet()
+	}
+	if r.IsNull() {
+		r = value.EmptySet()
+	}
+	switch op {
+	case "union":
+		return l.Union(r)
+	case "diff":
+		return l.Diff(r)
+	default:
+		return l.Intersect(r)
+	}
+}
+
+// equalWithWildcards implements SAQL equality: exact for non-strings, and
+// SQL-LIKE '%' wildcards when either string operand contains '%' (the
+// paper's constraints and alert conditions use "%osql.exe" patterns).
+func equalWithWildcards(l, r value.Value) bool {
+	if l.Kind() == value.KindString && r.Kind() == value.KindString {
+		ls, rs := l.Str(), r.Str()
+		lw, rw := strings.Contains(ls, "%"), strings.Contains(rs, "%")
+		switch {
+		case rw && !lw:
+			return value.WildcardMatch(rs, ls)
+		case lw && !rw:
+			return value.WildcardMatch(ls, rs)
+		default:
+			return strings.EqualFold(ls, rs)
+		}
+	}
+	return l.Equal(r)
+}

@@ -1,0 +1,84 @@
+// Package invariant implements the invariant-based anomaly model of SAQL:
+// per-group invariant variables initialised once, updated over a training
+// phase of N closed windows, and then used to detect violations. Offline
+// mode freezes the invariant after training (the paper's Query 3); online
+// mode keeps folding new windows in after detection starts.
+package invariant
+
+import (
+	"saql/internal/value"
+)
+
+// Mode selects training behaviour after the training phase ends.
+type Mode uint8
+
+// Invariant training modes.
+const (
+	// Offline freezes the invariant after the training windows.
+	Offline Mode = iota
+	// Online keeps updating the invariant after detection begins.
+	Online
+)
+
+// String names the mode the way SAQL spells it.
+func (m Mode) String() string {
+	if m == Online {
+		return "online"
+	}
+	return "offline"
+}
+
+// Spec configures an invariant model.
+type Spec struct {
+	TrainWindows int  // number of training windows per group
+	Mode         Mode // offline or online
+}
+
+// State is one group's invariant state.
+type State struct {
+	spec    Spec
+	vars    map[string]value.Value
+	windows int // closed windows observed so far
+}
+
+// NewState creates a group invariant with initial variable values (the
+// evaluated `a := empty_set` statements).
+func NewState(spec Spec, inits map[string]value.Value) *State {
+	vars := make(map[string]value.Value, len(inits))
+	for k, v := range inits {
+		vars[k] = v
+	}
+	return &State{spec: spec, vars: vars}
+}
+
+// Vars exposes the invariant variables for expression evaluation. The
+// returned map must not be mutated by callers; updates go through Update.
+func (s *State) Vars() map[string]value.Value { return s.vars }
+
+// Training reports whether the group is still within its training phase:
+// updates are applied and detection (alerting) is suppressed.
+func (s *State) Training() bool { return s.windows < s.spec.TrainWindows }
+
+// ShouldUpdate reports whether update statements should run for the closing
+// window: always during training; afterwards only in online mode.
+func (s *State) ShouldUpdate() bool {
+	return s.Training() || s.spec.Mode == Online
+}
+
+// Observe records one closed window. newVars, if non-nil, replaces the
+// variable values (the result of evaluating the update statements); pass nil
+// when ShouldUpdate() was false. It returns true if detection is active for
+// this window (i.e. training had already completed before this window).
+func (s *State) Observe(newVars map[string]value.Value) (detecting bool) {
+	detecting = !s.Training()
+	if newVars != nil {
+		for k, v := range newVars {
+			s.vars[k] = v
+		}
+	}
+	s.windows++
+	return detecting
+}
+
+// WindowsSeen reports how many windows the group has observed.
+func (s *State) WindowsSeen() int { return s.windows }

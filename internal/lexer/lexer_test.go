@@ -1,0 +1,227 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []TokenType {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]TokenType, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Type)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `proc p1["%cmd.exe"] start proc p2 as evt1`)
+	want := []TokenType{IDENT, IDENT, LBRACKET, STRING, RBRACKET, IDENT, IDENT, IDENT, KwAs, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `:= = == != < <= > >= && || ! + - * / % -> | # ( ) [ ] { } , . ;`
+	want := []TokenType{ASSIGN, EQ, EQEQ, NEQ, LT, LE, GT, GE, ANDAND, OROR, NOT,
+		PLUS, MINUS, STAR, SLASH, PERCENT, ARROW, PIPE, HASH, LPAREN, RPAREN,
+		LBRACKET, RBRACKET, LBRACE, RBRACE, COMMA, DOT, SEMI, EOF}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "as with state group by alert return distinct invariant offline online cluster union diff intersect in empty_set"
+	want := []TokenType{KwAs, KwWith, KwState, KwGroup, KwBy, KwAlert, KwReturn,
+		KwDistinct, KwInvariant, KwOffline, KwOnline, KwCluster, KwUnion, KwDiff,
+		KwIntersect, KwIn, KwEmptySet, EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	got := kinds(t, "ALERT Return DISTINCT")
+	want := []TokenType{KwAlert, KwReturn, KwDistinct, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("10 10000 0.5 1e6 2.5e-3 3E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []float64{10, 10000, 0.5, 1e6, 2.5e-3, 300}
+	wantInt := []bool{true, true, false, false, false, false}
+	for i, wv := range wantVals {
+		if toks[i].Type != NUMBER {
+			t.Fatalf("token %d is %v, want NUMBER", i, toks[i].Type)
+		}
+		if toks[i].Num != wv {
+			t.Errorf("number %d = %v, want %v", i, toks[i].Num, wv)
+		}
+		if toks[i].IsInt != wantInt[i] {
+			t.Errorf("number %d IsInt = %v, want %v", i, toks[i].IsInt, wantInt[i])
+		}
+	}
+}
+
+func TestNumberFollowedByIdent(t *testing.T) {
+	// "#time(10 min)" and even "10min" must split into NUMBER IDENT.
+	toks, err := Tokenize("10min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != NUMBER || toks[1].Type != IDENT || toks[1].Text != "min" {
+		t.Errorf("10min = %v %v", toks[0], toks[1])
+	}
+	// A trailing 'e' with no exponent digits must not be eaten: "10 e" vs "10e".
+	toks, err = Tokenize("10e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != NUMBER || toks[0].Num != 10 || toks[1].Type != IDENT || toks[1].Text != "e" {
+		t.Errorf("10e = %v %v", toks[0], toks[1])
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Tokenize(`"%osql.exe" 'single' "a\"b" "tab\tx"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"%osql.exe", "single", `a"b`, "tab\tx"}
+	for i, w := range want {
+		if toks[i].Type != STRING || toks[i].Text != w {
+			t.Errorf("string %d = %q (%v), want %q", i, toks[i].Text, toks[i].Type, w)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	if _, err := Tokenize(`"unterminated`); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := Tokenize("\"new\nline\""); err == nil {
+		t.Error("newline in string should error")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("a // comment here\nb // another")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "$", "a & b", "a : b", "?"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should error", src)
+		}
+	}
+}
+
+func TestPipeVsOror(t *testing.T) {
+	toks, err := Tokenize("read || write |x|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenType{IDENT, OROR, IDENT, PIPE, IDENT, PIPE, EOF}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Type, w)
+		}
+	}
+}
+
+func TestFullQueryTokenizes(t *testing.T) {
+	q := `
+agentid = "db1" // SQL database server
+proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+`
+	toks, err := Tokenize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 40 {
+		t.Errorf("expected many tokens, got %d", len(toks))
+	}
+	var sawCluster, sawAlert bool
+	for _, tok := range toks {
+		if tok.Type == KwCluster {
+			sawCluster = true
+		}
+		if tok.Type == KwAlert {
+			sawAlert = true
+		}
+	}
+	if !sawCluster || !sawAlert {
+		t.Error("expected cluster and alert keywords")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Tokenize(`abc 12 "s" ->`)
+	if toks[0].String() != "abc" {
+		t.Errorf("ident String = %q", toks[0].String())
+	}
+	if toks[1].String() != "12" {
+		t.Errorf("number String = %q", toks[1].String())
+	}
+	if toks[2].String() != `"s"` {
+		t.Errorf("string String = %q", toks[2].String())
+	}
+	if toks[3].String() != "->" {
+		t.Errorf("arrow String = %q", toks[3].String())
+	}
+	if !strings.Contains(Pos{Line: 3, Col: 4}.String(), "3:4") {
+		t.Error("pos rendering")
+	}
+}

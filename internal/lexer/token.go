@@ -1,0 +1,129 @@
+// Package lexer tokenizes SAQL query text. The token stream feeds the
+// recursive-descent parser in internal/parser; together they replace the
+// ANTLR 4 frontend the paper used.
+package lexer
+
+import "fmt"
+
+// TokenType enumerates SAQL token kinds.
+type TokenType uint8
+
+// Token kinds. Keywords are distinguished from identifiers so the parser can
+// rely on structure; entity types (proc/file/ip) and operations (read/write/
+// start/...) stay ordinary identifiers because they are open sets resolved by
+// the event model.
+const (
+	ILLEGAL TokenType = iota
+	EOF
+
+	IDENT  // p1, agentid, avg, proc, read
+	NUMBER // 10, 10000, 0.5
+	STRING // "%osql.exe"
+
+	// Operators and punctuation.
+	ASSIGN   // :=
+	EQ       // =
+	EQEQ     // ==
+	NEQ      // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	ANDAND   // &&
+	OROR     // ||
+	NOT      // !
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	ARROW    // ->
+	PIPE     // |
+	HASH     // #
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	DOT      // .
+	SEMI     // ;
+
+	// Structural keywords.
+	KwAs
+	KwWith
+	KwState
+	KwGroup
+	KwBy
+	KwAlert
+	KwReturn
+	KwDistinct
+	KwInvariant
+	KwOffline
+	KwOnline
+	KwCluster
+	KwUnion
+	KwDiff
+	KwIntersect
+	KwIn
+	KwEmptySet
+)
+
+var tokenNames = map[TokenType]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER", STRING: "STRING",
+	ASSIGN: ":=", EQ: "=", EQEQ: "==", NEQ: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", ARROW: "->", PIPE: "|", HASH: "#", LPAREN: "(", RPAREN: ")",
+	LBRACKET: "[", RBRACKET: "]", LBRACE: "{", RBRACE: "}", COMMA: ",", DOT: ".", SEMI: ";",
+	KwAs: "as", KwWith: "with", KwState: "state", KwGroup: "group", KwBy: "by",
+	KwAlert: "alert", KwReturn: "return", KwDistinct: "distinct", KwInvariant: "invariant",
+	KwOffline: "offline", KwOnline: "online", KwCluster: "cluster", KwUnion: "union",
+	KwDiff: "diff", KwIntersect: "intersect", KwIn: "in", KwEmptySet: "empty_set",
+}
+
+// String names the token type.
+func (t TokenType) String() string {
+	if s, ok := tokenNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(t))
+}
+
+var keywords = map[string]TokenType{
+	"as": KwAs, "with": KwWith, "state": KwState, "group": KwGroup, "by": KwBy,
+	"alert": KwAlert, "return": KwReturn, "distinct": KwDistinct,
+	"invariant": KwInvariant, "offline": KwOffline, "online": KwOnline,
+	"cluster": KwCluster, "union": KwUnion, "diff": KwDiff, "intersect": KwIntersect,
+	"in": KwIn, "empty_set": KwEmptySet,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with its source text and position.
+type Token struct {
+	Type  TokenType
+	Text  string // raw text; for STRING, the unquoted contents
+	Num   float64
+	IsInt bool
+	Pos   Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, NUMBER:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Type.String()
+	}
+}

@@ -1,0 +1,434 @@
+// Package matcher implements the multievent matcher of the SAQL engine: it
+// compiles event patterns into fast predicates and matches the event stream
+// against multi-pattern rule queries, enforcing per-pattern attribute
+// constraints, global constraints, cross-pattern entity joins (the same
+// variable bound in several patterns must denote the same entity), and the
+// temporal order required by the `with evt1 -> evt2` clause.
+package matcher
+
+import (
+	"fmt"
+	"time"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+// EntityPred is a compiled predicate over an entity.
+type EntityPred func(*event.Entity) bool
+
+// CompileEntityPattern compiles an entity pattern (type + constraints) into
+// a predicate.
+func CompileEntityPattern(p *ast.EntityPattern) (EntityPred, error) {
+	typ := p.Type
+	type check struct {
+		attr string // "" = default attribute
+		op   ast.CompareOp
+		val  value.Value
+	}
+	checks := make([]check, 0, len(p.Constraints))
+	for _, c := range p.Constraints {
+		checks = append(checks, check{attr: c.Attr, op: c.Op, val: c.Val.Val})
+	}
+	return func(e *event.Entity) bool {
+		if e.Type != typ {
+			return false
+		}
+		for _, c := range checks {
+			var got value.Value
+			if c.attr == "" {
+				got = value.String(e.DefaultAttr())
+			} else {
+				v, ok := e.Attr(c.attr)
+				if !ok {
+					return false
+				}
+				got = v
+			}
+			if !compare(got, c.op, c.val) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// compare applies a constraint comparison, with % wildcards on string
+// equality (SQL-LIKE semantics, as in ["%osql.exe"]).
+func compare(got value.Value, op ast.CompareOp, want value.Value) bool {
+	switch op {
+	case ast.CmpEq, ast.CmpNe:
+		var eq bool
+		if got.Kind() == value.KindString && want.Kind() == value.KindString {
+			eq = value.WildcardMatch(want.Str(), got.Str())
+		} else {
+			eq = got.Equal(want)
+		}
+		if op == ast.CmpNe {
+			return !eq
+		}
+		return eq
+	default:
+		c, err := got.Compare(want)
+		if err != nil {
+			return false
+		}
+		switch op {
+		case ast.CmpLt:
+			return c < 0
+		case ast.CmpLe:
+			return c <= 0
+		case ast.CmpGt:
+			return c > 0
+		case ast.CmpGe:
+			return c >= 0
+		}
+		return false
+	}
+}
+
+// GlobalPred is a compiled predicate over a whole event (global constraints
+// such as agentid = "db-1").
+type GlobalPred func(*event.Event) bool
+
+// CompileGlobals compiles the query's global constraints.
+func CompileGlobals(globals []*ast.Constraint) GlobalPred {
+	if len(globals) == 0 {
+		return func(*event.Event) bool { return true }
+	}
+	type check struct {
+		attr string
+		op   ast.CompareOp
+		val  value.Value
+	}
+	checks := make([]check, 0, len(globals))
+	for _, g := range globals {
+		checks = append(checks, check{attr: g.Attr, op: g.Op, val: g.Val.Val})
+	}
+	return func(ev *event.Event) bool {
+		for _, c := range checks {
+			got, ok := ev.Attr(c.attr)
+			if !ok {
+				return false
+			}
+			if !compare(got, c.op, c.val) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Pattern is a compiled event pattern.
+type Pattern struct {
+	Index    int
+	Alias    string
+	SubjVar  string
+	ObjVar   string
+	ops      map[event.Op]bool
+	subjPred EntityPred
+	objPred  EntityPred
+}
+
+// Compile compiles an AST event pattern.
+func Compile(idx int, p *ast.EventPattern) (*Pattern, error) {
+	sp, err := CompileEntityPattern(p.Subject)
+	if err != nil {
+		return nil, err
+	}
+	op, err := CompileEntityPattern(p.Object)
+	if err != nil {
+		return nil, err
+	}
+	ops := make(map[event.Op]bool, len(p.Ops))
+	for _, o := range p.Ops {
+		ops[o] = true
+	}
+	return &Pattern{
+		Index:    idx,
+		Alias:    p.Alias,
+		SubjVar:  p.Subject.Var,
+		ObjVar:   p.Object.Var,
+		ops:      ops,
+		subjPred: sp,
+		objPred:  op,
+	}, nil
+}
+
+// Matches reports whether ev satisfies the pattern's operation set and both
+// entity predicates.
+func (p *Pattern) Matches(ev *event.Event) bool {
+	if !p.ops[ev.Op] {
+		return false
+	}
+	return p.subjPred(&ev.Subject) && p.objPred(&ev.Object)
+}
+
+// Match is a completed multi-pattern match: one event per pattern plus the
+// consistent entity bindings.
+type Match struct {
+	Events   []*event.Event           // indexed by pattern index
+	Entities map[string]*event.Entity // var -> entity
+	At       time.Time                // time of the completing event
+}
+
+// partial is an in-flight multi-pattern match.
+type partial struct {
+	events   []*event.Event
+	bindings map[string]string // var -> entity key
+	matched  int               // bitmask of matched pattern indices
+	nOrdered int               // how many of the ordered patterns are matched
+	lastTime time.Time
+	created  time.Time
+}
+
+// SeqMatcher matches a conjunction of patterns with optional temporal
+// ordering over a subset of them, maintaining a bounded partial-match table.
+type SeqMatcher struct {
+	patterns []*Pattern
+	global   GlobalPred
+	// orderPos[i] = position of pattern i in the temporal order, or -1.
+	orderPos []int
+	nOrdered int
+	horizon  time.Duration // partial matches older than this expire
+	maxPart  int           // cap on live partials
+
+	partials []*partial
+
+	// Stats.
+	Expired int64 // partials dropped by horizon
+	Dropped int64 // partials dropped by capacity
+}
+
+// Config bounds the matcher's partial-match table.
+type Config struct {
+	// Horizon is the maximum age of a partial match; zero means 10 minutes.
+	Horizon time.Duration
+	// MaxPartials caps the number of live partial matches; zero means 4096.
+	MaxPartials int
+}
+
+// NewSeqMatcher builds a sequence matcher for the compiled patterns.
+// temporalOrder lists pattern indices that must occur in time order (may be
+// empty for an unordered conjunctive match).
+func NewSeqMatcher(patterns []*Pattern, global GlobalPred, temporalOrder []int, cfg Config) (*SeqMatcher, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("matcher: no patterns")
+	}
+	if len(patterns) > 63 {
+		return nil, fmt.Errorf("matcher: too many patterns (%d > 63)", len(patterns))
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 10 * time.Minute
+	}
+	if cfg.MaxPartials <= 0 {
+		cfg.MaxPartials = 4096
+	}
+	orderPos := make([]int, len(patterns))
+	for i := range orderPos {
+		orderPos[i] = -1
+	}
+	for pos, idx := range temporalOrder {
+		if idx < 0 || idx >= len(patterns) {
+			return nil, fmt.Errorf("matcher: temporal order references pattern %d of %d", idx, len(patterns))
+		}
+		if orderPos[idx] != -1 {
+			return nil, fmt.Errorf("matcher: pattern %d appears twice in temporal order", idx)
+		}
+		orderPos[idx] = pos
+	}
+	if global == nil {
+		global = func(*event.Event) bool { return true }
+	}
+	return &SeqMatcher{
+		patterns: patterns,
+		global:   global,
+		orderPos: orderPos,
+		nOrdered: len(temporalOrder),
+		horizon:  cfg.Horizon,
+		maxPart:  cfg.MaxPartials,
+	}, nil
+}
+
+// Patterns returns the compiled patterns.
+func (m *SeqMatcher) Patterns() []*Pattern { return m.patterns }
+
+// PartialCount reports the live partial-match table size.
+func (m *SeqMatcher) PartialCount() int { return len(m.partials) }
+
+// Observe feeds one event and returns any completed matches.
+func (m *SeqMatcher) Observe(ev *event.Event) []*Match {
+	if !m.global(ev) {
+		return nil
+	}
+
+	// Which patterns does this event satisfy?
+	var hits []int
+	for i, p := range m.patterns {
+		if p.Matches(ev) {
+			hits = append(hits, i)
+		}
+	}
+	return m.ObserveHits(ev, hits)
+}
+
+// ObserveHits is Observe with the pattern-hit set precomputed — the entry
+// point used by the master–dependent-query scheme, where the master query
+// evaluates the patterns once and dependents reuse the hit set.
+func (m *SeqMatcher) ObserveHits(ev *event.Event, hits []int) []*Match {
+	if len(hits) == 0 {
+		return nil
+	}
+
+	// Single-pattern queries complete immediately.
+	if len(m.patterns) == 1 {
+		p := m.patterns[0]
+		match := &Match{Events: []*event.Event{ev}, Entities: map[string]*event.Entity{}, At: ev.Time}
+		bindEntities(match.Entities, p, ev)
+		return []*Match{match}
+	}
+
+	m.expire(ev.Time)
+
+	var complete []*Match
+	var created []*partial
+	for _, hit := range hits {
+		bit := 1 << uint(hit)
+		// Try to extend existing partials.
+		for _, pt := range m.partials {
+			if pt.matched&bit != 0 {
+				continue // pattern already matched in this partial
+			}
+			if !m.orderAllows(pt, hit) {
+				continue
+			}
+			if !bindingsCompatible(pt.bindings, m.patterns[hit], ev) {
+				continue
+			}
+			np := m.extend(pt, hit, ev)
+			if np.matched == (1<<uint(len(m.patterns)))-1 {
+				complete = append(complete, m.finish(np))
+			} else {
+				created = append(created, np)
+			}
+		}
+		// Seed a fresh partial if this pattern can start one (unordered
+		// patterns always can; ordered ones only from position 0).
+		if m.orderPos[hit] <= 0 {
+			np := m.extend(&partial{
+				bindings: map[string]string{},
+				events:   make([]*event.Event, len(m.patterns)),
+				created:  ev.Time,
+			}, hit, ev)
+			if np.matched == (1<<uint(len(m.patterns)))-1 {
+				complete = append(complete, m.finish(np))
+			} else {
+				created = append(created, np)
+			}
+		}
+	}
+
+	// Admit new partials under the capacity cap.
+	for _, np := range created {
+		if len(m.partials) >= m.maxPart {
+			m.Dropped++
+			continue
+		}
+		m.partials = append(m.partials, np)
+	}
+	return complete
+}
+
+// orderAllows checks whether pattern idx may match now given the temporal
+// positions already filled in pt.
+func (m *SeqMatcher) orderAllows(pt *partial, idx int) bool {
+	pos := m.orderPos[idx]
+	if pos == -1 {
+		return true // unordered pattern
+	}
+	return pos == pt.nOrdered // next required position
+}
+
+func (m *SeqMatcher) extend(pt *partial, idx int, ev *event.Event) *partial {
+	np := &partial{
+		events:   make([]*event.Event, len(m.patterns)),
+		bindings: make(map[string]string, len(pt.bindings)+2),
+		matched:  pt.matched | 1<<uint(idx),
+		nOrdered: pt.nOrdered,
+		lastTime: ev.Time,
+		created:  pt.created,
+	}
+	copy(np.events, pt.events)
+	for k, v := range pt.bindings {
+		np.bindings[k] = v
+	}
+	np.events[idx] = ev
+	p := m.patterns[idx]
+	if p.SubjVar != "" {
+		np.bindings[p.SubjVar] = ev.Subject.Key()
+	}
+	if p.ObjVar != "" {
+		np.bindings[p.ObjVar] = ev.Object.Key()
+	}
+	if m.orderPos[idx] != -1 {
+		np.nOrdered++
+	}
+	return np
+}
+
+func (m *SeqMatcher) finish(pt *partial) *Match {
+	match := &Match{
+		Events:   pt.events,
+		Entities: map[string]*event.Entity{},
+		At:       pt.lastTime,
+	}
+	for i, ev := range pt.events {
+		if ev == nil {
+			continue
+		}
+		bindEntities(match.Entities, m.patterns[i], ev)
+	}
+	return match
+}
+
+func bindEntities(dst map[string]*event.Entity, p *Pattern, ev *event.Event) {
+	if p.SubjVar != "" {
+		s := ev.Subject
+		dst[p.SubjVar] = &s
+	}
+	if p.ObjVar != "" {
+		o := ev.Object
+		dst[p.ObjVar] = &o
+	}
+}
+
+// bindingsCompatible verifies that binding the event's entities into the
+// partial would not conflict with existing bindings (entity join).
+func bindingsCompatible(bindings map[string]string, p *Pattern, ev *event.Event) bool {
+	if p.SubjVar != "" {
+		if key, ok := bindings[p.SubjVar]; ok && key != ev.Subject.Key() {
+			return false
+		}
+	}
+	if p.ObjVar != "" {
+		if key, ok := bindings[p.ObjVar]; ok && key != ev.Object.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// expire drops partials older than the horizon.
+func (m *SeqMatcher) expire(now time.Time) {
+	cutoff := now.Add(-m.horizon)
+	kept := m.partials[:0]
+	for _, pt := range m.partials {
+		if pt.created.Before(cutoff) {
+			m.Expired++
+			continue
+		}
+		kept = append(kept, pt)
+	}
+	m.partials = kept
+}

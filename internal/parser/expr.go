@@ -1,0 +1,248 @@
+package parser
+
+import (
+	"strings"
+
+	"saql/internal/ast"
+	"saql/internal/lexer"
+	"saql/internal/value"
+)
+
+// Expression parsing with precedence climbing.
+//
+// Precedence (low to high):
+//
+//	1  ||
+//	2  &&
+//	3  == != < <= > >= in  (also '=' in expression position, treated as ==)
+//	4  union diff intersect
+//	5  + -
+//	6  * / %
+//	7  unary ! -
+//	8  postfix .field [index]
+//	9  primary: literal, ident, call, (expr), |expr|
+func (p *Parser) parseExpr() (ast.Expr, error) { return p.parseBinary(1) }
+
+func binPrec(t lexer.TokenType) (ast.BinOp, int) {
+	switch t {
+	case lexer.OROR:
+		return ast.OpOr, 1
+	case lexer.ANDAND:
+		return ast.OpAnd, 2
+	case lexer.EQEQ, lexer.EQ:
+		return ast.OpEq, 3
+	case lexer.NEQ:
+		return ast.OpNe, 3
+	case lexer.LT:
+		return ast.OpLt, 3
+	case lexer.LE:
+		return ast.OpLe, 3
+	case lexer.GT:
+		return ast.OpGt, 3
+	case lexer.GE:
+		return ast.OpGe, 3
+	case lexer.KwIn:
+		return ast.OpIn, 3
+	case lexer.KwUnion:
+		return ast.OpUnion, 4
+	case lexer.KwDiff:
+		return ast.OpDiff, 4
+	case lexer.KwIntersect:
+		return ast.OpIntersect, 4
+	case lexer.PLUS:
+		return ast.OpAdd, 5
+	case lexer.MINUS:
+		return ast.OpSub, 5
+	case lexer.STAR:
+		return ast.OpMul, 6
+	case lexer.SLASH:
+		return ast.OpDiv, 6
+	case lexer.PERCENT:
+		return ast.OpMod, 6
+	default:
+		return ast.OpInvalid, 0
+	}
+}
+
+func (p *Parser) parseBinary(minPrec int) (ast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec := binPrec(p.cur().Type)
+		if op == ast.OpInvalid || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (ast.Expr, error) {
+	switch p.cur().Type {
+	case lexer.NOT:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: '!', X: x, UPos: t.Pos}, nil
+	case lexer.MINUS:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: '-', X: x, UPos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Type {
+		case lexer.DOT:
+			p.next()
+			f, err := p.expect(lexer.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.FieldExpr{Base: x, Field: strings.ToLower(f.Text)}
+		case lexer.LBRACKET:
+			p.next()
+			n, err := p.expect(lexer.NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			if !n.IsInt || n.Num < 0 {
+				return nil, &Error{Pos: n.Pos, Msg: "state index must be a non-negative integer"}
+			}
+			if _, err := p.expect(lexer.RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &ast.IndexExpr{Base: x, Index: int(n.Num)}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case lexer.NUMBER:
+		p.next()
+		if t.IsInt {
+			return &ast.Literal{Val: value.Int(int64(t.Num)), LitPos: t.Pos}, nil
+		}
+		return &ast.Literal{Val: value.Float(t.Num), LitPos: t.Pos}, nil
+
+	case lexer.STRING:
+		p.next()
+		return &ast.Literal{Val: value.String(t.Text), LitPos: t.Pos}, nil
+
+	case lexer.KwEmptySet:
+		p.next()
+		return &ast.Literal{Val: value.EmptySet(), LitPos: t.Pos}, nil
+
+	case lexer.KwCluster:
+		// `cluster` appears in expressions as a namespace: cluster.outlier.
+		p.next()
+		return &ast.Ident{Name: "cluster", IdPos: t.Pos}, nil
+
+	case lexer.KwDistinct:
+		// `distinct` is a keyword for `return distinct`, but also the name
+		// of the distinct-count aggregation: distinct(i.dstip).
+		p.next()
+		if !p.at(lexer.LPAREN) {
+			return nil, p.errorf("'distinct' in expression position must be a call: distinct(expr)")
+		}
+		p.next()
+		call := &ast.CallExpr{Func: "distinct", CallPos: t.Pos}
+		for !p.at(lexer.RPAREN) {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(lexer.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+		return call, nil
+
+	case lexer.IDENT:
+		p.next()
+		name := t.Text
+		switch strings.ToLower(name) {
+		case "true":
+			return &ast.Literal{Val: value.Bool(true), LitPos: t.Pos}, nil
+		case "false":
+			return &ast.Literal{Val: value.Bool(false), LitPos: t.Pos}, nil
+		case "null":
+			return &ast.Literal{Val: value.Null, LitPos: t.Pos}, nil
+		}
+		if p.at(lexer.LPAREN) {
+			p.next()
+			call := &ast.CallExpr{Func: strings.ToLower(name), CallPos: t.Pos}
+			if !p.at(lexer.RPAREN) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(lexer.COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(lexer.RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &ast.Ident{Name: name, IdPos: t.Pos}, nil
+
+	case lexer.LPAREN:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	case lexer.PIPE:
+		// |expr| — set cardinality / absolute value.
+		p.next()
+		x, err := p.parseCardInner()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.PIPE); err != nil {
+			return nil, err
+		}
+		return &ast.CardExpr{X: x, CPos: t.Pos}, nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}
+
+// parseCardInner parses the expression between | ... |. Logical || cannot
+// appear inside a cardinality form (it would be ambiguous with the closing
+// delimiter), so parsing starts above the OR level.
+func (p *Parser) parseCardInner() (ast.Expr, error) { return p.parseBinary(2) }

@@ -1,0 +1,683 @@
+// Package parser implements the recursive-descent parser for the SAQL
+// language, producing internal/ast nodes. It accepts the full grammar of the
+// paper's Queries 1–4: global constraints, event patterns with entity
+// constraints and operation alternation, temporal relationships, sliding
+// windows, state blocks with grouping, invariant blocks, cluster specs,
+// alert conditions (including |set| cardinality), and return clauses.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/lexer"
+	"saql/internal/value"
+)
+
+// Error is a parse error with source position.
+type Error struct {
+	Pos lexer.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+// Parser holds the token stream and parsing state.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+	src  string
+}
+
+// Parse tokenizes and parses a complete SAQL query.
+func Parse(src string) (*ast.Query, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	return p.parseQuery()
+}
+
+func (p *Parser) cur() lexer.Token { return p.toks[p.pos] }
+func (p *Parser) peek() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(t lexer.TokenType) bool { return p.cur().Type == t }
+
+func (p *Parser) accept(t lexer.TokenType) bool {
+	if p.at(t) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(t lexer.TokenType) (lexer.Token, error) {
+	if !p.at(t) {
+		return lexer.Token{}, p.errorf("expected %s, found %s", t, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isEntityKeyword reports whether an identifier begins an entity pattern.
+func isEntityKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "proc", "process", "file", "ip", "conn", "netconn":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseQuery() (*ast.Query, error) {
+	q := &ast.Query{SourcePos: p.cur().Pos, SourceText: p.src}
+	for !p.at(lexer.EOF) {
+		switch {
+		case p.at(lexer.SEMI):
+			p.next()
+
+		case p.at(lexer.IDENT) && isEntityKeyword(p.cur().Text):
+			pat, win, err := p.parseEventPattern()
+			if err != nil {
+				return nil, err
+			}
+			q.Patterns = append(q.Patterns, pat)
+			if win != nil {
+				if q.Window != nil {
+					return nil, p.errorf("duplicate #time window specification")
+				}
+				q.Window = win
+			}
+
+		case p.at(lexer.IDENT):
+			// Global constraint: attr relop literal.
+			g, err := p.parseGlobalConstraint()
+			if err != nil {
+				return nil, err
+			}
+			q.Globals = append(q.Globals, g)
+
+		case p.at(lexer.KwWith):
+			if q.Temporal != nil {
+				return nil, p.errorf("duplicate 'with' temporal clause")
+			}
+			t, err := p.parseTemporal()
+			if err != nil {
+				return nil, err
+			}
+			q.Temporal = t
+
+		case p.at(lexer.KwState):
+			if q.State != nil {
+				return nil, p.errorf("duplicate state block")
+			}
+			s, err := p.parseStateBlock()
+			if err != nil {
+				return nil, err
+			}
+			q.State = s
+
+		case p.at(lexer.KwInvariant):
+			if q.Invariant != nil {
+				return nil, p.errorf("duplicate invariant block")
+			}
+			b, err := p.parseInvariantBlock()
+			if err != nil {
+				return nil, err
+			}
+			q.Invariant = b
+
+		case p.at(lexer.KwCluster):
+			if q.Cluster != nil {
+				return nil, p.errorf("duplicate cluster specification")
+			}
+			c, err := p.parseClusterSpec()
+			if err != nil {
+				return nil, err
+			}
+			q.Cluster = c
+
+		case p.at(lexer.KwAlert):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.Alerts = append(q.Alerts, e)
+
+		case p.at(lexer.KwReturn):
+			if q.Return != nil {
+				return nil, p.errorf("duplicate return clause")
+			}
+			r, err := p.parseReturn()
+			if err != nil {
+				return nil, err
+			}
+			q.Return = r
+
+		default:
+			return nil, p.errorf("unexpected token %s at top level", p.cur())
+		}
+	}
+	if len(q.Patterns) == 0 {
+		return nil, &Error{Pos: q.SourcePos, Msg: "query declares no event pattern"}
+	}
+	return q, nil
+}
+
+// parseGlobalConstraint parses `agentid = xxx` (value may be an unquoted
+// identifier, a string, or a number).
+func (p *Parser) parseGlobalConstraint() (*ast.Constraint, error) {
+	nameTok, _ := p.expect(lexer.IDENT)
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteralish()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Constraint{Attr: strings.ToLower(nameTok.Text), Op: op, Val: lit, ConstPos: nameTok.Pos}, nil
+}
+
+func (p *Parser) parseCompareOp() (ast.CompareOp, error) {
+	switch p.cur().Type {
+	case lexer.EQ, lexer.EQEQ:
+		p.next()
+		return ast.CmpEq, nil
+	case lexer.NEQ:
+		p.next()
+		return ast.CmpNe, nil
+	case lexer.LT:
+		p.next()
+		return ast.CmpLt, nil
+	case lexer.LE:
+		p.next()
+		return ast.CmpLe, nil
+	case lexer.GT:
+		p.next()
+		return ast.CmpGt, nil
+	case lexer.GE:
+		p.next()
+		return ast.CmpGe, nil
+	default:
+		return ast.CmpInvalid, p.errorf("expected comparison operator, found %s", p.cur())
+	}
+}
+
+// parseLiteralish parses a literal where unquoted identifiers are accepted as
+// strings (the paper writes `agentid = xxx` without quotes).
+func (p *Parser) parseLiteralish() (*ast.Literal, error) {
+	t := p.cur()
+	switch t.Type {
+	case lexer.STRING:
+		p.next()
+		return &ast.Literal{Val: value.String(t.Text), LitPos: t.Pos}, nil
+	case lexer.NUMBER:
+		p.next()
+		if t.IsInt {
+			return &ast.Literal{Val: value.Int(int64(t.Num)), LitPos: t.Pos}, nil
+		}
+		return &ast.Literal{Val: value.Float(t.Num), LitPos: t.Pos}, nil
+	case lexer.IDENT:
+		p.next()
+		switch strings.ToLower(t.Text) {
+		case "true":
+			return &ast.Literal{Val: value.Bool(true), LitPos: t.Pos}, nil
+		case "false":
+			return &ast.Literal{Val: value.Bool(false), LitPos: t.Pos}, nil
+		}
+		return &ast.Literal{Val: value.String(t.Text), LitPos: t.Pos}, nil
+	case lexer.MINUS:
+		p.next()
+		n, err := p.expect(lexer.NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		if n.IsInt {
+			return &ast.Literal{Val: value.Int(-int64(n.Num)), LitPos: t.Pos}, nil
+		}
+		return &ast.Literal{Val: value.Float(-n.Num), LitPos: t.Pos}, nil
+	default:
+		return nil, p.errorf("expected literal, found %s", t)
+	}
+}
+
+// parseEventPattern parses one event clause and an optional trailing #time.
+func (p *Parser) parseEventPattern() (*ast.EventPattern, *ast.WindowSpec, error) {
+	pos := p.cur().Pos
+	subj, err := p.parseEntityPattern()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ops []event.Op
+	for {
+		opTok, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, nil, err
+		}
+		op, perr := event.ParseOp(strings.ToLower(opTok.Text))
+		if perr != nil {
+			return nil, nil, &Error{Pos: opTok.Pos, Msg: perr.Error()}
+		}
+		ops = append(ops, op)
+		if !p.accept(lexer.OROR) {
+			break
+		}
+	}
+	obj, err := p.parseEntityPattern()
+	if err != nil {
+		return nil, nil, err
+	}
+	pat := &ast.EventPattern{Subject: subj, Ops: ops, Object: obj, PatPos: pos}
+	if p.accept(lexer.KwAs) {
+		aliasTok, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, nil, err
+		}
+		pat.Alias = aliasTok.Text
+	}
+	var win *ast.WindowSpec
+	if p.at(lexer.HASH) {
+		win, err = p.parseWindowSpec()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return pat, win, nil
+}
+
+func (p *Parser) parseEntityPattern() (*ast.EntityPattern, error) {
+	typeTok, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	etype, terr := event.ParseEntityType(strings.ToLower(typeTok.Text))
+	if terr != nil {
+		return nil, &Error{Pos: typeTok.Pos, Msg: terr.Error()}
+	}
+	ep := &ast.EntityPattern{Type: etype, EntPos: typeTok.Pos}
+	// Optional variable: an IDENT that is not an operation keyword. A
+	// variable can also be followed directly by '[' constraints.
+	if p.at(lexer.IDENT) {
+		if _, opErr := event.ParseOp(strings.ToLower(p.cur().Text)); opErr != nil {
+			ep.Var = p.next().Text
+		}
+	}
+	if p.accept(lexer.LBRACKET) {
+		for {
+			c, err := p.parseAttrConstraint()
+			if err != nil {
+				return nil, err
+			}
+			ep.Constraints = append(ep.Constraints, c)
+			if !p.accept(lexer.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	return ep, nil
+}
+
+func (p *Parser) parseAttrConstraint() (*ast.AttrConstraint, error) {
+	// Bare string: default-attribute wildcard match.
+	if p.at(lexer.STRING) {
+		t := p.next()
+		return &ast.AttrConstraint{Op: ast.CmpEq, Val: &ast.Literal{Val: value.String(t.Text), LitPos: t.Pos}}, nil
+	}
+	nameTok, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseCompareOp()
+	if err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteralish()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.AttrConstraint{Attr: strings.ToLower(nameTok.Text), Op: op, Val: lit}, nil
+}
+
+// parseWindowSpec parses `#time(10 min)` or `#time(10 min, 1 min)`.
+func (p *Parser) parseWindowSpec() (*ast.WindowSpec, error) {
+	hashTok, _ := p.expect(lexer.HASH)
+	kw, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if strings.ToLower(kw.Text) != "time" {
+		return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'time' after '#', found %q", kw.Text)}
+	}
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	length, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	spec := &ast.WindowSpec{Length: length, WinPos: hashTok.Pos}
+	if p.accept(lexer.COMMA) {
+		hop, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		spec.Hop = hop
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	if spec.Length <= 0 {
+		return nil, &Error{Pos: hashTok.Pos, Msg: "window length must be positive"}
+	}
+	if spec.Hop < 0 || (spec.Hop > 0 && spec.Hop > spec.Length) {
+		return nil, &Error{Pos: hashTok.Pos, Msg: "window hop must be positive and no longer than the window"}
+	}
+	return spec, nil
+}
+
+func (p *Parser) parseDuration() (time.Duration, error) {
+	numTok, err := p.expect(lexer.NUMBER)
+	if err != nil {
+		return 0, err
+	}
+	unitTok, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return 0, err
+	}
+	var unit time.Duration
+	switch strings.ToLower(unitTok.Text) {
+	case "ms", "msec", "millisecond", "milliseconds":
+		unit = time.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		unit = time.Second
+	case "min", "mins", "minute", "minutes", "m":
+		unit = time.Minute
+	case "h", "hr", "hrs", "hour", "hours":
+		unit = time.Hour
+	case "d", "day", "days":
+		unit = 24 * time.Hour
+	default:
+		return 0, &Error{Pos: unitTok.Pos, Msg: fmt.Sprintf("unknown time unit %q", unitTok.Text)}
+	}
+	return time.Duration(numTok.Num * float64(unit)), nil
+}
+
+func (p *Parser) parseTemporal() (*ast.TemporalClause, error) {
+	withTok, _ := p.expect(lexer.KwWith)
+	t := &ast.TemporalClause{TemPos: withTok.Pos}
+	first, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	t.Order = append(t.Order, first.Text)
+	for p.accept(lexer.ARROW) {
+		id, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		t.Order = append(t.Order, id.Text)
+	}
+	if len(t.Order) < 2 {
+		return nil, &Error{Pos: withTok.Pos, Msg: "temporal clause needs at least two events"}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseStateBlock() (*ast.StateBlock, error) {
+	stTok, _ := p.expect(lexer.KwState)
+	blk := &ast.StateBlock{History: 1, StatePos: stTok.Pos}
+	if p.accept(lexer.LBRACKET) {
+		n, err := p.expect(lexer.NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		if !n.IsInt || n.Num < 1 {
+			return nil, &Error{Pos: n.Pos, Msg: "state history must be a positive integer"}
+		}
+		blk.History = int(n.Num)
+		if _, err := p.expect(lexer.RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	nameTok, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	blk.Name = nameTok.Text
+	if _, err := p.expect(lexer.LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(lexer.RBRACE) {
+		if p.accept(lexer.SEMI) {
+			continue
+		}
+		fname, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.ASSIGN); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		blk.Fields = append(blk.Fields, &ast.StateField{Name: fname.Text, Expr: e})
+	}
+	if _, err := p.expect(lexer.RBRACE); err != nil {
+		return nil, err
+	}
+	if len(blk.Fields) == 0 {
+		return nil, &Error{Pos: stTok.Pos, Msg: "state block declares no fields"}
+	}
+	if p.accept(lexer.KwGroup) {
+		if _, err := p.expect(lexer.KwBy); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.GroupBy = append(blk.GroupBy, e)
+			if !p.accept(lexer.COMMA) {
+				break
+			}
+		}
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseInvariantBlock() (*ast.InvariantBlock, error) {
+	invTok, _ := p.expect(lexer.KwInvariant)
+	blk := &ast.InvariantBlock{Offline: true, InvPos: invTok.Pos}
+	if _, err := p.expect(lexer.LBRACKET); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(lexer.NUMBER)
+	if err != nil {
+		return nil, err
+	}
+	if !n.IsInt || n.Num < 1 {
+		return nil, &Error{Pos: n.Pos, Msg: "invariant training window count must be a positive integer"}
+	}
+	blk.TrainWindows = int(n.Num)
+	if _, err := p.expect(lexer.RBRACKET); err != nil {
+		return nil, err
+	}
+	if p.accept(lexer.LBRACKET) {
+		switch {
+		case p.accept(lexer.KwOffline):
+			blk.Offline = true
+		case p.accept(lexer.KwOnline):
+			blk.Offline = false
+		default:
+			return nil, p.errorf("expected 'offline' or 'online', found %s", p.cur())
+		}
+		if _, err := p.expect(lexer.RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(lexer.RBRACE) {
+		if p.accept(lexer.SEMI) {
+			continue
+		}
+		name, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		var init bool
+		switch {
+		case p.accept(lexer.ASSIGN):
+			init = true
+		case p.accept(lexer.EQ):
+			init = false
+		default:
+			return nil, p.errorf("expected ':=' or '=' in invariant statement, found %s", p.cur())
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt := &ast.InvariantStmt{Var: name.Text, Expr: e, Init: init}
+		if init {
+			blk.Inits = append(blk.Inits, stmt)
+		} else {
+			blk.Updates = append(blk.Updates, stmt)
+		}
+	}
+	if _, err := p.expect(lexer.RBRACE); err != nil {
+		return nil, err
+	}
+	if len(blk.Inits) == 0 {
+		return nil, &Error{Pos: invTok.Pos, Msg: "invariant block declares no variables (use 'a := empty_set')"}
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseClusterSpec() (*ast.ClusterSpec, error) {
+	cluTok, _ := p.expect(lexer.KwCluster)
+	spec := &ast.ClusterSpec{Distance: "ed", CluPos: cluTok.Pos}
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for !p.at(lexer.RPAREN) {
+		key, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.EQ); err != nil {
+			return nil, err
+		}
+		k := strings.ToLower(key.Text)
+		if seen[k] {
+			return nil, &Error{Pos: key.Pos, Msg: fmt.Sprintf("duplicate cluster parameter %q", k)}
+		}
+		seen[k] = true
+		switch k {
+		case "points":
+			// points = all(expr)
+			fn, err := p.expect(lexer.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if strings.ToLower(fn.Text) != "all" {
+				return nil, &Error{Pos: fn.Pos, Msg: "cluster points must use all(...)"}
+			}
+			if _, err := p.expect(lexer.LPAREN); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.RPAREN); err != nil {
+				return nil, err
+			}
+			spec.Points = e
+		case "distance":
+			t, err := p.expect(lexer.STRING)
+			if err != nil {
+				return nil, err
+			}
+			spec.Distance = strings.ToLower(t.Text)
+		case "method":
+			t, err := p.expect(lexer.STRING)
+			if err != nil {
+				return nil, err
+			}
+			spec.Method = t.Text
+		default:
+			return nil, &Error{Pos: key.Pos, Msg: fmt.Sprintf("unknown cluster parameter %q", k)}
+		}
+		if !p.accept(lexer.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	if spec.Points == nil {
+		return nil, &Error{Pos: cluTok.Pos, Msg: "cluster specification requires points=all(...)"}
+	}
+	if spec.Method == "" {
+		return nil, &Error{Pos: cluTok.Pos, Msg: "cluster specification requires method=..."}
+	}
+	return spec, nil
+}
+
+func (p *Parser) parseReturn() (*ast.ReturnClause, error) {
+	retTok, _ := p.expect(lexer.KwReturn)
+	r := &ast.ReturnClause{RetPos: retTok.Pos}
+	if p.accept(lexer.KwDistinct) {
+		r.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := &ast.ReturnItem{Expr: e}
+		if p.accept(lexer.KwAs) {
+			alias, err := p.expect(lexer.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias.Text
+		}
+		r.Items = append(r.Items, item)
+		if !p.accept(lexer.COMMA) {
+			break
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,451 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+// The four queries from the paper, verbatim (modulo the PDF line wrapping).
+const (
+	paperQuery1 = `
+agentid = xxx // SQL database server (obfuscated)
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="XXX.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+`
+	paperQuery2 = `
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+  avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+`
+	paperQuery3 = `
+proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[10][offline] {
+  a := empty_set // invariant init
+  a = a union ss.set_proc // invariant update
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+`
+	paperQuery4 = `
+agentid = xxx // SQL database server (obfuscated)
+proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+`
+)
+
+func mustParse(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nquery:\n%s", err, src)
+	}
+	return q
+}
+
+func TestPaperQuery1RuleBased(t *testing.T) {
+	q := mustParse(t, paperQuery1)
+
+	if len(q.Globals) != 1 || q.Globals[0].Attr != "agentid" || q.Globals[0].Val.Val.Str() != "xxx" {
+		t.Errorf("globals = %v", q.Globals)
+	}
+	if len(q.Patterns) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(q.Patterns))
+	}
+
+	p0 := q.Patterns[0]
+	if p0.Subject.Type != event.EntityProcess || p0.Subject.Var != "p1" {
+		t.Errorf("pattern 0 subject = %v", p0.Subject)
+	}
+	if len(p0.Subject.Constraints) != 1 || p0.Subject.Constraints[0].Val.Val.Str() != "%cmd.exe" {
+		t.Errorf("pattern 0 subject constraints = %v", p0.Subject.Constraints)
+	}
+	if len(p0.Ops) != 1 || p0.Ops[0] != event.OpStart {
+		t.Errorf("pattern 0 ops = %v", p0.Ops)
+	}
+	if p0.Object.Var != "p2" || p0.Alias != "evt1" {
+		t.Errorf("pattern 0 object/alias = %v / %q", p0.Object, p0.Alias)
+	}
+
+	// Pattern 3: read || write alternation and attribute constraint.
+	p3 := q.Patterns[3]
+	if len(p3.Ops) != 2 || p3.Ops[0] != event.OpRead || p3.Ops[1] != event.OpWrite {
+		t.Errorf("pattern 3 ops = %v", p3.Ops)
+	}
+	if p3.Object.Type != event.EntityNetConn || p3.Object.Var != "i1" {
+		t.Errorf("pattern 3 object = %v", p3.Object)
+	}
+	c := p3.Object.Constraints[0]
+	if c.Attr != "dstip" || c.Val.Val.Str() != "XXX.129" {
+		t.Errorf("pattern 3 constraint = %v", c)
+	}
+
+	// Shared variable f1 and p4 across patterns.
+	if q.Patterns[1].Object.Var != "f1" || q.Patterns[2].Object.Var != "f1" {
+		t.Error("f1 should appear in patterns 1 and 2")
+	}
+	if len(q.Patterns[2].Object.Constraints) != 0 {
+		t.Error("re-referenced f1 should carry no new constraints")
+	}
+
+	if q.Temporal == nil || len(q.Temporal.Order) != 4 {
+		t.Fatalf("temporal = %v", q.Temporal)
+	}
+	if strings.Join(q.Temporal.Order, ",") != "evt1,evt2,evt3,evt4" {
+		t.Errorf("temporal order = %v", q.Temporal.Order)
+	}
+
+	if q.Return == nil || !q.Return.Distinct || len(q.Return.Items) != 6 {
+		t.Fatalf("return = %v", q.Return)
+	}
+	if q.IsStateful() {
+		t.Error("rule query should not be stateful")
+	}
+}
+
+func TestPaperQuery2TimeSeries(t *testing.T) {
+	q := mustParse(t, paperQuery2)
+
+	if q.Window == nil || q.Window.Length != 10*time.Minute {
+		t.Fatalf("window = %v", q.Window)
+	}
+	if q.Window.EffectiveHop() != 10*time.Minute {
+		t.Errorf("hop = %v, want tumbling", q.Window.EffectiveHop())
+	}
+	if q.State == nil || q.State.History != 3 || q.State.Name != "ss" {
+		t.Fatalf("state = %v", q.State)
+	}
+	if len(q.State.Fields) != 1 || q.State.Fields[0].Name != "avg_amount" {
+		t.Errorf("state fields = %v", q.State.Fields)
+	}
+	call, ok := q.State.Fields[0].Expr.(*ast.CallExpr)
+	if !ok || call.Func != "avg" || len(call.Args) != 1 {
+		t.Fatalf("state field expr = %v", q.State.Fields[0].Expr)
+	}
+	fe, ok := call.Args[0].(*ast.FieldExpr)
+	if !ok || fe.Field != "amount" {
+		t.Errorf("avg arg = %v", call.Args[0])
+	}
+	if len(q.State.GroupBy) != 1 {
+		t.Errorf("group by = %v", q.State.GroupBy)
+	}
+	if len(q.Alerts) != 1 {
+		t.Fatalf("alerts = %d", len(q.Alerts))
+	}
+	// The alert must contain indexed state accesses ss[0..2].
+	var idxSeen [3]bool
+	ast.Walk(q.Alerts[0], func(e ast.Expr) {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			if id, ok := ix.Base.(*ast.Ident); ok && id.Name == "ss" && ix.Index < 3 {
+				idxSeen[ix.Index] = true
+			}
+		}
+	})
+	for i, seen := range idxSeen {
+		if !seen {
+			t.Errorf("alert should reference ss[%d]", i)
+		}
+	}
+	if len(q.Return.Items) != 4 {
+		t.Errorf("return items = %d", len(q.Return.Items))
+	}
+}
+
+func TestPaperQuery3Invariant(t *testing.T) {
+	q := mustParse(t, paperQuery3)
+
+	if q.Window == nil || q.Window.Length != 10*time.Second {
+		t.Fatalf("window = %v", q.Window)
+	}
+	inv := q.Invariant
+	if inv == nil || inv.TrainWindows != 10 || !inv.Offline {
+		t.Fatalf("invariant = %+v", inv)
+	}
+	if len(inv.Inits) != 1 || inv.Inits[0].Var != "a" {
+		t.Errorf("inits = %v", inv.Inits)
+	}
+	if lit, ok := inv.Inits[0].Expr.(*ast.Literal); !ok || lit.Val.Kind() != value.KindSet {
+		t.Errorf("init expr should be empty_set, got %v", inv.Inits[0].Expr)
+	}
+	if len(inv.Updates) != 1 || inv.Updates[0].Var != "a" {
+		t.Errorf("updates = %v", inv.Updates)
+	}
+	be, ok := inv.Updates[0].Expr.(*ast.BinaryExpr)
+	if !ok || be.Op != ast.OpUnion {
+		t.Fatalf("update expr = %v", inv.Updates[0].Expr)
+	}
+
+	// alert |ss.set_proc diff a| > 0
+	if len(q.Alerts) != 1 {
+		t.Fatal("want one alert")
+	}
+	cmp, ok := q.Alerts[0].(*ast.BinaryExpr)
+	if !ok || cmp.Op != ast.OpGt {
+		t.Fatalf("alert = %v", q.Alerts[0])
+	}
+	card, ok := cmp.Left.(*ast.CardExpr)
+	if !ok {
+		t.Fatalf("alert left should be |...| cardinality, got %v", cmp.Left)
+	}
+	diffE, ok := card.X.(*ast.BinaryExpr)
+	if !ok || diffE.Op != ast.OpDiff {
+		t.Errorf("cardinality inner = %v", card.X)
+	}
+}
+
+func TestPaperQuery4Outlier(t *testing.T) {
+	q := mustParse(t, paperQuery4)
+
+	cl := q.Cluster
+	if cl == nil {
+		t.Fatal("cluster spec missing")
+	}
+	if cl.Distance != "ed" {
+		t.Errorf("distance = %q", cl.Distance)
+	}
+	if cl.Method != "DBSCAN(100000, 5)" {
+		t.Errorf("method = %q", cl.Method)
+	}
+	if fe, ok := cl.Points.(*ast.FieldExpr); !ok || fe.Field != "amt" {
+		t.Errorf("points = %v", cl.Points)
+	}
+	// Alert references cluster.outlier.
+	var clusterRef bool
+	ast.Walk(q.Alerts[0], func(e ast.Expr) {
+		if fe, ok := e.(*ast.FieldExpr); ok && fe.Field == "outlier" {
+			if id, ok := fe.Base.(*ast.Ident); ok && id.Name == "cluster" {
+				clusterRef = true
+			}
+		}
+	})
+	if !clusterRef {
+		t.Error("alert should reference cluster.outlier")
+	}
+	// Group by an attribute expression (i.dstip).
+	if len(q.State.GroupBy) != 1 {
+		t.Fatalf("group by = %v", q.State.GroupBy)
+	}
+	if fe, ok := q.State.GroupBy[0].(*ast.FieldExpr); !ok || fe.Field != "dstip" {
+		t.Errorf("group by = %v", q.State.GroupBy[0])
+	}
+}
+
+func TestWindowSpecVariants(t *testing.T) {
+	cases := []struct {
+		src string
+		len time.Duration
+		hop time.Duration
+	}{
+		{"proc p start proc q as e #time(10 s)", 10 * time.Second, 0},
+		{"proc p start proc q as e #time(5 min)", 5 * time.Minute, 0},
+		{"proc p start proc q as e #time(1 h)", time.Hour, 0},
+		{"proc p start proc q as e #time(500 ms)", 500 * time.Millisecond, 0},
+		{"proc p start proc q as e #time(10 min, 2 min)", 10 * time.Minute, 2 * time.Minute},
+		{"proc p start proc q as e #time(1 day)", 24 * time.Hour, 0},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.src)
+		if q.Window.Length != c.len {
+			t.Errorf("%q: length = %v, want %v", c.src, q.Window.Length, c.len)
+		}
+		if q.Window.Hop != c.hop {
+			t.Errorf("%q: hop = %v, want %v", c.src, q.Window.Hop, c.hop)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no pattern
+		"alert x > 0",                         // no pattern
+		"proc p start",                        // missing object entity
+		"proc p frobnicate proc q",            // unknown op
+		"socket s read file f",                // unknown entity type
+		"proc p start proc q #time(0 s)",      // zero window
+		"proc p start proc q #time(1 s, 2 s)", // hop > length
+		"proc p start proc q #time(10 fortnight)",                                   // bad unit
+		"proc p start proc q #space(10 s)",                                          // not time
+		"proc p[exe_name ~ \"x\"] start proc q",                                     // bad operator
+		"proc p start proc q as e with e",                                           // temporal needs 2+
+		"proc p start proc q state ss {}",                                           // empty state block
+		"proc p start proc q state[0] ss {a := avg(e.amount)}",                      // bad history
+		"proc p start proc q invariant[5][offline] {}",                              // no inits
+		"proc p start proc q as e cluster(distance=\"ed\", method=\"DBSCAN(1,2)\")", // no points
+		"proc p start proc q as e cluster(points=all(x))",                           // no method
+		"proc p start proc q as e alert |x || y| > 0",                               // || inside |...|
+		"proc p start proc q as e alert ss[-1].f > 0",                               // negative index
+		"proc p start proc q as e return x as 5",                                    // bad alias
+		"proc p start proc q as e with e -> ",                                       // dangling arrow
+		"proc p start proc q as e as f",                                             // double alias
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestDuplicateClauses(t *testing.T) {
+	dups := []string{
+		"proc p start proc q as e #time(1 s) proc a start proc b as f #time(2 s)",
+		"proc p start proc q as e with e -> e with e -> e",
+		"proc p start proc q as e state s {x := count(e)} state r {y := count(e)}",
+		"proc p start proc q as e return p return q",
+	}
+	for _, src := range dups {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should reject duplicate clause", src)
+		}
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	q := mustParse(t, "proc p start proc q as e alert 1 + 2 * 3 > 6 && true")
+	// Expect ((1 + (2*3)) > 6) && true
+	and, ok := q.Alerts[0].(*ast.BinaryExpr)
+	if !ok || and.Op != ast.OpAnd {
+		t.Fatalf("top = %v", q.Alerts[0])
+	}
+	gt, ok := and.Left.(*ast.BinaryExpr)
+	if !ok || gt.Op != ast.OpGt {
+		t.Fatalf("left = %v", and.Left)
+	}
+	add, ok := gt.Left.(*ast.BinaryExpr)
+	if !ok || add.Op != ast.OpAdd {
+		t.Fatalf("gt.left = %v", gt.Left)
+	}
+	mul, ok := add.Right.(*ast.BinaryExpr)
+	if !ok || mul.Op != ast.OpMul {
+		t.Fatalf("add.right = %v", add.Right)
+	}
+}
+
+func TestParenthesesOverridePrecedence(t *testing.T) {
+	q := mustParse(t, "proc p start proc q as e alert (1 + 2) * 3 == 9")
+	eq := q.Alerts[0].(*ast.BinaryExpr)
+	mul, ok := eq.Left.(*ast.BinaryExpr)
+	if !ok || mul.Op != ast.OpMul {
+		t.Fatalf("left = %v", eq.Left)
+	}
+	if add, ok := mul.Left.(*ast.BinaryExpr); !ok || add.Op != ast.OpAdd {
+		t.Fatalf("mul.left = %v", mul.Left)
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	q := mustParse(t, "proc p start proc q as e alert !cluster.outlier || -ss.amt < 0")
+	or := q.Alerts[0].(*ast.BinaryExpr)
+	if not, ok := or.Left.(*ast.UnaryExpr); !ok || not.Op != '!' {
+		t.Fatalf("left = %v", or.Left)
+	}
+	lt := or.Right.(*ast.BinaryExpr)
+	if neg, ok := lt.Left.(*ast.UnaryExpr); !ok || neg.Op != '-' {
+		t.Fatalf("lt.left = %v", lt.Left)
+	}
+}
+
+func TestInOperator(t *testing.T) {
+	q := mustParse(t, `proc p start proc q as e alert "cmd.exe" in ss.procs`)
+	in, ok := q.Alerts[0].(*ast.BinaryExpr)
+	if !ok || in.Op != ast.OpIn {
+		t.Fatalf("alert = %v", q.Alerts[0])
+	}
+}
+
+func TestAnonymousEntities(t *testing.T) {
+	q := mustParse(t, `proc["%cmd.exe"] start proc as e1`)
+	if q.Patterns[0].Subject.Var != "" || q.Patterns[0].Object.Var != "" {
+		t.Errorf("anonymous entities should have empty vars: %v", q.Patterns[0])
+	}
+	if q.Patterns[0].Alias != "e1" {
+		t.Errorf("alias = %q", q.Patterns[0].Alias)
+	}
+}
+
+func TestMultipleConstraints(t *testing.T) {
+	q := mustParse(t, `proc p[exe_name = "%x.exe", pid > 100, user != "root"] read file f`)
+	cs := q.Patterns[0].Subject.Constraints
+	if len(cs) != 3 {
+		t.Fatalf("constraints = %d", len(cs))
+	}
+	if cs[1].Attr != "pid" || cs[1].Op != ast.CmpGt {
+		t.Errorf("constraint 1 = %v", cs[1])
+	}
+	if cs[2].Op != ast.CmpNe {
+		t.Errorf("constraint 2 = %v", cs[2])
+	}
+}
+
+func TestReturnAliases(t *testing.T) {
+	q := mustParse(t, "proc p write ip i as e #time(1 min) state ss {amt := sum(e.amount)} group by p return ss.amt as total, p as process")
+	if q.Return.Items[0].Alias != "total" || q.Return.Items[1].Alias != "process" {
+		t.Errorf("aliases = %v", q.Return.Items)
+	}
+}
+
+func TestMultipleAlerts(t *testing.T) {
+	q := mustParse(t, `proc p write ip i as e #time(1 min)
+state ss {amt := sum(e.amount)} group by p
+alert ss.amt > 100
+alert ss.amt > 1000`)
+	if len(q.Alerts) != 2 {
+		t.Errorf("alerts = %d, want 2", len(q.Alerts))
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	// The normalised String() of each paper query must itself re-parse.
+	for i, src := range []string{paperQuery1, paperQuery2, paperQuery3, paperQuery4} {
+		q := mustParse(t, src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("query %d: reparse of String() failed: %v\n%s", i+1, err, q.String())
+			continue
+		}
+		if len(q2.Patterns) != len(q.Patterns) || (q2.State == nil) != (q.State == nil) {
+			t.Errorf("query %d: round-trip structure mismatch", i+1)
+		}
+	}
+}
+
+func TestOnlineInvariant(t *testing.T) {
+	q := mustParse(t, `proc p start proc q as e #time(10 s)
+state ss {s := set(q.exe_name)} group by p
+invariant[5][online] { a := empty_set a = a union ss.s }
+alert |ss.s diff a| > 0`)
+	if q.Invariant.Offline {
+		t.Error("invariant should be online")
+	}
+	if q.Invariant.TrainWindows != 5 {
+		t.Errorf("train windows = %d", q.Invariant.TrainWindows)
+	}
+}
+
+func TestInvariantDefaultMode(t *testing.T) {
+	q := mustParse(t, `proc p start proc q as e #time(10 s)
+state ss {s := set(q.exe_name)} group by p
+invariant[5] { a := empty_set a = a union ss.s }
+alert |ss.s diff a| > 0`)
+	if !q.Invariant.Offline {
+		t.Error("invariant should default to offline")
+	}
+}

@@ -1,0 +1,103 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic, whatever the input: it either produces a
+// query or an error. This guards the interactive CLI against hostile or
+// garbled input.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutations of a valid query — truncations at every byte offset and token
+// deletions — must parse or fail cleanly, never panic or hang.
+func TestParserTruncations(t *testing.T) {
+	const src = `agentid = "db-1"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+with evt1 -> evt2
+state[3] ss { amt := sum(evt1.amount) } group by p1
+invariant[10][offline] { a := empty_set a = a union ss.amt }
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(1, 2)")
+alert |ss.amt| > 0 && cluster.outlier
+return distinct p1, ss[0].amt`
+	for i := 0; i <= len(src); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			_, _ = Parse(src[:i])
+		}()
+	}
+	// Word deletions.
+	words := strings.Fields(src)
+	for i := range words {
+		mutated := strings.Join(append(append([]string{}, words[:i]...), words[i+1:]...), " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic deleting word %d (%q): %v", i, words[i], r)
+				}
+			}()
+			_, _ = Parse(mutated)
+		}()
+	}
+}
+
+// Repeated operators, unbalanced delimiters, and deep nesting must error
+// out cleanly.
+func TestParserPathologicalInputs(t *testing.T) {
+	inputs := []string{
+		strings.Repeat("(", 5000),
+		strings.Repeat("proc p start proc q as e\n", 200),
+		"proc p start proc q as e alert " + strings.Repeat("1+", 2000) + "1 > 0",
+		"proc p[" + strings.Repeat(`"x",`, 500) + `"x"] start proc q`,
+		"alert " + strings.Repeat("|", 99),
+		"proc p start proc q as e with " + strings.Repeat("e ->", 50) + " e",
+		"#time(1 s) #time(2 s)",
+		"state state state",
+		"proc proc proc",
+		"\x00\x01\x02",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on pathological input %.40q...: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// Deep expression nesting parses correctly and round-trips.
+func TestDeepNesting(t *testing.T) {
+	depth := 100
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	q, err := Parse("proc p start proc q as e alert " + expr + " > 0")
+	if err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+	if len(q.Alerts) != 1 {
+		t.Fatal("alert missing")
+	}
+}

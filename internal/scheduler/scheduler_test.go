@@ -1,0 +1,277 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"saql/internal/engine"
+	"saql/internal/event"
+)
+
+var base = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+
+func compile(t *testing.T, name, src string) *engine.Query {
+	t.Helper()
+	q, err := engine.Compile(name, src, engine.CompileOptions{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return q
+}
+
+// Compatible query family: same pattern structure, increasingly strict
+// constraints. q0 (no constraint) subsumes q1 subsumes q2.
+const (
+	qAnyStart = `proc p start proc q2 as e return p, q2`
+	qCmdStart = `proc p["%cmd.exe"] start proc q2 as e return p, q2`
+	qCmdOsql  = `proc p["%cmd.exe"] start proc q2["%osql.exe"] as e return p, q2`
+	qWriteIP  = `proc p write ip i as e return p`
+)
+
+func TestGroupingBySubsumption(t *testing.T) {
+	s := New(nil, true)
+	if err := s.Add(compile(t, "strict", qCmdOsql)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(compile(t, "mid", qCmdStart)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(compile(t, "weak", qAnyStart)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(compile(t, "other", qWriteIP)); err != nil {
+		t.Fatal(err)
+	}
+	if s.GroupCount() != 2 {
+		t.Fatalf("groups = %d, want 2 (start-family + write-ip)", s.GroupCount())
+	}
+	groups := s.Groups()
+	deps, ok := groups["weak"]
+	if !ok {
+		t.Fatalf("weakest query should be master: %v", groups)
+	}
+	if len(deps) != 2 {
+		t.Errorf("dependents = %v, want strict+mid", deps)
+	}
+}
+
+func TestMasterPromotion(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	// Weaker query arrives later: must take over as master.
+	_ = s.Add(compile(t, "weak", qAnyStart))
+	groups := s.Groups()
+	if _, ok := groups["weak"]; !ok {
+		t.Fatalf("weak should be master: %v", groups)
+	}
+}
+
+func TestSharingProducesSameAlerts(t *testing.T) {
+	events := startEvents()
+
+	shared := New(nil, true)
+	_ = shared.Add(compile(t, "weak", qAnyStart))
+	_ = shared.Add(compile(t, "mid", qCmdStart))
+	_ = shared.Add(compile(t, "strict", qCmdOsql))
+
+	solo := New(nil, false)
+	_ = solo.Add(compile(t, "weak", qAnyStart))
+	_ = solo.Add(compile(t, "mid", qCmdStart))
+	_ = solo.Add(compile(t, "strict", qCmdOsql))
+
+	countByQuery := func(s *Scheduler) map[string]int {
+		got := map[string]int{}
+		for _, ev := range events {
+			for _, a := range s.Process(ev) {
+				got[a.Query]++
+			}
+		}
+		for _, a := range s.Flush() {
+			got[a.Query]++
+		}
+		return got
+	}
+	a, b := countByQuery(shared), countByQuery(solo)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("query %s: shared=%d solo=%d", k, a[k], b[k])
+		}
+	}
+	if a["weak"] == 0 || a["strict"] == 0 {
+		t.Errorf("expected alerts from both ends of the family: %v", a)
+	}
+	// Stricter queries must alert on a subset.
+	if !(a["weak"] >= a["mid"] && a["mid"] >= a["strict"]) {
+		t.Errorf("subsumption violated in alert counts: %v", a)
+	}
+}
+
+func startEvents() []*event.Event {
+	var out []*event.Event
+	procs := []struct {
+		parent, child string
+	}{
+		{"cmd.exe", "osql.exe"},
+		{"cmd.exe", "ping.exe"},
+		{"explorer.exe", "notepad.exe"},
+		{"cmd.exe", "osql.exe"},
+		{"bash", "ls"},
+	}
+	for i, pc := range procs {
+		out = append(out, &event.Event{
+			Time:    base.Add(time.Duration(i) * time.Second),
+			AgentID: "h1",
+			Subject: event.Process(pc.parent, int32(100+i)),
+			Op:      event.OpStart,
+			Object:  event.Process(pc.child, int32(200+i)),
+		})
+	}
+	return out
+}
+
+func TestCopyAccounting(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "weak", qAnyStart))
+	_ = s.Add(compile(t, "mid", qCmdStart))
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	evs := startEvents()
+	// Non-matching noise: dependents never see these events at all — only
+	// the master evaluates them. This is where the scheme saves CPU.
+	for i := 0; i < 5; i++ {
+		evs = append(evs, &event.Event{
+			Time:    base.Add(time.Duration(10+i) * time.Second),
+			AgentID: "h1",
+			Subject: event.Process("svchost.exe", 9),
+			Op:      event.OpWrite,
+			Object:  event.File(`C:\Windows\log`),
+		})
+	}
+	for _, ev := range evs {
+		s.Process(ev)
+	}
+	st := s.Stats()
+	if st.Events != 10 {
+		t.Errorf("events = %d", st.Events)
+	}
+	// One group: copies = events; naive = 3× events.
+	if st.StreamCopies != 10 || st.NaiveCopies != 30 {
+		t.Errorf("copies = %d/%d, want 10/30", st.StreamCopies, st.NaiveCopies)
+	}
+	if got := st.SharingRatio(); got != 3 {
+		t.Errorf("sharing ratio = %v, want 3", got)
+	}
+	// Dependents evaluate patterns only on master hits, so pattern evals
+	// must be below the naive count: master 10 + 2 deps × 5 hits = 20 < 30.
+	if st.PatternEvals >= st.NaivePatternEvals {
+		t.Errorf("pattern evals = %d, naive = %d: no saving", st.PatternEvals, st.NaivePatternEvals)
+	}
+}
+
+func TestNoSharingMode(t *testing.T) {
+	s := New(nil, false)
+	_ = s.Add(compile(t, "a", qAnyStart))
+	_ = s.Add(compile(t, "b", qCmdStart))
+	if s.GroupCount() != 2 {
+		t.Errorf("groups = %d, want 2 without sharing", s.GroupCount())
+	}
+	st := s.Stats()
+	_ = st
+	for _, ev := range startEvents() {
+		s.Process(ev)
+	}
+	st = s.Stats()
+	if st.StreamCopies != st.NaiveCopies {
+		t.Errorf("no-sharing copies %d != naive %d", st.StreamCopies, st.NaiveCopies)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "a", qAnyStart))
+	if err := s.Add(compile(t, "a", qCmdStart)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "weak", qAnyStart))
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	if !s.Remove("strict") {
+		t.Fatal("remove dependent failed")
+	}
+	if s.QueryCount() != 1 || s.GroupCount() != 1 {
+		t.Errorf("after remove: queries=%d groups=%d", s.QueryCount(), s.GroupCount())
+	}
+	// Removing the master re-groups survivors.
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	_ = s.Add(compile(t, "mid", qCmdStart))
+	if !s.Remove("weak") {
+		t.Fatal("remove master failed")
+	}
+	if s.QueryCount() != 2 {
+		t.Errorf("queries = %d, want 2", s.QueryCount())
+	}
+	groups := s.Groups()
+	if _, ok := groups["mid"]; !ok {
+		t.Errorf("mid should be promoted master: %v", groups)
+	}
+	if s.Remove("nope") {
+		t.Error("removing unknown query succeeded")
+	}
+}
+
+func TestDependentWindowsAdvance(t *testing.T) {
+	// A stateful dependent must close windows even when the master's hits
+	// never match it.
+	s := New(nil, true)
+	_ = s.Add(compile(t, "master", `proc p write ip i as e return p`))
+	_ = s.Add(compile(t, "dep", `proc p["%never.exe"] write ip i as e #time(1 min)
+state ss { n := count(e) } group by p
+alert ss.n > 100
+return p`))
+	if s.GroupCount() != 1 {
+		t.Fatalf("groups = %d, want 1", s.GroupCount())
+	}
+	conn := event.NetConn("1.1.1.1", 1, "2.2.2.2", 2)
+	for i := 0; i < 10; i++ {
+		alerts := s.Process(&event.Event{
+			Time:    base.Add(time.Duration(i) * 20 * time.Second),
+			AgentID: "h", Subject: event.Process("x.exe", 1), Op: event.OpWrite, Object: conn, Amount: 10,
+		})
+		// The master (a plain rule query) alerts on every match; the
+		// stateful dependent must stay silent but still observe the
+		// watermark (no stuck windows, no panic).
+		for _, a := range alerts {
+			if a.Query == "dep" {
+				t.Fatalf("dependent alerted: %v", a)
+			}
+		}
+	}
+	if got := s.Stats().Alerts; got != 10 {
+		t.Errorf("master alerts = %d, want 10", got)
+	}
+}
+
+func TestManyQueriesScale(t *testing.T) {
+	// 64 variants in one family must form one group.
+	s := New(nil, true)
+	_ = s.Add(compile(t, "master", qAnyStart))
+	for i := 0; i < 63; i++ {
+		src := fmt.Sprintf(`proc p["%%cmd.exe"] start proc q2[pid > %d] as e return p, q2`, i)
+		if err := s.Add(compile(t, fmt.Sprintf("v%d", i), src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.GroupCount() != 1 {
+		t.Errorf("groups = %d, want 1", s.GroupCount())
+	}
+	for _, ev := range startEvents() {
+		s.Process(ev)
+	}
+	st := s.Stats()
+	if st.SharingRatio() < 50 {
+		t.Errorf("sharing ratio = %.1f, want ~64", st.SharingRatio())
+	}
+}

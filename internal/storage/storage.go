@@ -1,0 +1,505 @@
+// Package storage implements the event store behind the stream replayer.
+// The paper stores collected monitoring data in databases so attack traces
+// can be replayed on demand; this package provides the equivalent embedded
+// store: append-only segment files holding length-prefixed, CRC-checked
+// binary event records, with per-segment time/host metadata so range scans
+// touch only relevant segments.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"saql/internal/event"
+)
+
+const (
+	segmentPrefix  = "events-"
+	segmentSuffix  = ".seg"
+	metaSuffix     = ".idx"
+	defaultSegSize = 8 << 20 // rotate segments at 8 MiB
+)
+
+// segMeta is the sidecar index of a sealed segment.
+type segMeta struct {
+	MinTime int64           `json:"min_time"`
+	MaxTime int64           `json:"max_time"`
+	Count   int64           `json:"count"`
+	Hosts   map[string]bool `json:"hosts"`
+}
+
+// Store is an append-only event store rooted at a directory.
+type Store struct {
+	dir        string
+	maxSegSize int64
+
+	active     *os.File
+	activeName string
+	activeSize int64
+	activeMeta segMeta
+	nextSeg    int
+}
+
+// Options configure a store.
+type Options struct {
+	// MaxSegmentSize rotates the active segment beyond this many bytes;
+	// zero uses 8 MiB.
+	MaxSegmentSize int64
+}
+
+// Open opens (creating if needed) a store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{dir: dir, maxSegSize: opts.MaxSegmentSize}
+	if s.maxSegSize <= 0 {
+		s.maxSegSize = defaultSegSize
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		n, err := segNumber(last)
+		if err != nil {
+			return nil, err
+		}
+		s.nextSeg = n + 1
+	} else {
+		s.nextSeg = 1
+	}
+	return s, nil
+}
+
+// Append writes one event to the active segment, rotating as needed.
+func (s *Store) Append(ev *event.Event) error {
+	if s.active == nil {
+		if err := s.openSegment(); err != nil {
+			return err
+		}
+	}
+	rec := encodeEvent(ev)
+	n, err := s.active.Write(rec)
+	if err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	s.activeSize += int64(n)
+	ts := ev.Time.UnixNano()
+	if s.activeMeta.Count == 0 || ts < s.activeMeta.MinTime {
+		s.activeMeta.MinTime = ts
+	}
+	if s.activeMeta.Count == 0 || ts > s.activeMeta.MaxTime {
+		s.activeMeta.MaxTime = ts
+	}
+	s.activeMeta.Count++
+	s.activeMeta.Hosts[ev.AgentID] = true
+	if s.activeSize >= s.maxSegSize {
+		return s.seal()
+	}
+	return nil
+}
+
+// AppendAll appends a batch of events.
+func (s *Store) AppendAll(evs []*event.Event) error {
+	for _, ev := range evs {
+		if err := s.Append(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) openSegment() error {
+	name := fmt.Sprintf("%s%06d%s", segmentPrefix, s.nextSeg, segmentSuffix)
+	s.nextSeg++
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: open segment: %w", err)
+	}
+	s.active = f
+	s.activeName = name
+	s.activeSize = 0
+	s.activeMeta = segMeta{Hosts: map[string]bool{}}
+	return nil
+}
+
+// seal closes the active segment and writes its sidecar index.
+func (s *Store) seal() error {
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	meta, err := json.Marshal(s.activeMeta)
+	if err != nil {
+		return fmt.Errorf("storage: meta: %w", err)
+	}
+	metaPath := filepath.Join(s.dir, strings.TrimSuffix(s.activeName, segmentSuffix)+metaSuffix)
+	if err := os.WriteFile(metaPath, meta, 0o644); err != nil {
+		return fmt.Errorf("storage: meta: %w", err)
+	}
+	s.active = nil
+	s.activeName = ""
+	return nil
+}
+
+// Close seals the active segment and closes the store.
+func (s *Store) Close() error { return s.seal() }
+
+func (s *Store) listSegments() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+func segNumber(name string) (int, error) {
+	num := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	var n int
+	if _, err := fmt.Sscanf(num, "%d", &n); err != nil {
+		return 0, fmt.Errorf("storage: bad segment name %q", name)
+	}
+	return n, nil
+}
+
+// Selection filters a scan.
+type Selection struct {
+	// Hosts restricts to these agent ids; empty means all hosts.
+	Hosts []string
+	// From/To bound event time (inclusive from, exclusive to). Zero values
+	// mean unbounded.
+	From time.Time
+	To   time.Time
+}
+
+func (sel *Selection) hostSet() map[string]bool {
+	if len(sel.Hosts) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(sel.Hosts))
+	for _, h := range sel.Hosts {
+		m[h] = true
+	}
+	return m
+}
+
+func (sel *Selection) matches(ev *event.Event, hosts map[string]bool) bool {
+	if hosts != nil && !hosts[ev.AgentID] {
+		return false
+	}
+	if !sel.From.IsZero() && ev.Time.Before(sel.From) {
+		return false
+	}
+	if !sel.To.IsZero() && !ev.Time.Before(sel.To) {
+		return false
+	}
+	return true
+}
+
+// segmentOverlaps consults the sidecar index (if present) to skip segments
+// entirely outside the selection.
+func (sel *Selection) segmentOverlaps(meta *segMeta) bool {
+	if meta == nil {
+		return true
+	}
+	if !sel.From.IsZero() && meta.MaxTime < sel.From.UnixNano() {
+		return false
+	}
+	if !sel.To.IsZero() && meta.MinTime >= sel.To.UnixNano() {
+		return false
+	}
+	if len(sel.Hosts) > 0 {
+		any := false
+		for _, h := range sel.Hosts {
+			if meta.Hosts[h] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan reads all stored events matching sel, in storage order (which is
+// append order; collection agents append in time order), invoking yield for
+// each. A yield error aborts the scan.
+func (s *Store) Scan(sel Selection, yield func(*event.Event) error) error {
+	// Seal the active segment so its data is visible to the scan.
+	if err := s.seal(); err != nil {
+		return err
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	hosts := sel.hostSet()
+	for _, seg := range segs {
+		meta := s.readMeta(seg)
+		if !sel.segmentOverlaps(meta) {
+			continue
+		}
+		if err := s.scanSegment(seg, sel, hosts, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll collects all events matching sel.
+func (s *Store) ReadAll(sel Selection) ([]*event.Event, error) {
+	var out []*event.Event
+	err := s.Scan(sel, func(ev *event.Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
+}
+
+func (s *Store) readMeta(seg string) *segMeta {
+	metaPath := filepath.Join(s.dir, strings.TrimSuffix(seg, segmentSuffix)+metaSuffix)
+	data, err := os.ReadFile(metaPath)
+	if err != nil {
+		return nil
+	}
+	var m segMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil
+	}
+	return &m
+}
+
+func (s *Store) scanSegment(seg string, sel Selection, hosts map[string]bool, yield func(*event.Event) error) error {
+	f, err := os.Open(filepath.Join(s.dir, seg))
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("storage: read %s: %w", seg, err)
+	}
+	off := 0
+	for off < len(data) {
+		ev, n, err := decodeEvent(data[off:])
+		if err != nil {
+			return fmt.Errorf("storage: segment %s offset %d: %w", seg, off, err)
+		}
+		off += n
+		if sel.matches(ev, hosts) {
+			if err := yield(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+// encodeEvent produces: uvarint payloadLen | payload | crc32(payload).
+func encodeEvent(ev *event.Event) []byte {
+	payload := make([]byte, 0, 128)
+	payload = binary.AppendUvarint(payload, ev.ID)
+	payload = binary.AppendVarint(payload, ev.Time.UnixNano())
+	payload = appendString(payload, ev.AgentID)
+	payload = appendEntity(payload, &ev.Subject)
+	payload = append(payload, byte(ev.Op))
+	payload = appendEntity(payload, &ev.Object)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(float64bits(ev.Amount)))
+
+	rec := binary.AppendUvarint(nil, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	return rec
+}
+
+func decodeEvent(data []byte) (*event.Event, int, error) {
+	plen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad record length")
+	}
+	total := n + int(plen) + 4
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("truncated record (%d < %d)", len(data), total)
+	}
+	payload := data[n : n+int(plen)]
+	wantCRC := binary.LittleEndian.Uint32(data[n+int(plen):])
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, 0, fmt.Errorf("crc mismatch")
+	}
+
+	ev := &event.Event{}
+	off := 0
+	id, k := binary.Uvarint(payload[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("bad id")
+	}
+	off += k
+	ev.ID = id
+	ts, k := binary.Varint(payload[off:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("bad time")
+	}
+	off += k
+	ev.Time = time.Unix(0, ts)
+	agent, k, err := readString(payload[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += k
+	ev.AgentID = agent
+	subj, k, err := readEntity(payload[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += k
+	ev.Subject = subj
+	if off >= len(payload) {
+		return nil, 0, fmt.Errorf("truncated op")
+	}
+	ev.Op = event.Op(payload[off])
+	off++
+	obj, k, err := readEntity(payload[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += k
+	ev.Object = obj
+	if len(payload[off:]) < 8 {
+		return nil, 0, fmt.Errorf("truncated amount")
+	}
+	ev.Amount = float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+	return ev, total, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || len(b) < n+int(l) {
+		return "", 0, fmt.Errorf("bad string")
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}
+
+func appendEntity(b []byte, e *event.Entity) []byte {
+	b = append(b, byte(e.Type))
+	switch e.Type {
+	case event.EntityProcess:
+		b = appendString(b, e.ExeName)
+		b = binary.AppendVarint(b, int64(e.PID))
+		b = appendString(b, e.User)
+		b = appendString(b, e.CmdLine)
+	case event.EntityFile:
+		b = appendString(b, e.Path)
+	case event.EntityNetConn:
+		b = appendString(b, e.SrcIP)
+		b = binary.AppendVarint(b, int64(e.SrcPort))
+		b = appendString(b, e.DstIP)
+		b = binary.AppendVarint(b, int64(e.DstPort))
+		b = appendString(b, e.Protocol)
+	}
+	return b
+}
+
+func readEntity(b []byte) (event.Entity, int, error) {
+	var e event.Entity
+	if len(b) == 0 {
+		return e, 0, fmt.Errorf("truncated entity")
+	}
+	e.Type = event.EntityType(b[0])
+	off := 1
+	str := func() (string, error) {
+		s, n, err := readString(b[off:])
+		off += n
+		return s, err
+	}
+	num := func() (int64, error) {
+		v, n := binary.Varint(b[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bad varint")
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	switch e.Type {
+	case event.EntityProcess:
+		if e.ExeName, err = str(); err != nil {
+			return e, 0, err
+		}
+		pid, err := num()
+		if err != nil {
+			return e, 0, err
+		}
+		e.PID = int32(pid)
+		if e.User, err = str(); err != nil {
+			return e, 0, err
+		}
+		if e.CmdLine, err = str(); err != nil {
+			return e, 0, err
+		}
+	case event.EntityFile:
+		if e.Path, err = str(); err != nil {
+			return e, 0, err
+		}
+	case event.EntityNetConn:
+		if e.SrcIP, err = str(); err != nil {
+			return e, 0, err
+		}
+		sp, err := num()
+		if err != nil {
+			return e, 0, err
+		}
+		e.SrcPort = int32(sp)
+		if e.DstIP, err = str(); err != nil {
+			return e, 0, err
+		}
+		dp, err := num()
+		if err != nil {
+			return e, 0, err
+		}
+		e.DstPort = int32(dp)
+		if e.Protocol, err = str(); err != nil {
+			return e, 0, err
+		}
+	default:
+		return e, 0, fmt.Errorf("unknown entity type %d", e.Type)
+	}
+	return e, off, nil
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

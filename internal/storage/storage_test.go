@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saql/internal/event"
+)
+
+var base = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+
+func sampleEvents(n int) []*event.Event {
+	out := make([]*event.Event, n)
+	for i := range out {
+		agent := "host-a"
+		if i%3 == 0 {
+			agent = "host-b"
+		}
+		out[i] = &event.Event{
+			ID:      uint64(i + 1),
+			Time:    base.Add(time.Duration(i) * time.Second),
+			AgentID: agent,
+			Subject: event.Process("sqlservr.exe", 1680),
+			Op:      event.OpWrite,
+			Object:  event.NetConn("10.0.0.2", 1433, "10.0.1.5", 49000),
+			Amount:  float64(i) * 100,
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEvents(100)
+	if err := s.AppendAll(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadAll(Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.ID != w.ID || !g.Time.Equal(w.Time) || g.AgentID != w.AgentID ||
+			g.Op != w.Op || g.Amount != w.Amount ||
+			g.Subject != w.Subject || g.Object != w.Object {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionFilters(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	evs := sampleEvents(90)
+	if err := s.AppendAll(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	onlyB, err := s.ReadAll(Selection{Hosts: []string{"host-b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyB) != 30 {
+		t.Errorf("host-b events = %d, want 30", len(onlyB))
+	}
+	for _, ev := range onlyB {
+		if ev.AgentID != "host-b" {
+			t.Fatal("host filter leaked")
+		}
+	}
+
+	slice, err := s.ReadAll(Selection{From: base.Add(10 * time.Second), To: base.Add(20 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slice) != 10 {
+		t.Errorf("time slice = %d events, want 10", len(slice))
+	}
+	for _, ev := range slice {
+		if ev.Time.Before(base.Add(10*time.Second)) || !ev.Time.Before(base.Add(20*time.Second)) {
+			t.Fatal("time filter leaked")
+		}
+	}
+
+	none, err := s.ReadAll(Selection{Hosts: []string{"host-z"}})
+	if err != nil || len(none) != 0 {
+		t.Errorf("unknown host = %d events, %v", len(none), err)
+	}
+}
+
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{MaxSegmentSize: 1024})
+	if err := s.AppendAll(sampleEvents(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var segs, idxs int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".seg":
+			segs++
+		case ".idx":
+			idxs++
+		}
+	}
+	if segs < 2 {
+		t.Errorf("segments = %d, want rotation", segs)
+	}
+	if idxs != segs {
+		t.Errorf("idx sidecars = %d, segments = %d", idxs, segs)
+	}
+
+	// Re-open and keep appending; old data must survive.
+	s2, err := Open(dir, Options{MaxSegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := sampleEvents(10)
+	for _, ev := range extra {
+		ev.Time = base.Add(time.Hour)
+	}
+	if err := s2.AppendAll(extra); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s2.ReadAll(Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 210 {
+		t.Errorf("total after reopen = %d, want 210", len(all))
+	}
+}
+
+func TestScanAbort(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	_ = s.AppendAll(sampleEvents(50))
+	n := 0
+	err := s.Scan(Selection{}, func(*event.Event) error {
+		n++
+		if n == 10 {
+			return os.ErrClosed
+		}
+		return nil
+	})
+	if err == nil || n != 10 {
+		t.Errorf("scan abort: n=%d err=%v", n, err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	_ = s.AppendAll(sampleEvents(5))
+	_ = s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	data, _ := os.ReadFile(segs[0])
+	data[len(data)/2] ^= 0xFF // flip a bit mid-file
+	_ = os.WriteFile(segs[0], data, 0o644)
+
+	s2, _ := Open(dir, Options{})
+	if _, err := s2.ReadAll(Selection{}); err == nil {
+		t.Error("corrupted segment read without error")
+	}
+}
+
+func TestAllEntityTypesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	proc := event.Process("x.exe", 42)
+	proc.User = "alice"
+	proc.CmdLine = "x.exe -v"
+	evs := []*event.Event{
+		{ID: 1, Time: base, AgentID: "h", Subject: proc, Op: event.OpStart, Object: event.Process("y.exe", 43)},
+		{ID: 2, Time: base.Add(time.Second), AgentID: "h", Subject: proc, Op: event.OpWrite, Object: event.File(`C:\a b\f.txt`), Amount: 12.5},
+		{ID: 3, Time: base.Add(2 * time.Second), AgentID: "h", Subject: proc, Op: event.OpConnect, Object: event.NetConn("1.2.3.4", 555, "5.6.7.8", 443)},
+	}
+	_ = s.AppendAll(evs)
+	got, err := s.ReadAll(Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		if got[i].Subject != evs[i].Subject || got[i].Object != evs[i].Object {
+			t.Errorf("event %d entities mismatch: %+v vs %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary events.
+func TestCodecProperty(t *testing.T) {
+	f := func(id uint64, ns int64, agent, exe string, pid int32, path string, amount float64) bool {
+		ev := &event.Event{
+			ID:      id,
+			Time:    time.Unix(0, ns),
+			AgentID: agent,
+			Subject: event.Process(exe, pid),
+			Op:      event.OpWrite,
+			Object:  event.File(path),
+			Amount:  amount,
+		}
+		rec := encodeEvent(ev)
+		got, n, err := decodeEvent(rec)
+		if err != nil || n != len(rec) {
+			return false
+		}
+		return got.ID == ev.ID && got.Time.Equal(ev.Time) && got.AgentID == ev.AgentID &&
+			got.Subject == ev.Subject && got.Object == ev.Object &&
+			(got.Amount == ev.Amount || (got.Amount != got.Amount && ev.Amount != ev.Amount))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package stream implements the event stream infrastructure that replaces
+// the Siddhi CEP substrate of the paper: a publish/subscribe broker fanning
+// the aggregated event feed out to consumers with bounded buffers and
+// explicit overflow policies, plus an ordered k-way merge for combining
+// per-host feeds into the single enterprise-wide stream the SAQL engine
+// consumes.
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"saql/internal/event"
+)
+
+// OverflowPolicy selects what Publish does when a subscriber's buffer is full.
+type OverflowPolicy uint8
+
+// Overflow policies.
+const (
+	// Block applies backpressure: Publish waits until the subscriber has
+	// capacity. This is the default for correctness-critical consumers
+	// (the anomaly engine must not observe gaps).
+	Block OverflowPolicy = iota
+	// DropNewest discards the incoming event for that subscriber.
+	DropNewest
+)
+
+// Subscription is one consumer's view of the stream.
+type Subscription struct {
+	C       <-chan *event.Event
+	ch      chan *event.Event
+	policy  OverflowPolicy
+	id      int
+	dropped atomic.Int64
+	closed  bool
+}
+
+// Dropped reports how many events overflow discarded for this subscriber.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Broker fans published events out to all subscribers.
+type Broker struct {
+	mu        sync.Mutex
+	subs      map[int]*Subscription
+	nextID    int
+	closed    bool
+	published atomic.Int64
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: map[int]*Subscription{}}
+}
+
+// Subscribe registers a consumer with the given buffer size and overflow
+// policy. The returned subscription's channel is closed when the broker
+// closes or the subscription is cancelled.
+func (b *Broker) Subscribe(buf int, policy OverflowPolicy) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan *event.Event, buf)
+	sub := &Subscription{ch: ch, C: ch, policy: policy, id: b.nextID}
+	b.nextID++
+	if b.closed {
+		close(ch)
+		sub.closed = true
+		return sub
+	}
+	b.subs[sub.id] = sub
+	return sub
+}
+
+// Unsubscribe cancels a subscription and closes its channel.
+func (b *Broker) Unsubscribe(sub *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.subs[sub.id]; ok && s == sub {
+		delete(b.subs, sub.id)
+		close(sub.ch)
+		sub.closed = true
+	}
+}
+
+// Publish delivers ev to every subscriber according to its overflow policy.
+// It is safe for concurrent use.
+func (b *Broker) Publish(ev *event.Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	// Copy the subscriber list so blocking sends happen outside the lock.
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	b.published.Add(1)
+	for _, s := range subs {
+		switch s.policy {
+		case Block:
+			s.ch <- ev
+		case DropNewest:
+			select {
+			case s.ch <- ev:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// Published reports how many events have been published.
+func (b *Broker) Published() int64 { return b.published.Load() }
+
+// SubscriberCount reports the number of live subscriptions.
+func (b *Broker) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close closes the broker and all subscriber channels. Publish becomes a
+// no-op afterwards.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		close(s.ch)
+		s.closed = true
+		delete(b.subs, id)
+	}
+}
+
+// Merge combines per-host event channels into a single stream ordered by
+// event time, assuming each input channel is itself time-ordered (true for
+// collection agents and replayers). The merge is a k-way heap merge: it
+// waits for one pending event per live input, so the output is totally
+// ordered. The output channel closes when all inputs are exhausted.
+func Merge(inputs ...<-chan *event.Event) <-chan *event.Event {
+	out := make(chan *event.Event, 64)
+	go func() {
+		defer close(out)
+		type head struct {
+			ev *event.Event
+			ch <-chan *event.Event
+		}
+		// Initialise the heap with one event per input.
+		var heap []head
+		push := func(h head) {
+			heap = append(heap, h)
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if heap[i].ev.Time.Before(heap[parent].ev.Time) {
+					heap[i], heap[parent] = heap[parent], heap[i]
+					i = parent
+				} else {
+					break
+				}
+			}
+		}
+		pop := func() head {
+			top := heap[0]
+			last := len(heap) - 1
+			heap[0] = heap[last]
+			heap = heap[:last]
+			for i := 0; ; {
+				l, r := 2*i+1, 2*i+2
+				small := i
+				if l < len(heap) && heap[l].ev.Time.Before(heap[small].ev.Time) {
+					small = l
+				}
+				if r < len(heap) && heap[r].ev.Time.Before(heap[small].ev.Time) {
+					small = r
+				}
+				if small == i {
+					break
+				}
+				heap[i], heap[small] = heap[small], heap[i]
+				i = small
+			}
+			return top
+		}
+		for _, ch := range inputs {
+			if ev, ok := <-ch; ok {
+				push(head{ev: ev, ch: ch})
+			}
+		}
+		for len(heap) > 0 {
+			h := pop()
+			out <- h.ev
+			if ev, ok := <-h.ch; ok {
+				push(head{ev: ev, ch: h.ch})
+			}
+		}
+	}()
+	return out
+}
+
+// Sequence stamps monotonically increasing IDs onto events flowing through
+// it, forming the aggregated enterprise feed.
+type Sequence struct {
+	next atomic.Uint64
+}
+
+// Stamp assigns the next ID to ev and returns it.
+func (s *Sequence) Stamp(ev *event.Event) *event.Event {
+	ev.ID = s.next.Add(1)
+	return ev
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+)
+
+var base = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+
+func mkEvent(i int, at time.Time) *event.Event {
+	return &event.Event{
+		ID:      uint64(i),
+		Time:    at,
+		AgentID: "h",
+		Subject: event.Process("p", 1),
+		Op:      event.OpRead,
+		Object:  event.File("/f"),
+	}
+}
+
+func TestBrokerFanOut(t *testing.T) {
+	b := NewBroker()
+	s1 := b.Subscribe(16, Block)
+	s2 := b.Subscribe(16, Block)
+	for i := 0; i < 5; i++ {
+		b.Publish(mkEvent(i, base))
+	}
+	b.Close()
+	var n1, n2 int
+	for range s1.C {
+		n1++
+	}
+	for range s2.C {
+		n2++
+	}
+	if n1 != 5 || n2 != 5 {
+		t.Errorf("fan-out = %d/%d, want 5/5", n1, n2)
+	}
+	if b.Published() != 5 {
+		t.Errorf("published = %d", b.Published())
+	}
+}
+
+func TestBrokerBackpressure(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(1, Block)
+	done := make(chan struct{})
+	go func() {
+		// Two publishes: the second must block until we receive.
+		b.Publish(mkEvent(1, base))
+		b.Publish(mkEvent(2, base))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("publish did not block on full buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	<-sub.C
+	<-sub.C
+	<-done
+	b.Close()
+}
+
+func TestBrokerDropNewest(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(2, DropNewest)
+	for i := 0; i < 10; i++ {
+		b.Publish(mkEvent(i, base))
+	}
+	if sub.Dropped() != 8 {
+		t.Errorf("dropped = %d, want 8", sub.Dropped())
+	}
+	b.Close()
+	var got []uint64
+	for ev := range sub.C {
+		got = append(got, ev.ID)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("kept = %v, want oldest two", got)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(4, Block)
+	b.Unsubscribe(sub)
+	if b.SubscriberCount() != 0 {
+		t.Error("unsubscribe did not remove")
+	}
+	// Channel closed.
+	if _, ok := <-sub.C; ok {
+		t.Error("channel should be closed")
+	}
+	// Publishing after unsubscribe must not panic or block.
+	b.Publish(mkEvent(1, base))
+	// Double unsubscribe is a no-op.
+	b.Unsubscribe(sub)
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	b := NewBroker()
+	b.Close()
+	sub := b.Subscribe(1, Block)
+	if _, ok := <-sub.C; ok {
+		t.Error("subscription on closed broker should be closed")
+	}
+	b.Publish(mkEvent(1, base)) // no-op
+	b.Close()                   // idempotent
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(1024, Block)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish(mkEvent(w*100+i, base))
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close()
+	n := 0
+	for range sub.C {
+		n++
+	}
+	if n != 800 {
+		t.Errorf("received %d, want 800", n)
+	}
+}
+
+func TestMergeOrders(t *testing.T) {
+	// Three per-host channels, each time-ordered, interleaved globally.
+	chans := make([]chan *event.Event, 3)
+	var inputs []<-chan *event.Event
+	for i := range chans {
+		chans[i] = make(chan *event.Event, 16)
+		inputs = append(inputs, chans[i])
+	}
+	id := 0
+	for step := 0; step < 5; step++ {
+		for host := 0; host < 3; host++ {
+			chans[host] <- mkEvent(id, base.Add(time.Duration(step*3+host)*time.Second))
+			id++
+		}
+	}
+	for _, c := range chans {
+		close(c)
+	}
+	out := Merge(inputs...)
+	var last time.Time
+	n := 0
+	for ev := range out {
+		if n > 0 && ev.Time.Before(last) {
+			t.Fatalf("merge out of order at %d: %v < %v", n, ev.Time, last)
+		}
+		last = ev.Time
+		n++
+	}
+	if n != 15 {
+		t.Errorf("merged %d, want 15", n)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	empty := make(chan *event.Event)
+	close(empty)
+	out := Merge((<-chan *event.Event)(empty))
+	if _, ok := <-out; ok {
+		t.Error("empty merge should close immediately")
+	}
+
+	one := make(chan *event.Event, 2)
+	one <- mkEvent(1, base)
+	one <- mkEvent(2, base.Add(time.Second))
+	close(one)
+	n := 0
+	for range Merge((<-chan *event.Event)(one)) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("single merge = %d", n)
+	}
+}
+
+func TestSequenceStamp(t *testing.T) {
+	var s Sequence
+	a := s.Stamp(mkEvent(0, base))
+	b := s.Stamp(mkEvent(0, base))
+	if a.ID != 1 || b.ID != 2 {
+		t.Errorf("ids = %d, %d", a.ID, b.ID)
+	}
+}

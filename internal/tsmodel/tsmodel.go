@@ -1,0 +1,225 @@
+// Package tsmodel implements the time-series anomaly models expressible in
+// SAQL's sliding-window state syntax: simple, weighted, and exponential
+// moving averages, plus threshold and z-score detectors. Query 2 of the
+// paper encodes an SMA spike detector directly in SAQL; this package is the
+// reference implementation those queries are validated against and the
+// building block for programmatic detection pipelines (see the
+// network-monitor example and the E4 ablation bench).
+package tsmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detector consumes a series one observation at a time and scores each for
+// anomaly. Observe returns the model's score for x and whether x is
+// anomalous under the model's rule.
+type Detector interface {
+	Observe(x float64) (score float64, anomalous bool)
+	Reset()
+}
+
+// SMA is a simple-moving-average spike detector: an observation is anomalous
+// when it exceeds the mean of the last N observations (including itself, as
+// Query 2 does with (ss[0]+ss[1]+ss[2])/3) and also exceeds MinValue. It
+// needs N observations before it starts flagging.
+type SMA struct {
+	N        int
+	MinValue float64
+	buf      []float64
+}
+
+// NewSMA creates an SMA detector over n observations with a minimum
+// magnitude gate (the paper's `ss[0].avg_amount > 10000` conjunct).
+func NewSMA(n int, minValue float64) (*SMA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tsmodel: SMA needs n >= 2, got %d", n)
+	}
+	return &SMA{N: n, MinValue: minValue}, nil
+}
+
+// Observe implements Detector. The score is x / movingAverage (spike ratio).
+func (s *SMA) Observe(x float64) (float64, bool) {
+	s.buf = append(s.buf, x)
+	if len(s.buf) > s.N {
+		s.buf = s.buf[len(s.buf)-s.N:]
+	}
+	if len(s.buf) < s.N {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range s.buf {
+		sum += v
+	}
+	mean := sum / float64(len(s.buf))
+	if mean == 0 {
+		return 0, false
+	}
+	score := x / mean
+	return score, x > mean && x > s.MinValue
+}
+
+// Reset implements Detector.
+func (s *SMA) Reset() { s.buf = s.buf[:0] }
+
+// EMA is an exponential-moving-average detector: anomalous when the
+// observation exceeds Factor times the running EMA (and MinValue).
+type EMA struct {
+	Alpha    float64
+	Factor   float64
+	MinValue float64
+	ema      float64
+	seen     bool
+}
+
+// NewEMA creates an EMA detector. alpha in (0,1] is the smoothing factor;
+// factor is the spike multiple that triggers an alert.
+func NewEMA(alpha, factor, minValue float64) (*EMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("tsmodel: EMA alpha must be in (0,1], got %g", alpha)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("tsmodel: EMA factor must be positive, got %g", factor)
+	}
+	return &EMA{Alpha: alpha, Factor: factor, MinValue: minValue}, nil
+}
+
+// Observe implements Detector.
+func (e *EMA) Observe(x float64) (float64, bool) {
+	if !e.seen {
+		e.ema = x
+		e.seen = true
+		return 0, false
+	}
+	prev := e.ema
+	e.ema = e.Alpha*x + (1-e.Alpha)*prev
+	if prev == 0 {
+		return 0, false
+	}
+	score := x / prev
+	return score, score > e.Factor && x > e.MinValue
+}
+
+// Reset implements Detector.
+func (e *EMA) Reset() { e.ema, e.seen = 0, false }
+
+// WMA is a linearly weighted moving-average detector (recent observations
+// weigh more), flagging observations above Factor times the WMA.
+type WMA struct {
+	N        int
+	Factor   float64
+	MinValue float64
+	buf      []float64
+}
+
+// NewWMA creates a WMA detector over n observations.
+func NewWMA(n int, factor, minValue float64) (*WMA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tsmodel: WMA needs n >= 2, got %d", n)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("tsmodel: WMA factor must be positive, got %g", factor)
+	}
+	return &WMA{N: n, Factor: factor, MinValue: minValue}, nil
+}
+
+// Observe implements Detector. The observation is scored against the WMA of
+// the previous N observations (excluding itself), so a spike is not damped
+// by its own weight.
+func (w *WMA) Observe(x float64) (float64, bool) {
+	defer func() {
+		w.buf = append(w.buf, x)
+		if len(w.buf) > w.N {
+			w.buf = w.buf[len(w.buf)-w.N:]
+		}
+	}()
+	if len(w.buf) < w.N {
+		return 0, false
+	}
+	var num, den float64
+	for i, v := range w.buf {
+		wt := float64(i + 1)
+		num += wt * v
+		den += wt
+	}
+	wma := num / den
+	if wma == 0 {
+		return 0, false
+	}
+	score := x / wma
+	return score, score > w.Factor && x > w.MinValue
+}
+
+// Reset implements Detector.
+func (w *WMA) Reset() { w.buf = w.buf[:0] }
+
+// ZScore flags observations more than K standard deviations above the mean
+// of a trailing window of N observations.
+type ZScore struct {
+	N   int
+	K   float64
+	buf []float64
+}
+
+// NewZScore creates a z-score detector.
+func NewZScore(n int, k float64) (*ZScore, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("tsmodel: z-score needs n >= 3, got %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("tsmodel: z-score k must be positive, got %g", k)
+	}
+	return &ZScore{N: n, K: k}, nil
+}
+
+// Observe implements Detector. The score is the z-score of x against the
+// trailing window (excluding x).
+func (z *ZScore) Observe(x float64) (float64, bool) {
+	defer func() {
+		z.buf = append(z.buf, x)
+		if len(z.buf) > z.N {
+			z.buf = z.buf[len(z.buf)-z.N:]
+		}
+	}()
+	if len(z.buf) < z.N {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range z.buf {
+		sum += v
+	}
+	mean := sum / float64(len(z.buf))
+	var variance float64
+	for _, v := range z.buf {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(z.buf))
+	sd := math.Sqrt(variance)
+	if sd == 0 {
+		if x > mean {
+			return math.Inf(1), true
+		}
+		return 0, false
+	}
+	score := (x - mean) / sd
+	return score, score > z.K
+}
+
+// Reset implements Detector.
+func (z *ZScore) Reset() { z.buf = z.buf[:0] }
+
+// Threshold is the degenerate detector: anomalous when x > Limit. It is the
+// baseline the paper's rule-based magnitude conjuncts reduce to.
+type Threshold struct{ Limit float64 }
+
+// Observe implements Detector.
+func (t *Threshold) Observe(x float64) (float64, bool) {
+	if t.Limit == 0 {
+		return x, x > 0
+	}
+	return x / t.Limit, x > t.Limit
+}
+
+// Reset implements Detector.
+func (t *Threshold) Reset() {}

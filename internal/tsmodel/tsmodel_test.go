@@ -1,0 +1,160 @@
+package tsmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(d Detector, xs ...float64) (alerts int, lastScore float64) {
+	for _, x := range xs {
+		s, a := d.Observe(x)
+		lastScore = s
+		if a {
+			alerts++
+		}
+	}
+	return
+}
+
+func TestSMAMatchesPaperQuery2(t *testing.T) {
+	// Query 2: alert when ss[0] > (ss[0]+ss[1]+ss[2])/3 && ss[0] > 10000.
+	// That is exactly SMA(3) with MinValue 10000 where the average includes
+	// the current observation.
+	d, err := NewSMA(3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := feed(d, 1000, 1200, 900) // warm-up: no alert possible on spike yet
+	if alerts != 0 {
+		t.Errorf("calm series alerted %d times", alerts)
+	}
+	_, anomalous := d.Observe(900000)
+	if !anomalous {
+		t.Error("spike not detected")
+	}
+	// After reset the detector needs warm-up again.
+	d.Reset()
+	if _, a := d.Observe(900000); a {
+		t.Error("alert immediately after reset")
+	}
+}
+
+func TestSMABelowFloor(t *testing.T) {
+	d, _ := NewSMA(3, 10000)
+	if alerts, _ := feed(d, 10, 12, 9, 5000); alerts != 0 {
+		t.Errorf("sub-floor spike alerted")
+	}
+}
+
+func TestSMAValidation(t *testing.T) {
+	if _, err := NewSMA(1, 0); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestEMA(t *testing.T) {
+	d, err := NewEMA(0.3, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := feed(d, 1000, 1100, 950, 1050)
+	if alerts != 0 {
+		t.Errorf("calm EMA alerted %d", alerts)
+	}
+	if _, a := d.Observe(50000); !a {
+		t.Error("EMA spike not detected")
+	}
+	if _, err := NewEMA(0, 2, 0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := NewEMA(1.5, 2, 0); err == nil {
+		t.Error("alpha>1 should fail")
+	}
+	if _, err := NewEMA(0.5, 0, 0); err == nil {
+		t.Error("factor=0 should fail")
+	}
+}
+
+func TestWMAWeightsRecent(t *testing.T) {
+	d, err := NewWMA(3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(d, 100, 100, 100)
+	score, a := d.Observe(500)
+	if !a {
+		t.Error("WMA spike not detected")
+	}
+	if score <= 1 {
+		t.Errorf("score = %v", score)
+	}
+	if _, err := NewWMA(1, 2, 0); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	d, err := NewZScore(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, _ := feed(d, 10, 12, 11, 9, 10)
+	if alerts != 0 {
+		t.Errorf("warm-up alerted %d", alerts)
+	}
+	score, a := d.Observe(30)
+	if !a || score < 3 {
+		t.Errorf("z-score spike: score=%v anomalous=%v", score, a)
+	}
+	// Constant series with a jump: infinite z-score.
+	d2, _ := NewZScore(3, 2)
+	feed(d2, 5, 5, 5)
+	score, a = d2.Observe(6)
+	if !a || !math.IsInf(score, 1) {
+		t.Errorf("constant-series jump: score=%v anomalous=%v", score, a)
+	}
+	if _, err := NewZScore(2, 1); err == nil {
+		t.Error("n=2 should fail")
+	}
+	if _, err := NewZScore(5, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	d := &Threshold{Limit: 100}
+	if _, a := d.Observe(99); a {
+		t.Error("below limit alerted")
+	}
+	if _, a := d.Observe(101); !a {
+		t.Error("above limit not alerted")
+	}
+	d.Reset() // no-op, must not panic
+}
+
+// The SMA detector and the SAQL Query-2 alert expression must agree on an
+// arbitrary series (cross-validation of the two implementations).
+func TestSMAAgreesWithManualWindows(t *testing.T) {
+	series := []float64{500, 800, 1200, 900, 40000, 700, 50000, 51000, 600}
+	d, _ := NewSMA(3, 10000)
+	var fromDetector []bool
+	for _, x := range series {
+		_, a := d.Observe(x)
+		fromDetector = append(fromDetector, a)
+	}
+	// Manual evaluation of the paper's expression.
+	var manual []bool
+	for i := range series {
+		if i < 2 {
+			manual = append(manual, false)
+			continue
+		}
+		cur, p1, p2 := series[i], series[i-1], series[i-2]
+		manual = append(manual, cur > (cur+p1+p2)/3 && cur > 10000)
+	}
+	for i := range series {
+		if fromDetector[i] != manual[i] {
+			t.Errorf("index %d: detector=%v manual=%v", i, fromDetector[i], manual[i])
+		}
+	}
+}

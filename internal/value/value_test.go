@@ -1,0 +1,299 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{String("x"), KindString},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{Bool(true), KindBool},
+		{EmptySet(), KindSet},
+		{SetOf("a", "b"), KindSet},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("Int(7).AsFloat() = %v, %v", f, ok)
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v, %v", f, ok)
+	}
+	if _, ok := String("x").AsFloat(); ok {
+		t.Error("String.AsFloat() should fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("Null.AsFloat() should fail")
+	}
+}
+
+func TestAsBool(t *testing.T) {
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("Bool(true).AsBool() = %v, %v", b, ok)
+	}
+	if b, ok := Null.AsBool(); !ok || b {
+		t.Errorf("Null.AsBool() = %v, %v; want false, true", b, ok)
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("Int.AsBool() should fail (SAQL has no truthy numbers)")
+	}
+}
+
+func TestEqualCrossNumeric(t *testing.T) {
+	if !Int(5).Equal(Float(5.0)) {
+		t.Error("Int(5) should equal Float(5.0)")
+	}
+	if Int(5).Equal(Float(5.5)) {
+		t.Error("Int(5) should not equal Float(5.5)")
+	}
+	if Int(5).Equal(String("5")) {
+		t.Error("Int(5) should not equal String(\"5\")")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null should equal Null")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := SetOf("x", "y")
+	b := SetOf("y", "z")
+
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SetLen() != 3 || !u.SetContains("x") || !u.SetContains("y") || !u.SetContains("z") {
+		t.Errorf("union = %v", u)
+	}
+
+	d, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SetLen() != 1 || !d.SetContains("x") {
+		t.Errorf("diff = %v", d)
+	}
+
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.SetLen() != 1 || !i.SetContains("y") {
+		t.Errorf("intersect = %v", i)
+	}
+
+	if _, err := a.Union(Int(1)); err == nil {
+		t.Error("union with non-set should error")
+	}
+	if _, err := Int(1).Diff(a); err == nil {
+		t.Error("diff on non-set should error")
+	}
+}
+
+func TestSetMembersSorted(t *testing.T) {
+	s := SetOf("c", "a", "b")
+	m := s.SetMembers()
+	if len(m) != 3 || m[0] != "a" || m[1] != "b" || m[2] != "c" {
+		t.Errorf("SetMembers() = %v, want sorted [a b c]", m)
+	}
+}
+
+func TestSetEquality(t *testing.T) {
+	if !SetOf("a", "b").Equal(SetOf("b", "a")) {
+		t.Error("set equality should ignore order")
+	}
+	if SetOf("a").Equal(SetOf("a", "b")) {
+		t.Error("sets of different size should differ")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	lt, err := Int(1).Compare(Float(2))
+	if err != nil || lt != -1 {
+		t.Errorf("1 vs 2.0: %d, %v", lt, err)
+	}
+	gt, err := String("b").Compare(String("a"))
+	if err != nil || gt != 1 {
+		t.Errorf("b vs a: %d, %v", gt, err)
+	}
+	if _, err := String("a").Compare(Int(1)); err == nil {
+		t.Error("string vs int compare should error")
+	}
+	if _, err := Bool(true).Compare(Bool(false)); err == nil {
+		t.Error("bool compare should error")
+	}
+}
+
+func TestArith(t *testing.T) {
+	add, err := Int(2).Arith('+', Int(3))
+	if err != nil || add.Kind() != KindInt || add.IntVal() != 5 {
+		t.Errorf("2+3 = %v (%v)", add, err)
+	}
+	// Division always yields float (Query 2 averages).
+	div, err := Int(7).Arith('/', Int(2))
+	if err != nil || div.Kind() != KindFloat || div.FloatVal() != 3.5 {
+		t.Errorf("7/2 = %v (%v)", div, err)
+	}
+	mix, err := Int(2).Arith('*', Float(1.5))
+	if err != nil || mix.FloatVal() != 3 {
+		t.Errorf("2*1.5 = %v (%v)", mix, err)
+	}
+	if _, err := Int(1).Arith('/', Int(0)); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := Int(1).Arith('%', Int(0)); err == nil {
+		t.Error("modulo by zero should error")
+	}
+	if _, err := String("a").Arith('+', Int(1)); err == nil {
+		t.Error("string arithmetic should error")
+	}
+	mod, err := Int(7).Arith('%', Int(3))
+	if err != nil || mod.IntVal() != 1 {
+		t.Errorf("7%%3 = %v (%v)", mod, err)
+	}
+	fmod, err := Float(7.5).Arith('%', Float(2))
+	if err != nil || math.Abs(fmod.FloatVal()-1.5) > 1e-12 {
+		t.Errorf("7.5%%2 = %v (%v)", fmod, err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	n, err := Int(4).Neg()
+	if err != nil || n.IntVal() != -4 {
+		t.Errorf("neg 4 = %v (%v)", n, err)
+	}
+	f, err := Float(2.5).Neg()
+	if err != nil || f.FloatVal() != -2.5 {
+		t.Errorf("neg 2.5 = %v (%v)", f, err)
+	}
+	if _, err := String("x").Neg(); err == nil {
+		t.Error("negating string should error")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"null":   Null,
+		"hello":  String("hello"),
+		"42":     Int(42),
+		"2.5":    Float(2.5),
+		"true":   Bool(true),
+		"{a, b}": SetOf("b", "a"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%osql.exe", `C:\tools\osql.exe`, true},
+		{"%osql.exe", "osql.exe", true},
+		{"%osql.exe", "osql.exe.bak", false},
+		{"%cmd.exe", `C:\Windows\System32\cmd.exe`, true},
+		{"backup%.dmp", "backup1.dmp", true},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a%b%c", "aXXbYYc", true},
+		{"a%b%c", "abc", true},
+		{"a%b%c", "acb", false},
+		{"OSQL.EXE", "osql.exe", true}, // case-insensitive
+		{"%excel%", `C:\Program Files\Microsoft Office\EXCEL.EXE`, true},
+	}
+	for _, c := range cases {
+		if got := WildcardMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("WildcardMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+// Property: a union b has cardinality >= max(|a|,|b|) and every member of a
+// and b is contained in it.
+func TestUnionProperty(t *testing.T) {
+	f := func(as, bs []string) bool {
+		a, b := SetOf(as...), SetOf(bs...)
+		u, err := a.Union(b)
+		if err != nil {
+			return false
+		}
+		if u.SetLen() < a.SetLen() || u.SetLen() < b.SetLen() {
+			return false
+		}
+		for _, m := range a.SetMembers() {
+			if !u.SetContains(m) {
+				return false
+			}
+		}
+		for _, m := range b.SetMembers() {
+			if !u.SetContains(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diff removes exactly the intersection: |a diff b| = |a| - |a ∩ b|.
+func TestDiffProperty(t *testing.T) {
+	f := func(as, bs []string) bool {
+		a, b := SetOf(as...), SetOf(bs...)
+		d, err1 := a.Diff(b)
+		i, err2 := a.Intersect(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d.SetLen() == a.SetLen()-i.SetLen()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: wildcard '%'+s matches any string ending in s.
+func TestWildcardSuffixProperty(t *testing.T) {
+	f := func(prefix, suffix string) bool {
+		return WildcardMatch("%"+suffix, prefix+suffix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arithmetic on ints matches native arithmetic.
+func TestArithProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, err := Int(int64(a)).Arith('+', Int(int64(b)))
+		if err != nil || sum.IntVal() != int64(a)+int64(b) {
+			return false
+		}
+		prod, err := Int(int64(a)).Arith('*', Int(int64(b)))
+		return err == nil && prod.IntVal() == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

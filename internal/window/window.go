@@ -1,0 +1,292 @@
+// Package window implements the sliding-window state maintainer of the SAQL
+// engine: event-time window assignment (tumbling and hopping windows),
+// per-group aggregation within each window, watermark-driven window closing,
+// and the per-group state-history rings that back the ss[k] syntax.
+package window
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"saql/internal/agg"
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+// ID identifies a window by its start instant (unix nanoseconds).
+type ID int64
+
+// Start returns the window's start time.
+func (id ID) Start() time.Time { return time.Unix(0, int64(id)) }
+
+// Spec describes a window: length and hop. A zero Hop means tumbling
+// (hop == length).
+type Spec struct {
+	Length time.Duration
+	Hop    time.Duration
+}
+
+// EffectiveHop returns the hop, defaulting to Length.
+func (s Spec) EffectiveHop() time.Duration {
+	if s.Hop > 0 {
+		return s.Hop
+	}
+	return s.Length
+}
+
+// AssignTo returns the IDs of all windows containing t, in ascending start
+// order. For tumbling windows this is exactly one ID; for hopping windows,
+// ceil(Length/Hop) of them.
+func (s Spec) AssignTo(t time.Time) []ID {
+	hop := s.EffectiveHop().Nanoseconds()
+	length := s.Length.Nanoseconds()
+	ts := t.UnixNano()
+	// Latest window start <= ts, aligned to hop.
+	latest := ts - mod(ts, hop)
+	var ids []ID
+	for start := latest; start > ts-length; start -= hop {
+		ids = append(ids, ID(start))
+	}
+	// Ascending order.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// mod is a non-negative modulo (events before the unix epoch still align).
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// End returns the exclusive end instant of window id.
+func (s Spec) End(id ID) time.Time { return id.Start().Add(s.Length) }
+
+// FieldSpec declares one state field: its name and an aggregator factory
+// invocation (name + literal params).
+type FieldSpec struct {
+	Name      string
+	AggName   string
+	AggParams []value.Value
+}
+
+// Group accumulates one group's aggregators within one window, along with
+// representative entity/event bindings used later to evaluate alert and
+// return expressions for the group (SAQL returns the attributes of the
+// group's matched events, e.g. `return p, ss[0].avg_amount`).
+type Group struct {
+	Key      string
+	Aggs     []agg.Aggregator
+	Entities map[string]*event.Entity
+	Events   map[string]*event.Event
+	Count    int // events folded into this group this window
+}
+
+// Snapshot is the frozen state of one group for one closed window.
+type Snapshot struct {
+	WindowID ID
+	Fields   map[string]value.Value
+	Entities map[string]*event.Entity
+	Events   map[string]*event.Event
+	Count    int
+}
+
+// openWindow is one in-flight window.
+type openWindow struct {
+	id     ID
+	groups map[string]*Group
+}
+
+// Closed describes one closed window delivered by Advance.
+type Closed struct {
+	ID     ID
+	End    time.Time
+	Groups map[string]*Group
+}
+
+// Manager assigns events to windows and closes windows as the watermark
+// (max event time observed) passes their end.
+type Manager struct {
+	spec      Spec
+	fields    []FieldSpec
+	open      map[ID]*openWindow
+	watermark time.Time
+	hasWM     bool
+
+	// Stats.
+	LateEvents int64 // events older than an already-closed window
+}
+
+// NewManager creates a window manager for the given spec and state fields.
+func NewManager(spec Spec, fields []FieldSpec) (*Manager, error) {
+	if spec.Length <= 0 {
+		return nil, fmt.Errorf("window: non-positive window length %v", spec.Length)
+	}
+	for _, f := range fields {
+		// Validate the aggregator factory eagerly so a bad query fails
+		// at compile time, not at the first event.
+		if _, err := agg.New(f.AggName, f.AggParams); err != nil {
+			return nil, err
+		}
+	}
+	return &Manager{spec: spec, fields: fields, open: map[ID]*openWindow{}}, nil
+}
+
+// Spec returns the manager's window spec.
+func (m *Manager) Spec() Spec { return m.spec }
+
+// GroupFor returns (creating if needed) the group accumulator for groupKey in
+// every window containing t. It returns nil if the event is late (belongs
+// only to windows that already closed).
+func (m *Manager) GroupFor(t time.Time, groupKey string) []*Group {
+	ids := m.spec.AssignTo(t)
+	var out []*Group
+	for _, id := range ids {
+		if m.hasWM && !m.spec.End(id).After(m.watermark) {
+			// Window already closed; count as late.
+			m.LateEvents++
+			continue
+		}
+		w, ok := m.open[id]
+		if !ok {
+			w = &openWindow{id: id, groups: map[string]*Group{}}
+			m.open[id] = w
+		}
+		g, ok := w.groups[groupKey]
+		if !ok {
+			g = &Group{
+				Key:      groupKey,
+				Aggs:     make([]agg.Aggregator, len(m.fields)),
+				Entities: map[string]*event.Entity{},
+				Events:   map[string]*event.Event{},
+			}
+			for i, f := range m.fields {
+				a, err := agg.New(f.AggName, f.AggParams)
+				if err != nil {
+					// Validated in NewManager; unreachable.
+					panic(err)
+				}
+				g.Aggs[i] = a
+			}
+			w.groups[groupKey] = g
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Advance moves the watermark to t and returns all windows whose end has
+// passed, in ascending end order.
+func (m *Manager) Advance(t time.Time) []Closed {
+	if m.hasWM && !t.After(m.watermark) {
+		return nil
+	}
+	m.watermark = t
+	m.hasWM = true
+	var closed []Closed
+	for id, w := range m.open {
+		if !m.spec.End(id).After(t) {
+			closed = append(closed, Closed{ID: id, End: m.spec.End(id), Groups: w.groups})
+			delete(m.open, id)
+		}
+	}
+	sort.Slice(closed, func(i, j int) bool { return closed[i].ID < closed[j].ID })
+	return closed
+}
+
+// Flush closes all remaining open windows (end of stream), in order.
+func (m *Manager) Flush() []Closed {
+	var closed []Closed
+	for id, w := range m.open {
+		closed = append(closed, Closed{ID: id, End: m.spec.End(id), Groups: w.groups})
+		delete(m.open, id)
+	}
+	sort.Slice(closed, func(i, j int) bool { return closed[i].ID < closed[j].ID })
+	return closed
+}
+
+// OpenWindows reports how many windows are currently open.
+func (m *Manager) OpenWindows() int { return len(m.open) }
+
+// SnapshotGroup freezes g's aggregates for closed window id.
+func (m *Manager) SnapshotGroup(id ID, g *Group) *Snapshot {
+	fields := make(map[string]value.Value, len(m.fields))
+	for i, f := range m.fields {
+		fields[f.Name] = g.Aggs[i].Result()
+	}
+	return &Snapshot{WindowID: id, Fields: fields, Entities: g.Entities, Events: g.Events, Count: g.Count}
+}
+
+// EmptySnapshot produces the snapshot a group would have for a window with
+// no matched events (avg/sum 0, empty set, ...): used to keep state history
+// contiguous for groups that temporarily go quiet.
+func (m *Manager) EmptySnapshot(id ID) *Snapshot {
+	fields := make(map[string]value.Value, len(m.fields))
+	for _, f := range m.fields {
+		a, err := agg.New(f.AggName, f.AggParams)
+		if err != nil {
+			panic(err) // validated in NewManager
+		}
+		fields[f.Name] = a.Result()
+	}
+	return &Snapshot{WindowID: id, Fields: fields}
+}
+
+// History is a fixed-depth ring of a group's most recent snapshots.
+// Index 0 is the most recently closed window.
+type History struct {
+	depth int
+	buf   []*Snapshot // buf[0] newest
+	total int         // total snapshots ever pushed (training counters)
+}
+
+// NewHistory creates a history ring with the given depth (>= 1).
+func NewHistory(depth int) *History {
+	if depth < 1 {
+		depth = 1
+	}
+	return &History{depth: depth}
+}
+
+// Push adds the newest snapshot, evicting the oldest beyond depth.
+func (h *History) Push(s *Snapshot) {
+	h.buf = append([]*Snapshot{s}, h.buf...)
+	if len(h.buf) > h.depth {
+		h.buf = h.buf[:h.depth]
+	}
+	h.total++
+}
+
+// At returns the k-th most recent snapshot (0 = newest), or nil.
+func (h *History) At(k int) *Snapshot {
+	if k < 0 || k >= len(h.buf) {
+		return nil
+	}
+	return h.buf[k]
+}
+
+// Len returns the number of retained snapshots.
+func (h *History) Len() int { return len(h.buf) }
+
+// Total returns how many snapshots have ever been pushed.
+func (h *History) Total() int { return h.total }
+
+// Depth returns the ring capacity.
+func (h *History) Depth() int { return h.depth }
+
+// StateField implements expr.StateView over the history ring.
+func (h *History) StateField(histIndex int, field string) (value.Value, bool) {
+	s := h.At(histIndex)
+	if s == nil {
+		// Tolerant semantics: missing history resolves to null.
+		return value.Null, true
+	}
+	v, ok := s.Fields[field]
+	if !ok {
+		return value.Null, true
+	}
+	return v, true
+}

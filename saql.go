@@ -1,0 +1,274 @@
+package saql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"saql/internal/engine"
+	"saql/internal/event"
+	"saql/internal/parser"
+	"saql/internal/scheduler"
+	"saql/internal/sema"
+)
+
+// Alert is a detection raised by a query (re-exported engine type).
+type Alert = engine.Alert
+
+// NamedValue is one returned attribute of an alert.
+type NamedValue = engine.NamedValue
+
+// ModelKind classifies queries by anomaly model family.
+type ModelKind = engine.ModelKind
+
+// Anomaly model kinds.
+const (
+	KindRule       = engine.KindRule
+	KindTimeSeries = engine.KindTimeSeries
+	KindInvariant  = engine.KindInvariant
+	KindOutlier    = engine.KindOutlier
+	KindStateful   = engine.KindStateful
+)
+
+// QueryError is a runtime error attributed to a query.
+type QueryError = engine.QueryError
+
+// Stats summarises engine activity.
+type Stats struct {
+	Events       int64
+	Alerts       int64
+	Queries      int
+	QueryGroups  int
+	StreamCopies int64
+	NaiveCopies  int64
+	SharingRatio float64
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	sharing  bool
+	compile  engine.CompileOptions
+	onAlert  func(*Alert)
+	onError  func(*QueryError)
+	errDepth int
+}
+
+// WithSharing toggles the master–dependent-query scheme (default on).
+// Disabling it executes every query independently, the configuration used
+// as the SAQL-side ablation in the concurrency experiments.
+func WithSharing(on bool) Option { return func(c *config) { c.sharing = on } }
+
+// WithCompileOptions overrides per-query resource bounds.
+func WithCompileOptions(opts engine.CompileOptions) Option {
+	return func(c *config) { c.compile = opts }
+}
+
+// WithAlertHandler installs a callback invoked for every alert, in addition
+// to alerts being returned from Process.
+func WithAlertHandler(fn func(*Alert)) Option { return func(c *config) { c.onAlert = fn } }
+
+// WithErrorHandler installs a callback invoked for every runtime query error.
+func WithErrorHandler(fn func(*QueryError)) Option { return func(c *config) { c.onError = fn } }
+
+// Engine is the SAQL anomaly query engine: it manages concurrent queries
+// over the system event stream and reports alerts. Engine is safe for
+// concurrent use; event processing is serialised internally.
+type Engine struct {
+	cfg      config
+	reporter *engine.ErrorReporter
+	sched    *scheduler.Scheduler
+
+	mu      sync.Mutex
+	queries map[string]*engine.Query
+}
+
+// New creates an engine.
+func New(opts ...Option) *Engine {
+	cfg := config{sharing: true, errDepth: 128}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rep := engine.NewErrorReporter(cfg.errDepth, cfg.onError)
+	return &Engine{
+		cfg:      cfg,
+		reporter: rep,
+		sched:    scheduler.New(rep, cfg.sharing),
+		queries:  map[string]*engine.Query{},
+	}
+}
+
+// AddQuery parses, checks, compiles, and registers a SAQL query under name.
+func (e *Engine) AddQuery(name, src string) error {
+	q, err := engine.Compile(name, src, e.cfg.compile)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.queries[name]; dup {
+		return fmt.Errorf("saql: duplicate query name %q", name)
+	}
+	if err := e.sched.Add(q); err != nil {
+		return err
+	}
+	e.queries[name] = q
+	return nil
+}
+
+// RemoveQuery unregisters a query.
+func (e *Engine) RemoveQuery(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.queries[name]; !ok {
+		return false
+	}
+	delete(e.queries, name)
+	return e.sched.Remove(name)
+}
+
+// QueryKind reports the anomaly model family of a registered query.
+func (e *Engine) QueryKind(name string) (ModelKind, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return 0, false
+	}
+	return q.Kind, true
+}
+
+// Process feeds one event through all queries and returns the alerts raised.
+func (e *Engine) Process(ev *Event) []*Alert {
+	alerts := e.sched.Process(ev)
+	e.dispatch(alerts)
+	return alerts
+}
+
+// Flush closes all open windows (end of stream) and returns final alerts.
+func (e *Engine) Flush() []*Alert {
+	alerts := e.sched.Flush()
+	e.dispatch(alerts)
+	return alerts
+}
+
+func (e *Engine) dispatch(alerts []*Alert) {
+	if e.cfg.onAlert == nil {
+		return
+	}
+	for _, a := range alerts {
+		e.cfg.onAlert(a)
+	}
+}
+
+// Run consumes events from ch until it closes or ctx is cancelled, then
+// flushes. All alerts are delivered through the WithAlertHandler callback
+// and also returned.
+func (e *Engine) Run(ctx context.Context, ch <-chan *Event) ([]*Alert, error) {
+	var all []*Alert
+	for {
+		select {
+		case <-ctx.Done():
+			all = append(all, e.Flush()...)
+			return all, ctx.Err()
+		case ev, ok := <-ch:
+			if !ok {
+				all = append(all, e.Flush()...)
+				return all, nil
+			}
+			all = append(all, e.Process(ev)...)
+		}
+	}
+}
+
+// Errors returns recent runtime query errors (oldest first).
+func (e *Engine) Errors() []*QueryError { return e.reporter.Recent() }
+
+// ErrorCount returns the total number of runtime query errors.
+func (e *Engine) ErrorCount() int64 { return e.reporter.Total() }
+
+// QueryStats returns the per-query runtime counters.
+func (e *Engine) QueryStats(name string) (engine.QueryStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return engine.QueryStats{}, false
+	}
+	return q.Stats(), true
+}
+
+// Groups reports the scheduler's master–dependent grouping.
+func (e *Engine) Groups() map[string][]string { return e.sched.Groups() }
+
+// Stats returns engine-level counters.
+func (e *Engine) Stats() Stats {
+	s := e.sched.Stats()
+	return Stats{
+		Events:       s.Events,
+		Alerts:       s.Alerts,
+		Queries:      e.sched.QueryCount(),
+		QueryGroups:  e.sched.GroupCount(),
+		StreamCopies: s.StreamCopies,
+		NaiveCopies:  s.NaiveCopies,
+		SharingRatio: s.SharingRatio(),
+	}
+}
+
+// CompiledQuery is a compiled, executable SAQL query for direct use with a
+// BaselineEngine or standalone Process calls. Engine users never need it.
+type CompiledQuery = engine.Query
+
+// CompileQuery parses, checks, and compiles a SAQL query.
+func CompileQuery(name, src string) (*CompiledQuery, error) {
+	return engine.Compile(name, src, engine.CompileOptions{})
+}
+
+// Validate parses and semantically checks a SAQL query without registering
+// it, returning the first error found (nil if the query is well-formed).
+func Validate(src string) error {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = sema.Check(q)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Event model re-exports
+// ---------------------------------------------------------------------------
+
+// Event is a system monitoring event: subject performed Op on object.
+type Event = event.Event
+
+// Entity is a system entity (process, file, or network connection).
+type Entity = event.Entity
+
+// Op is a system-call-level operation.
+type Op = event.Op
+
+// Operations.
+const (
+	OpRead    = event.OpRead
+	OpWrite   = event.OpWrite
+	OpExecute = event.OpExecute
+	OpStart   = event.OpStart
+	OpEnd     = event.OpEnd
+	OpDelete  = event.OpDelete
+	OpRename  = event.OpRename
+	OpConnect = event.OpConnect
+	OpAccept  = event.OpAccept
+)
+
+// Process constructs a process entity.
+func Process(exe string, pid int32) Entity { return event.Process(exe, pid) }
+
+// File constructs a file entity.
+func File(path string) Entity { return event.File(path) }
+
+// NetConn constructs a network connection entity.
+func NetConn(srcIP string, srcPort int32, dstIP string, dstPort int32) Entity {
+	return event.NetConn(srcIP, srcPort, dstIP, dstPort)
+}
