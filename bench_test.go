@@ -141,6 +141,80 @@ func BenchmarkE3_ConcurrentQueries(b *testing.B) {
 	}
 }
 
+// --- E9: parallel ingestion throughput (sharded runtime) --------------------
+
+// BenchmarkE9_ParallelIngestion measures the concurrent ingestion API
+// (Start / SubmitBatch / sharded runtime) against the serial Process path
+// on the sharable-query workload: 16 semantically compatible time-series
+// variants whose per-group aggregation state partitions across shards
+// (PlaceByGroup). Compare serial vs shards=N events/s for the speedup.
+//
+// The runtime broadcasts events, so each of N shards pays the (cheap)
+// pattern-match work while owning only 1/N of the (expensive) state
+// folding: per-shard cost per event is well below the serial cost, and
+// wall-clock speedup over serial follows wherever GOMAXPROCS >= shards.
+// On a single-core machine ns/op instead reports the summed cost across
+// shards; divide by the shard count for the per-shard (i.e. parallel
+// wall-clock) cost.
+func BenchmarkE9_ParallelIngestion(b *testing.B) {
+	_, scenario := benchStream(b)
+	queries := e3Queries(scenario, 16)
+
+	newEngine := func(b *testing.B, opts ...Option) *Engine {
+		eng := New(opts...)
+		for _, nq := range queries {
+			if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		events, _ := benchStream(b)
+		eng := newEngine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Process(events[i%len(events)])
+		}
+		b.StopTimer()
+		eng.Flush()
+	})
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			events, _ := benchStream(b)
+			eng := newEngine(b, WithShards(shards), WithIngestQueue(64))
+			if err := eng.Start(benchCtx()); err != nil {
+				b.Fatal(err)
+			}
+			const batch = 512
+			b.ReportAllocs()
+			b.ResetTimer()
+			buf := make([]*Event, 0, batch)
+			for i := 0; i < b.N; i++ {
+				buf = append(buf, events[i%len(events)])
+				if len(buf) == batch {
+					if err := eng.SubmitBatch(buf); err != nil {
+						b.Fatal(err)
+					}
+					buf = make([]*Event, 0, batch)
+				}
+			}
+			if err := eng.SubmitBatch(buf); err != nil {
+				b.Fatal(err)
+			}
+			// Close drains and flushes: include it so the measurement
+			// covers the full processing, not just enqueueing.
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+		})
+	}
+}
+
 // --- E4: per-model engine overhead ------------------------------------------
 
 func BenchmarkE4_ModelOverhead(b *testing.B) {

@@ -158,22 +158,35 @@ func doReplay(ctx context.Context, rep *saql.Replayer, req replayRequest) replay
 		opts.To = t
 	}
 
+	// Run the optional query through the concurrent ingestion API: the
+	// replay goroutine submits, a subscription collects the alert stream.
 	var alerts []string
 	var eng *saql.Engine
+	var sub *saql.AlertSubscription
+	collected := make(chan struct{})
 	if strings.TrimSpace(req.Query) != "" {
-		eng = saql.New(saql.WithAlertHandler(func(a *saql.Alert) {
-			if len(alerts) < 200 {
-				alerts = append(alerts, a.String())
-			}
-		}))
+		eng = saql.New()
 		if err := eng.AddQuery("ui-query", req.Query); err != nil {
 			return replayResponse{Error: err.Error()}
 		}
+		if err := eng.Start(ctx); err != nil {
+			return replayResponse{Error: err.Error()}
+		}
+		defer eng.Close()
+		sub = eng.Subscribe(256, saql.Block)
+		go func() {
+			defer close(collected)
+			for a := range sub.C {
+				if len(alerts) < 200 {
+					alerts = append(alerts, a.String())
+				}
+			}
+		}()
 	}
 
 	stats, err := rep.Replay(ctx, opts, func(ev *saql.Event) error {
 		if eng != nil {
-			eng.Process(ev)
+			return eng.Submit(ev)
 		}
 		return nil
 	})
@@ -181,7 +194,12 @@ func doReplay(ctx context.Context, rep *saql.Replayer, req replayRequest) replay
 		return replayResponse{Error: err.Error()}
 	}
 	if eng != nil {
-		eng.Flush()
+		// Close drains, flushes, and ends the subscription; wait for the
+		// collector to finish before reading alerts.
+		if err := eng.Close(); err != nil {
+			return replayResponse{Error: err.Error()}
+		}
+		<-collected
 	}
 	sort.Strings(alerts)
 	return replayResponse{

@@ -11,6 +11,7 @@
 //	saql -simulate -duration 10m -q query1.saql -q query2.saql
 //	saql -store ./data -hosts db-1 -speed 100 -q exfil.saql
 //	saql -simulate -demo-queries        # run the paper's 8 demo queries
+//	saql -simulate -demo-queries -shards 8   # concurrent sharded runtime
 //	saql -validate -q query.saql        # parse/check only
 package main
 
@@ -57,6 +58,8 @@ func run() error {
 		window      = flag.Duration("window", 30*time.Second, "window length for demo queries")
 		train       = flag.Int("train", 5, "invariant training windows for demo queries")
 		noShare     = flag.Bool("no-share", false, "disable the master-dependent-query scheme")
+		shards      = flag.Int("shards", 0, "run the concurrent sharded runtime with this many workers (0 = legacy serial path, -1 = GOMAXPROCS)")
+		batch       = flag.Int("batch", 256, "SubmitBatch size for the sharded runtime")
 		validate    = flag.Bool("validate", false, "validate queries and exit")
 		quiet       = flag.Bool("quiet", false, "suppress per-alert output, print only the summary")
 	)
@@ -102,8 +105,10 @@ func run() error {
 		return nil
 	}
 
+	// The alert handler is invoked serially in both the legacy serial path
+	// and the sharded runtime, so the counter needs no synchronisation.
 	var alertCount int
-	eng := saql.New(
+	engOpts := []saql.Option{
 		saql.WithSharing(!*noShare),
 		saql.WithAlertHandler(func(a *saql.Alert) {
 			alertCount++
@@ -111,13 +116,40 @@ func run() error {
 				fmt.Println(a)
 			}
 		}),
-	)
+	}
+	if *shards > 0 {
+		engOpts = append(engOpts, saql.WithShards(*shards))
+	}
+	eng := saql.New(engOpts...)
 	for _, s := range sources {
 		if err := eng.AddQuery(s.name, s.src); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
 	}
 	fmt.Printf("registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
+
+	sharded := *shards != 0
+	if sharded {
+		if err := eng.Start(context.Background()); err != nil {
+			return err
+		}
+		fmt.Printf("concurrent runtime: %d shards\n", eng.Shards())
+		for _, s := range sources {
+			if p, ok := eng.QueryPlacement(s.name); ok {
+				fmt.Printf("  %-40s placement=%s\n", s.name, p)
+			}
+		}
+	}
+	// feed delivers one event through whichever ingestion path is active.
+	feed := func(ev *saql.Event) {
+		if sharded {
+			if err := eng.Submit(ev); err != nil {
+				fmt.Fprintln(os.Stderr, "saql: submit:", err)
+			}
+			return
+		}
+		eng.Process(ev)
+	}
 
 	started := time.Now()
 	var events int64
@@ -144,14 +176,13 @@ func run() error {
 		}
 		rep := saql.NewReplayer(store)
 		ch, wait := rep.ReplayChan(context.Background(), opts, 256)
-		if _, err := eng.Run(context.Background(), ch); err != nil {
+		for ev := range ch {
+			feed(ev)
+			events++
+		}
+		if _, err := wait(); err != nil {
 			return err
 		}
-		stats, err := wait()
-		if err != nil {
-			return err
-		}
-		events = stats.Events
 
 	case *simulate:
 		start := time.Now().UTC().Truncate(time.Minute)
@@ -172,14 +203,33 @@ func run() error {
 		all := wl.Drain()
 		all = append(all, saql.AttackEventsOnly(scenario.Events())...)
 		sort.SliceStable(all, func(i, j int) bool { return all[i].Time.Before(all[j].Time) })
+		if sharded {
+			for i := 0; i < len(all); i += *batch {
+				end := min(i+*batch, len(all))
+				if err := eng.SubmitBatch(all[i:end]); err != nil {
+					return err
+				}
+			}
+			events = int64(len(all))
+			break
+		}
 		for _, ev := range all {
 			eng.Process(ev)
 			events++
 		}
-		eng.Flush()
 
 	default:
 		return fmt.Errorf("no event source: use -store or -simulate")
+	}
+
+	if sharded {
+		// Close drains the queue, flushes every shard, and delivers the
+		// final alerts before returning.
+		if err := eng.Close(); err != nil {
+			return err
+		}
+	} else {
+		eng.Flush()
 	}
 
 	wall := time.Since(started)
@@ -189,6 +239,9 @@ func run() error {
 	fmt.Printf("alerts raised    : %d\n", alertCount)
 	fmt.Printf("stream copies    : %d (naive per-query: %d, sharing ratio %.2fx)\n",
 		st.StreamCopies, st.NaiveCopies, st.SharingRatio)
+	if st.Dropped > 0 {
+		fmt.Printf("events dropped   : %d (ingest overflow)\n", st.Dropped)
+	}
 	if n := eng.ErrorCount(); n > 0 {
 		fmt.Printf("runtime errors   : %d (last: %v)\n", n, eng.Errors()[len(eng.Errors())-1])
 	}

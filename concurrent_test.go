@@ -1,0 +1,515 @@
+package saql
+
+// Tests for the concurrent ingestion API: lifecycle states, shard
+// placement, and — most importantly — alert-for-alert equivalence between
+// the sharded runtime (Start/Submit/Subscribe) and the legacy serial
+// Process path. All tests here must be race-clean (go test -race).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLifecycleErrors(t *testing.T) {
+	eng := New(WithShards(2))
+	if err := eng.Submit(&Event{}); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("Submit before Start = %v, want ErrNotRunning", err)
+	}
+	if err := eng.SubmitBatch([]*Event{{}}); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("SubmitBatch before Start = %v, want ErrNotRunning", err)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := eng.Start(context.Background()); !errors.Is(err, ErrAlreadyRunning) {
+		t.Errorf("second Start = %v, want ErrAlreadyRunning", err)
+	}
+	if _, err := eng.Run(context.Background(), nil); !errors.Is(err, ErrAlreadyRunning) {
+		t.Errorf("Run while running = %v, want ErrAlreadyRunning", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := eng.Submit(&Event{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := eng.Start(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Start after Close = %v, want ErrClosed", err)
+	}
+	if err := eng.AddQuery("late", `proc p read file f return p`); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddQuery after Close = %v, want ErrClosed", err)
+	}
+	// Subscribing to a closed engine yields an already-closed stream.
+	sub := eng.Subscribe(4, Block)
+	if _, ok := <-sub.C; ok {
+		t.Error("subscription to closed engine delivered an alert")
+	}
+	sub.Close() // must not panic
+}
+
+func TestStartContextCancelCloses(t *testing.T) {
+	eng := New(WithShards(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := eng.Submit(&Event{Time: demoStart}); errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine did not close after context cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueryPlacement(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Placement
+	}{
+		{"multievent-rule", `proc p write file f as e1
+proc q read file f as e2
+with e1 -> e2
+return p, q`, PlacePinned},
+		{"single-pattern-rule", `proc p write ip i as e
+alert e.amount > 10
+return p`, PlaceByEvent},
+		{"distinct-rule", `proc p read file f return distinct p, f`, PlacePinned},
+		{"grouped-stateful", `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > 10
+return p`, PlaceByGroup},
+		{"global-stateful", `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) }
+alert ss.amt > 10
+return ss.amt`, PlacePinned},
+		{"outlier", `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(5, 2)")
+alert cluster.outlier
+return i.dstip`, PlacePinned},
+		{"grouped-invariant", `proc p start proc c as e #time(1 min)
+state ss { kids := set(c.exe_name) } group by p
+invariant[3] {
+  known := empty_set
+  known = known union ss.kids
+}
+alert |ss.kids diff known| > 0
+return p`, PlaceByGroup},
+	}
+	eng := New()
+	for _, c := range cases {
+		if err := eng.AddQuery(c.name, c.src); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got, ok := eng.QueryPlacement(c.name)
+		if !ok || got != c.want {
+			t.Errorf("%s: placement = %v (%v), want %v", c.name, got, ok, c.want)
+		}
+	}
+}
+
+// TestRemoveQueryConsistency is the regression test for the RemoveQuery
+// state inconsistency: the registry entry must only disappear when the
+// scheduler-side removal succeeds, so the registry and scheduler never
+// disagree and removed names are always re-addable.
+func TestRemoveQueryConsistency(t *testing.T) {
+	const base = `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) } group by p
+return p, ss.amt`
+	eng := New()
+	// Build one master–dependent group: the dependent adds a stricter
+	// alert threshold, so removing the master exercises the scheduler's
+	// promotion path.
+	if err := eng.AddQuery("master", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddQuery("dep", base+"\nalert ss.amt > 1000"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.RemoveQuery("missing") {
+		t.Error("removing an unknown query reported success")
+	}
+	if !eng.RemoveQuery("master") {
+		t.Fatal("failed to remove master query")
+	}
+	// After a successful removal both registry and scheduler must agree:
+	// the name is gone from every view and immediately re-addable.
+	if _, ok := eng.QueryKind("master"); ok {
+		t.Error("removed query still in registry")
+	}
+	for m := range eng.Groups() {
+		if m == "master" {
+			t.Error("removed query still scheduled")
+		}
+	}
+	if err := eng.AddQuery("master", base); err != nil {
+		t.Errorf("re-adding a removed query failed: %v", err)
+	}
+	if eng.Stats().Queries != 2 {
+		t.Errorf("query count = %d, want 2", eng.Stats().Queries)
+	}
+	// Double removal reports false and leaves the survivor intact.
+	if !eng.RemoveQuery("dep") || eng.RemoveQuery("dep") {
+		t.Error("double removal inconsistency")
+	}
+	if _, ok := eng.QueryKind("master"); !ok {
+		t.Error("surviving query lost")
+	}
+}
+
+func TestRemoveQueryWhileRunning(t *testing.T) {
+	eng := New(WithShards(3))
+	if err := eng.AddQuery("q1", `proc p write ip i as e
+alert e.amount > 100
+return p`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.RemoveQuery("q1") {
+		t.Error("RemoveQuery while running failed")
+	}
+	if eng.RemoveQuery("q1") {
+		t.Error("double remove while running succeeded")
+	}
+	if err := eng.AddQuery("q1", `proc p write ip i as e
+alert e.amount > 100
+return p`); err != nil {
+		t.Errorf("re-add while running: %v", err)
+	}
+}
+
+// concurrencyWorkload builds an order-tolerant event set: every event falls
+// inside one long window, so aggregation is commutative and the serial
+// baseline is comparable no matter how concurrent submitters interleave.
+// It spreads activity over many processes (group-by keys) so every shard
+// owns work.
+func concurrencyWorkload(procs, eventsPerProc int) []*Event {
+	var evs []*Event
+	for p := 0; p < procs; p++ {
+		proc := Process(fmt.Sprintf("worker-%03d.exe", p), int32(1000+p))
+		for k := 0; k < eventsPerProc; k++ {
+			amount := float64(100 + p*10 + k)
+			if p%7 == 0 {
+				amount += 1e6 // the noisy groups that must alert
+			}
+			evs = append(evs, &Event{
+				Time:    demoStart.Add(time.Duration(p*eventsPerProc+k) * time.Millisecond),
+				AgentID: "db-1",
+				Subject: proc,
+				Op:      OpWrite,
+				Object:  NetConn("10.0.0.2", 1433, fmt.Sprintf("10.1.%d.%d", p/200, p%200), 443),
+				Amount:  amount,
+			})
+		}
+	}
+	return evs
+}
+
+var concurrencyQueries = []struct{ name, src string }{
+	// By-group placement: per-process sum over one big window.
+	{"grouped-sum", `proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount)
+           n := count(e) } group by p
+alert ss.amt > 1000000
+return p, ss.amt, ss.n`},
+	// By-event placement: stateless per-event threshold rule.
+	{"big-write", `proc p write ip i as e
+alert e.amount > 1000000
+return p, e.amount`},
+	// Pinned placement: one global group needing the total stream.
+	{"global-volume", `proc p write ip i as e #time(1 h)
+state ss { total := sum(e.amount) }
+alert ss.total > 5000000
+return ss.total`},
+}
+
+// alertCountKey buckets alerts by query and group for the determinism
+// comparison (per-event rule alerts bucket by their returned values).
+func alertCountKey(a *Alert) string {
+	vals := make([]string, 0, len(a.Values))
+	for _, nv := range a.Values {
+		vals = append(vals, nv.Name+"="+nv.Val.String())
+	}
+	return a.Query + "|" + a.GroupKey + "|" + strings.Join(vals, ",")
+}
+
+func countAlerts(alerts []*Alert) map[string]int {
+	out := map[string]int{}
+	for _, a := range alerts {
+		out[alertCountKey(a)]++
+	}
+	return out
+}
+
+// TestConcurrentSubmitMatchesSerial drives the sharded runtime from
+// multiple submitter goroutines with two subscribers attached and checks
+// that, per group-by key, the delivered alert multiset matches the legacy
+// serial Process path over the same events.
+func TestConcurrentSubmitMatchesSerial(t *testing.T) {
+	const (
+		procs     = 120
+		perProc   = 40
+		shards    = 4
+		goroutine = 6
+	)
+	events := concurrencyWorkload(procs, perProc)
+
+	// Serial baseline.
+	serial := New()
+	for _, q := range concurrencyQueries {
+		if err := serial.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, serial.Process(ev)...)
+	}
+	want = append(want, serial.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("serial baseline produced no alerts; workload is broken")
+	}
+
+	// Concurrent run: multiple submitters, two subscribers.
+	eng := New(WithShards(shards))
+	for _, q := range concurrencyQueries {
+		if err := eng.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	subA := eng.Subscribe(256, Block)
+	subB := eng.Subscribe(256, Block)
+	collect := func(sub *AlertSubscription, out *[]*Alert, done *sync.WaitGroup) {
+		defer done.Done()
+		for a := range sub.C {
+			*out = append(*out, a)
+		}
+	}
+	var gotA, gotB []*Alert
+	var consumers sync.WaitGroup
+	consumers.Add(2)
+	go collect(subA, &gotA, &consumers)
+	go collect(subB, &gotB, &consumers)
+
+	var submitters sync.WaitGroup
+	for g := 0; g < goroutine; g++ {
+		submitters.Add(1)
+		go func(g int) {
+			defer submitters.Done()
+			// Interleave: submitter g takes every goroutine-th slice,
+			// mixing single Submit and SubmitBatch.
+			for i := g * 50; i < len(events); i += goroutine * 50 {
+				end := i + 50
+				if end > len(events) {
+					end = len(events)
+				}
+				if g%2 == 0 {
+					if err := eng.SubmitBatch(events[i:end]); err != nil {
+						t.Errorf("SubmitBatch: %v", err)
+						return
+					}
+					continue
+				}
+				for _, ev := range events[i:end] {
+					if err := eng.Submit(ev); err != nil {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	submitters.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumers.Wait()
+
+	if st := eng.Stats(); st.Events != int64(len(events)) {
+		t.Errorf("events accepted = %d, want %d", st.Events, len(events))
+	}
+	wantCounts := countAlerts(want)
+	for name, got := range map[string][]*Alert{"subscriber A": gotA, "subscriber B": gotB} {
+		gotCounts := countAlerts(got)
+		if len(gotCounts) != len(wantCounts) {
+			t.Errorf("%s: %d distinct alert keys, serial baseline has %d",
+				name, len(gotCounts), len(wantCounts))
+		}
+		for key, n := range wantCounts {
+			if gotCounts[key] != n {
+				t.Errorf("%s: alert %q count = %d, want %d", name, key, gotCounts[key], n)
+			}
+		}
+		for key := range gotCounts {
+			if _, ok := wantCounts[key]; !ok {
+				t.Errorf("%s: unexpected alert %q", name, key)
+			}
+		}
+	}
+}
+
+// alertIdentity is the full-fidelity comparison key used by the kill-chain
+// equivalence test: everything except Detected (wall clock) and delivery
+// order must match the serial engine exactly.
+func alertIdentity(a *Alert) string {
+	return a.EventTime.Format(time.RFC3339Nano) + "|" + alertCountKey(a)
+}
+
+// TestShardedKillChainMatchesSerial is the end-to-end acceptance check:
+// Start → SubmitBatch → Subscribe over the APT-scenario conformance stream
+// delivers exactly the alert set of the legacy serial Process path, for all
+// 8 demo queries (rule, time-series, invariant, and outlier models across
+// pinned, by-group, and by-event placements).
+func TestShardedKillChainMatchesSerial(t *testing.T) {
+	events, scenario := buildDemoStream(t, 20*time.Minute, 8*time.Minute)
+	queries := scenario.DemoQueries(30*time.Second, 5)
+
+	serial := New()
+	for _, nq := range queries {
+		if err := serial.AddQuery(nq.Name, nq.SAQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, serial.Process(ev)...)
+	}
+	want = append(want, serial.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("serial baseline produced no alerts")
+	}
+
+	eng := New(WithShards(4))
+	for _, nq := range queries {
+		if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sub := eng.Subscribe(1024, Block)
+	var got []*Alert
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub.C {
+			got = append(got, a)
+		}
+	}()
+	// One submitter preserves the stream's total order, so even
+	// order-sensitive (pinned) queries must agree exactly.
+	for i := 0; i < len(events); i += 512 {
+		end := i + 512
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := eng.SubmitBatch(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+
+	toSorted := func(alerts []*Alert) []string {
+		out := make([]string, 0, len(alerts))
+		for _, a := range alerts {
+			out = append(out, alertIdentity(a))
+		}
+		sort.Strings(out)
+		return out
+	}
+	wantIDs, gotIDs := toSorted(want), toSorted(got)
+	if len(wantIDs) != len(gotIDs) {
+		t.Errorf("alert count: sharded=%d serial=%d", len(gotIDs), len(wantIDs))
+	}
+	for i := 0; i < len(wantIDs) && i < len(gotIDs); i++ {
+		if wantIDs[i] != gotIDs[i] {
+			t.Fatalf("alert sets diverge at #%d:\n  sharded: %s\n  serial:  %s", i, gotIDs[i], wantIDs[i])
+		}
+	}
+}
+
+// TestDropNewestBackpressure checks the drop-counting overflow policy: a
+// tiny queue with no consumer pressure must never block Submit.
+func TestDropNewestBackpressure(t *testing.T) {
+	eng := New(WithShards(1), WithIngestQueue(1), WithBackpressure(DropNewest))
+	if err := eng.AddQuery("q", `proc p write ip i as e
+alert e.amount > 0
+return p`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		ev := &Event{Time: demoStart.Add(time.Duration(i) * time.Millisecond),
+			AgentID: "h", Subject: Process("a.exe", 1), Op: OpWrite,
+			Object: NetConn("10.0.0.1", 1, "10.0.0.2", 2), Amount: 1}
+		if err := eng.Submit(ev); err != nil {
+			t.Fatalf("Submit with DropNewest returned %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Events+st.Dropped != 10000 {
+		t.Errorf("accepted %d + dropped %d != 10000", st.Events, st.Dropped)
+	}
+}
+
+// TestFlushWhileRunning checks the flush barrier: everything submitted
+// before Flush is reflected in the returned alerts.
+func TestFlushWhileRunning(t *testing.T) {
+	eng := New(WithShards(3))
+	if err := eng.AddQuery("sum", `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > 50
+return p, ss.amt`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 100; i++ {
+		ev := &Event{Time: demoStart.Add(time.Duration(i) * time.Second),
+			AgentID: "h", Subject: Process(fmt.Sprintf("p%d.exe", i%10), int32(i % 10)),
+			Op: OpWrite, Object: NetConn("10.0.0.1", 1, "10.0.0.2", 2), Amount: 100}
+		if err := eng.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts := eng.Flush()
+	if len(alerts) == 0 {
+		t.Error("Flush on a running engine returned no alerts")
+	}
+	if st := eng.Stats(); st.Events != 100 {
+		t.Errorf("events = %d, want 100", st.Events)
+	}
+}

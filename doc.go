@@ -20,22 +20,67 @@
 //
 // # Quick start
 //
-//	eng := saql.New()
+// The engine is driven through the concurrent ingestion API: Start spins up
+// the sharded runtime, Submit/SubmitBatch feed events through a bounded
+// ingest queue, and Subscribe delivers the merged alert stream:
+//
+//	eng := saql.New(saql.WithShards(8))
 //	err := eng.AddQuery("exfil", `
 //	    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
 //	    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
 //	    proc p4 read file f1 as evt3
 //	    with evt1 -> evt2 -> evt3
 //	    return distinct p1, p2, p3, f1, p4`)
-//	for _, ev := range events {
-//	    for _, alert := range eng.Process(ev) {
+//	if err := eng.Start(ctx); err != nil { ... }
+//	sub := eng.Subscribe(256, saql.Block)
+//	go func() {
+//	    for alert := range sub.C {
 //	        fmt.Println(alert)
 //	    }
-//	}
+//	}()
+//	eng.SubmitBatch(events) // from any number of goroutines
+//	eng.Close()             // drain, flush, end subscriptions
 //
-// Concurrent queries are scheduled with the master–dependent-query scheme:
-// semantically compatible queries share one copy of the stream, with the
-// weakest query (the master) performing pattern matching and dependents
+// # Lifecycle
+//
+// An Engine moves through three states. It is created in the serial state,
+// where the synchronous Process/Flush/Run methods evaluate queries on the
+// caller's goroutine and return alerts directly (the original blocking API,
+// retained for compatibility; alerts additionally flow to subscriptions and
+// the WithAlertHandler callback). Start moves it to the running state:
+// ingestion happens through the non-blocking Submit/SubmitBatch, whose
+// backpressure on a full queue is configurable with WithBackpressure
+// (Block, or DropNewest counted in Stats.Dropped). Close drains the queue,
+// closes all windows, delivers the final alerts, and ends every
+// subscription. Misuse yields typed errors: ErrNotRunning, ErrAlreadyRunning,
+// and ErrClosed.
+//
+// # Shard placement
+//
+// The running engine partitions query state across WithShards(n) workers
+// (default GOMAXPROCS). Every shard observes the whole event stream in one
+// total order — so watermarks and window boundaries agree everywhere and
+// sharded execution stays alert-for-alert equivalent to serial — while the
+// expensive state folding is owned by exactly one shard:
+//
+//   - stateful queries with a group-by clause (time-series, invariant, and
+//     plain aggregations) partition by group-by key: each key's windows,
+//     history, and invariants live on the shard that hashes to it
+//     (PlaceByGroup);
+//   - stateless single-pattern rule queries partition by subject entity:
+//     each event is evaluated on one shard (PlaceByEvent);
+//   - queries whose semantics require the total event order in one place —
+//     multievent rule queries (matches join events across entities),
+//     outlier queries (clustering compares all groups of a window),
+//     stateful queries without a group-by, and any `return distinct` query
+//     (one global suppression table) — are pinned to a single home shard,
+//     assigned round-robin (PlacePinned).
+//
+// QueryPlacement reports the decision per query.
+//
+// Concurrent queries are scheduled per shard with the master–dependent-query
+// scheme: semantically compatible queries share one copy of the stream, with
+// the weakest query (the master) performing pattern matching and dependents
 // refining its intermediate results.
 //
 // The module also ships the full demonstration substrate of the paper: a

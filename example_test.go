@@ -1,13 +1,65 @@
 package saql_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"saql"
 )
 
-// The smallest complete use: one rule-based query over three events.
+// The concurrent ingestion API: Start the sharded runtime, submit a batch,
+// and receive alerts through a subscription. Close drains the queue,
+// flushes open windows, and ends the subscription.
+func ExampleEngine_Subscribe() {
+	eng := saql.New(saql.WithShards(2))
+	err := eng.AddQuery("dump-read", `
+proc p1["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt1
+proc p2 read file f1 as evt2
+with evt1 -> evt2
+return p1, f1, p2`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sub := eng.Subscribe(16, saql.Block)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for alert := range sub.C {
+			fmt.Println(alert)
+		}
+	}()
+
+	t0 := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	err = eng.SubmitBatch([]*saql.Event{
+		{Time: t0, AgentID: "db-1", Subject: saql.Process("sqlservr.exe", 1680),
+			Op: saql.OpWrite, Object: saql.File(`C:\db\backup1.dmp`), Amount: 5e7},
+		{Time: t0.Add(time.Second), AgentID: "db-1", Subject: saql.Process("sbblv.exe", 3112),
+			Op: saql.OpRead, Object: saql.File(`C:\db\backup1.dmp`), Amount: 5e7},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	<-done
+	// Output:
+	// ALERT [rule] query=dump-read at=09:00:01.000 p1=sqlservr.exe f1=C:\db\backup1.dmp p2=sbblv.exe
+}
+
+// The smallest complete use of the legacy serial path: one rule-based query
+// over two events, alerts returned synchronously.
+//
+// Process remains supported on a never-started engine; new code should
+// prefer Start + Submit + Subscribe (see ExampleEngine_Subscribe).
 func ExampleEngine_Process() {
 	eng := saql.New()
 	err := eng.AddQuery("dump-read", `

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -55,22 +56,38 @@ func main() {
 	events = append(events, saql.AttackEventsOnly(labeled)...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
 
-	// 3. The 8 demonstration queries.
-	eng := saql.New(saql.WithAlertHandler(func(a *saql.Alert) {
-		fmt.Println(a)
-	}))
+	// 3. The 8 demonstration queries on the concurrent sharded runtime.
+	eng := saql.New(saql.WithShards(4))
 	for _, nq := range scenario.DemoQueries(30*time.Second, 5) {
 		if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
 			log.Fatalf("%s: %v", nq.Name, err)
 		}
 	}
-
-	// 4. Stream the day through the engine.
-	started := time.Now()
-	for _, ev := range events {
-		eng.Process(ev)
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
 	}
-	eng.Flush()
+	sub := eng.Subscribe(256, saql.Block)
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for a := range sub.C {
+			fmt.Println(a)
+		}
+	}()
+
+	// 4. Stream the day through the engine in batches.
+	started := time.Now()
+	const batch = 512
+	for i := 0; i < len(events); i += batch {
+		end := min(i+batch, len(events))
+		if err := eng.SubmitBatch(events[i:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	<-printed
 	wall := time.Since(started)
 
 	st := eng.Stats()

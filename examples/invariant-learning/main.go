@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"saql"
@@ -31,14 +33,31 @@ return p1, ss.set_proc
 `
 
 func main() {
-	var alerts []*saql.Alert
-	eng := saql.New(saql.WithAlertHandler(func(a *saql.Alert) {
-		alerts = append(alerts, a)
-		fmt.Printf("ALERT window=%s  %s spawned outside the invariant: %s\n",
-			a.EventTime.Format("15:04:05"), a.Values[0].Val, a.Values[1].Val)
-	}))
+	// The invariant query partitions per-group (per-parent-process) state,
+	// so it runs sharded; one submitter preserves the training order.
+	eng := saql.New(saql.WithShards(2))
 	if err := eng.AddQuery("apache-children", invariantQuery); err != nil {
 		log.Fatal(err)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	sub := eng.Subscribe(16, saql.Block)
+	var alerts []*saql.Alert
+	var collected sync.WaitGroup
+	collected.Add(1)
+	go func() {
+		defer collected.Done()
+		for a := range sub.C {
+			alerts = append(alerts, a)
+			fmt.Printf("ALERT window=%s  %s spawned outside the invariant: %s\n",
+				a.EventTime.Format("15:04:05"), a.Values[0].Val, a.Values[1].Val)
+		}
+	}()
+	submit := func(ev *saql.Event) {
+		if err := eng.Submit(ev); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	start := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
@@ -50,25 +69,28 @@ func main() {
 	for w := 0; w < 10; w++ {
 		at := start.Add(time.Duration(w) * 10 * time.Second)
 		child := saql.Process(legit[w%len(legit)], int32(4000+w))
-		eng.Process(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
+		submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
 			Subject: apache, Op: saql.OpStart, Object: child})
 	}
 
 	// Detection: normal window, then the webshell.
 	fmt.Println("--- detection phase ---")
 	at := start.Add(100 * time.Second)
-	eng.Process(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
+	submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
 		Subject: apache, Op: saql.OpStart, Object: saql.Process("php-cgi.exe", 4100)})
 
 	at = start.Add(110 * time.Second)
-	eng.Process(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
+	submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
 		Subject: apache, Op: saql.OpStart, Object: saql.Process("sh", 4666)}) // webshell!
 
 	// One more window to close the previous ones.
 	at = start.Add(120 * time.Second)
-	eng.Process(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
+	submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
 		Subject: apache, Op: saql.OpStart, Object: saql.Process("perl.exe", 4200)})
-	eng.Flush()
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	collected.Wait()
 
 	fmt.Printf("\ntotal alerts: %d (training windows never alert; the frozen "+
 		"invariant flags only the webshell)\n", len(alerts))

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,16 +48,32 @@ return i.dstip, ss.amt
 `
 
 func main() {
-	eng := saql.New(saql.WithAlertHandler(func(a *saql.Alert) {
-		fmt.Printf("%-11s %s\n", "["+a.Kind.String()+"]", a)
-	}))
+	eng := saql.New(saql.WithShards(2))
 	if err := eng.AddQuery("net-sma", smaQuery); err != nil {
 		log.Fatal(err)
 	}
 	if err := eng.AddQuery("net-outlier", outlierQuery); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scheduler groups: %v\n\n", eng.Groups())
+	// The SMA query partitions its per-process state across shards; the
+	// outlier query needs all peer groups of a window in one place, so the
+	// runtime pins it to a single shard.
+	for _, name := range []string{"net-sma", "net-outlier"} {
+		p, _ := eng.QueryPlacement(name)
+		fmt.Printf("%-12s placement=%s\n", name, p)
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	sub := eng.Subscribe(64, saql.Block)
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for a := range sub.C {
+			fmt.Printf("%-11s %s\n", "["+a.Kind.String()+"]", a)
+		}
+	}()
+	fmt.Println()
 
 	// Synthetic DB-server traffic: sqlservr answers 8 client IPs steadily;
 	// in minute 7, a compromised helper process bursts 80 MB to one
@@ -64,6 +81,11 @@ func main() {
 	start := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
 	sql := saql.Process("sqlservr.exe", 1680)
 	helper := saql.Process("sqlagent.exe", 1702)
+	submit := func(ev *saql.Event) {
+		if err := eng.Submit(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var perWindowAvg []float64 // sqlservr's per-window mean, for the cross-check
 	for minute := 0; minute < 12; minute++ {
@@ -73,7 +95,7 @@ func main() {
 		for c := 0; c < 8; c++ {
 			amt := 40000 + float64(c)*1000 + float64(minute)*500
 			conn := saql.NetConn("10.0.3.10", 1433, fmt.Sprintf("10.0.1.%d", 20+c), 49000)
-			eng.Process(&saql.Event{
+			submit(&saql.Event{
 				Time: at.Add(time.Duration(c*6) * time.Second), AgentID: "db-1",
 				Subject: sql, Op: saql.OpWrite, Object: conn, Amount: amt,
 			})
@@ -84,14 +106,18 @@ func main() {
 		if minute == 7 {
 			exfil := saql.NetConn("10.0.3.10", 1433, "203.0.113.77", 8443)
 			for chunk := 0; chunk < 8; chunk++ {
-				eng.Process(&saql.Event{
+				submit(&saql.Event{
 					Time: at.Add(50*time.Second + time.Duration(chunk)*time.Second), AgentID: "db-1",
 					Subject: helper, Op: saql.OpWrite, Object: exfil, Amount: 10 << 20,
 				})
 			}
 		}
 	}
-	eng.Flush()
+	// Close drains, flushes the final windows, and ends the subscription.
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	<-printed
 
 	// Cross-check: the standalone SMA detector over sqlservr's series must
 	// stay silent, exactly as the SAQL query did for that process.

@@ -1,9 +1,10 @@
 // Quickstart: compile one rule-based SAQL query and run it over a handful
 // of hand-built system events — the smallest end-to-end use of the public
-// API.
+// API: Start, Submit, Subscribe, Close.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,6 +28,19 @@ return distinct p1, p2, p3, f1, p4
 		log.Fatal(err)
 	}
 
+	// Start the concurrent runtime and subscribe to the alert stream.
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	sub := eng.Subscribe(16, saql.Block)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for alert := range sub.C {
+			fmt.Println(alert)
+		}
+	}()
+
 	// Build the event sequence the query describes, with an unrelated
 	// event mixed in.
 	t0 := time.Now().UTC()
@@ -44,11 +58,16 @@ return distinct p1, p2, p3, f1, p4
 		{Time: t0.Add(3 * time.Second), AgentID: "db-1", Subject: malware, Op: saql.OpRead, Object: dump, Amount: 50 << 20},
 	}
 
-	for _, ev := range events {
-		for _, alert := range eng.Process(ev) {
-			fmt.Println(alert)
-		}
+	if err := eng.SubmitBatch(events); err != nil {
+		log.Fatal(err)
 	}
+
+	// Close drains the queue, flushes open windows, and ends the
+	// subscription, so the printer goroutine terminates.
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	<-done
 
 	stats := eng.Stats()
 	fmt.Printf("\nprocessed %d events, %d alert(s)\n", stats.Events, stats.Alerts)

@@ -1,0 +1,3 @@
+module saql
+
+go 1.24

@@ -60,6 +60,7 @@ type Query struct {
 	winMgr     *window.Manager
 	fieldArgs  []ast.Expr // aggregation argument per state field
 	groupBy    []ast.Expr
+	fastKeys   []keyFn // per-pattern fast group-key extractor (may be nil)
 	historyLen int
 	idleLimit  int
 	groups     map[string]*groupRuntime
@@ -80,6 +81,10 @@ type Query struct {
 	alerts   []ast.Expr
 	returnC  *ast.ReturnClause
 	distinct map[string]struct{}
+
+	// Shard ownership filters (nil outside the sharded runtime).
+	groupFilter func(string) bool
+	eventFilter func(*event.Event) bool
 
 	stats QueryStats
 	now   func() time.Time
@@ -191,6 +196,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 	}
 	cq.winMgr = mgr
 	cq.groupBy = q.State.GroupBy
+	cq.fastKeys = compileFastGroupKeys(q)
 
 	cq.historyLen = q.State.History
 	if cq.historyLen < info.MaxStateIndex+1 {

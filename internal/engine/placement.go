@@ -1,0 +1,76 @@
+package engine
+
+import "saql/internal/event"
+
+// Placement classifies how a query's runtime state may be distributed
+// across parallel scheduler shards. The sharded runtime broadcasts every
+// event to every shard in one total order, so watermarks and window
+// boundaries are identical everywhere; placement decides which shard(s)
+// actually fold an event into query state.
+type Placement uint8
+
+const (
+	// PlacePinned marks queries whose semantics need the total event order
+	// in one place: multievent rule queries (matches join events across
+	// entities), outlier queries (clustering peers across all groups of a
+	// window), stateful queries without a group-by (a single global group),
+	// and any query using `return distinct` (global suppression table).
+	// Pinned queries run on exactly one shard.
+	PlacePinned Placement = iota
+	// PlaceByGroup marks stateful queries whose per-group state is
+	// independent across groups: every shard holds a replica, and each
+	// group-by key is owned by exactly one shard.
+	PlaceByGroup
+	// PlaceByEvent marks stateless single-pattern rule queries: each event
+	// produces alerts independently, so events are split across shards by
+	// subject entity.
+	PlaceByEvent
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlacePinned:
+		return "pinned"
+	case PlaceByGroup:
+		return "by-group"
+	case PlaceByEvent:
+		return "by-event"
+	default:
+		return "unknown"
+	}
+}
+
+// Placement reports how this query may be distributed across shards.
+func (q *Query) Placement() Placement {
+	if q.distinct != nil {
+		// `return distinct` keeps one global suppression table.
+		return PlacePinned
+	}
+	if q.stateful {
+		if q.hasCluster {
+			// Clustering compares all groups of a window against each other.
+			return PlacePinned
+		}
+		if len(q.groupBy) == 0 {
+			return PlacePinned
+		}
+		return PlaceByGroup
+	}
+	if len(q.patterns) == 1 {
+		// Single-pattern rule queries complete a match per event with no
+		// cross-event partial state.
+		return PlaceByEvent
+	}
+	return PlacePinned
+}
+
+// SetGroupFilter restricts a by-group replica to the group-by keys it owns:
+// events whose group key is rejected are still observed (the watermark must
+// advance identically on every shard) but fold no state. Pass nil to own
+// every group (the serial engine's behaviour).
+func (q *Query) SetGroupFilter(f func(groupKey string) bool) { q.groupFilter = f }
+
+// SetEventFilter restricts a by-event replica to the events it owns. Pass
+// nil to own every event.
+func (q *Query) SetEventFilter(f func(*event.Event) bool) { q.eventFilter = f }

@@ -9,6 +9,7 @@ import (
 	"saql/internal/event"
 	"saql/internal/expr"
 	"saql/internal/invariant"
+	"saql/internal/matcher"
 	"saql/internal/value"
 	"saql/internal/window"
 )
@@ -55,6 +56,10 @@ func (q *Query) Ingest(ev *event.Event, hits []int, report func(error)) []*Alert
 
 func (q *Query) ingestRule(ev *event.Event, hits []int, report func(error)) []*Alert {
 	if len(hits) == 0 {
+		return nil
+	}
+	if q.eventFilter != nil && !q.eventFilter(ev) {
+		// By-event sharding: another shard owns this event.
 		return nil
 	}
 	q.stats.PatternHits += int64(len(hits))
@@ -109,28 +114,36 @@ func (q *Query) ingestRule(ev *event.Event, hits []int, report func(error)) []*A
 // ---------------------------------------------------------------------------
 
 func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) []*Alert {
+	touched := false
 	for _, hi := range hits {
-		q.stats.PatternHits++
 		p := q.patterns[hi]
-		env := &expr.Env{Entities: map[string]*event.Entity{}, Events: map[string]*event.Event{}}
-		if p.SubjVar != "" {
-			s := ev.Subject
-			env.Entities[p.SubjVar] = &s
+		var env *expr.Env
+		var key string
+		if q.fastKeys != nil {
+			// Fast path: extract the group key straight from the event, so
+			// shard replicas reject non-owned groups before paying for the
+			// binding environment.
+			key = q.fastKeys[hi](ev)
+			if q.groupFilter != nil && !q.groupFilter(key) {
+				touched = true
+				continue
+			}
+			env = q.bindEnv(p, ev)
+		} else {
+			env = q.bindEnv(p, ev)
+			var err error
+			key, err = q.groupKey(env)
+			if err != nil {
+				q.stats.EvalErrors++
+				report(&QueryError{Query: q.Name, Err: err})
+				continue
+			}
+			if q.groupFilter != nil && !q.groupFilter(key) {
+				touched = true
+				continue
+			}
 		}
-		if p.ObjVar != "" {
-			o := ev.Object
-			env.Entities[p.ObjVar] = &o
-		}
-		if p.Alias != "" {
-			env.Events[p.Alias] = ev
-		}
-
-		key, err := q.groupKey(env)
-		if err != nil {
-			q.stats.EvalErrors++
-			report(&QueryError{Query: q.Name, Err: err})
-			continue
-		}
+		q.stats.PatternHits++
 
 		for _, g := range q.winMgr.GroupFor(ev.Time, key) {
 			g.Count++
@@ -160,6 +173,14 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 		}
 	}
 
+	if touched {
+		// By-group sharding rejected some hit: another shard owns the
+		// group, but the window must still exist (and later close) here so
+		// close counts and empty-snapshot cadence match the serial engine
+		// on every shard.
+		q.winMgr.Touch(ev.Time)
+	}
+
 	// Advance the watermark and close any finished windows. This happens
 	// even for events that match no pattern: time always flows.
 	var alerts []*Alert
@@ -167,6 +188,23 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 		alerts = append(alerts, q.closeWindow(closed, report)...)
 	}
 	return alerts
+}
+
+// bindEnv builds the expression environment for one pattern's bindings.
+func (q *Query) bindEnv(p *matcher.Pattern, ev *event.Event) *expr.Env {
+	env := &expr.Env{Entities: map[string]*event.Entity{}, Events: map[string]*event.Event{}}
+	if p.SubjVar != "" {
+		s := ev.Subject
+		env.Entities[p.SubjVar] = &s
+	}
+	if p.ObjVar != "" {
+		o := ev.Object
+		env.Entities[p.ObjVar] = &o
+	}
+	if p.Alias != "" {
+		env.Events[p.Alias] = ev
+	}
+	return env
 }
 
 // Flush closes all open windows (end of stream) and returns final alerts.

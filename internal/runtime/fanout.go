@@ -1,0 +1,173 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"saql/internal/engine"
+	"saql/internal/stream"
+)
+
+// AlertSubscription is one consumer's live feed of alerts. Alerts arrive on
+// C in delivery order; C is closed when the subscription or the engine
+// closes. A subscriber using stream.Block must keep draining C until it
+// closes, or it backpressures the whole runtime.
+type AlertSubscription struct {
+	// C delivers alerts. Closed when the subscription or engine closes.
+	C <-chan *engine.Alert
+
+	ch      chan *engine.Alert
+	done    chan struct{} // closed on unsubscribe, releases blocked senders
+	policy  stream.OverflowPolicy
+	id      int
+	dropped atomic.Int64
+	fan     *AlertFanout
+	closed  bool // guarded by fan.mu
+}
+
+// Dropped reports how many alerts overflow discarded for this subscriber
+// (stream.DropNewest policy only).
+func (s *AlertSubscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close cancels the subscription and closes C. It is safe to call more than
+// once and after the engine has closed.
+func (s *AlertSubscription) Close() { s.fan.unsubscribe(s) }
+
+// AlertFanout fans alerts out to any number of subscribers plus an optional
+// serialized callback. It is the alert-side counterpart of stream.Broker.
+type AlertFanout struct {
+	onAlert func(*engine.Alert)
+
+	// pubMu serialises Publish: the callback is never invoked concurrently
+	// and every subscriber observes alerts in one global order.
+	pubMu sync.Mutex
+
+	mu        sync.Mutex
+	subs      map[int]*AlertSubscription
+	nextID    int
+	closed    bool
+	delivered atomic.Int64
+}
+
+// NewAlertFanout creates a fan-out. onAlert may be nil; when set it is
+// invoked serially for every published alert.
+func NewAlertFanout(onAlert func(*engine.Alert)) *AlertFanout {
+	return &AlertFanout{onAlert: onAlert, subs: map[int]*AlertSubscription{}}
+}
+
+// Subscribe registers a consumer with the given buffer size and overflow
+// policy. Subscribing to a closed fan-out returns a subscription whose
+// channel is already closed.
+func (f *AlertFanout) Subscribe(buf int, policy stream.OverflowPolicy) *AlertSubscription {
+	if buf < 1 {
+		buf = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan *engine.Alert, buf)
+	sub := &AlertSubscription{
+		ch: ch, C: ch, done: make(chan struct{}), policy: policy, id: f.nextID, fan: f,
+	}
+	f.nextID++
+	if f.closed {
+		close(ch)
+		sub.closed = true
+		return sub
+	}
+	f.subs[sub.id] = sub
+	return sub
+}
+
+func (f *AlertFanout) unsubscribe(s *AlertSubscription) {
+	f.mu.Lock()
+	if s.closed {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.subs, s.id)
+	s.closed = true
+	close(s.done) // release any Publish blocked on s.ch
+	f.mu.Unlock()
+
+	// Wait for in-flight Publish to leave s.ch before closing it.
+	f.pubMu.Lock()
+	close(s.ch)
+	f.pubMu.Unlock()
+}
+
+// Publish delivers alerts to the callback and every subscriber. Safe for
+// concurrent use; deliveries are serialised.
+func (f *AlertFanout) Publish(alerts []*engine.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	subs := make([]*AlertSubscription, 0, len(f.subs))
+	for _, s := range f.subs {
+		subs = append(subs, s)
+	}
+	f.mu.Unlock()
+
+	for _, a := range alerts {
+		f.delivered.Add(1)
+		if f.onAlert != nil {
+			f.onAlert(a)
+		}
+		for _, s := range subs {
+			switch s.policy {
+			case stream.Block:
+				select {
+				case s.ch <- a:
+				case <-s.done: // subscriber cancelled mid-delivery
+				}
+			case stream.DropNewest:
+				select {
+				case s.ch <- a:
+				default:
+					s.dropped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Delivered reports how many alerts have been published.
+func (f *AlertFanout) Delivered() int64 { return f.delivered.Load() }
+
+// SubscriberCount reports the number of live subscriptions.
+func (f *AlertFanout) SubscriberCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Close closes the fan-out and every subscriber channel. Publish becomes a
+// no-op afterwards.
+func (f *AlertFanout) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	subs := make([]*AlertSubscription, 0, len(f.subs))
+	for id, s := range f.subs {
+		subs = append(subs, s)
+		s.closed = true
+		close(s.done)
+		delete(f.subs, id)
+	}
+	f.mu.Unlock()
+
+	f.pubMu.Lock()
+	for _, s := range subs {
+		close(s.ch)
+	}
+	f.pubMu.Unlock()
+}

@@ -1,0 +1,569 @@
+// Package runtime implements the concurrent sharded ingestion runtime
+// beneath the public saql.Engine API: a bounded ingest queue with a
+// configurable backpressure policy, a router establishing one total event
+// order, N shard workers each owning a private scheduler, and an alert
+// fan-out merging every shard's detections into subscriptions.
+//
+// # Shard placement
+//
+// The router broadcasts every event to every shard, so each shard observes
+// the identical total order: watermarks advance and windows open and close
+// at the same instants everywhere, which keeps sharded execution
+// alert-for-alert equivalent to the serial engine. What is partitioned is
+// the expensive per-query state folding:
+//
+//   - by-group queries (stateful, group-by, no clustering, no distinct)
+//     replicate onto every shard, and each group-by key is owned by exactly
+//     one shard (FNV hash of the key);
+//   - by-event queries (stateless single-pattern rules) replicate onto
+//     every shard, and each event is owned by exactly one shard (hash of
+//     the subject entity);
+//   - pinned queries (multievent rules, outlier/clustering queries,
+//     global-group stateful queries, `return distinct`) live on a single
+//     home shard, assigned round-robin, where they observe the total order.
+//
+// Control operations (add/remove query, flush, stats snapshots) ride the
+// same queue as events, so they take effect at a consistent point of the
+// stream on every shard.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"saql/internal/engine"
+	"saql/internal/event"
+	"saql/internal/scheduler"
+	"saql/internal/stream"
+)
+
+// ErrClosed is returned by operations on a runtime that has been closed.
+var ErrClosed = errors.New("saql: engine closed")
+
+// Config assembles a runtime.
+type Config struct {
+	// Shards is the number of shard workers (>= 1).
+	Shards int
+	// QueueSize bounds the ingest queue (in submissions, not events).
+	QueueSize int
+	// Overflow selects Submit's behaviour when the queue is full:
+	// stream.Block applies backpressure, stream.DropNewest discards.
+	Overflow stream.OverflowPolicy
+	// Sharing enables the master–dependent-query scheme on each shard.
+	Sharing bool
+	// Reporter receives runtime query errors (may be nil).
+	Reporter *engine.ErrorReporter
+	// Fan receives every alert raised by any shard.
+	Fan *AlertFanout
+}
+
+// Runtime is the concurrent ingestion core. One Runtime serves one started
+// engine; it is safe for concurrent use.
+type Runtime struct {
+	cfg    Config
+	ingest chan envelope
+	quit   chan struct{} // closed by Close: releases blocked Submits, stops router
+	done   chan struct{} // closed when shutdown (drain + flush) completed
+	shards []*shard
+
+	routerDone  chan struct{}
+	workersDone sync.WaitGroup
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	// submitMu lets Close erect a barrier against in-flight Submits: once
+	// Close holds the write side, no submitter can still be mid-enqueue,
+	// so the final drain provably sees every accepted event.
+	submitMu sync.RWMutex
+
+	events  atomic.Int64 // events accepted into the queue
+	dropped atomic.Int64 // events discarded by DropNewest overflow
+
+	// mu serialises control operations against each other and Close, so a
+	// control envelope can never be enqueued after the router drained.
+	mu      sync.Mutex
+	queries map[string]*queryInfo
+	nextPin int
+}
+
+type shard struct {
+	id    int
+	in    chan envelope
+	sched *scheduler.Scheduler
+}
+
+// envelope is one queue item: an event batch or a control operation.
+type envelope struct {
+	evs []*event.Event
+	ctl *control
+}
+
+type ctlKind uint8
+
+const (
+	ctlAdd ctlKind = iota
+	ctlRemove
+	ctlFlush
+	ctlStats
+)
+
+type control struct {
+	kind     ctlKind
+	name     string
+	replicas []*engine.Query // per-shard replica (nil = not placed), ctlAdd
+	ack      chan ctlResult
+}
+
+type ctlResult struct {
+	shard   int
+	err     error
+	removed bool
+	alerts  []*engine.Alert
+	stats   engine.QueryStats
+	found   bool
+}
+
+type queryInfo struct {
+	name      string
+	placement engine.Placement
+	replicas  []*engine.Query // indexed by shard; nil where absent
+}
+
+// Start spins up the runtime: one router plus cfg.Shards workers.
+func Start(cfg Config) *Runtime {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.Fan == nil {
+		cfg.Fan = NewAlertFanout(nil)
+	}
+	r := &Runtime{
+		cfg:        cfg,
+		ingest:     make(chan envelope, cfg.QueueSize),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		routerDone: make(chan struct{}),
+		queries:    map[string]*queryInfo{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			id:    i,
+			in:    make(chan envelope, 128),
+			sched: scheduler.New(cfg.Reporter, cfg.Sharing),
+		}
+		r.shards = append(r.shards, s)
+		r.workersDone.Add(1)
+		go r.worker(s)
+	}
+	go r.router()
+	return r
+}
+
+// Shards reports the shard count.
+func (r *Runtime) Shards() int { return len(r.shards) }
+
+// ---------------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------------
+
+// Submit enqueues one event. Under stream.Block it waits for queue space;
+// under stream.DropNewest it discards the event when the queue is full
+// (counted by Dropped). The engine owns the event after Submit returns.
+func (r *Runtime) Submit(ev *event.Event) error {
+	return r.SubmitBatch([]*event.Event{ev})
+}
+
+// SubmitBatch enqueues a batch of events as one queue item: batching
+// amortises queue traffic for high-rate feeds. Under DropNewest overflow
+// the whole batch is discarded together.
+func (r *Runtime) SubmitBatch(evs []*event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	r.submitMu.RLock()
+	defer r.submitMu.RUnlock()
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	env := envelope{evs: evs}
+	if r.cfg.Overflow == stream.DropNewest {
+		select {
+		case r.ingest <- env:
+			r.events.Add(int64(len(evs)))
+		default:
+			r.dropped.Add(int64(len(evs)))
+		}
+		return nil
+	}
+	select {
+	case r.ingest <- env:
+		r.events.Add(int64(len(evs)))
+		return nil
+	case <-r.quit:
+		return ErrClosed
+	}
+}
+
+// Events reports how many events have been accepted into the queue.
+func (r *Runtime) Events() int64 { return r.events.Load() }
+
+// Dropped reports how many events DropNewest overflow discarded.
+func (r *Runtime) Dropped() int64 { return r.dropped.Load() }
+
+// ---------------------------------------------------------------------------
+// Router and workers
+// ---------------------------------------------------------------------------
+
+func (r *Runtime) router() {
+	defer close(r.routerDone)
+	for {
+		select {
+		case <-r.quit:
+			// Stop pulling; Close performs the final drain after it has
+			// barriered out every in-flight Submit (a submitter racing
+			// Close could otherwise enqueue an accepted event after a
+			// drain here and have it silently lost).
+			return
+		case env := <-r.ingest:
+			r.broadcast(env)
+		}
+	}
+}
+
+// broadcast forwards one envelope to every shard in shard order, so all
+// shards observe the identical total order.
+func (r *Runtime) broadcast(env envelope) {
+	for _, s := range r.shards {
+		s.in <- env
+	}
+}
+
+func (r *Runtime) worker(s *shard) {
+	defer r.workersDone.Done()
+	for env := range s.in {
+		if env.ctl != nil {
+			s.apply(env.ctl, r.cfg.Fan)
+			continue
+		}
+		for _, ev := range env.evs {
+			if alerts := s.sched.Process(ev); len(alerts) > 0 {
+				r.cfg.Fan.Publish(alerts)
+			}
+		}
+	}
+	// Shutdown: close all open windows.
+	r.cfg.Fan.Publish(s.sched.Flush())
+}
+
+func (s *shard) apply(c *control, fan *AlertFanout) {
+	res := ctlResult{shard: s.id}
+	switch c.kind {
+	case ctlAdd:
+		if q := c.replicas[s.id]; q != nil {
+			res.err = s.sched.Add(q)
+		}
+	case ctlRemove:
+		res.removed = s.sched.Remove(c.name)
+	case ctlFlush:
+		res.alerts = s.sched.Flush()
+		fan.Publish(res.alerts)
+	case ctlStats:
+		// Query stats are worker-confined; snapshotting them here is what
+		// makes Runtime.QueryStats race-free.
+		for _, q := range s.queriesByName(c.name) {
+			res.stats = q.Stats()
+			res.found = true
+		}
+	}
+	c.ack <- res
+}
+
+func (s *shard) queriesByName(name string) []*engine.Query {
+	// The scheduler owns the replicas; resolve through its registry.
+	if q, ok := s.sched.Query(name); ok {
+		return []*engine.Query{q}
+	}
+	return nil
+}
+
+// control enqueues a control envelope and waits for every shard's ack.
+// Caller must hold r.mu.
+func (r *Runtime) control(c *control) ([]ctlResult, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.ack = make(chan ctlResult, len(r.shards))
+	select {
+	case r.ingest <- envelope{ctl: c}:
+	case <-r.quit:
+		return nil, ErrClosed
+	}
+	results := make([]ctlResult, 0, len(r.shards))
+	for range r.shards {
+		results = append(results, <-c.ack)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].shard < results[j].shard })
+	return results, nil
+}
+
+// ---------------------------------------------------------------------------
+// Query management
+// ---------------------------------------------------------------------------
+
+// Add registers a compiled query across the shards. primary becomes one of
+// the live replicas; clone compiles an identical fresh replica for each
+// additional shard a distributed placement needs.
+func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := primary.Name
+	if _, dup := r.queries[name]; dup {
+		return fmt.Errorf("saql: duplicate query name %q", name)
+	}
+	n := len(r.shards)
+	placement := primary.Placement()
+	replicas := make([]*engine.Query, n)
+	if n == 1 {
+		// Single shard: every placement degenerates to the serial engine.
+		replicas[0] = primary
+	} else {
+		switch placement {
+		case engine.PlacePinned:
+			home := r.nextPin % n
+			r.nextPin++
+			replicas[home] = primary
+		case engine.PlaceByGroup, engine.PlaceByEvent:
+			for i := 0; i < n; i++ {
+				q := primary
+				if i > 0 {
+					var err error
+					if q, err = clone(); err != nil {
+						return err
+					}
+				}
+				own := ownerFilter(i, n)
+				if placement == engine.PlaceByGroup {
+					q.SetGroupFilter(func(key string) bool { return own(hashString(key)) })
+				} else {
+					q.SetEventFilter(func(ev *event.Event) bool { return own(hashSubject(ev)) })
+				}
+				replicas[i] = q
+			}
+		}
+	}
+
+	results, err := r.control(&control{kind: ctlAdd, name: name, replicas: replicas})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.err != nil {
+			// Roll the partial registration back so shards stay consistent.
+			_, _ = r.control(&control{kind: ctlRemove, name: name})
+			return res.err
+		}
+	}
+	r.queries[name] = &queryInfo{name: name, placement: placement, replicas: replicas}
+	return nil
+}
+
+// Remove unregisters a query from every shard it is placed on.
+func (r *Runtime) Remove(name string) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.queries[name]; !ok {
+		return false, nil
+	}
+	results, err := r.control(&control{kind: ctlRemove, name: name})
+	if err != nil {
+		return false, err
+	}
+	delete(r.queries, name)
+	for _, res := range results {
+		if res.removed {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Placement reports where a registered query runs.
+func (r *Runtime) Placement(name string) (engine.Placement, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qi, ok := r.queries[name]
+	if !ok {
+		return 0, false
+	}
+	return qi.placement, true
+}
+
+// QueryStats aggregates a query's runtime counters across its replicas.
+// Counters that every replica observes identically (events offered, windows
+// closed) aggregate by max; disjoint counters (hits, matches, alerts) sum.
+// It keeps working after Close (counters freeze at their final values).
+func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
+	r.mu.Lock()
+	qi, ok := r.queries[name]
+	if !ok {
+		r.mu.Unlock()
+		return engine.QueryStats{}, false
+	}
+	results, err := r.control(&control{kind: ctlStats, name: name})
+	r.mu.Unlock()
+	if err != nil {
+		// Runtime closed: once the drain finishes the workers are gone,
+		// so the worker-confined replicas can be read directly.
+		<-r.done
+		results = results[:0]
+		for i, q := range qi.replicas {
+			if q != nil {
+				results = append(results, ctlResult{shard: i, stats: q.Stats(), found: true})
+			}
+		}
+	}
+	var out engine.QueryStats
+	found := false
+	for _, res := range results {
+		if !res.found {
+			continue
+		}
+		found = true
+		s := res.stats
+		if s.Events > out.Events {
+			out.Events = s.Events
+		}
+		if s.WindowsClosed > out.WindowsClosed {
+			out.WindowsClosed = s.WindowsClosed
+		}
+		out.PatternHits += s.PatternHits
+		out.Matches += s.Matches
+		out.Alerts += s.Alerts
+		out.Suppressed += s.Suppressed
+		out.EvalErrors += s.EvalErrors
+	}
+	return out, found
+}
+
+// Flush closes all open windows on every shard at a consistent point of the
+// stream (after everything submitted before the call). The resulting alerts
+// are published to subscribers and returned in shard order.
+func (r *Runtime) Flush() ([]*engine.Alert, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	results, err := r.control(&control{kind: ctlFlush})
+	if err != nil {
+		return nil, err
+	}
+	var alerts []*engine.Alert
+	for _, res := range results {
+		alerts = append(alerts, res.alerts...)
+	}
+	return alerts, nil
+}
+
+// SchedStats sums scheduler counters across shards. Under broadcast every
+// shard genuinely examines every event, so copies and evaluations reflect
+// total work performed.
+func (r *Runtime) SchedStats() scheduler.Stats {
+	var out scheduler.Stats
+	for _, s := range r.shards {
+		st := s.sched.Stats()
+		out.Events += st.Events
+		out.StreamCopies += st.StreamCopies
+		out.NaiveCopies += st.NaiveCopies
+		out.PatternEvals += st.PatternEvals
+		out.NaivePatternEvals += st.NaivePatternEvals
+		out.Alerts += st.Alerts
+	}
+	return out
+}
+
+// Groups reports shard 0's master–dependent grouping (informational; each
+// shard groups its own replicas independently).
+func (r *Runtime) Groups() map[string][]string { return r.shards[0].sched.Groups() }
+
+// GroupCount reports the largest per-shard group count.
+func (r *Runtime) GroupCount() int {
+	max := 0
+	for _, s := range r.shards {
+		if n := s.sched.GroupCount(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
+// Close drains the queue, flushes every shard (publishing final alerts to
+// subscribers), closes all subscriptions, and waits for the workers to
+// exit. Safe to call more than once; later calls wait for the first.
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		r.mu.Lock() // wait out any in-flight control operation
+		close(r.quit)
+		r.mu.Unlock()
+		<-r.routerDone
+		// Barrier: after this, no Submit is mid-enqueue and every later
+		// Submit observes the closed flag, so the queue can no longer
+		// grow and the drain below sees every accepted event.
+		r.submitMu.Lock()
+		r.submitMu.Unlock() //nolint:staticcheck // barrier, not critical section
+		for {
+			select {
+			case env := <-r.ingest:
+				r.broadcast(env)
+				continue
+			default:
+			}
+			break
+		}
+		for _, s := range r.shards {
+			close(s.in)
+		}
+		r.workersDone.Wait()
+		r.cfg.Fan.Close()
+		close(r.done)
+	})
+	<-r.done
+}
+
+// ---------------------------------------------------------------------------
+// Ownership hashing
+// ---------------------------------------------------------------------------
+
+// ownerFilter returns a predicate reporting whether a hash belongs to shard
+// i of n.
+func ownerFilter(i, n int) func(uint32) bool {
+	return func(h uint32) bool { return int(h%uint32(n)) == i }
+}
+
+// hashString is 32-bit FNV-1a.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// hashSubject hashes the subject entity identity without allocating.
+func hashSubject(ev *event.Event) uint32 {
+	h := hashString(ev.Subject.ExeName)
+	pid := uint32(ev.Subject.PID)
+	h ^= pid
+	h *= 16777619
+	return h
+}

@@ -50,6 +50,11 @@ func (s Stats) SharingRatio() float64 {
 // dependent is a query executing against its master's intermediate results.
 type dependent struct {
 	q *engine.Query
+	// equal marks dependents whose constraint sets equal the master's:
+	// their hits are exactly the master's, so the residual re-examination
+	// is skipped entirely (the concurrent-analyst case of same patterns
+	// with different alert thresholds).
+	equal bool
 }
 
 // group is one master–dependent group.
@@ -91,32 +96,7 @@ func (s *Scheduler) Add(q *engine.Query) error {
 		return fmt.Errorf("scheduler: duplicate query name %q", q.Name)
 	}
 	s.queries[q.Name] = q
-
-	if !s.sharing {
-		s.groups = append(s.groups, &group{sig: q.Name, master: q})
-		return nil
-	}
-
-	sig := signature(q.AST)
-	for _, g := range s.groups {
-		if g.sig != sig {
-			continue
-		}
-		if subsumes(g.master.AST, q.AST) {
-			// The master's matches cover q's: q joins as a dependent.
-			g.dependents = append(g.dependents, &dependent{q: q})
-			return nil
-		}
-		if subsumes(q.AST, g.master.AST) {
-			// q is weaker than the current master: q becomes the new
-			// master and the old master a dependent. All existing
-			// dependents remain covered (old master ⊆ new master).
-			g.dependents = append(g.dependents, &dependent{q: g.master})
-			g.master = q
-			return nil
-		}
-	}
-	s.groups = append(s.groups, &group{sig: sig, master: q})
+	s.addLocked(q)
 	return nil
 }
 
@@ -173,12 +153,22 @@ func (s *Scheduler) addLocked(q *engine.Query) {
 			continue
 		}
 		if subsumes(g.master.AST, q.AST) {
-			g.dependents = append(g.dependents, &dependent{q: q})
+			// The master's matches cover q's: q joins as a dependent.
+			g.dependents = append(g.dependents, &dependent{
+				q: q, equal: subsumes(q.AST, g.master.AST),
+			})
 			return
 		}
 		if subsumes(q.AST, g.master.AST) {
+			// q is weaker than the current master: q becomes the new
+			// master and the old master a dependent. All existing
+			// dependents remain covered (old master ⊆ new master), but
+			// their equality is relative to the new, weaker master.
 			g.dependents = append(g.dependents, &dependent{q: g.master})
 			g.master = q
+			for _, d := range g.dependents {
+				d.equal = subsumes(d.q.AST, q.AST)
+			}
 			return
 		}
 	}
@@ -199,6 +189,14 @@ func (s *Scheduler) Groups() map[string][]string {
 		out[g.master.Name] = deps
 	}
 	return out
+}
+
+// Query returns the registered query by name.
+func (s *Scheduler) Query(name string) (*engine.Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[name]
+	return q, ok
 }
 
 // QueryCount reports the number of registered queries.
@@ -237,7 +235,11 @@ func (s *Scheduler) Process(ev *event.Event) []*engine.Alert {
 		for _, d := range g.dependents {
 			s.stats.NaivePatternEvals += int64(len(d.q.Patterns()))
 			var depHits []int
-			if len(hits) > 0 && d.q.GlobalMatches(ev) {
+			if len(hits) > 0 && d.equal {
+				// Equal constraint sets: the master's hits are exactly this
+				// dependent's, no residual re-examination needed.
+				depHits = hits
+			} else if len(hits) > 0 && d.q.GlobalMatches(ev) {
 				pats := d.q.Patterns()
 				for _, hi := range hits {
 					s.stats.PatternEvals++

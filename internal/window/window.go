@@ -35,19 +35,25 @@ func (s Spec) EffectiveHop() time.Duration {
 	return s.Length
 }
 
+// eachWindow calls f with the ID of every window containing the instant ts
+// (unix nanoseconds), newest first. It is the allocation-free core shared
+// by AssignTo and Manager.Touch.
+func (s Spec) eachWindow(ts int64, f func(ID)) {
+	hop := s.EffectiveHop().Nanoseconds()
+	length := s.Length.Nanoseconds()
+	// Latest window start <= ts, aligned to hop.
+	latest := ts - mod(ts, hop)
+	for start := latest; start > ts-length; start -= hop {
+		f(ID(start))
+	}
+}
+
 // AssignTo returns the IDs of all windows containing t, in ascending start
 // order. For tumbling windows this is exactly one ID; for hopping windows,
 // ceil(Length/Hop) of them.
 func (s Spec) AssignTo(t time.Time) []ID {
-	hop := s.EffectiveHop().Nanoseconds()
-	length := s.Length.Nanoseconds()
-	ts := t.UnixNano()
-	// Latest window start <= ts, aligned to hop.
-	latest := ts - mod(ts, hop)
 	var ids []ID
-	for start := latest; start > ts-length; start -= hop {
-		ids = append(ids, ID(start))
-	}
+	s.eachWindow(t.UnixNano(), func(id ID) { ids = append(ids, id) })
 	// Ascending order.
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
@@ -176,6 +182,25 @@ func (m *Manager) GroupFor(t time.Time, groupKey string) []*Group {
 		out = append(out, g)
 	}
 	return out
+}
+
+// Touch opens the windows containing t without folding any group state.
+// Sharded query replicas use it for events owned by another shard: the
+// window must still exist (and later close) here so that window-close
+// counts and empty-snapshot cadence stay identical on every shard, but no
+// group accumulates the event.
+func (m *Manager) Touch(t time.Time) {
+	// eachWindow keeps this allocation-free: Touch sits on the sharded
+	// hot path for every non-owned pattern hit.
+	m.spec.eachWindow(t.UnixNano(), func(id ID) {
+		if m.hasWM && !m.spec.End(id).After(m.watermark) {
+			// Closed here too (the owning shard counts it as late).
+			return
+		}
+		if _, ok := m.open[id]; !ok {
+			m.open[id] = &openWindow{id: id, groups: map[string]*Group{}}
+		}
+	})
 }
 
 // Advance moves the watermark to t and returns all windows whose end has

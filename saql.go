@@ -2,12 +2,17 @@ package saql
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	goruntime "runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"saql/internal/engine"
 	"saql/internal/event"
 	"saql/internal/parser"
+	"saql/internal/runtime"
 	"saql/internal/scheduler"
 	"saql/internal/sema"
 )
@@ -33,6 +38,29 @@ const (
 // QueryError is a runtime error attributed to a query.
 type QueryError = engine.QueryError
 
+// AlertSubscription is a push-based alert stream returned by Subscribe.
+type AlertSubscription = runtime.AlertSubscription
+
+// Placement classifies how a query's state is distributed across shards.
+type Placement = engine.Placement
+
+// Shard placements (see doc.go, "Shard placement").
+const (
+	PlacePinned  = engine.PlacePinned
+	PlaceByGroup = engine.PlaceByGroup
+	PlaceByEvent = engine.PlaceByEvent
+)
+
+// Lifecycle errors.
+var (
+	// ErrNotRunning is returned by Submit/SubmitBatch before Start.
+	ErrNotRunning = errors.New("saql: engine not started")
+	// ErrAlreadyRunning is returned by Start/Run on a started engine.
+	ErrAlreadyRunning = errors.New("saql: engine already started")
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = runtime.ErrClosed
+)
+
 // Stats summarises engine activity.
 type Stats struct {
 	Events       int64
@@ -42,17 +70,22 @@ type Stats struct {
 	StreamCopies int64
 	NaiveCopies  int64
 	SharingRatio float64
+	// Dropped counts events discarded by DropNewest ingest overflow.
+	Dropped int64
 }
 
 // Option configures an Engine.
 type Option func(*config)
 
 type config struct {
-	sharing  bool
-	compile  engine.CompileOptions
-	onAlert  func(*Alert)
-	onError  func(*QueryError)
-	errDepth int
+	sharing   bool
+	compile   engine.CompileOptions
+	onAlert   func(*Alert)
+	onError   func(*QueryError)
+	errDepth  int
+	shards    int
+	queueSize int
+	overflow  OverflowPolicy
 }
 
 // WithSharing toggles the master–dependent-query scheme (default on).
@@ -65,28 +98,74 @@ func WithCompileOptions(opts engine.CompileOptions) Option {
 	return func(c *config) { c.compile = opts }
 }
 
-// WithAlertHandler installs a callback invoked for every alert, in addition
-// to alerts being returned from Process.
+// WithAlertHandler installs a callback invoked serially for every alert, in
+// addition to alerts flowing to subscriptions (and, on the legacy serial
+// path, being returned from Process). After Start the callback runs on
+// runtime goroutines, never concurrently with itself.
 func WithAlertHandler(fn func(*Alert)) Option { return func(c *config) { c.onAlert = fn } }
 
-// WithErrorHandler installs a callback invoked for every runtime query error.
+// WithErrorHandler installs a callback invoked for every runtime query
+// error. After Start it may be invoked from runtime goroutines.
 func WithErrorHandler(fn func(*QueryError)) Option { return func(c *config) { c.onError = fn } }
+
+// WithShards sets how many shard workers Start spins up (default
+// GOMAXPROCS). Each worker owns a scheduler shard; see doc.go for the
+// query-placement rules.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithIngestQueue bounds the ingest queue (in submissions; default 1024).
+func WithIngestQueue(size int) Option { return func(c *config) { c.queueSize = size } }
+
+// WithBackpressure selects Submit's behaviour when the ingest queue is
+// full: Block (default) waits for capacity, DropNewest discards the
+// submission and counts it in Stats.Dropped.
+func WithBackpressure(p OverflowPolicy) Option { return func(c *config) { c.overflow = p } }
+
+// engineState tracks the lifecycle: New (serial, accepting Process) ->
+// Running (concurrent, accepting Submit) -> Closed.
+type engineState int32
+
+const (
+	stateNew engineState = iota
+	stateRunning
+	stateClosed
+)
 
 // Engine is the SAQL anomaly query engine: it manages concurrent queries
 // over the system event stream and reports alerts. Engine is safe for
-// concurrent use; event processing is serialised internally.
+// concurrent use.
+//
+// An Engine starts in the serial state, where the synchronous Process /
+// Flush / Run methods drive all queries on the caller's goroutine. Calling
+// Start moves it to the running state: events enter through the
+// non-blocking Submit / SubmitBatch ingestion API, are fanned across shard
+// workers, and alerts are delivered through Subscribe streams and the
+// WithAlertHandler callback. Close drains, flushes, and ends all
+// subscriptions.
 type Engine struct {
 	cfg      config
 	reporter *engine.ErrorReporter
-	sched    *scheduler.Scheduler
+	sched    *scheduler.Scheduler // serial-state scheduler
+	fan      *runtime.AlertFanout
 
-	mu      sync.Mutex
+	state    atomic.Int32
+	rt       atomic.Pointer[runtime.Runtime]
+	closedCh chan struct{}
+
+	mu      sync.Mutex // guards queries/sources and state transitions
 	queries map[string]*engine.Query
+	sources map[string]string
 }
 
 // New creates an engine.
 func New(opts ...Option) *Engine {
-	cfg := config{sharing: true, errDepth: 128}
+	cfg := config{
+		sharing:   true,
+		errDepth:  128,
+		shards:    goruntime.GOMAXPROCS(0),
+		queueSize: 1024,
+		overflow:  Block,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -95,11 +174,104 @@ func New(opts ...Option) *Engine {
 		cfg:      cfg,
 		reporter: rep,
 		sched:    scheduler.New(rep, cfg.sharing),
+		fan:      runtime.NewAlertFanout(cfg.onAlert),
+		closedCh: make(chan struct{}),
 		queries:  map[string]*engine.Query{},
+		sources:  map[string]string{},
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+// Start moves the engine to the running state: it spins up the sharded
+// runtime (WithShards workers behind a bounded ingest queue) and enables
+// Submit/SubmitBatch. Queries registered so far are distributed across the
+// shards; AddQuery/RemoveQuery keep working while running. Cancelling ctx
+// closes the engine (equivalent to Close). Start returns
+// ErrAlreadyRunning on a running engine and ErrClosed on a closed one.
+func (e *Engine) Start(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch engineState(e.state.Load()) {
+	case stateRunning:
+		return ErrAlreadyRunning
+	case stateClosed:
+		return ErrClosed
+	}
+	rt := runtime.Start(runtime.Config{
+		Shards:    e.cfg.shards,
+		QueueSize: e.cfg.queueSize,
+		Overflow:  e.cfg.overflow,
+		Sharing:   e.cfg.sharing,
+		Reporter:  e.reporter,
+		Fan:       e.fan,
+	})
+	// Distribute the already-registered queries in name order so pinned
+	// home-shard assignment is deterministic.
+	names := make([]string, 0, len(e.queries))
+	for name := range e.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := rt.Add(e.queries[name], e.cloneFn(name)); err != nil {
+			rt.Close()
+			return err
+		}
+	}
+	e.rt.Store(rt)
+	e.state.Store(int32(stateRunning))
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = e.Close()
+			case <-e.closedCh:
+			}
+		}()
+	}
+	return nil
+}
+
+// Close moves the engine to the closed state: the ingest queue is drained,
+// every shard flushes its open windows (final alerts flow to subscriptions
+// and the alert handler), all subscriptions end, and the workers exit.
+// Close is idempotent; concurrent calls wait for the first to finish. A
+// never-started engine closes immediately (subscriptions end, Process is
+// disabled).
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	prev := engineState(e.state.Load())
+	e.state.Store(int32(stateClosed))
+	rt := e.rt.Load()
+	if prev != stateClosed {
+		close(e.closedCh)
+	}
+	e.mu.Unlock()
+
+	if rt != nil {
+		rt.Close() // idempotent; closes the fan-out
+	} else if prev != stateClosed {
+		e.fan.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Query management
+// ---------------------------------------------------------------------------
+
+func (e *Engine) cloneFn(name string) func() (*engine.Query, error) {
+	src := e.sources[name]
+	compile := e.cfg.compile
+	return func() (*engine.Query, error) { return engine.Compile(name, src, compile) }
+}
+
 // AddQuery parses, checks, compiles, and registers a SAQL query under name.
+// It may be called before Start or while running; in the running state the
+// query is installed at a consistent point of the event stream.
 func (e *Engine) AddQuery(name, src string) error {
 	q, err := engine.Compile(name, src, e.cfg.compile)
 	if err != nil {
@@ -107,25 +279,49 @@ func (e *Engine) AddQuery(name, src string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if engineState(e.state.Load()) == stateClosed {
+		return ErrClosed
+	}
 	if _, dup := e.queries[name]; dup {
 		return fmt.Errorf("saql: duplicate query name %q", name)
 	}
-	if err := e.sched.Add(q); err != nil {
-		return err
+	e.sources[name] = src
+	if rt := e.rt.Load(); rt != nil {
+		if err := rt.Add(q, e.cloneFn(name)); err != nil {
+			delete(e.sources, name)
+			return err
+		}
+	} else {
+		if err := e.sched.Add(q); err != nil {
+			delete(e.sources, name)
+			return err
+		}
 	}
 	e.queries[name] = q
 	return nil
 }
 
-// RemoveQuery unregisters a query.
+// RemoveQuery unregisters a query. The registry and the scheduler are
+// updated atomically: on a scheduler-side failure the query stays
+// registered and RemoveQuery reports false.
 func (e *Engine) RemoveQuery(name string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.queries[name]; !ok {
 		return false
 	}
+	if rt := e.rt.Load(); rt != nil {
+		removed, err := rt.Remove(name)
+		if err != nil || !removed {
+			return false
+		}
+	} else if !e.sched.Remove(name) {
+		// Scheduler disagreed; keep the registry consistent with it.
+		return false
+	}
 	delete(e.queries, name)
-	return e.sched.Remove(name)
+	delete(e.sources, name)
+	return true
 }
 
 // QueryKind reports the anomaly model family of a registered query.
@@ -139,33 +335,130 @@ func (e *Engine) QueryKind(name string) (ModelKind, bool) {
 	return q.Kind, true
 }
 
-// Process feeds one event through all queries and returns the alerts raised.
+// QueryPlacement reports how a registered query is (or would be)
+// distributed across shards: PlaceByGroup, PlaceByEvent, or PlacePinned.
+func (e *Engine) QueryPlacement(name string) (Placement, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return 0, false
+	}
+	return q.Placement(), true
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent ingestion API
+// ---------------------------------------------------------------------------
+
+// Submit enqueues one event for processing. The engine must be running
+// (Start). Under the Block backpressure policy Submit waits for queue
+// space; under DropNewest it discards the event when the queue is full and
+// counts it in Stats.Dropped. The engine owns the event after Submit
+// returns; callers must not mutate it.
+func (e *Engine) Submit(ev *Event) error {
+	rt, err := e.running()
+	if err != nil {
+		return err
+	}
+	return rt.Submit(ev)
+}
+
+// SubmitBatch enqueues a batch of events as a single queue item, amortising
+// queue traffic for high-rate feeds. Events in a batch are processed in
+// order. Under DropNewest overflow the whole batch is discarded together.
+func (e *Engine) SubmitBatch(evs []*Event) error {
+	rt, err := e.running()
+	if err != nil {
+		return err
+	}
+	return rt.SubmitBatch(evs)
+}
+
+func (e *Engine) running() (*runtime.Runtime, error) {
+	switch engineState(e.state.Load()) {
+	case stateNew:
+		return nil, ErrNotRunning
+	case stateClosed:
+		return nil, ErrClosed
+	}
+	return e.rt.Load(), nil
+}
+
+// Subscribe registers a push-based alert stream carrying every alert the
+// engine raises (from both the concurrent and the legacy serial path).
+// Multiple subscribers each receive every alert. buf bounds the channel;
+// policy selects Block backpressure or DropNewest when the subscriber
+// falls behind (drops are counted per subscription). Subscribing to a
+// closed engine returns a subscription whose channel is already closed.
+func (e *Engine) Subscribe(buf int, policy OverflowPolicy) *AlertSubscription {
+	return e.fan.Subscribe(buf, policy)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy serial API (pre-Start engines)
+// ---------------------------------------------------------------------------
+
+// Process feeds one event through all queries and returns the alerts
+// raised.
+//
+// Deprecated: Process is the legacy serial ingestion path; prefer Start +
+// Submit/SubmitBatch + Subscribe. It remains fully supported on a
+// never-started engine. On a running engine it forwards the event to
+// Submit and returns nil (alerts flow to subscriptions and the alert
+// handler); on a closed engine it returns nil.
 func (e *Engine) Process(ev *Event) []*Alert {
+	switch engineState(e.state.Load()) {
+	case stateRunning:
+		if rt := e.rt.Load(); rt != nil {
+			_ = rt.Submit(ev)
+		}
+		return nil
+	case stateClosed:
+		return nil
+	}
+	// Serial path: the scheduler serialises event processing internally,
+	// and no Engine lock is held here, so alert handlers and subscribers
+	// are free to call back into the Engine.
 	alerts := e.sched.Process(ev)
-	e.dispatch(alerts)
+	e.fan.Publish(alerts)
 	return alerts
 }
 
 // Flush closes all open windows (end of stream) and returns final alerts.
+// On a running engine the flush happens at a consistent point of the
+// stream — after everything submitted before the call — and the alerts are
+// also delivered to subscriptions.
 func (e *Engine) Flush() []*Alert {
+	switch engineState(e.state.Load()) {
+	case stateRunning:
+		if rt := e.rt.Load(); rt != nil {
+			alerts, _ := rt.Flush()
+			return alerts
+		}
+		return nil
+	case stateClosed:
+		return nil
+	}
 	alerts := e.sched.Flush()
-	e.dispatch(alerts)
+	e.fan.Publish(alerts)
 	return alerts
-}
-
-func (e *Engine) dispatch(alerts []*Alert) {
-	if e.cfg.onAlert == nil {
-		return
-	}
-	for _, a := range alerts {
-		e.cfg.onAlert(a)
-	}
 }
 
 // Run consumes events from ch until it closes or ctx is cancelled, then
 // flushes. All alerts are delivered through the WithAlertHandler callback
-// and also returned.
+// and subscriptions, and also returned.
+//
+// Deprecated: Run is the legacy serial loop; prefer Start + Submit +
+// Subscribe. It only operates on a never-started engine and returns
+// ErrAlreadyRunning / ErrClosed otherwise.
 func (e *Engine) Run(ctx context.Context, ch <-chan *Event) ([]*Alert, error) {
+	switch engineState(e.state.Load()) {
+	case stateRunning:
+		return nil, ErrAlreadyRunning
+	case stateClosed:
+		return nil, ErrClosed
+	}
 	var all []*Alert
 	for {
 		select {
@@ -182,14 +475,25 @@ func (e *Engine) Run(ctx context.Context, ch <-chan *Event) ([]*Alert, error) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
 // Errors returns recent runtime query errors (oldest first).
 func (e *Engine) Errors() []*QueryError { return e.reporter.Recent() }
 
-// ErrorCount returns the total number of runtime query errors.
+// ErrorCount returns the total number of runtime query errors. Under the
+// sharded runtime a group-key evaluation error surfaces once per shard
+// replica that observed it.
 func (e *Engine) ErrorCount() int64 { return e.reporter.Total() }
 
-// QueryStats returns the per-query runtime counters.
+// QueryStats returns the per-query runtime counters. On a running engine
+// the counters are aggregated across the query's shard replicas at a
+// consistent point of the stream.
 func (e *Engine) QueryStats(name string) (engine.QueryStats, bool) {
+	if rt := e.rt.Load(); rt != nil {
+		return rt.QueryStats(name)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	q, ok := e.queries[name]
@@ -199,16 +503,49 @@ func (e *Engine) QueryStats(name string) (engine.QueryStats, bool) {
 	return q.Stats(), true
 }
 
-// Groups reports the scheduler's master–dependent grouping.
-func (e *Engine) Groups() map[string][]string { return e.sched.Groups() }
+// Groups reports the scheduler's master–dependent grouping (shard 0's view
+// on a running engine; each shard groups its replicas independently).
+func (e *Engine) Groups() map[string][]string {
+	if rt := e.rt.Load(); rt != nil {
+		return rt.Groups()
+	}
+	return e.sched.Groups()
+}
 
-// Stats returns engine-level counters.
+// Shards reports how many shard workers a running engine uses (0 before
+// Start).
+func (e *Engine) Shards() int {
+	if rt := e.rt.Load(); rt != nil {
+		return rt.Shards()
+	}
+	return 0
+}
+
+// Stats returns engine-level counters. Under the sharded runtime every
+// shard examines the broadcast stream, so copy/evaluation counters reflect
+// total work across shards.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	nQueries := len(e.queries)
+	e.mu.Unlock()
+	if rt := e.rt.Load(); rt != nil {
+		ss := rt.SchedStats()
+		return Stats{
+			Events:       rt.Events(),
+			Alerts:       ss.Alerts,
+			Queries:      nQueries,
+			QueryGroups:  rt.GroupCount(),
+			StreamCopies: ss.StreamCopies,
+			NaiveCopies:  ss.NaiveCopies,
+			SharingRatio: ss.SharingRatio(),
+			Dropped:      rt.Dropped(),
+		}
+	}
 	s := e.sched.Stats()
 	return Stats{
 		Events:       s.Events,
 		Alerts:       s.Alerts,
-		Queries:      e.sched.QueryCount(),
+		Queries:      nQueries,
 		QueryGroups:  e.sched.GroupCount(),
 		StreamCopies: s.StreamCopies,
 		NaiveCopies:  s.NaiveCopies,

@@ -117,12 +117,16 @@ type Broker = stream.Broker
 // Subscription is one consumer's view of the stream.
 type Subscription = stream.Subscription
 
-// OverflowPolicy selects broker behaviour on full subscriber buffers.
+// OverflowPolicy selects backpressure behaviour on full bounded buffers:
+// the event broker's subscriber buffers, the engine's ingest queue
+// (WithBackpressure), and alert subscriptions (Engine.Subscribe).
 type OverflowPolicy = stream.OverflowPolicy
 
 // Overflow policies.
 const (
-	Block      = stream.Block
+	// Block applies backpressure: the producer waits for capacity.
+	Block = stream.Block
+	// DropNewest discards the incoming item when the buffer is full.
 	DropNewest = stream.DropNewest
 )
 
