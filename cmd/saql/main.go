@@ -2,26 +2,35 @@
 // paper): it registers anomaly queries and executes them against a stream of
 // system monitoring data, printing alerts in real time.
 //
-// The stream source is either a stored dataset replayed through the stream
-// replayer (-store, with -hosts/-from/-to/-speed selection) or a live
-// simulation of the enterprise plus the APT attack (-simulate).
+// The stream source is a real log file or socket decoded by a codec
+// (-input with -format auditd|sysmon|ndjson), a stored dataset replayed
+// through the stream replayer (-store, with -hosts/-from/-to/-speed
+// selection), or a live simulation of the enterprise plus the APT attack
+// (-simulate). Events are ingested through the engine's concurrent
+// Submit/SubmitBatch API on the sharded runtime (use -shards to size it).
 //
 // Usage:
 //
+//	saql -input audit.log -format auditd -agent db-1 -q exfil.saql
+//	saql -input - -format ndjson -e 'proc p write file f["/etc/%"] return p, f'
+//	saql -input tcp://:6514 -format sysmon -follow -q lateral.saql
 //	saql -simulate -duration 10m -q query1.saql -q query2.saql
 //	saql -store ./data -hosts db-1 -speed 100 -q exfil.saql
 //	saql -simulate -demo-queries        # run the paper's 8 demo queries
-//	saql -simulate -demo-queries -shards 8   # concurrent sharded runtime
 //	saql -validate -q query.saql        # parse/check only
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"saql"
@@ -36,37 +45,49 @@ func (m *multiFlag) Set(s string) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h / -help: usage already printed, exit clean
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "saql:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("saql", flag.ContinueOnError)
 	var (
 		queryFiles  multiFlag
 		inline      multiFlag
 		hosts       multiFlag
-		storeDir    = flag.String("store", "", "replay events from this store directory")
-		from        = flag.String("from", "", "replay start time (RFC3339)")
-		to          = flag.String("to", "", "replay end time (RFC3339)")
-		speed       = flag.Float64("speed", 0, "replay speed multiplier (0 = max)")
-		simulate    = flag.Bool("simulate", false, "generate a live enterprise simulation with the APT attack")
-		duration    = flag.Duration("duration", 10*time.Minute, "simulation duration")
-		seed        = flag.Int64("seed", 42, "simulation seed")
-		demoQueries = flag.Bool("demo-queries", false, "register the paper's 8 demonstration queries")
-		window      = flag.Duration("window", 30*time.Second, "window length for demo queries")
-		train       = flag.Int("train", 5, "invariant training windows for demo queries")
-		noShare     = flag.Bool("no-share", false, "disable the master-dependent-query scheme")
-		shards      = flag.Int("shards", 0, "run the concurrent sharded runtime with this many workers (0 = legacy serial path, -1 = GOMAXPROCS)")
-		batch       = flag.Int("batch", 256, "SubmitBatch size for the sharded runtime")
-		validate    = flag.Bool("validate", false, "validate queries and exit")
-		quiet       = flag.Bool("quiet", false, "suppress per-alert output, print only the summary")
+		input       = fs.String("input", "", "read raw log events from this file ('-' = stdin, 'tcp://addr' = listen)")
+		format      = fs.String("format", "ndjson", "log format for -input: "+strings.Join(saql.Formats(), ", "))
+		agent       = fs.String("agent", "", "default agent id for -input events whose format carries no host field")
+		follow      = fs.Bool("follow", false, "with -input FILE: keep tailing the file for appended records (tail -f)")
+		strictOrder = fs.Bool("strict-order", false, "with -input: drop events that arrive too late to reorder (default: submit late)")
+		storeDir    = fs.String("store", "", "replay events from this store directory")
+		from        = fs.String("from", "", "replay start time (RFC3339)")
+		to          = fs.String("to", "", "replay end time (RFC3339)")
+		speed       = fs.Float64("speed", 0, "replay speed multiplier (0 = max)")
+		simulate    = fs.Bool("simulate", false, "generate a live enterprise simulation with the APT attack")
+		duration    = fs.Duration("duration", 10*time.Minute, "simulation duration")
+		seed        = fs.Int64("seed", 42, "simulation seed")
+		demoQueries = fs.Bool("demo-queries", false, "register the paper's 8 demonstration queries")
+		window      = fs.Duration("window", 30*time.Second, "window length for demo queries")
+		train       = fs.Int("train", 5, "invariant training windows for demo queries")
+		noShare     = fs.Bool("no-share", false, "disable the master-dependent-query scheme")
+		shards      = fs.Int("shards", -1, "shard workers for the concurrent runtime (-1 = GOMAXPROCS, 0 = legacy serial path)")
+		batch       = fs.Int("batch", 256, "SubmitBatch size")
+		validate    = fs.Bool("validate", false, "validate queries and exit")
+		quiet       = fs.Bool("quiet", false, "suppress per-alert output, print only the summary")
 	)
-	flag.Var(&queryFiles, "q", "SAQL query file (repeatable)")
-	flag.Var(&inline, "e", "inline SAQL query text (repeatable)")
-	flag.Var(&hosts, "hosts", "replay only these agent ids (repeatable)")
-	flag.Parse()
+	fs.Var(&queryFiles, "q", "SAQL query file (repeatable)")
+	fs.Var(&inline, "e", "inline SAQL query text (repeatable)")
+	fs.Var(&hosts, "hosts", "replay only these agent ids (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Assemble the query set.
 	type namedSrc struct{ name, src string }
@@ -100,20 +121,20 @@ func run() error {
 			if err := saql.Validate(s.src); err != nil {
 				return fmt.Errorf("%s: %w", s.name, err)
 			}
-			fmt.Printf("%-40s OK\n", s.name)
+			fmt.Fprintf(out, "%-40s OK\n", s.name)
 		}
 		return nil
 	}
 
-	// The alert handler is invoked serially in both the legacy serial path
-	// and the sharded runtime, so the counter needs no synchronisation.
+	// The alert handler is invoked serially in both the sharded runtime and
+	// the legacy serial path, so the counter needs no synchronisation.
 	var alertCount int
 	engOpts := []saql.Option{
 		saql.WithSharing(!*noShare),
 		saql.WithAlertHandler(func(a *saql.Alert) {
 			alertCount++
 			if !*quiet {
-				fmt.Println(a)
+				fmt.Fprintln(out, a)
 			}
 		}),
 	}
@@ -126,17 +147,20 @@ func run() error {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
 	}
-	fmt.Printf("registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
+	fmt.Fprintf(out, "registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
 
 	sharded := *shards != 0
+	if *input != "" && !sharded {
+		return fmt.Errorf("-input needs the concurrent runtime (drop -shards 0)")
+	}
 	if sharded {
 		if err := eng.Start(context.Background()); err != nil {
 			return err
 		}
-		fmt.Printf("concurrent runtime: %d shards\n", eng.Shards())
+		fmt.Fprintf(out, "concurrent runtime: %d shards\n", eng.Shards())
 		for _, s := range sources {
 			if p, ok := eng.QueryPlacement(s.name); ok {
-				fmt.Printf("  %-40s placement=%s\n", s.name, p)
+				fmt.Fprintf(out, "  %-40s placement=%s\n", s.name, p)
 			}
 		}
 	}
@@ -153,7 +177,28 @@ func run() error {
 
 	started := time.Now()
 	var events int64
+	var logStats saql.SourceStats
 	switch {
+	case *input != "":
+		src, err := openInput(*input, *format, *agent, *follow, *strictOrder, *batch)
+		if err != nil {
+			return err
+		}
+		if a := src.Addr(); a != nil {
+			fmt.Fprintf(out, "listening on %s (%s)\n", a, *format)
+		}
+		// Live modes (-follow, tcp://) run until interrupted; Ctrl-C ends
+		// the source cleanly so open windows still flush and the summary
+		// prints.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = src.Run(ctx, eng)
+		stopSignals()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		logStats = src.Stats()
+		events = logStats.Events
+
 	case *storeDir != "":
 		store, err := saql.OpenStore(*storeDir, saql.StoreOptions{})
 		if err != nil {
@@ -214,12 +259,12 @@ func run() error {
 			break
 		}
 		for _, ev := range all {
-			eng.Process(ev)
+			feed(ev)
 			events++
 		}
 
 	default:
-		return fmt.Errorf("no event source: use -store or -simulate")
+		return fmt.Errorf("no event source: use -input, -store, or -simulate")
 	}
 
 	if sharded {
@@ -234,16 +279,42 @@ func run() error {
 
 	wall := time.Since(started)
 	st := eng.Stats()
-	fmt.Printf("\n--- summary ---\n")
-	fmt.Printf("events processed : %d (%.0f events/s)\n", events, float64(events)/wall.Seconds())
-	fmt.Printf("alerts raised    : %d\n", alertCount)
-	fmt.Printf("stream copies    : %d (naive per-query: %d, sharing ratio %.2fx)\n",
+	fmt.Fprintf(out, "\n--- summary ---\n")
+	fmt.Fprintf(out, "events processed : %d (%.0f events/s)\n", events, float64(events)/wall.Seconds())
+	fmt.Fprintf(out, "alerts raised    : %d\n", alertCount)
+	fmt.Fprintf(out, "stream copies    : %d (naive per-query: %d, sharing ratio %.2fx)\n",
 		st.StreamCopies, st.NaiveCopies, st.SharingRatio)
+	if *input != "" {
+		fmt.Fprintf(out, "log lines read   : %d (%d undecodable, %d reordered, %d dropped out-of-order)\n",
+			logStats.Lines, logStats.DecodeErrors, logStats.Reordered, logStats.Dropped)
+	}
 	if st.Dropped > 0 {
-		fmt.Printf("events dropped   : %d (ingest overflow)\n", st.Dropped)
+		fmt.Fprintf(out, "events dropped   : %d (ingest overflow)\n", st.Dropped)
 	}
 	if n := eng.ErrorCount(); n > 0 {
-		fmt.Printf("runtime errors   : %d (last: %v)\n", n, eng.Errors()[len(eng.Errors())-1])
+		fmt.Fprintf(out, "runtime errors   : %d (last: %v)\n", n, eng.Errors()[len(eng.Errors())-1])
 	}
 	return nil
+}
+
+// openInput builds the log source for -input: "-" reads stdin, a tcp://
+// address listens for connections, anything else opens a file.
+func openInput(input, format, agent string, follow, strictOrder bool, batch int) (*saql.Source, error) {
+	opts := []saql.SourceOption{
+		saql.WithFormat(format),
+		saql.WithBatchSize(batch),
+	}
+	if agent != "" {
+		opts = append(opts, saql.WithSourceAgent(agent))
+	}
+	if strictOrder {
+		opts = append(opts, saql.WithStrictOrder())
+	}
+	if addr, ok := strings.CutPrefix(input, "tcp://"); ok {
+		return saql.ListenTCP(addr, opts...)
+	}
+	if follow {
+		opts = append(opts, saql.WithFollow())
+	}
+	return saql.OpenLogFile(input, opts...)
 }

@@ -499,7 +499,7 @@ return p, ss.amt`); err != nil {
 	defer eng.Close()
 	for i := 0; i < 100; i++ {
 		ev := &Event{Time: demoStart.Add(time.Duration(i) * time.Second),
-			AgentID: "h", Subject: Process(fmt.Sprintf("p%d.exe", i%10), int32(i % 10)),
+			AgentID: "h", Subject: Process(fmt.Sprintf("p%d.exe", i%10), int32(i%10)),
 			Op: OpWrite, Object: NetConn("10.0.0.1", 1, "10.0.0.2", 2), Amount: 100}
 		if err := eng.Submit(ev); err != nil {
 			t.Fatal(err)

@@ -41,6 +41,25 @@
 //	eng.SubmitBatch(events) // from any number of goroutines
 //	eng.Close()             // drain, flush, end subscriptions
 //
+// # Ingesting real logs
+//
+// Raw monitoring logs stream into a running engine through sources: a log
+// file (optionally followed like tail -f), standard input, an arbitrary
+// io.Reader, or a TCP listener. Each source decodes its input with a codec
+// — "auditd" (Linux kernel audit records, with multi-record event
+// reassembly), "sysmon" (Sysmon/ECS JSON lines), or "ndjson" (the native
+// event schema) — and submits the events in time-ordered batches:
+//
+//	src, err := saql.OpenLogFile("audit.log",
+//	    saql.WithFormat("auditd"), saql.WithSourceAgent("db-1"), saql.WithFollow())
+//	if err != nil { ... }
+//	err = src.Run(ctx, eng) // decode → batch → SubmitBatch, until ctx ends
+//
+// Per-source counters (lines, events, decode errors, out-of-order
+// accounting) are available from Source.Stats and aggregated into
+// Engine.Stats. See docs/architecture.md for the pipeline design and
+// docs/language.md for the query-language reference.
+//
 // # Lifecycle
 //
 // An Engine moves through three states. It is created in the serial state,

@@ -1,0 +1,67 @@
+package saql
+
+// Documentation conformance: every ```saql fenced block in the docs must be
+// a complete query that validates and compiles, so the language reference
+// cannot drift from the implementation.
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// saqlBlocks extracts the ```saql fenced code blocks from markdown.
+func saqlBlocks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []string
+	var cur []string
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case !in && strings.TrimSpace(line) == "```saql":
+			in = true
+			cur = cur[:0]
+		case in && strings.TrimSpace(line) == "```":
+			in = false
+			blocks = append(blocks, strings.Join(cur, "\n"))
+		case in:
+			cur = append(cur, line)
+		}
+	}
+	if in {
+		t.Fatalf("%s: unterminated ```saql block", path)
+	}
+	return blocks
+}
+
+func TestLanguageDocSnippetsValidate(t *testing.T) {
+	blocks := saqlBlocks(t, "docs/language.md")
+	if len(blocks) < 15 {
+		t.Fatalf("docs/language.md has %d saql blocks; the reference should cover the language (>= 15)", len(blocks))
+	}
+	for i, src := range blocks {
+		if err := Validate(src); err != nil {
+			t.Errorf("docs/language.md block %d does not validate: %v\n%s", i+1, err, src)
+			continue
+		}
+		if _, err := CompileQuery("doc-snippet", src); err != nil {
+			t.Errorf("docs/language.md block %d does not compile: %v\n%s", i+1, err, src)
+		}
+	}
+}
+
+func TestDocsExist(t *testing.T) {
+	for _, path := range []string{"README.md", "docs/language.md", "docs/architecture.md"} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s missing: %v", path, err)
+		}
+		if st.Size() < 1024 {
+			t.Errorf("%s is suspiciously small (%d bytes)", path, st.Size())
+		}
+	}
+}

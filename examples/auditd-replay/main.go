@@ -1,0 +1,88 @@
+// Auditd replay: run SAQL queries over a real Linux audit log. The
+// checked-in sample.log is a raw auditd capture from a database host on
+// which an interactive shell dumps the database and ships it to an external
+// address — the paper's data-exfiltration scenario, expressed as kernel
+// audit record groups (SYSCALL + CWD + PATH + SOCKADDR + EOE).
+//
+// Two queries watch the stream: a multievent rule query that matches the
+// dump-read-connect chain, and a stateful aggregation query that totals the
+// bytes sent to the exfiltration address. The program exits non-zero unless
+// both fire, so CI running `go run ./examples/auditd-replay` asserts the
+// whole decode → submit → detect pipeline end-to-end.
+package main
+
+import (
+	"bytes"
+	"context"
+	_ "embed"
+	"fmt"
+	"log"
+
+	"saql"
+)
+
+//go:embed sample.log
+var sampleLog []byte
+
+const exfilChain = `
+agentid = "db-1"
+proc p1["%mysqldump"] write file f1["%dump.sql"] as evt1
+proc p2["%curl"] read file f1 as evt2
+proc p2 connect ip i1[dstip="172.16.0.129"] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, f1, p2, i1`
+
+const exfilVolume = `
+agentid = "db-1"
+proc p write ip i1[dstip="172.16.0.129"] as evt #time(10 s)
+state ss {
+  total := sum(evt.amount)
+}
+group by p
+alert ss.total > 100000
+return p, ss.total`
+
+func main() {
+	alerts := map[string]int{}
+	eng := saql.New(saql.WithAlertHandler(func(a *saql.Alert) {
+		alerts[a.Query]++
+		fmt.Println(a)
+	}))
+	for name, src := range map[string]string{"exfil-chain": exfilChain, "exfil-volume": exfilVolume} {
+		if err := eng.AddQuery(name, src); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// The audit log carries no hostname (no node= prefix), so the source
+	// stamps every event with the agent id the queries constrain on.
+	src, err := saql.NewSource(bytes.NewReader(sampleLog),
+		saql.WithFormat("auditd"),
+		saql.WithSourceAgent("db-1"),
+		saql.WithDecodeErrorHandler(func(err error) { fmt.Println("decode:", err) }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := src.Run(context.Background(), eng); err != nil {
+		log.Fatal(err)
+	}
+	// Close drains the ingest queue and flushes the open aggregation
+	// window, which is what fires the volume query's final alert.
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := src.Stats()
+	fmt.Printf("\n%d lines -> %d events (%d undecodable), %d batches\n",
+		st.Lines, st.Events, st.DecodeErrors, st.Batches)
+	for _, q := range []string{"exfil-chain", "exfil-volume"} {
+		if alerts[q] == 0 {
+			log.Fatalf("expected an alert from %s, got none", q)
+		}
+	}
+	fmt.Println("both exfiltration queries fired")
+}

@@ -1,0 +1,132 @@
+package saql
+
+import (
+	"context"
+	"io"
+	"net"
+
+	"saql/internal/codec"
+	"saql/internal/source"
+)
+
+// This file is the public face of the real-log ingestion layer: sources
+// stream raw monitoring logs (auditd, Sysmon/ECS JSON, native NDJSON) into a
+// running engine through SubmitBatch, with time-ordered batching and
+// per-source accounting. See docs/architecture.md, "Ingestion pipeline".
+
+// SourceStats are per-source ingestion counters (lines read, events
+// decoded, decode errors, reordering/drop accounting, batches submitted).
+type SourceStats = source.Stats
+
+// Source streams one raw log input — a file, an io.Reader, or a TCP
+// listener — into an Engine. Create one with NewSource, OpenLogFile, or
+// ListenTCP; drive it with Run.
+type Source struct {
+	inner *source.Source
+}
+
+// SourceOption configures a Source.
+type SourceOption func(*source.Config)
+
+// WithFormat selects the log format by codec name: "auditd", "sysmon", or
+// "ndjson" (the default). Formats lists what is available.
+func WithFormat(name string) SourceOption {
+	return func(c *source.Config) { c.Format = name }
+}
+
+// WithSourceAgent sets the AgentID stamped on events whose log format (or
+// individual line) carries no host field.
+func WithSourceAgent(agent string) SourceOption {
+	return func(c *source.Config) { c.Agent = agent }
+}
+
+// WithBatchSize sets the SubmitBatch size (default 256). The batch is also
+// the reordering window: events are time-sorted within it before submission.
+func WithBatchSize(n int) SourceOption {
+	return func(c *source.Config) { c.BatchSize = n }
+}
+
+// WithFollow keeps a file source alive at end of file, polling for appended
+// data like tail -f, until its Run context is cancelled. Other source kinds
+// ignore it.
+func WithFollow() SourceOption {
+	return func(c *source.Config) { c.Follow = true }
+}
+
+// WithStrictOrder drops events that arrive too late to be reordered into
+// place (older than the submission watermark) instead of submitting them
+// out of order. Drops are counted in SourceStats.Dropped.
+func WithStrictOrder() SourceOption {
+	return func(c *source.Config) { c.StrictOrder = true }
+}
+
+// WithDecodeErrorHandler observes every per-line decode error. Decode
+// errors never stop a source; they are counted in SourceStats.DecodeErrors
+// and the offending line is skipped.
+func WithDecodeErrorHandler(fn func(error)) SourceOption {
+	return func(c *source.Config) { c.OnError = fn }
+}
+
+// Formats lists the registered log format names.
+func Formats() []string { return codec.Formats() }
+
+func sourceConfig(opts []SourceOption) source.Config {
+	cfg := source.Config{Format: "ndjson"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// NewSource builds a source over an arbitrary byte stream, e.g. os.Stdin or
+// a decompressing reader. Run ends when the reader reports EOF.
+func NewSource(r io.Reader, opts ...SourceOption) (*Source, error) {
+	s, err := source.FromReader(r, sourceConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Source{inner: s}, nil
+}
+
+// OpenLogFile builds a source over a log file ("-" means standard input).
+// With WithFollow the source keeps tailing the file for appended records
+// until its Run context is cancelled; otherwise Run ends at EOF.
+func OpenLogFile(path string, opts ...SourceOption) (*Source, error) {
+	s, err := source.FromFile(path, sourceConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Source{inner: s}, nil
+}
+
+// ListenTCP builds a source that accepts TCP connections on addr (e.g.
+// ":6514", or ":0" to pick a free port — see Addr) and decodes each
+// connection as an independent stream of the configured format. Run serves
+// until its context is cancelled.
+func ListenTCP(addr string, opts ...SourceOption) (*Source, error) {
+	s, err := source.Listen(addr, sourceConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Source{inner: s}, nil
+}
+
+// Run streams the source into the engine until the input is exhausted (or
+// ctx is cancelled for follow/TCP sources). The engine must be running
+// (Start), since sources ingest through SubmitBatch. The source registers
+// itself with the engine, so its counters aggregate into Stats. Run returns
+// nil on a clean end of input and ctx.Err() on cancellation.
+func (s *Source) Run(ctx context.Context, eng *Engine) error {
+	if _, err := eng.running(); err != nil {
+		return err
+	}
+	eng.attachSource(s.inner)
+	return s.inner.Run(ctx, eng)
+}
+
+// Stats snapshots the source's counters; safe while Run is in flight.
+func (s *Source) Stats() SourceStats { return s.inner.Stats() }
+
+// Addr reports the bound listener address of a ListenTCP source and nil for
+// other source kinds.
+func (s *Source) Addr() net.Addr { return s.inner.Addr() }

@@ -1,0 +1,104 @@
+// Package codec turns raw monitoring-log lines into the normalized
+// ⟨subject, operation, object⟩ events of internal/event. Each supported log
+// format is a Decoder registered under a short name; internal/source drives
+// a Decoder line by line and submits the events it emits to the engine.
+//
+// Three production codecs ship with the package:
+//
+//   - "auditd": the Linux kernel audit framework's native line format,
+//     including multi-record event reassembly (SYSCALL + PATH + SOCKADDR +
+//     EXECVE + CWD groups sharing one audit event ID);
+//   - "sysmon": Sysmon/ECS-style JSON lines as emitted by winlogbeat and
+//     compatible shippers (nested or dotted ECS field names);
+//   - "ndjson": the engine's native newline-delimited JSON schema, a direct
+//     serialization of event.Event for loss-free interchange.
+//
+// A Decoder is stateful (auditd buffers partial record groups) and therefore
+// not safe for concurrent use; create one Decoder per stream.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saql/internal/event"
+)
+
+// Options configure a Decoder instance.
+type Options struct {
+	// DefaultAgent is the AgentID stamped on events whose format carries no
+	// host field (or whose host field is absent on a line). Empty uses the
+	// format's fallback (the format name itself).
+	DefaultAgent string
+}
+
+// Decoder consumes one raw log line at a time and emits zero or more
+// completed events. Formats that spread one logical event over several lines
+// (auditd) buffer internally and emit on group completion; Flush drains
+// whatever is still buffered at end of stream.
+type Decoder interface {
+	// Decode consumes one line (without the trailing newline). It returns
+	// the events completed by this line, which may be empty: the line may be
+	// a non-event record, a buffered partial group, or a valid record that
+	// maps to nothing in the event model. A non-nil error reports a
+	// malformed or undecodable line; the decoder remains usable.
+	Decode(line []byte) ([]*event.Event, error)
+	// Flush emits the events of any buffered partial state (end of stream).
+	// Groups too incomplete to build an event are discarded.
+	Flush() []*event.Event
+}
+
+// Factory creates a fresh Decoder.
+type Factory func(Options) Decoder
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a decoder factory available under name. It panics on a
+// duplicate name, mirroring database/sql.Register.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("codec: Register called twice for %q", name))
+	}
+	registry[name] = f
+}
+
+// New creates a decoder for the named format.
+func New(name string, opts Options) (Decoder, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown format %q (have %v)", name, Formats())
+	}
+	return f(opts), nil
+}
+
+// Formats lists the registered format names, sorted.
+func Formats() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// baseName returns the path's final element under either separator, so
+// Windows executables from Sysmon and Unix paths from auditd both normalize
+// to the bare image name the collector schema uses.
+func baseName(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz targets assert the decoder contract under arbitrary input: no
+// panics, and a line that errors contributes no events. `go test` runs the
+// seed corpus below on every CI run; `go test -fuzz=FuzzDecodeAuditd` (etc.)
+// explores further.
+
+func fuzzDecoder(f *testing.F, format string, seeds []string) {
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := New(format, Options{DefaultAgent: "fuzz"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			evs, err := dec.Decode(line)
+			if err != nil && len(evs) > 1 {
+				// An eviction may emit a prior group's event alongside the
+				// error, but never more than one.
+				t.Fatalf("Decode error carried %d events", len(evs))
+			}
+			for _, ev := range evs {
+				if ev == nil {
+					t.Fatal("Decode emitted nil event")
+				}
+			}
+		}
+		for _, ev := range dec.Flush() {
+			if ev == nil {
+				t.Fatal("Flush emitted nil event")
+			}
+		}
+	})
+}
+
+func FuzzDecodeAuditd(f *testing.F) {
+	fuzzDecoder(f, "auditd", []string{
+		`type=SYSCALL msg=audit(1582794000.123:101): arch=c000003e syscall=59 success=yes exit=0 pid=4120 uid=1000 comm="bash" exe="/usr/bin/bash"`,
+		`type=PATH msg=audit(1582794000.123:101): item=0 name="/usr/bin/mysqldump" nametype=NORMAL`,
+		`type=EXECVE msg=audit(1582794000.123:101): argc=2 a0="sh" a1=2D63`,
+		`type=CWD msg=audit(1582794000.123:101): cwd="/var/tmp"`,
+		`type=SOCKADDR msg=audit(1582794000.123:101): saddr=020001BBAC1000810000000000000000`,
+		`type=SOCKADDR msg=audit(1582794000.123:101): saddr={ fam=inet laddr=10.0.0.1 lport=80 }`,
+		`node=db-1 type=EOE msg=audit(1582794000.123:101):`,
+		`type=PROCTITLE msg=audit(1582794000.123:101): proctitle=6D7973716C64756D70`,
+		`type=SYSCALL msg=audit(1.2:3): syscall=connect success=no exit=-111 pid=1 comm="nc" exe="/nc"`,
+		"type=SYSCALL msg=audit(9:9): syscall=56 success=yes exit=77 pid=1 comm=\"b\" exe=\"/b\"\ntype=EOE msg=audit(9:9):",
+		`type=SYSCALL msg=audit(`,
+		`node=`,
+		``,
+	})
+}
+
+func FuzzDecodeSysmon(f *testing.F) {
+	fuzzDecoder(f, "sysmon", []string{
+		`{"@timestamp":"2020-02-27T09:00:00Z","host":{"name":"ws"},"winlog":{"event_id":1},"process":{"pid":1,"name":"a.exe","parent":{"pid":2,"name":"b.exe"}}}`,
+		`{"@timestamp":"2020-02-27T09:00:00Z","winlog":{"event_id":3},"process":{"pid":1,"name":"a.exe"},"destination":{"ip":"1.2.3.4","port":443}}`,
+		`{"@timestamp":"2020-02-27T09:00:00Z","event.code":"11","process.pid":1,"process.name":"a.exe","file.path":"C:\\x"}`,
+		`{"@timestamp":"2020-02-27T09:00:00Z","event":{"action":"file-delete"},"process":{"pid":1,"name":"a.exe"},"file":{"path":"/tmp/x"}}`,
+		`{"winlog":{"event_id":1}}`,
+		`{not json`,
+		`[]`,
+		``,
+	})
+}
+
+func FuzzDecodeNDJSON(f *testing.F) {
+	fuzzDecoder(f, "ndjson", []string{
+		`{"ts":"2020-02-27T09:00:00Z","agent":"db-1","subject":{"exe":"cmd.exe","pid":4120},"op":"start","object":{"type":"proc","exe":"osql.exe","pid":4121}}`,
+		`{"ts":1582794001.5,"subject":{"exe":"a","pid":1},"op":"write","object":{"type":"file","path":"/x"},"amount":100}`,
+		`{"ts":2,"subject":{"exe":"a","pid":1},"op":"send","object":{"type":"ip","dst_ip":"1.2.3.4","dst_port":443}}`,
+		`{"ts":true,"subject":{},"op":"?","object":{}}`,
+		`{"ts":"`,
+		``,
+	})
+}

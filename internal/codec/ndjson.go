@@ -1,0 +1,194 @@
+// The "ndjson" codec: the engine's native newline-delimited JSON schema, a
+// direct serialization of event.Event. One JSON object per line:
+//
+//	{"ts":"2020-02-27T09:00:00.25Z","agent":"db-1",
+//	 "subject":{"exe":"cmd.exe","pid":4120,"user":"svc","cmdline":"cmd /c dump"},
+//	 "op":"start",
+//	 "object":{"type":"proc","exe":"osql.exe","pid":4121},
+//	 "amount":1500}
+//
+// Field notes:
+//
+//   - "ts" is RFC 3339 (fractional seconds allowed) or a Unix timestamp
+//     number in seconds (fractional seconds allowed);
+//   - "agent" (alias "host") defaults to Options.DefaultAgent when absent;
+//   - "op" accepts every spelling event.ParseOp accepts (read, write,
+//     execute/exec, start/fork, end/exit, delete/unlink, rename, connect,
+//     accept, send, recv);
+//   - "object.type" is "proc", "file", or "ip"; file objects carry "path",
+//     ip objects carry "src_ip"/"src_port"/"dst_ip"/"dst_port"/"proto".
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"saql/internal/event"
+)
+
+func init() {
+	Register("ndjson", func(opts Options) Decoder { return &ndjsonDecoder{opts: opts} })
+}
+
+type ndjsonDecoder struct {
+	opts Options
+}
+
+// jsonEntity is the wire form of an entity for both subject and object.
+type jsonEntity struct {
+	Type    string `json:"type"`
+	Exe     string `json:"exe"`
+	PID     int32  `json:"pid"`
+	User    string `json:"user"`
+	CmdLine string `json:"cmdline"`
+	Path    string `json:"path"`
+	SrcIP   string `json:"src_ip"`
+	DstIP   string `json:"dst_ip"`
+	SrcPort int32  `json:"src_port"`
+	DstPort int32  `json:"dst_port"`
+	Proto   string `json:"proto"`
+}
+
+type jsonEvent struct {
+	TS      json.RawMessage `json:"ts"`
+	Agent   string          `json:"agent"`
+	Host    string          `json:"host"` // alias for agent
+	Subject *jsonEntity     `json:"subject"`
+	Op      string          `json:"op"`
+	Object  *jsonEntity     `json:"object"`
+	Amount  float64         `json:"amount"`
+}
+
+func (d *ndjsonDecoder) Decode(line []byte) ([]*event.Event, error) {
+	if isBlank(line) {
+		return nil, nil
+	}
+	var rec jsonEvent
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	ts, err := parseTimestamp(rec.TS)
+	if err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	if rec.Subject == nil {
+		return nil, fmt.Errorf("ndjson: missing subject")
+	}
+	if rec.Object == nil {
+		return nil, fmt.Errorf("ndjson: missing object")
+	}
+	op, err := event.ParseOp(rec.Op)
+	if err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	subj := event.Entity{
+		Type:    event.EntityProcess,
+		ExeName: rec.Subject.Exe,
+		PID:     rec.Subject.PID,
+		User:    rec.Subject.User,
+		CmdLine: rec.Subject.CmdLine,
+	}
+	if subj.ExeName == "" {
+		return nil, fmt.Errorf("ndjson: missing subject.exe")
+	}
+	obj, err := rec.Object.toEntity()
+	if err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	agent := rec.Agent
+	if agent == "" {
+		agent = rec.Host
+	}
+	if agent == "" {
+		agent = d.opts.DefaultAgent
+	}
+	if agent == "" {
+		agent = "ndjson"
+	}
+	return []*event.Event{{
+		Time:    ts,
+		AgentID: agent,
+		Subject: subj,
+		Op:      op,
+		Object:  obj,
+		Amount:  rec.Amount,
+	}}, nil
+}
+
+func (d *ndjsonDecoder) Flush() []*event.Event { return nil }
+
+func (e *jsonEntity) toEntity() (event.Entity, error) {
+	switch e.Type {
+	case "proc", "process":
+		if e.Exe == "" {
+			return event.Entity{}, fmt.Errorf("object.type=proc missing exe")
+		}
+		return event.Entity{Type: event.EntityProcess, ExeName: e.Exe, PID: e.PID, User: e.User, CmdLine: e.CmdLine}, nil
+	case "file":
+		if e.Path == "" {
+			return event.Entity{}, fmt.Errorf("object.type=file missing path")
+		}
+		return event.Entity{Type: event.EntityFile, Path: e.Path}, nil
+	case "ip", "conn", "netconn":
+		if e.DstIP == "" && e.SrcIP == "" {
+			return event.Entity{}, fmt.Errorf("object.type=ip missing src_ip/dst_ip")
+		}
+		proto := e.Proto
+		if proto == "" {
+			proto = "tcp"
+		}
+		return event.Entity{
+			Type:  event.EntityNetConn,
+			SrcIP: e.SrcIP, SrcPort: e.SrcPort,
+			DstIP: e.DstIP, DstPort: e.DstPort,
+			Protocol: proto,
+		}, nil
+	case "":
+		return event.Entity{}, fmt.Errorf("missing object.type")
+	default:
+		return event.Entity{}, fmt.Errorf("unknown object.type %q", e.Type)
+	}
+}
+
+// parseTimestamp accepts RFC 3339 strings and Unix-seconds numbers
+// (fractional seconds allowed in both).
+func parseTimestamp(raw json.RawMessage) (time.Time, error) {
+	if len(raw) == 0 {
+		return time.Time{}, fmt.Errorf("missing ts")
+	}
+	if raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return time.Time{}, fmt.Errorf("bad ts: %w", err)
+		}
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad ts %q: %w", s, err)
+		}
+		return t, nil
+	}
+	secs, err := strconv.ParseFloat(string(raw), 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad ts %s", raw)
+	}
+	return unixFloat(secs), nil
+}
+
+// unixFloat converts fractional Unix seconds to a UTC time, rounding to
+// microseconds so repeated encode/decode round-trips are stable.
+func unixFloat(secs float64) time.Time {
+	sec := int64(secs)
+	nsec := int64((secs - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec).UTC().Round(time.Microsecond)
+}
+
+func isBlank(line []byte) bool {
+	for _, c := range line {
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	return true
+}

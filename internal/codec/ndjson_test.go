@@ -1,0 +1,129 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+)
+
+func decodeAll(t *testing.T, format string, opts Options, lines string) ([]*event.Event, []error) {
+	t.Helper()
+	dec, err := New(format, opts)
+	if err != nil {
+		t.Fatalf("New(%q): %v", format, err)
+	}
+	var evs []*event.Event
+	var errs []error
+	for _, line := range strings.Split(lines, "\n") {
+		out, err := dec.Decode([]byte(line))
+		if err != nil {
+			errs = append(errs, err)
+		}
+		evs = append(evs, out...)
+	}
+	evs = append(evs, dec.Flush()...)
+	return evs, errs
+}
+
+func TestRegistryFormats(t *testing.T) {
+	have := Formats()
+	want := []string{"auditd", "ndjson", "sysmon"}
+	if len(have) != len(want) {
+		t.Fatalf("Formats() = %v, want %v", have, want)
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("Formats() = %v, want %v", have, want)
+		}
+	}
+	if _, err := New("syslog", Options{}); err == nil {
+		t.Fatal("New(syslog) should fail")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	lines := `
+{"ts":"2020-02-27T09:00:00Z","agent":"db-1","subject":{"exe":"cmd.exe","pid":4120},"op":"start","object":{"type":"proc","exe":"osql.exe","pid":4121}}
+{"ts":1582794001.5,"host":"db-1","subject":{"exe":"sqlservr.exe","pid":1680,"user":"svc"},"op":"write","object":{"type":"file","path":"C:\\db\\backup1.dmp"},"amount":52428800}
+{"ts":"2020-02-27T09:00:03+00:00","subject":{"exe":"sbblv.exe","pid":5200},"op":"send","object":{"type":"ip","src_ip":"10.10.0.5","src_port":49233,"dst_ip":"172.16.0.129","dst_port":443,"proto":"udp"},"amount":1500}`
+	evs, errs := decodeAll(t, "ndjson", Options{DefaultAgent: "fallback-host"}, lines)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(evs))
+	}
+
+	if got := evs[0].String(); !strings.Contains(got, "proc(cmd.exe pid=4120) start proc(osql.exe pid=4121)") {
+		t.Errorf("event 0 = %s", got)
+	}
+	if evs[0].AgentID != "db-1" {
+		t.Errorf("agent = %q", evs[0].AgentID)
+	}
+	want := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	if !evs[0].Time.Equal(want) {
+		t.Errorf("time = %v, want %v", evs[0].Time, want)
+	}
+
+	// Unix-seconds timestamp with fraction, "host" alias.
+	if !evs[1].Time.Equal(want.Add(1500 * time.Millisecond)) {
+		t.Errorf("unix ts = %v", evs[1].Time)
+	}
+	if evs[1].Object.Type != event.EntityFile || evs[1].Object.Path != `C:\db\backup1.dmp` {
+		t.Errorf("file object = %+v", evs[1].Object)
+	}
+	if evs[1].Amount != 52428800 {
+		t.Errorf("amount = %v", evs[1].Amount)
+	}
+	if evs[1].Subject.User != "svc" {
+		t.Errorf("user = %q", evs[1].Subject.User)
+	}
+
+	// Missing agent falls back to the option; "send" aliases write.
+	if evs[2].AgentID != "fallback-host" {
+		t.Errorf("fallback agent = %q", evs[2].AgentID)
+	}
+	if evs[2].Op != event.OpWrite {
+		t.Errorf("op = %v", evs[2].Op)
+	}
+	conn := evs[2].Object
+	if conn.DstIP != "172.16.0.129" || conn.DstPort != 443 || conn.SrcPort != 49233 || conn.Protocol != "udp" {
+		t.Errorf("conn = %+v", conn)
+	}
+}
+
+func TestNDJSONMalformedLines(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`[1,2,3]`,
+		`{"ts":"2020-02-27T09:00:00Z","op":"read","object":{"type":"file","path":"/x"}}`,                                     // no subject
+		`{"ts":"2020-02-27T09:00:00Z","subject":{"exe":"a","pid":1},"op":"read"}`,                                            // no object
+		`{"ts":"2020-02-27T09:00:00Z","subject":{"exe":"a","pid":1},"op":"frobnicate","object":{"type":"file","path":"/x"}}`, // bad op
+		`{"ts":"2020-02-27T09:00:00Z","subject":{"exe":"a","pid":1},"op":"read","object":{"type":"widget","path":"/x"}}`,     // bad object type
+		`{"ts":"not-a-time","subject":{"exe":"a","pid":1},"op":"read","object":{"type":"file","path":"/x"}}`,                 // bad ts
+		`{"subject":{"exe":"a","pid":1},"op":"read","object":{"type":"file","path":"/x"}}`,                                   // missing ts
+		`{"ts":"2020-02-27T09:00:00Z","subject":{"pid":1},"op":"read","object":{"type":"file","path":"/x"}}`,                 // no exe
+		`{"ts":"2020-02-27T09:00:00Z","subject":{"exe":"a","pid":1},"op":"connect","object":{"type":"ip"}}`,                  // ip without addresses
+	}
+	dec, _ := New("ndjson", Options{})
+	for _, line := range cases {
+		evs, err := dec.Decode([]byte(line))
+		if err == nil {
+			t.Errorf("Decode(%q) should fail, got %d events", line, len(evs))
+		}
+		if len(evs) != 0 {
+			t.Errorf("Decode(%q) emitted events alongside error", line)
+		}
+	}
+	// The decoder stays usable after errors; blank lines are skipped.
+	for _, line := range []string{"", "   ", "\t"} {
+		if evs, err := dec.Decode([]byte(line)); err != nil || len(evs) != 0 {
+			t.Errorf("blank line: evs=%d err=%v", len(evs), err)
+		}
+	}
+	if evs, err := dec.Decode([]byte(`{"ts":1,"subject":{"exe":"a","pid":1},"op":"read","object":{"type":"file","path":"/x"},"amount":3}`)); err != nil || len(evs) != 1 {
+		t.Fatalf("decoder unusable after errors: evs=%d err=%v", len(evs), err)
+	}
+}

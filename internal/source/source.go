@@ -1,0 +1,375 @@
+// Package source streams raw monitoring logs into the engine: it reads lines
+// from a file (optionally following appends, tail -f style), an arbitrary
+// io.Reader (stdin), or a TCP listener, decodes them with an internal/codec
+// Decoder, and submits the resulting events to a Submitter (the engine's
+// SubmitBatch) in time-ordered batches.
+//
+// # Ordering
+//
+// Real logs are only approximately time-ordered: auditd serializes records
+// from many CPUs, and a TCP source merges streams from many senders. Every
+// batch is therefore sorted by event time before submission (stable, so
+// equal-timestamp events keep arrival order), which gives bounded reordering
+// with the batch as the window. Across batches a watermark tracks the
+// maximum submitted time; an event older than the watermark can no longer be
+// reordered into place, so it is either submitted late anyway (default) or
+// dropped when Config.StrictOrder is set. Both outcomes are counted.
+//
+// # Accounting
+//
+// A Source keeps per-source counters (lines read, events decoded, decode
+// errors, reordered/late/dropped events, batches submitted) retrievable with
+// Stats at any time, including while Run is in flight.
+package source
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saql/internal/codec"
+	"saql/internal/event"
+)
+
+// maxLineBytes bounds one log line (auditd EXECVE records hex-encode whole
+// command lines, so lines run long; beyond this is counted as a decode
+// error and skipped).
+const maxLineBytes = 1 << 20
+
+// Submitter accepts decoded event batches; *saql.Engine satisfies it.
+type Submitter interface {
+	SubmitBatch(evs []*event.Event) error
+}
+
+// Config configures a Source.
+type Config struct {
+	// Format names the internal/codec decoder ("auditd", "sysmon",
+	// "ndjson"). Required.
+	Format string
+	// Agent is the default AgentID for formats/lines without a host field.
+	Agent string
+	// BatchSize is the submission batch size (default 256). Each batch is
+	// also the reordering window: events are sorted by time within it.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may sit before being
+	// submitted when the input is live (follow mode, TCP). Default 200ms.
+	FlushInterval time.Duration
+	// StrictOrder drops events older than the submission watermark instead
+	// of submitting them late (counted either way in Stats).
+	StrictOrder bool
+	// Follow keeps a file source alive at EOF, polling for appended data
+	// (tail -f). Ignored by reader and TCP sources.
+	Follow bool
+	// OnError, when set, observes every per-line decode error. Decode
+	// errors never stop the source; they are counted and skipped.
+	OnError func(error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Stats are the per-source counters. All fields are cumulative.
+type Stats struct {
+	Lines        int64 // raw lines consumed (including undecodable ones)
+	Events       int64 // events decoded and handed to the batcher
+	DecodeErrors int64 // lines the codec rejected
+	Reordered    int64 // events moved by the in-batch time sort
+	Late         int64 // events older than the watermark, submitted anyway
+	Dropped      int64 // events older than the watermark, dropped (StrictOrder)
+	Batches      int64 // batches submitted to the engine
+}
+
+// counters is the atomic backing store for Stats.
+type counters struct {
+	lines, events, decodeErrors atomic.Int64
+	reordered, late, dropped    atomic.Int64
+	batches                     atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Lines:        c.lines.Load(),
+		Events:       c.events.Load(),
+		DecodeErrors: c.decodeErrors.Load(),
+		Reordered:    c.reordered.Load(),
+		Late:         c.late.Load(),
+		Dropped:      c.dropped.Load(),
+		Batches:      c.batches.Load(),
+	}
+}
+
+// Source drives one input (reader, file, or TCP listener) into a Submitter.
+// Run may be called once; Stats is safe from any goroutine at any time.
+type Source struct {
+	cfg  Config
+	ctr  counters
+	run  func(ctx context.Context, b *batcher) error
+	desc string
+	addr net.Addr // bound address for TCP sources
+
+	started atomic.Bool
+}
+
+// Stats returns a snapshot of the source's counters.
+func (s *Source) Stats() Stats { return s.ctr.snapshot() }
+
+// String describes the source for logs and errors.
+func (s *Source) String() string { return s.desc }
+
+// Run consumes the input until it is exhausted (or, for follow/TCP sources,
+// until ctx is cancelled), submitting decoded events to dst. It returns nil
+// on a clean end of input, ctx.Err() on cancellation, and the first
+// submission or I/O error otherwise. Decode errors are counted, reported to
+// Config.OnError, and skipped.
+func (s *Source) Run(ctx context.Context, dst Submitter) error {
+	if s.started.Swap(true) {
+		return fmt.Errorf("source: %s already running", s.desc)
+	}
+	b := &batcher{cfg: s.cfg, ctr: &s.ctr, dst: dst}
+	err := s.run(ctx, b)
+	if ferr := b.flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// newDecoder builds the configured codec decoder.
+func (c Config) newDecoder() (codec.Decoder, error) {
+	if c.Format == "" {
+		return nil, fmt.Errorf("source: no format configured")
+	}
+	return codec.New(c.Format, codec.Options{DefaultAgent: c.Agent})
+}
+
+// ---------------------------------------------------------------------------
+// Batcher: time-ordered batching with a submission watermark
+// ---------------------------------------------------------------------------
+
+// batcher accumulates decoded events and submits sorted batches. It is
+// locked because TCP sources feed it from one goroutine per connection.
+//
+// Ownership: the engine keeps a submitted batch on its ingest queue and
+// consumes it asynchronously, so a slice handed to dst.SubmitBatch is never
+// touched again — the pending buffer is re-sliced past it (full batches) or
+// dropped entirely (flush), never rewound over it.
+type batcher struct {
+	cfg Config
+	ctr *counters
+	dst Submitter
+
+	mu        sync.Mutex
+	pending   []*event.Event
+	watermark time.Time
+}
+
+// add folds decoded events in, submitting full batches as they form.
+func (b *batcher) add(evs []*event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ctr.events.Add(int64(len(evs)))
+	b.pending = append(b.pending, evs...)
+	for len(b.pending) >= b.cfg.BatchSize {
+		// The full cap limits keep later appends to b.pending out of the
+		// submitted batch's backing array.
+		batch := b.pending[:b.cfg.BatchSize:b.cfg.BatchSize]
+		b.pending = b.pending[b.cfg.BatchSize:]
+		if err := b.submit(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush submits whatever is pending (partial batch).
+func (b *batcher) flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pending) == 0 {
+		return nil
+	}
+	batch := b.pending
+	b.pending = nil
+	return b.submit(batch)
+}
+
+// submit time-sorts one batch, applies the watermark policy, and hands the
+// result to the Submitter. Caller holds b.mu.
+func (b *batcher) submit(batch []*event.Event) error {
+	if !sort.SliceIsSorted(batch, func(i, j int) bool { return batch[i].Time.Before(batch[j].Time) }) {
+		before := make([]*event.Event, len(batch))
+		copy(before, batch)
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].Time.Before(batch[j].Time) })
+		moved := int64(0)
+		for i := range batch {
+			if batch[i] != before[i] {
+				moved++
+			}
+		}
+		b.ctr.reordered.Add(moved)
+	}
+	if !b.watermark.IsZero() {
+		late := 0
+		for late < len(batch) && batch[late].Time.Before(b.watermark) {
+			late++
+		}
+		if late > 0 {
+			if b.cfg.StrictOrder {
+				b.ctr.dropped.Add(int64(late))
+				batch = batch[late:]
+			} else {
+				b.ctr.late.Add(int64(late))
+			}
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if last := batch[len(batch)-1].Time; last.After(b.watermark) {
+		b.watermark = last
+	}
+	b.ctr.batches.Add(1)
+	return b.dst.SubmitBatch(batch)
+}
+
+// ---------------------------------------------------------------------------
+// Line pump: one decoder over one byte stream
+// ---------------------------------------------------------------------------
+
+// lineFeeder splits a byte stream into lines, decodes them, and feeds the
+// batcher. A line longer than maxLineBytes is discarded (counted as one
+// decode error) rather than terminating the source, honouring the contract
+// that bad input never stops ingestion.
+type lineFeeder struct {
+	dec       codec.Decoder
+	b         *batcher
+	ctr       *counters
+	onErr     func(error)
+	tail      []byte // partial line awaiting its newline
+	discardTo bool   // inside an over-long line, dropping until newline
+}
+
+// feedLine hands one complete line to the codec.
+func (lf *lineFeeder) feedLine(line []byte) error {
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	lf.ctr.lines.Add(1)
+	evs, err := lf.dec.Decode(line)
+	if err != nil {
+		lf.decodeError(err)
+	}
+	return lf.b.add(evs)
+}
+
+func (lf *lineFeeder) decodeError(err error) {
+	lf.ctr.decodeErrors.Add(1)
+	if lf.onErr != nil {
+		lf.onErr(err)
+	}
+}
+
+// feed consumes one chunk of raw bytes, emitting every completed line.
+func (lf *lineFeeder) feed(chunk []byte) error {
+	lf.tail = append(lf.tail, chunk...)
+	for {
+		i := bytes.IndexByte(lf.tail, '\n')
+		if i < 0 {
+			break
+		}
+		line := lf.tail[:i]
+		rest := lf.tail[i+1:]
+		if lf.discardTo {
+			// End of an over-long line: drop it and resume normally.
+			lf.discardTo = false
+		} else if err := lf.feedLine(line); err != nil {
+			lf.tail = rest
+			return err
+		}
+		lf.tail = rest
+	}
+	// Keep only the partial tail; release the consumed prefix.
+	lf.tail = append([]byte(nil), lf.tail...)
+	if !lf.discardTo && len(lf.tail) > maxLineBytes {
+		lf.ctr.lines.Add(1)
+		lf.decodeError(fmt.Errorf("source: line exceeds %d bytes, discarded", maxLineBytes))
+		lf.discardTo = true
+	}
+	if lf.discardTo {
+		lf.tail = lf.tail[:0]
+	}
+	return nil
+}
+
+// finish handles end of stream: a trailing unterminated line is decoded.
+func (lf *lineFeeder) finish() error {
+	if lf.discardTo || len(lf.tail) == 0 {
+		return nil
+	}
+	err := lf.feedLine(lf.tail)
+	lf.tail = nil
+	return err
+}
+
+// pump reads r line by line through dec into b until EOF or ctx is done.
+func pump(ctx context.Context, r io.Reader, dec codec.Decoder, b *batcher, ctr *counters, onErr func(error)) error {
+	lf := &lineFeeder{dec: dec, b: b, ctr: ctr, onErr: onErr}
+	page := make([]byte, 64*1024)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := r.Read(page)
+		if n > 0 {
+			if ferr := lf.feed(page[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return lf.finish()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// drain flushes the decoder's buffered state (end of one stream).
+func drain(dec codec.Decoder, b *batcher) error {
+	return b.add(dec.Flush())
+}
+
+// ---------------------------------------------------------------------------
+// Reader source
+// ---------------------------------------------------------------------------
+
+// FromReader builds a source over an arbitrary byte stream (e.g. stdin).
+// Run ends when the reader reports EOF.
+func FromReader(r io.Reader, cfg Config) (*Source, error) {
+	cfg = cfg.withDefaults()
+	dec, err := cfg.newDecoder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{cfg: cfg, desc: "reader:" + cfg.Format}
+	s.run = func(ctx context.Context, b *batcher) error {
+		if err := pump(ctx, r, dec, b, &s.ctr, cfg.OnError); err != nil {
+			return err
+		}
+		return drain(dec, b)
+	}
+	return s, nil
+}

@@ -1,0 +1,378 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+)
+
+// sink is a Submitter recording every batch.
+type sink struct {
+	mu      sync.Mutex
+	batches [][]*event.Event
+}
+
+func (s *sink) SubmitBatch(evs []*event.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]*event.Event, len(evs))
+	copy(cp, evs)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+func (s *sink) events() []*event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*event.Event
+	for _, b := range s.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ndLine renders one native NDJSON event line with the given Unix-seconds
+// timestamp.
+func ndLine(ts float64, exe string, pid int, path string) string {
+	return fmt.Sprintf(`{"ts":%g,"agent":"h1","subject":{"exe":%q,"pid":%d},"op":"write","object":{"type":"file","path":%q}}`,
+		ts, exe, pid, path)
+}
+
+func TestReaderSourceBatchingAndOrder(t *testing.T) {
+	// 5 events, timestamps out of order within the stream.
+	input := strings.Join([]string{
+		ndLine(10, "a", 1, "/f1"),
+		ndLine(12, "a", 1, "/f2"),
+		ndLine(11, "a", 1, "/f3"), // out of order
+		"not json at all",         // decode error
+		ndLine(13, "a", 1, "/f4"),
+		ndLine(14, "a", 1, "/f5"),
+	}, "\n")
+
+	var decodeErrs []error
+	src, err := FromReader(strings.NewReader(input), Config{
+		Format:    "ndjson",
+		BatchSize: 3,
+		OnError:   func(e error) { decodeErrs = append(decodeErrs, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst sink
+	if err := src.Run(context.Background(), &dst); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	evs := dst.events()
+	if len(evs) != 5 {
+		t.Fatalf("submitted %d events, want 5", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatalf("events out of order after batching: %v then %v", evs[i-1].Time, evs[i].Time)
+		}
+	}
+	if len(dst.batches) != 2 || len(dst.batches[0]) != 3 || len(dst.batches[1]) != 2 {
+		t.Fatalf("batch shapes = %v", batchSizes(dst.batches))
+	}
+
+	st := src.Stats()
+	if st.Lines != 6 || st.Events != 5 || st.DecodeErrors != 1 || st.Batches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// [10,12,11] sorts to [10,11,12]: two events end up in new positions.
+	if st.Reordered != 2 {
+		t.Fatalf("reordered = %d, want 2", st.Reordered)
+	}
+	if len(decodeErrs) != 1 {
+		t.Fatalf("OnError saw %d errors, want 1", len(decodeErrs))
+	}
+	if st.Dropped != 0 || st.Late != 0 {
+		t.Fatalf("unexpected late/dropped: %+v", st)
+	}
+}
+
+func TestStrictOrderDropsCrossBatchStragglers(t *testing.T) {
+	// Batch 1 submits up to t=20; the t=15 event in batch 2 is beyond
+	// repair. With StrictOrder it is dropped; without it is submitted late.
+	lines := strings.Join([]string{
+		ndLine(10, "a", 1, "/f1"),
+		ndLine(20, "a", 1, "/f2"),
+		ndLine(15, "a", 1, "/f3"), // straggler, lands in batch 2
+		ndLine(25, "a", 1, "/f4"),
+	}, "\n")
+
+	for _, strict := range []bool{true, false} {
+		src, err := FromReader(strings.NewReader(lines), Config{
+			Format: "ndjson", BatchSize: 2, StrictOrder: strict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dst sink
+		if err := src.Run(context.Background(), &dst); err != nil {
+			t.Fatal(err)
+		}
+		st := src.Stats()
+		if strict {
+			if got := len(dst.events()); got != 3 {
+				t.Errorf("strict: submitted %d events, want 3", got)
+			}
+			if st.Dropped != 1 || st.Late != 0 {
+				t.Errorf("strict stats = %+v", st)
+			}
+		} else {
+			if got := len(dst.events()); got != 4 {
+				t.Errorf("lenient: submitted %d events, want 4", got)
+			}
+			if st.Dropped != 0 || st.Late != 1 {
+				t.Errorf("lenient stats = %+v", st)
+			}
+		}
+	}
+}
+
+func TestFileSourceFollow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.ndjson")
+	if err := os.WriteFile(path, []byte(ndLine(1, "a", 1, "/f1")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := FromFile(path, Config{Format: "ndjson", Follow: true, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var dst sink
+	done := make(chan error, 1)
+	go func() { done <- src.Run(ctx, &dst) }()
+
+	waitFor(t, func() bool { return len(dst.events()) == 1 }, "initial event")
+
+	// Append one whole line plus a partial line: the partial must be held
+	// back until its newline arrives.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ndLine(2, "a", 1, "/f2") + "\n"
+	partial := ndLine(3, "a", 1, "/f3")
+	if _, err := f.WriteString(full + partial[:20]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(dst.events()) == 2 }, "appended event")
+	time.Sleep(3 * followPollInterval)
+	if got := len(dst.events()); got != 2 {
+		t.Fatalf("partial line leaked: %d events", got)
+	}
+	if _, err := f.WriteString(partial[20:] + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	waitFor(t, func() bool { return len(dst.events()) == 3 }, "completed partial line")
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if st := src.Stats(); st.Lines != 3 || st.Events != 3 || st.DecodeErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFileSourceNoFollowEndsAtEOF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.ndjson")
+	content := ndLine(1, "a", 1, "/f1") + "\n" + ndLine(2, "b", 2, "/f2") + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := FromFile(path, Config{Format: "ndjson"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst sink
+	if err := src.Run(context.Background(), &dst); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := len(dst.events()); got != 2 {
+		t.Fatalf("events = %d, want 2", got)
+	}
+	// A source can only run once.
+	if err := src.Run(context.Background(), &dst); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestTCPSourceMergesConnections(t *testing.T) {
+	src, err := Listen("127.0.0.1:0", Config{Format: "ndjson", BatchSize: 4, FlushInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var dst sink
+	done := make(chan error, 1)
+	go func() { done <- src.Run(ctx, &dst) }()
+
+	send := func(lines ...string) {
+		conn, err := net.Dial("tcp", src.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		for _, l := range lines {
+			if _, err := conn.Write([]byte(l + "\n")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	send(ndLine(1, "a", 1, "/f1"), ndLine(2, "a", 1, "/f2"))
+	send(ndLine(3, "b", 2, "/f3"))
+
+	waitFor(t, func() bool { return len(dst.events()) == 3 }, "tcp events")
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if st := src.Stats(); st.Events != 3 || st.Lines != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSubmittedBatchesAreImmutable pins the ownership contract: the engine
+// queues submitted slices and consumes them asynchronously, so the batcher
+// must never write into a batch it has already handed over.
+func TestSubmittedBatchesAreImmutable(t *testing.T) {
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, ndLine(float64(i+1), "a", 1, fmt.Sprintf("/f%02d", i)))
+	}
+	src, err := FromReader(strings.NewReader(strings.Join(lines, "\n")), Config{Format: "ndjson", BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This sink retains the submitted slices verbatim (no copy), exactly
+	// like the runtime's ingest queue does.
+	var retained [][]*event.Event
+	hold := submitFn(func(evs []*event.Event) error {
+		retained = append(retained, evs)
+		return nil
+	})
+	if err := src.Run(context.Background(), hold); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, batch := range retained {
+		for _, ev := range batch {
+			path := ev.Object.Path
+			if seen[path] {
+				t.Fatalf("event %s appears in two batches: a submitted slice was overwritten", path)
+			}
+			seen[path] = true
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("retained %d distinct events, want 40", len(seen))
+	}
+}
+
+type submitFn func([]*event.Event) error
+
+func (f submitFn) SubmitBatch(evs []*event.Event) error { return f(evs) }
+
+// TestOverlongLineIsSkippedNotFatal pins the decode-error contract for
+// lines beyond maxLineBytes.
+func TestOverlongLineIsSkippedNotFatal(t *testing.T) {
+	long := strings.Repeat("x", maxLineBytes+1024)
+	input := ndLine(1, "a", 1, "/before") + "\n" + long + "\n" + ndLine(2, "a", 1, "/after") + "\n"
+	src, err := FromReader(strings.NewReader(input), Config{Format: "ndjson"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst sink
+	if err := src.Run(context.Background(), &dst); err != nil {
+		t.Fatalf("Run: %v (an over-long line must not stop the source)", err)
+	}
+	evs := dst.events()
+	if len(evs) != 2 || evs[0].Object.Path != "/before" || evs[1].Object.Path != "/after" {
+		t.Fatalf("events around the over-long line = %v", evs)
+	}
+	st := src.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("decode errors = %d, want 1", st.DecodeErrors)
+	}
+}
+
+// TestTCPSourceCancelWithIdleConnection pins shutdown behaviour: an idle
+// sender parked in conn.Read must not hang Run after cancellation.
+func TestTCPSourceCancelWithIdleConnection(t *testing.T) {
+	src, err := Listen("127.0.0.1:0", Config{Format: "ndjson"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var dst sink
+	done := make(chan error, 1)
+	go func() { done <- src.Run(ctx, &dst) }()
+
+	// Connect, send one complete line, then go idle without closing.
+	conn, err := net.Dial("tcp", src.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(ndLine(1, "a", 1, "/f1") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(dst.events()) == 1 }, "event before cancel")
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung after cancel with an idle connection open")
+	}
+}
+
+func TestSourceRejectsUnknownFormat(t *testing.T) {
+	if _, err := FromReader(strings.NewReader(""), Config{Format: "syslog"}); err == nil {
+		t.Fatal("unknown format should fail at construction")
+	}
+	if _, err := Listen("127.0.0.1:0", Config{Format: "nope"}); err == nil {
+		t.Fatal("unknown format should fail before binding")
+	}
+}
+
+func batchSizes(batches [][]*event.Event) []int {
+	out := make([]int, len(batches))
+	for i, b := range batches {
+		out[i] = len(b)
+	}
+	return out
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

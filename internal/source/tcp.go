@@ -1,0 +1,147 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Listen builds a source that accepts TCP connections on addr and decodes
+// each connection as an independent stream of the configured format (every
+// connection gets its own decoder, since formats like auditd are stateful
+// per stream). Events from all connections merge into one time-ordered
+// batcher. The listener is bound immediately — Addr reports the bound
+// address, so addr may use port 0 — and Run serves until ctx is cancelled.
+func Listen(addr string, cfg Config) (*Source, error) {
+	cfg = cfg.withDefaults()
+	// Validate the format before binding, not on first connection.
+	if _, err := cfg.newDecoder(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{cfg: cfg, desc: "tcp:" + ln.Addr().String()}
+	s.addr = ln.Addr()
+	s.run = func(ctx context.Context, b *batcher) error {
+		return s.serve(ctx, ln, b)
+	}
+	return s, nil
+}
+
+// Addr reports the bound listener address of a TCP source (nil otherwise).
+func (s *Source) Addr() net.Addr { return s.addr }
+
+func (s *Source) serve(ctx context.Context, ln net.Listener, b *batcher) error {
+	var (
+		conns    sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	// Track open connections so shutdown can unblock pumps parked in
+	// conn.Read: closing only the listener would leave an idle sender
+	// hanging Run forever.
+	var (
+		connMu  sync.Mutex
+		open    = map[net.Conn]struct{}{}
+		closing bool
+	)
+	track := func(c net.Conn) bool {
+		connMu.Lock()
+		defer connMu.Unlock()
+		if closing {
+			c.Close()
+			return false
+		}
+		open[c] = struct{}{}
+		return true
+	}
+	untrack := func(c net.Conn) {
+		connMu.Lock()
+		delete(open, c)
+		connMu.Unlock()
+	}
+
+	// Close the listener and every open connection on cancellation.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+		connMu.Lock()
+		closing = true
+		for c := range open {
+			c.Close()
+		}
+		connMu.Unlock()
+	}()
+
+	// Periodically flush partial batches so low-rate senders see bounded
+	// latency.
+	flusher := time.NewTicker(s.cfg.FlushInterval)
+	defer flusher.Stop()
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stop: // serve is exiting on an accept error, not ctx
+				return
+			case <-flusher.C:
+				if err := b.flush(); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			fail(err)
+			break
+		}
+		dec, err := s.cfg.newDecoder()
+		if err != nil {
+			conn.Close()
+			fail(err)
+			break
+		}
+		if !track(conn) {
+			break // already shutting down
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer untrack(conn)
+			defer conn.Close()
+			err := pump(ctx, conn, dec, b, &s.ctr, s.cfg.OnError)
+			if err != nil && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				fail(err)
+				return
+			}
+			if err := drain(dec, b); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	close(stop)
+	conns.Wait()
+	<-flushDone
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -15,6 +15,7 @@ import (
 	"saql/internal/runtime"
 	"saql/internal/scheduler"
 	"saql/internal/sema"
+	"saql/internal/source"
 )
 
 // Alert is a detection raised by a query (re-exported engine type).
@@ -72,6 +73,14 @@ type Stats struct {
 	SharingRatio float64
 	// Dropped counts events discarded by DropNewest ingest overflow.
 	Dropped int64
+
+	// Ingestion-source counters, aggregated over every Source that has Run
+	// against this engine (see NewSource/OpenLogFile/ListenTCP).
+	Sources       int   // sources attached
+	SourceLines   int64 // raw log lines consumed
+	SourceEvents  int64 // events decoded and batched
+	DecodeErrors  int64 // log lines the codecs rejected
+	SourceDropped int64 // out-of-order events dropped by WithStrictOrder
 }
 
 // Option configures an Engine.
@@ -155,6 +164,9 @@ type Engine struct {
 	mu      sync.Mutex // guards queries/sources and state transitions
 	queries map[string]*engine.Query
 	sources map[string]string
+
+	srcMu   sync.Mutex // guards ingest (attached log sources)
+	ingests []*source.Source
 }
 
 // New creates an engine.
@@ -528,9 +540,10 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	nQueries := len(e.queries)
 	e.mu.Unlock()
+	var out Stats
 	if rt := e.rt.Load(); rt != nil {
 		ss := rt.SchedStats()
-		return Stats{
+		out = Stats{
 			Events:       rt.Events(),
 			Alerts:       ss.Alerts,
 			Queries:      nQueries,
@@ -540,17 +553,42 @@ func (e *Engine) Stats() Stats {
 			SharingRatio: ss.SharingRatio(),
 			Dropped:      rt.Dropped(),
 		}
+	} else {
+		s := e.sched.Stats()
+		out = Stats{
+			Events:       s.Events,
+			Alerts:       s.Alerts,
+			Queries:      nQueries,
+			QueryGroups:  e.sched.GroupCount(),
+			StreamCopies: s.StreamCopies,
+			NaiveCopies:  s.NaiveCopies,
+			SharingRatio: s.SharingRatio(),
+		}
 	}
-	s := e.sched.Stats()
-	return Stats{
-		Events:       s.Events,
-		Alerts:       s.Alerts,
-		Queries:      nQueries,
-		QueryGroups:  e.sched.GroupCount(),
-		StreamCopies: s.StreamCopies,
-		NaiveCopies:  s.NaiveCopies,
-		SharingRatio: s.SharingRatio(),
+	e.srcMu.Lock()
+	out.Sources = len(e.ingests)
+	for _, src := range e.ingests {
+		st := src.Stats()
+		out.SourceLines += st.Lines
+		out.SourceEvents += st.Events
+		out.DecodeErrors += st.DecodeErrors
+		out.SourceDropped += st.Dropped
 	}
+	e.srcMu.Unlock()
+	return out
+}
+
+// attachSource registers a log source with the engine so its counters
+// aggregate into Stats. Called by Source.Run.
+func (e *Engine) attachSource(src *source.Source) {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	for _, s := range e.ingests {
+		if s == src {
+			return
+		}
+	}
+	e.ingests = append(e.ingests, src)
 }
 
 // CompiledQuery is a compiled, executable SAQL query for direct use with a
