@@ -153,7 +153,7 @@ func e2() {
 
 	eng := saql.New()
 	for _, nq := range queries {
-		if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+		if _, err := eng.Register(nq.Name, nq.SAQL); err != nil {
 			panic(err)
 		}
 	}
@@ -223,7 +223,7 @@ func e3() {
 
 		shared := saql.New(saql.WithSharing(true))
 		for _, nq := range qs {
-			if err := shared.AddQuery(nq.Name, nq.SAQL); err != nil {
+			if _, err := shared.Register(nq.Name, nq.SAQL); err != nil {
 				panic(err)
 			}
 		}
@@ -238,7 +238,7 @@ func e3() {
 
 		noshare := saql.New(saql.WithSharing(false))
 		for _, nq := range qs {
-			if err := noshare.AddQuery(nq.Name, nq.SAQL); err != nil {
+			if _, err := noshare.Register(nq.Name, nq.SAQL); err != nil {
 				panic(err)
 			}
 		}
@@ -527,7 +527,7 @@ func e9() {
 	mkEngine := func(opts ...saql.Option) *saql.Engine {
 		eng := saql.New(opts...)
 		for _, nq := range queries {
-			if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+			if _, err := eng.Register(nq.Name, nq.SAQL); err != nil {
 				panic(err)
 			}
 		}

@@ -166,7 +166,7 @@ func doReplay(ctx context.Context, rep *saql.Replayer, req replayRequest) replay
 	collected := make(chan struct{})
 	if strings.TrimSpace(req.Query) != "" {
 		eng = saql.New()
-		if err := eng.AddQuery("ui-query", req.Query); err != nil {
+		if _, err := eng.Register("ui-query", req.Query); err != nil {
 			return replayResponse{Error: err.Error()}
 		}
 		if err := eng.Start(ctx); err != nil {

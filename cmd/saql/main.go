@@ -9,15 +9,24 @@
 // (-simulate). Events are ingested through the engine's concurrent
 // Submit/SubmitBatch API on the sharded runtime (use -shards to size it).
 //
+// Queries come from -q files, -e inline text, the built-in demo set
+// (-demo-queries), or a rule directory (-queries DIR): every *.saql file in
+// the directory — a single query named after the file, or a queryset
+// document with `query name { ... }` blocks and shared `param` definitions
+// — is registered declaratively through Engine.Apply. Sending the process
+// SIGHUP re-reads the directory and reconciles the running engine against
+// it (changed queries hot-swap in place, removed files retire their
+// queries), printing the change report.
+//
 // Usage:
 //
 //	saql -input audit.log -format auditd -agent db-1 -q exfil.saql
 //	saql -input - -format ndjson -e 'proc p write file f["/etc/%"] return p, f'
-//	saql -input tcp://:6514 -format sysmon -follow -q lateral.saql
+//	saql -input tcp://:6514 -format sysmon -follow -queries ./rules
 //	saql -simulate -duration 10m -q query1.saql -q query2.saql
 //	saql -store ./data -hosts db-1 -speed 100 -q exfil.saql
 //	saql -simulate -demo-queries        # run the paper's 8 demo queries
-//	saql -validate -q query.saql        # parse/check only
+//	saql -validate -queries ./rules     # parse/check only
 package main
 
 import (
@@ -28,8 +37,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -61,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		queryFiles  multiFlag
 		inline      multiFlag
 		hosts       multiFlag
+		queriesDir  = fs.String("queries", "", "load every *.saql file in this directory via Engine.Apply; SIGHUP re-applies it")
 		input       = fs.String("input", "", "read raw log events from this file ('-' = stdin, 'tcp://addr' = listen)")
 		format      = fs.String("format", "ndjson", "log format for -input: "+strings.Join(saql.Formats(), ", "))
 		agent       = fs.String("agent", "", "default agent id for -input events whose format carries no host field")
@@ -89,52 +101,76 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	// Assemble the query set.
-	type namedSrc struct{ name, src string }
-	var sources []namedSrc
-	for _, f := range queryFiles {
-		data, err := os.ReadFile(f)
-		if err != nil {
-			return err
-		}
-		sources = append(sources, namedSrc{name: strings.TrimSuffix(f, ".saql"), src: string(data)})
-	}
-	for i, src := range inline {
-		sources = append(sources, namedSrc{name: fmt.Sprintf("inline-%d", i+1), src: src})
-	}
-
 	scenario := &saql.AttackScenario{
 		Workstation: "ws-victim", MailServer: "mail-1", DBServer: "db-1",
 		AttackerIP: "172.16.0.129",
 	}
-	if *demoQueries {
-		for _, nq := range scenario.DemoQueries(*window, *train) {
-			sources = append(sources, namedSrc{name: nq.Name, src: nq.SAQL})
+	// loadSet assembles the full declarative query set: -q files and -e
+	// inline text (each a one-query set), the demo queries, and every
+	// *.saql file of -queries. It is re-invoked on SIGHUP, so each call
+	// re-reads every file.
+	loadSet := func() (*saql.QuerySet, error) {
+		set := saql.NewQuerySet()
+		for _, f := range queryFiles {
+			// -q names keep the path (minus extension) so equal basenames
+			// from different directories stay distinct.
+			if err := mergeQueryFile(set, f, strings.TrimSuffix(f, ".saql")); err != nil {
+				return nil, err
+			}
 		}
+		for i, src := range inline {
+			if err := set.Add(fmt.Sprintf("inline-%d", i+1), src); err != nil {
+				return nil, err
+			}
+		}
+		if *demoQueries {
+			for _, nq := range scenario.DemoQueries(*window, *train) {
+				if err := set.Add(nq.Name, nq.SAQL); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if *queriesDir != "" {
+			dir, err := loadQueryDir(*queriesDir)
+			if err != nil {
+				return nil, err
+			}
+			if err := set.Merge(dir); err != nil {
+				return nil, err
+			}
+		}
+		return set, nil
 	}
-	if len(sources) == 0 {
-		return fmt.Errorf("no queries given (use -q, -e, or -demo-queries)")
+	set, err := loadSet()
+	if err != nil {
+		return err
+	}
+	if set.Len() == 0 {
+		return fmt.Errorf("no queries given (use -q, -e, -queries, or -demo-queries)")
 	}
 
 	if *validate {
-		for _, s := range sources {
-			if err := saql.Validate(s.src); err != nil {
-				return fmt.Errorf("%s: %w", s.name, err)
-			}
-			fmt.Fprintf(out, "%-40s OK\n", s.name)
+		// loadSet already parsed and checked everything.
+		for _, name := range set.Names() {
+			fmt.Fprintf(out, "%-40s OK\n", name)
 		}
 		return nil
 	}
 
 	// The alert handler is invoked serially in both the sharded runtime and
-	// the legacy serial path, so the counter needs no synchronisation.
+	// the legacy serial path, so the counter needs no synchronisation — but
+	// alert printing runs concurrently with the SIGHUP reload goroutine's
+	// report printing, so writes to out share a mutex.
+	var outMu sync.Mutex
 	var alertCount int
 	engOpts := []saql.Option{
 		saql.WithSharing(!*noShare),
 		saql.WithAlertHandler(func(a *saql.Alert) {
 			alertCount++
 			if !*quiet {
+				outMu.Lock()
 				fmt.Fprintln(out, a)
+				outMu.Unlock()
 			}
 		}),
 	}
@@ -142,10 +178,10 @@ func run(args []string, out io.Writer) error {
 		engOpts = append(engOpts, saql.WithShards(*shards))
 	}
 	eng := saql.New(engOpts...)
-	for _, s := range sources {
-		if err := eng.AddQuery(s.name, s.src); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
-		}
+	if rep, err := eng.Apply(context.Background(), set); err != nil {
+		return err
+	} else if !rep.Empty() {
+		fmt.Fprintf(out, "applied query set: %s\n", rep)
 	}
 	fmt.Fprintf(out, "registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
 
@@ -158,12 +194,55 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "concurrent runtime: %d shards\n", eng.Shards())
-		for _, s := range sources {
-			if p, ok := eng.QueryPlacement(s.name); ok {
-				fmt.Fprintf(out, "  %-40s placement=%s\n", s.name, p)
+		for _, name := range set.Names() {
+			if p, ok := eng.QueryPlacement(name); ok {
+				fmt.Fprintf(out, "  %-40s placement=%s\n", name, p)
 			}
 		}
 	}
+
+	// SIGHUP reconciles the running engine against a re-read of the query
+	// files: changed sources hot-swap in place (carrying window state when
+	// the state layer is unchanged), new files register, deleted files
+	// retire their queries. The reloader is joined before the engine closes
+	// and the summary prints, so no Apply can hit a closed engine and no
+	// reload report interleaves with the summary.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	reloadStop := make(chan struct{})
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		for {
+			select {
+			case <-reloadStop:
+				return
+			case <-hup:
+			}
+			next, err := loadSet()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "saql: reload:", err)
+				continue
+			}
+			rep, err := eng.Apply(context.Background(), next)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "saql: re-apply:", err)
+				continue
+			}
+			outMu.Lock()
+			fmt.Fprintf(out, "reloaded queries: %s\n", rep)
+			outMu.Unlock()
+		}
+	}()
+	var reloadStopOnce sync.Once
+	stopReloader := func() {
+		reloadStopOnce.Do(func() {
+			signal.Stop(hup)
+			close(reloadStop)
+			<-reloadDone
+		})
+	}
+	defer stopReloader()
 	// feed delivers one event through whichever ingestion path is active.
 	feed := func(ev *saql.Event) {
 		if sharded {
@@ -185,7 +264,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if a := src.Addr(); a != nil {
+			outMu.Lock()
 			fmt.Fprintf(out, "listening on %s (%s)\n", a, *format)
+			outMu.Unlock()
 		}
 		// Live modes (-follow, tcp://) run until interrupted; Ctrl-C ends
 		// the source cleanly so open windows still flush and the summary
@@ -267,6 +348,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no event source: use -input, -store, or -simulate")
 	}
 
+	// Ingestion is over: join the reloader before closing the engine and
+	// printing the summary.
+	stopReloader()
 	if sharded {
 		// Close drains the queue, flushes every shard, and delivers the
 		// final alerts before returning.
@@ -295,6 +379,48 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "runtime errors   : %d (last: %v)\n", n, eng.Errors()[len(eng.Errors())-1])
 	}
 	return nil
+}
+
+// mergeQueryFile reads one rule file and merges its queries into set: a
+// bare-query file contributes one query named name, a queryset document
+// contributes all of its declared queries. Parse and duplicate errors are
+// wrapped with the file's path.
+func mergeQueryFile(set *saql.QuerySet, path, name string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	one, err := saql.ParseQueryOrSet(name, string(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := set.Merge(one); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// loadQueryDir builds a queryset from every *.saql file in dir (sorted, so
+// pinned-placement assignment is deterministic across reloads).
+func loadQueryDir(dir string) (*saql.QuerySet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".saql") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	set := saql.NewQuerySet()
+	for _, name := range names {
+		if err := mergeQueryFile(set, filepath.Join(dir, name), strings.TrimSuffix(name, ".saql")); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
 }
 
 // openInput builds the log source for -input: "-" reads stdin, a tcp://

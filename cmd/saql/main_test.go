@@ -1,8 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 const samplePath = "../../examples/auditd-replay/sample.log"
@@ -68,6 +73,152 @@ func TestRunSimulateDemoQueries(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "concurrent runtime:") {
 		t.Errorf("concurrent runtime is not the default path:\n%s", out.String())
+	}
+}
+
+// writeRule drops a rule file into dir.
+func writeRule(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const plainRule = `proc p write ip i as e
+alert e.amount > 1000000
+return p, e.amount`
+
+const setRules = `param limit = 500
+query dir-sum {
+  proc p write ip i as e #time(1 min)
+  state ss { amt := sum(e.amount) } group by p
+  alert ss.amt > $limit
+  return p, ss.amt
+}
+query dir-reads {
+  proc p read file f return p, f
+}`
+
+func TestLoadQueryDir(t *testing.T) {
+	dir := t.TempDir()
+	writeRule(t, dir, "big-write.saql", plainRule)
+	writeRule(t, dir, "pack.saql", setRules)
+	writeRule(t, dir, "ignored.txt", "not saql")
+	set, err := loadQueryDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files load in sorted order (deterministic pinned placement); names
+	// within a file keep declaration order.
+	want := []string{"big-write", "dir-sum", "dir-reads"}
+	got := set.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	if src, ok := set.Source("dir-sum"); !ok || !strings.Contains(src, "> 500") {
+		t.Errorf("param not substituted: %q", src)
+	}
+	// A broken file fails the whole load with the file named.
+	writeRule(t, dir, "broken.saql", "not a query")
+	if _, err := loadQueryDir(dir); err == nil || !strings.Contains(err.Error(), "broken.saql") {
+		t.Errorf("err = %v, want named broken file", err)
+	}
+}
+
+// -queries registers the directory's rules through Engine.Apply and prints
+// the change report.
+func TestRunQueriesDir(t *testing.T) {
+	dir := t.TempDir()
+	writeRule(t, dir, "big-write.saql", plainRule)
+	writeRule(t, dir, "pack.saql", setRules)
+	var out strings.Builder
+	if err := run([]string{"-queries", dir, "-simulate", "-duration", "1m", "-quiet"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "applied query set: 3 added") {
+		t.Errorf("missing change report:\n%s", got)
+	}
+	if !strings.Contains(got, "registered 3 queries") {
+		t.Errorf("missing registration summary:\n%s", got)
+	}
+}
+
+// syncWriter makes the shared output buffer safe against the SIGHUP
+// goroutine writing concurrently with run.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// The SIGHUP path end to end: run tails a live input, the rule directory
+// changes underneath it, SIGHUP reconciles (add + hot-swap), SIGTERM ends
+// the run cleanly.
+func TestRunSIGHUPReApply(t *testing.T) {
+	dir := t.TempDir()
+	writeRule(t, dir, "big-write.saql", plainRule)
+	logf := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := os.WriteFile(logf, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-queries", dir, "-input", logf, "-follow", "-quiet"}, out)
+	}()
+	waitFor := func(substr string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(out.String(), substr) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %q in output:\n%s", substr, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitFor("concurrent runtime:")
+
+	// Tighten the existing rule and drop a new pack in, then reload.
+	writeRule(t, dir, "big-write.saql", strings.Replace(plainRule, "1000000", "2000000", 1))
+	writeRule(t, dir, "pack.saql", setRules)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("reloaded queries:")
+	got := out.String()
+	if !strings.Contains(got, "2 added (dir-reads, dir-sum)") || !strings.Contains(got, "1 updated (big-write)") {
+		t.Errorf("reload report wrong:\n%s", got)
+	}
+
+	// SIGTERM is the live-mode shutdown path: the run must flush and exit
+	// cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM:\n%s", out.String())
 	}
 }
 

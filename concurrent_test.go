@@ -454,6 +454,153 @@ func TestShardedKillChainMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestHandleLifecycleRace hammers the control plane — Register, Pause,
+// Resume, Update (with and without state carry), per-query Subscribe,
+// Close, and Apply — from many goroutines while submitters keep the event
+// stream flowing. It asserts nothing about alert contents (the conformance
+// tests do); under -race it proves the handle API is data-race free against
+// live ingestion.
+func TestHandleLifecycleRace(t *testing.T) {
+	const (
+		operators = 4
+		rounds    = 20
+	)
+	eng := New(WithShards(4), WithBackpressure(DropNewest), WithIngestQueue(256))
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var feeders, wg sync.WaitGroup
+
+	// Submitters: keep events flowing under every control operation.
+	for s := 0; s < 3; s++ {
+		feeders.Add(1)
+		go func(s int) {
+			defer feeders.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ev := &Event{
+					Time:    demoStart.Add(time.Duration(s*1000+i) * time.Millisecond),
+					AgentID: "h",
+					Subject: Process(fmt.Sprintf("p%d.exe", i%17), int32(i%17)),
+					Op:      OpWrite,
+					Object:  NetConn("10.0.0.1", 1, "10.0.0.2", 2),
+					Amount:  float64(i % 1000),
+				}
+				if err := eng.Submit(ev); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("Submit: %v", err)
+					}
+					return
+				}
+			}
+		}(s)
+	}
+
+	src := `proc p write ip i as e #time(1 min)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > 100000
+return p, ss.amt`
+	tightened := strings.Replace(src, "> 100000", "> 500000", 1)
+	reshaped := strings.Replace(src, "#time(1 min)", "#time(2 min)", 1)
+
+	// Operators: full handle lifecycle per round, on disjoint names.
+	for o := 0; o < operators; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("q-%d-%d", o, i)
+				h, err := eng.Register(name, src, WithLabel("op", name))
+				if err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+				sub := h.Subscribe(4, DropNewest)
+				if err := h.Pause(); err != nil {
+					t.Errorf("Pause(%s): %v", name, err)
+				}
+				if err := h.Resume(); err != nil {
+					t.Errorf("Resume(%s): %v", name, err)
+				}
+				if err := h.Update(tightened, CarryWindowState()); err != nil {
+					t.Errorf("Update(%s): %v", name, err)
+				}
+				if err := h.Update(reshaped); err != nil {
+					t.Errorf("reshape Update(%s): %v", name, err)
+				}
+				if _, err := h.Stats(); err != nil {
+					t.Errorf("Stats(%s): %v", name, err)
+				}
+				if err := h.Close(); err != nil {
+					t.Errorf("Close(%s): %v", name, err)
+				}
+				if _, open := <-sub.C; open {
+					// Drain the remainder; the channel must close.
+					for range sub.C {
+					}
+				}
+				if !errors.Is(sub.Err(), ErrQueryClosed) {
+					t.Errorf("sub.Err(%s) = %v", name, sub.Err())
+				}
+			}
+		}(o)
+	}
+
+	// One reconciler: re-Apply alternating querysets against its own names.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		setA, setB := NewQuerySet(), NewQuerySet()
+		if err := setA.Add("managed-a", src); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := setB.Add("managed-a", tightened); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := setB.Add("managed-b", src); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			set := setA
+			if i%2 == 1 {
+				set = setB
+			}
+			if _, err := eng.Apply(context.Background(), set); err != nil {
+				t.Errorf("Apply: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Let the operators finish, then stop the submitters and close.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("lifecycle hammer deadlocked")
+	}
+	close(stop)
+	feeders.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The last reconciliation (round rounds-1, odd) applied setB: exactly
+	// its two managed queries survive the hammer.
+	if n := eng.Stats().Queries; n != 2 {
+		t.Errorf("surviving queries = %d, want 2", n)
+	}
+}
+
 // TestDropNewestBackpressure checks the drop-counting overflow policy: a
 // tiny queue with no consumer pressure must never block Submit.
 func TestDropNewestBackpressure(t *testing.T) {

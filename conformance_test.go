@@ -6,6 +6,10 @@ package saql
 // pins the language surface.
 
 import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -197,6 +201,184 @@ func TestConformanceCorpus(t *testing.T) {
 				t.Errorf("kind = %v, want %v", q.Kind, c.kind)
 			}
 		})
+	}
+}
+
+// TestHotSwapMatchesRestart is the lifecycle conformance check: a sharded
+// engine whose queries are Registered, Paused/Resumed, and hot-swapped
+// (Updated) mid-stream must emit exactly the same alerts as a fresh serial
+// engine running the final query set over the same events — pause windows
+// chosen over spans the paused query would not have matched, and updates
+// performed with window-state carry before any window closes, so the
+// equivalence is exact. It then verifies that Apply of the (now unchanged)
+// final queryset reports zero changes and reuses the existing handles
+// pointer-identically.
+func TestHotSwapMatchesRestart(t *testing.T) {
+	const procs, perProc = 120, 40
+	events := concurrencyWorkload(procs, perProc)
+	block := func(from, to int) []*Event { return events[from*perProc : to*perProc] }
+
+	// The final query set: three placements (by-group, by-event, pinned)
+	// plus two rules that only match late blocks of the stream, so
+	// mid-stream Update and Register land before their matching events.
+	final := map[string]string{
+		"grouped-sum": `proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount)
+           n := count(e) } group by p
+alert ss.amt > 1000000
+return p, ss.amt, ss.n`,
+		"big-write": `proc p write ip i as e
+alert e.amount > 1000000
+return p, e.amount`,
+		"global-volume": `proc p write ip i as e #time(1 h)
+state ss { total := sum(e.amount) }
+alert ss.total > 5000000
+return ss.total`,
+		"late-rule": `proc p["worker-0119.exe"] write ip i as e
+alert e.amount > 0
+return p, e.amount`,
+		"late-reg": `proc p["worker-0118.exe"] write ip i as e
+alert e.amount > 0
+return p, e.amount`,
+	}
+
+	// Serial baseline: the final set over the whole stream.
+	serial := New()
+	for name, src := range final {
+		if err := serial.AddQuery(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, serial.Process(ev)...)
+	}
+	want = append(want, serial.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("serial baseline produced no alerts")
+	}
+
+	// Sharded engine: start from looser variants, then converge onto the
+	// final set mid-stream through the handle API.
+	replace := func(name, old, new string) string {
+		src := final[name]
+		if !strings.Contains(src, old) {
+			t.Fatalf("%s: %q not in source", name, old)
+		}
+		return strings.Replace(src, old, new, 1)
+	}
+	eng := New(WithShards(4))
+	handles := map[string]*QueryHandle{}
+	register := func(name, src string) *QueryHandle {
+		t.Helper()
+		h, err := eng.Register(name, src)
+		if err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+		handles[name] = h
+		return h
+	}
+	register("grouped-sum", replace("grouped-sum", "> 1000000", "> 5000000"))
+	register("big-write", final["big-write"])
+	register("global-volume", replace("global-volume", "> 5000000", "> 5000000000"))
+	register("late-rule", strings.Replace(final["late-rule"], "worker-0119.exe", "worker-none.exe", 1))
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sub := eng.Subscribe(4096, Block)
+	var got []*Alert
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for a := range sub.C {
+			got = append(got, a)
+		}
+	}()
+	submit := func(evs []*Event) {
+		t.Helper()
+		if err := eng.SubmitBatch(evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Blocks 1..6 carry no amounts above the big-write threshold (only
+	// p%7==0 groups do), so pausing it across exactly that span skips
+	// events it would never have matched.
+	submit(block(0, 1))
+	if err := handles["big-write"].Pause(); err != nil {
+		t.Fatal(err)
+	}
+	submit(block(1, 7))
+	if err := handles["big-write"].Resume(); err != nil {
+		t.Fatal(err)
+	}
+	submit(block(7, 60))
+
+	// Converge on the final set at the stream's midpoint: window-state
+	// carry for the stateful queries (their 1h windows are still open, so
+	// the final thresholds judge the complete sums), a plain swap for the
+	// rule, and a late registration — both of which only match events in
+	// blocks 118/119, still ahead of the stream.
+	if err := handles["grouped-sum"].Update(final["grouped-sum"], CarryWindowState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles["global-volume"].Update(final["global-volume"], CarryWindowState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles["late-rule"].Update(final["late-rule"]); err != nil {
+		t.Fatal(err)
+	}
+	register("late-reg", final["late-reg"])
+	submit(block(60, procs))
+
+	// The registry now equals the final set: Apply must be a no-op that
+	// reuses every handle pointer-identically.
+	set := NewQuerySet()
+	names := make([]string, 0, len(final))
+	for name := range final {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := set.Add(name, final[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := eng.Apply(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Empty() || len(rep.Unchanged) != len(final) {
+		t.Errorf("Apply of unchanged set: %s, want no changes and %d unchanged", rep, len(final))
+	}
+	for name, h := range handles {
+		if cur, ok := eng.Query(name); !ok || cur != h {
+			t.Errorf("Apply replaced handle %q", name)
+		}
+	}
+
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Wait()
+
+	toSorted := func(alerts []*Alert) []string {
+		out := make([]string, 0, len(alerts))
+		for _, a := range alerts {
+			out = append(out, alertIdentity(a))
+		}
+		sort.Strings(out)
+		return out
+	}
+	wantIDs, gotIDs := toSorted(want), toSorted(got)
+	if len(wantIDs) != len(gotIDs) {
+		t.Errorf("alert count: lifecycle engine=%d, restarted serial=%d", len(gotIDs), len(wantIDs))
+	}
+	for i := 0; i < len(wantIDs) && i < len(gotIDs); i++ {
+		if wantIDs[i] != gotIDs[i] {
+			t.Fatalf("alert sets diverge at #%d:\n  lifecycle: %s\n  restart:   %s", i, gotIDs[i], wantIDs[i])
+		}
 	}
 }
 

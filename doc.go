@@ -22,10 +22,11 @@
 //
 // The engine is driven through the concurrent ingestion API: Start spins up
 // the sharded runtime, Submit/SubmitBatch feed events through a bounded
-// ingest queue, and Subscribe delivers the merged alert stream:
+// ingest queue, and Subscribe delivers the merged alert stream. Register
+// returns the query's handle:
 //
 //	eng := saql.New(saql.WithShards(8))
-//	err := eng.AddQuery("exfil", `
+//	h, err := eng.Register("exfil", `
 //	    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
 //	    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
 //	    proc p4 read file f1 as evt3
@@ -40,6 +41,26 @@
 //	}()
 //	eng.SubmitBatch(events) // from any number of goroutines
 //	eng.Close()             // drain, flush, end subscriptions
+//
+// # Query lifecycle
+//
+// The *QueryHandle returned by Register owns one query's lifecycle while
+// the engine keeps ingesting. Pause/Resume gate its event flow with all
+// state retained; Update hot-swaps its source atomically at a consistent
+// point of the event stream (with CarryWindowState preserving open windows,
+// history rings, and invariant training when only thresholds or patterns
+// changed); Subscribe opens a per-query alert stream; Close retires it.
+// Every control operation is applied in the same total order as events on
+// every shard, so a sharded engine under live reconfiguration remains
+// alert-for-alert identical to a serial engine reconfigured between the
+// same two events.
+//
+// On top of handles sits the declarative layer: ParseQuerySet parses a
+// multi-query document (named `query` blocks plus shared `param`
+// definitions substituted at compile time) and Engine.Apply reconciles it
+// against the running registry — unchanged queries untouched, changed ones
+// hot-swapped, absent managed ones retired — returning a ChangeReport.
+// See docs/queries.md for the grammar and reconciliation rules.
 //
 // # Ingesting real logs
 //
@@ -60,19 +81,21 @@
 // Engine.Stats. See docs/architecture.md for the pipeline design and
 // docs/language.md for the query-language reference.
 //
-// # Lifecycle
+// # Engine lifecycle
 //
 // An Engine moves through three states. It is created in the serial state,
 // where the synchronous Process/Flush/Run methods evaluate queries on the
-// caller's goroutine and return alerts directly (the original blocking API,
-// retained for compatibility; alerts additionally flow to subscriptions and
-// the WithAlertHandler callback). Start moves it to the running state:
-// ingestion happens through the non-blocking Submit/SubmitBatch, whose
-// backpressure on a full queue is configurable with WithBackpressure
-// (Block, or DropNewest counted in Stats.Dropped). Close drains the queue,
-// closes all windows, delivers the final alerts, and ends every
-// subscription. Misuse yields typed errors: ErrNotRunning, ErrAlreadyRunning,
-// and ErrClosed.
+// caller's goroutine and return alerts directly (the original blocking API;
+// Process, Run, Flush, AddQuery, and RemoveQuery are all deprecated in
+// favour of Start/Submit/Subscribe and the Register handle API, but remain
+// fully supported). Start moves it to the running state: ingestion happens
+// through the non-blocking Submit/SubmitBatch, whose backpressure on a full
+// queue is configurable with WithBackpressure (Block, or DropNewest counted
+// in Stats.Dropped). Close drains the queue, closes all windows, delivers
+// the final alerts, and ends every subscription (each subscription's Err
+// then reports ErrClosed). Misuse yields typed errors: ErrNotRunning,
+// ErrAlreadyRunning, ErrClosed, and — for operations on a retired query
+// handle — ErrQueryClosed.
 //
 // # Shard placement
 //

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"saql/internal/parser"
 )
 
 // saqlBlocks extracts the ```saql fenced code blocks from markdown.
@@ -54,8 +56,38 @@ func TestLanguageDocSnippetsValidate(t *testing.T) {
 	}
 }
 
+// TestQueriesDocSnippetsValidate pins docs/queries.md: plain ```saql
+// blocks must validate and compile; queryset documents must parse through
+// ParseQuerySet (params substituted, every query checked).
+func TestQueriesDocSnippetsValidate(t *testing.T) {
+	blocks := saqlBlocks(t, "docs/queries.md")
+	if len(blocks) < 1 {
+		t.Fatal("docs/queries.md has no saql blocks; the queryset grammar must be demonstrated")
+	}
+	sets := 0
+	for i, src := range blocks {
+		if parser.LooksLikeQuerySet(src) {
+			sets++
+			if _, err := ParseQuerySet(src); err != nil {
+				t.Errorf("docs/queries.md block %d is not a valid queryset: %v\n%s", i+1, err, src)
+			}
+			continue
+		}
+		if err := Validate(src); err != nil {
+			t.Errorf("docs/queries.md block %d does not validate: %v\n%s", i+1, err, src)
+			continue
+		}
+		if _, err := CompileQuery("doc-snippet", src); err != nil {
+			t.Errorf("docs/queries.md block %d does not compile: %v\n%s", i+1, err, src)
+		}
+	}
+	if sets == 0 {
+		t.Error("docs/queries.md demonstrates no queryset document")
+	}
+}
+
 func TestDocsExist(t *testing.T) {
-	for _, path := range []string{"README.md", "docs/language.md", "docs/architecture.md"} {
+	for _, path := range []string{"README.md", "docs/language.md", "docs/architecture.md", "docs/queries.md"} {
 		st, err := os.Stat(path)
 		if err != nil {
 			t.Fatalf("%s missing: %v", path, err)

@@ -13,7 +13,7 @@ import (
 // flushes open windows, and ends the subscription.
 func ExampleEngine_Subscribe() {
 	eng := saql.New(saql.WithShards(2))
-	err := eng.AddQuery("dump-read", `
+	_, err := eng.Register("dump-read", `
 proc p1["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt1
 proc p2 read file f1 as evt2
 with evt1 -> evt2
@@ -53,6 +53,74 @@ return p1, f1, p2`)
 	<-done
 	// Output:
 	// ALERT [rule] query=dump-read at=09:00:01.000 p1=sqlservr.exe f1=C:\db\backup1.dmp p2=sbblv.exe
+}
+
+// The query-handle lifecycle: Register returns the handle, Pause/Resume
+// gate the query's event flow with state retained, and Update hot-swaps
+// the source in place at a consistent point of the stream.
+func ExampleEngine_Register() {
+	eng := saql.New()
+	h, err := eng.Register("big-write", `
+proc p write ip i as e
+alert e.amount > 1000000
+return p, e.amount`,
+		saql.WithLabel("severity", "high"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	t0 := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	submit := func(sec int, amount float64) {
+		for _, a := range eng.Process(&saql.Event{
+			Time: t0.Add(time.Duration(sec) * time.Second), AgentID: "db-1",
+			Subject: saql.Process("sqlservr.exe", 1680), Op: saql.OpWrite,
+			Object: saql.NetConn("10.0.3.10", 1433, "203.0.113.77", 8443), Amount: amount,
+		}) {
+			fmt.Println(a)
+		}
+	}
+
+	submit(0, 5e6) // alerts
+	_ = h.Pause()
+	submit(1, 5e6) // skipped: the query is paused
+	_ = h.Resume()
+	_ = h.Update(`
+proc p write ip i as e
+alert e.amount > 10
+return p, e.amount`) // live tuning: tighten the threshold
+	submit(2, 500) // alerts under the new threshold
+	fmt.Println("severity:", h.Labels()["severity"])
+	// Output:
+	// ALERT [rule] query=big-write at=09:00:00.000 p=sqlservr.exe e.amount=5e+06
+	// ALERT [rule] query=big-write at=09:00:02.000 p=sqlservr.exe e.amount=500
+	// severity: high
+}
+
+// The declarative layer: Apply reconciles a queryset document (named
+// queries plus shared params) against the running registry and reports
+// what changed. Re-applying an identical set is a no-op.
+func ExampleEngine_Apply() {
+	eng := saql.New()
+	set, err := saql.ParseQuerySet(`
+param limit = 1000000
+
+query big-write {
+  proc p write ip i as e
+  alert e.amount > $limit
+  return p, e.amount
+}`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, _ := eng.Apply(context.Background(), set)
+	fmt.Println(rep)
+	rep, _ = eng.Apply(context.Background(), set)
+	fmt.Println(rep)
+	// Output:
+	// 1 added (big-write), 0 unchanged
+	// no changes (1 unchanged)
 }
 
 // The smallest complete use of the legacy serial path: one rule-based query

@@ -56,12 +56,20 @@ func main() {
 	events = append(events, saql.AttackEventsOnly(labeled)...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
 
-	// 3. The 8 demonstration queries on the concurrent sharded runtime.
+	// 3. The 8 demonstration queries, applied as one declarative set on
+	// the concurrent sharded runtime (re-Applying the same set later would
+	// be a no-op; edits would hot-swap in place).
 	eng := saql.New(saql.WithShards(4))
+	set := saql.NewQuerySet()
 	for _, nq := range scenario.DemoQueries(30*time.Second, 5) {
-		if err := eng.AddQuery(nq.Name, nq.SAQL); err != nil {
+		if err := set.Add(nq.Name, nq.SAQL); err != nil {
 			log.Fatalf("%s: %v", nq.Name, err)
 		}
+	}
+	if rep, err := eng.Apply(context.Background(), set); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Println("applied query set:", rep)
 	}
 	if err := eng.Start(context.Background()); err != nil {
 		log.Fatal(err)

@@ -49,7 +49,7 @@ func main() {
 		fmt.Println(a)
 	}))
 	for name, src := range map[string]string{"exfil-chain": exfilChain, "exfil-volume": exfilVolume} {
-		if err := eng.AddQuery(name, src); err != nil {
+		if _, err := eng.Register(name, src); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}

@@ -1,4 +1,5 @@
-// Invariant learning: the paper's Query 3 scenario end to end.
+// Invariant learning: the paper's Query 3 scenario end to end, plus live
+// rule tuning through the query-handle API.
 //
 // An invariant-based SAQL query watches which child processes the Apache
 // web server spawns. During the training phase (the first ten sliding
@@ -6,12 +7,19 @@
 // is frozen (offline mode), and any child outside the learned set — here a
 // webshell spawning /bin/sh — raises an alert naming exactly the violating
 // process.
+//
+// The analyst initially deploys the rule with a lenient threshold (tolerate
+// one unknown child per window) and tightens it mid-stream with
+// handle.Update(..., CarryWindowState()): the hot-swap preserves the ten
+// windows of invariant training, so the tightened rule detects immediately
+// instead of re-learning from scratch.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,7 +36,7 @@ invariant[10][offline] {
   a := empty_set
   a = a union ss.set_proc
 }
-alert |ss.set_proc diff a| > 0
+alert |ss.set_proc diff a| > 1
 return p1, ss.set_proc
 `
 
@@ -36,13 +44,15 @@ func main() {
 	// The invariant query partitions per-group (per-parent-process) state,
 	// so it runs sharded; one submitter preserves the training order.
 	eng := saql.New(saql.WithShards(2))
-	if err := eng.AddQuery("apache-children", invariantQuery); err != nil {
+	h, err := eng.Register("apache-children", invariantQuery,
+		saql.WithLabel("pack", "web-tier"))
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := eng.Start(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	sub := eng.Subscribe(16, saql.Block)
+	sub := h.Subscribe(16, saql.Block)
 	var alerts []*saql.Alert
 	var collected sync.WaitGroup
 	collected.Add(1)
@@ -78,6 +88,16 @@ func main() {
 	at := start.Add(100 * time.Second)
 	submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",
 		Subject: apache, Op: saql.OpStart, Object: saql.Process("php-cgi.exe", 4100)})
+
+	// Live tuning: tighten "more than one unknown child" to "any unknown
+	// child". CarryWindowState keeps the learned invariant across the
+	// hot-swap — without it the rule would restart its 10-window training
+	// and miss the webshell below.
+	fmt.Println("--- tightening threshold in place (invariant carried) ---")
+	if err := h.Update(strings.Replace(invariantQuery, "> 1", "> 0", 1),
+		saql.CarryWindowState()); err != nil {
+		log.Fatal(err)
+	}
 
 	at = start.Add(110 * time.Second)
 	submit(&saql.Event{Time: at.Add(time.Second), AgentID: "web-1",

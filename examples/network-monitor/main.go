@@ -49,10 +49,10 @@ return i.dstip, ss.amt
 
 func main() {
 	eng := saql.New(saql.WithShards(2))
-	if err := eng.AddQuery("net-sma", smaQuery); err != nil {
+	if _, err := eng.Register("net-sma", smaQuery); err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.AddQuery("net-outlier", outlierQuery); err != nil {
+	if _, err := eng.Register("net-outlier", outlierQuery); err != nil {
 		log.Fatal(err)
 	}
 	// The SMA query partitions its per-process state across shards; the

@@ -1,6 +1,6 @@
 // Quickstart: compile one rule-based SAQL query and run it over a handful
 // of hand-built system events — the smallest end-to-end use of the public
-// API: Start, Submit, Subscribe, Close.
+// API: Register, Start, Submit, Subscribe, Close.
 package main
 
 import (
@@ -23,16 +23,19 @@ proc p4 read file f1 as evt3
 with evt1 -> evt2 -> evt3
 return distinct p1, p2, p3, f1, p4
 `
+	// Register returns the query's handle: the owner of its lifecycle
+	// (Pause/Resume, Update hot-swap, per-query Subscribe, Close).
 	eng := saql.New()
-	if err := eng.AddQuery("exfil-prep", query); err != nil {
+	h, err := eng.Register("exfil-prep", query)
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Start the concurrent runtime and subscribe to the alert stream.
+	// Start the concurrent runtime and subscribe to this query's alerts.
 	if err := eng.Start(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	sub := eng.Subscribe(16, saql.Block)
+	sub := h.Subscribe(16, saql.Block)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -86,6 +86,10 @@ type Query struct {
 	groupFilter func(string) bool
 	eventFilter func(*event.Event) bool
 
+	// paused gates event ingestion (see SetPaused). It is mutated only at
+	// consistent stream points, under the owning scheduler's lock.
+	paused bool
+
 	stats QueryStats
 	now   func() time.Time
 }

@@ -1,0 +1,69 @@
+package engine
+
+// Hot-swap support: pausing a query in place and carrying sliding-window
+// state from an old compiled query into its replacement. Both operations are
+// driven by the scheduler (serial engine) or a shard worker (sharded
+// runtime) at a consistent point of the event stream; neither is safe to
+// call concurrently with Ingest on the same query.
+
+// SetPaused marks the query paused or active. A paused query ingests no
+// events — no pattern matching, no state folding, no watermark advance — but
+// keeps all accumulated state (open windows, histories, invariants, partial
+// matches), so Resume continues exactly where Pause left off. Flush still
+// closes a paused query's open windows.
+func (q *Query) SetPaused(p bool) { q.paused = p }
+
+// Paused reports whether the query is paused.
+func (q *Query) Paused() bool { return q.paused }
+
+// CanCarryStateFrom reports whether this query can adopt old's sliding-window
+// state in a hot-swap: both stateful, with identical window spec, state
+// block (fields, grouping, history depth — including the depth implied by
+// ss[k] references in alert/return clauses), and invariant block. Pattern
+// constraints, alert thresholds, return clauses, and cluster specs may all
+// differ: those are evaluated against the carried state, which is exactly
+// the live-tuning use case. The check is AST-level only, so it is safe to
+// call before the swap is scheduled.
+func (q *Query) CanCarryStateFrom(old *Query) bool {
+	if old == nil || !q.stateful || !old.stateful {
+		return false
+	}
+	if q.AST.Window == nil || old.AST.Window == nil {
+		return false
+	}
+	if q.AST.Window.Length != old.AST.Window.Length || q.AST.Window.Hop != old.AST.Window.Hop {
+		return false
+	}
+	if q.AST.State.String() != old.AST.State.String() {
+		return false
+	}
+	if q.historyLen != old.historyLen {
+		return false
+	}
+	newInv, oldInv := q.AST.Invariant, old.AST.Invariant
+	if (newInv == nil) != (oldInv == nil) {
+		return false
+	}
+	if newInv != nil && newInv.String() != oldInv.String() {
+		return false
+	}
+	return true
+}
+
+// CarryStateFrom moves old's runtime state into q: the window manager (open
+// windows and watermark), every group's history ring and invariant state,
+// and the runtime counters (WindowsClosed drives history backfill for
+// late-appearing groups, so it must travel with the windows it counted).
+// The `return distinct` suppression table carries only when the return
+// clause is textually unchanged — different return items key differently.
+// Callers must have established CanCarryStateFrom and must run at a point
+// where neither query is ingesting events.
+func (q *Query) CarryStateFrom(old *Query) {
+	q.winMgr = old.winMgr
+	q.groups = old.groups
+	q.stats = old.stats
+	if q.distinct != nil && old.distinct != nil &&
+		q.AST.Return.String() == old.AST.Return.String() {
+		q.distinct = old.distinct
+	}
+}

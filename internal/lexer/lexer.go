@@ -92,12 +92,26 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // Next scans and returns the next token.
 func (l *Lexer) Next() (Token, error) {
 	l.skipSpaceAndComments()
-	pos := Pos{Line: l.line, Col: l.col}
+	pos := Pos{Line: l.line, Col: l.col, Off: l.pos}
 	if l.pos >= len(l.src) {
 		return Token{Type: EOF, Pos: pos}, nil
 	}
 	c := l.peekByte()
 	switch {
+	case c == '$':
+		// Queryset parameter reference: $name. Only meaningful inside a
+		// queryset document, where the parser substitutes the parameter's
+		// literal before the query is compiled.
+		l.advance()
+		if !isIdentStart(l.peekByte()) {
+			return Token{}, fmt.Errorf("lexer: %s: '$' must be followed by a parameter name", pos)
+		}
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return Token{Type: PARAM, Text: l.src[start:l.pos], Pos: pos}, nil
+
 	case isIdentStart(c):
 		start := l.pos
 		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {

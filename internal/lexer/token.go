@@ -19,6 +19,7 @@ const (
 	IDENT  // p1, agentid, avg, proc, read
 	NUMBER // 10, 10000, 0.5
 	STRING // "%osql.exe"
+	PARAM  // $threshold — a queryset parameter reference
 
 	// Operators and punctuation.
 	ASSIGN   // :=
@@ -72,6 +73,7 @@ const (
 
 var tokenNames = map[TokenType]string{
 	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER", STRING: "STRING",
+	PARAM:  "PARAM",
 	ASSIGN: ":=", EQ: "=", EQEQ: "==", NEQ: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
 	ANDAND: "&&", OROR: "||", NOT: "!", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
 	PERCENT: "%", ARROW: "->", PIPE: "|", HASH: "#", LPAREN: "(", RPAREN: ")",
@@ -81,6 +83,12 @@ var tokenNames = map[TokenType]string{
 	KwOffline: "offline", KwOnline: "online", KwCluster: "cluster", KwUnion: "union",
 	KwDiff: "diff", KwIntersect: "intersect", KwIn: "in", KwEmptySet: "empty_set",
 }
+
+// IsKeyword reports whether the token type is a reserved structural
+// keyword (as, with, state, ...). Keyword tokens retain their source text,
+// so contexts with no structural meaning — e.g. queryset query names — can
+// treat them as plain words.
+func (t TokenType) IsKeyword() bool { return t >= KwAs }
 
 // String names the token type.
 func (t TokenType) String() string {
@@ -98,10 +106,14 @@ var keywords = map[string]TokenType{
 	"in": KwIn, "empty_set": KwEmptySet,
 }
 
-// Pos is a source position (1-based line and column).
+// Pos is a source position (1-based line and column). Off is the 0-based
+// byte offset of the position in the source text, which lets consumers that
+// need raw source spans (the queryset parser's parameter substitution) slice
+// the input precisely.
 type Pos struct {
 	Line int
 	Col  int
+	Off  int
 }
 
 // String renders the position as line:col.
@@ -123,6 +135,8 @@ func (t Token) String() string {
 		return t.Text
 	case STRING:
 		return fmt.Sprintf("%q", t.Text)
+	case PARAM:
+		return "$" + t.Text
 	default:
 		return t.Type.String()
 	}

@@ -239,6 +239,9 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 		}
 		return &ast.CardExpr{X: x, CPos: t.Pos}, nil
 	}
+	if t.Type == lexer.PARAM {
+		return nil, p.errorf("parameter reference $%s is only valid inside a queryset document, where 'param' declarations define its value (see ParseQuerySet / Engine.Apply)", t.Text)
+	}
 	return nil, p.errorf("expected expression, found %s", t)
 }
 

@@ -175,6 +175,9 @@ func (p *Parser) parseQuery() (*ast.Query, error) {
 			}
 			q.Return = r
 
+		case p.at(lexer.PARAM):
+			return nil, p.errorf("parameter reference $%s is only valid inside a queryset document, where 'param' declarations define its value (see ParseQuerySet / Engine.Apply)", p.cur().Text)
+
 		default:
 			return nil, p.errorf("unexpected token %s at top level", p.cur())
 		}

@@ -1,0 +1,279 @@
+package parser
+
+// Queryset documents: the declarative multi-query grammar behind
+// Engine.Apply. A queryset declares named queries plus shared parameters
+// that are substituted into the query bodies at compile time:
+//
+//	param threshold = 1000000
+//	param db        = "db-1"
+//
+//	query exfil-volume {
+//	  agentid = $db
+//	  proc p write ip i as e #time(10 min)
+//	  state ss { amt := sum(e.amount) } group by p
+//	  alert ss.amt > $threshold
+//	  return p, ss.amt
+//	}
+//
+// Parameter references ($name) are resolved token-wise — a '$' inside a
+// string literal or a comment is left alone — and the substituted text is
+// the parameter's literal exactly as it would be written in SAQL source, so
+// the result of substitution is ordinary SAQL that the normal parser
+// compiles. Parameters may be declared anywhere at top level (before or
+// after their uses); duplicate parameters, duplicate query names, and
+// references to undeclared parameters are document errors.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"saql/internal/ast"
+	"saql/internal/lexer"
+)
+
+// SetParam is one shared `param name = literal` declaration.
+type SetParam struct {
+	Name string
+	// Raw is the literal in SAQL source form (strings re-quoted), exactly
+	// the text spliced in place of each $Name reference.
+	Raw string
+	Pos lexer.Pos
+}
+
+// SetQuery is one named query of a queryset document.
+type SetQuery struct {
+	Name string
+	// Src is the query body after parameter substitution: standalone SAQL
+	// source accepted by Parse.
+	Src string
+	// AST is the parsed body (substituted). Semantic checking is left to
+	// the caller so the parser package stays independent of sema.
+	AST *ast.Query
+	Pos lexer.Pos
+}
+
+// QuerySetDoc is a parsed queryset document.
+type QuerySetDoc struct {
+	Params  []*SetParam
+	Queries []*SetQuery
+}
+
+// LooksLikeQuerySet reports whether src begins with a queryset declaration
+// (`query name {` or `param name =`) rather than a bare SAQL query. It is a
+// cheap sniff used to route mixed inputs (files that hold either one query
+// or a whole set) to the right parser.
+func LooksLikeQuerySet(src string) bool {
+	toks, err := lexer.Tokenize(src)
+	if err != nil || len(toks) < 3 {
+		return false
+	}
+	if toks[0].Type != lexer.IDENT {
+		return false
+	}
+	switch strings.ToLower(toks[0].Text) {
+	case "query":
+		// `query name` never begins a bare SAQL query (a leading identifier
+		// there must be a global constraint, i.e. followed by a comparator).
+		return wordTok(toks[1])
+	case "param":
+		return toks[1].Type == lexer.IDENT && toks[2].Type == lexer.EQ
+	}
+	return false
+}
+
+// ParseQuerySetDoc parses a queryset document: any interleaving of `param`
+// and `query` declarations. Every query body is substituted and parsed; the
+// first error is returned with the query's name attached.
+func ParseQuerySetDoc(src string) (*QuerySetDoc, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	doc := &QuerySetDoc{}
+	params := map[string]*SetParam{}
+
+	// First pass: declarations. Query bodies are delimited as token spans
+	// so params declared after a query still substitute into it.
+	type bodySpan struct {
+		name     string
+		pos      lexer.Pos
+		from, to int // token indices: body tokens are toks[from:to]
+		lbrace   lexer.Token
+		rbrace   lexer.Token
+	}
+	var spans []bodySpan
+	i := 0
+	expectTok := func(t lexer.TokenType, what string) (lexer.Token, error) {
+		if toks[i].Type != t {
+			return lexer.Token{}, &Error{Pos: toks[i].Pos, Msg: fmt.Sprintf("expected %s, found %s", what, toks[i])}
+		}
+		tok := toks[i]
+		i++
+		return tok, nil
+	}
+	for toks[i].Type != lexer.EOF {
+		if toks[i].Type == lexer.SEMI {
+			i++
+			continue
+		}
+		kw := toks[i]
+		if kw.Type != lexer.IDENT {
+			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param' or 'query' declaration, found %s", kw)}
+		}
+		switch strings.ToLower(kw.Text) {
+		case "param":
+			i++
+			name, err := expectTok(lexer.IDENT, "parameter name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := expectTok(lexer.EQ, "'='"); err != nil {
+				return nil, err
+			}
+			raw, err := paramLiteral(toks, &i)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := params[name.Text]; dup {
+				return nil, &Error{Pos: name.Pos, Msg: fmt.Sprintf("duplicate parameter %q", name.Text)}
+			}
+			p := &SetParam{Name: name.Text, Raw: raw, Pos: name.Pos}
+			params[name.Text] = p
+			doc.Params = append(doc.Params, p)
+
+		case "query":
+			i++
+			name, err := parseSetName(toks, &i)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := expectTok(lexer.LBRACE, "'{' to open the query body")
+			if err != nil {
+				return nil, err
+			}
+			from := i
+			depth := 1
+			for depth > 0 {
+				switch toks[i].Type {
+				case lexer.LBRACE:
+					depth++
+				case lexer.RBRACE:
+					depth--
+				case lexer.EOF:
+					return nil, &Error{Pos: lb.Pos, Msg: fmt.Sprintf("query %q: unterminated body (missing '}')", name.Text)}
+				}
+				if depth > 0 {
+					i++
+				}
+			}
+			rb := toks[i]
+			i++
+			spans = append(spans, bodySpan{name: name.Text, pos: name.Pos, from: from, to: i - 1, lbrace: lb, rbrace: rb})
+
+		default:
+			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param' or 'query' declaration, found %s (a bare query cannot be mixed into a queryset document)", kw)}
+		}
+	}
+
+	// Second pass: substitute and parse each body.
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		if seen[sp.name] {
+			return nil, &Error{Pos: sp.pos, Msg: fmt.Sprintf("duplicate query name %q", sp.name)}
+		}
+		seen[sp.name] = true
+		bodyStart := sp.lbrace.Pos.Off + 1
+		bodyEnd := sp.rbrace.Pos.Off
+		var sb strings.Builder
+		last := bodyStart
+		for _, tok := range toks[sp.from:sp.to] {
+			if tok.Type != lexer.PARAM {
+				continue
+			}
+			p, ok := params[tok.Text]
+			if !ok {
+				return nil, &Error{Pos: tok.Pos, Msg: fmt.Sprintf("query %q references undeclared parameter $%s (declared: %s)", sp.name, tok.Text, paramNames(params))}
+			}
+			sb.WriteString(src[last:tok.Pos.Off])
+			sb.WriteString(p.Raw)
+			last = tok.Pos.Off + 1 + len(tok.Text) // "$" + name
+		}
+		sb.WriteString(src[last:bodyEnd])
+		q := &SetQuery{Name: sp.name, Src: strings.TrimSpace(sb.String()), Pos: sp.pos}
+		parsed, err := Parse(q.Src)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %w", sp.name, err)
+		}
+		q.AST = parsed
+		doc.Queries = append(doc.Queries, q)
+	}
+	return doc, nil
+}
+
+// wordTok reports whether t is usable as a query-name segment: an
+// identifier, or a SAQL keyword (rule names like exfil-state or detect-in
+// legitimately contain words the lexer reserves).
+func wordTok(t lexer.Token) bool {
+	return t.Type == lexer.IDENT || t.Type.IsKeyword()
+}
+
+// parseSetName parses a query name: a word optionally extended with
+// adjacent '-'/'.'-joined word or number segments (query names commonly
+// mirror rule file names like exfil-volume or lateral.move). Adjacency is
+// byte-exact, so `query a - b` is still a syntax error.
+func parseSetName(toks []lexer.Token, i *int) (lexer.Token, error) {
+	if !wordTok(toks[*i]) {
+		return lexer.Token{}, &Error{Pos: toks[*i].Pos, Msg: fmt.Sprintf("expected query name, found %s", toks[*i])}
+	}
+	name := toks[*i]
+	end := name.Pos.Off + len(name.Text)
+	*i++
+	for {
+		sep := toks[*i]
+		if (sep.Type != lexer.MINUS && sep.Type != lexer.DOT) || sep.Pos.Off != end {
+			break
+		}
+		seg := toks[*i+1]
+		if (!wordTok(seg) && seg.Type != lexer.NUMBER) || seg.Pos.Off != end+1 {
+			break
+		}
+		name.Text += sep.Text + seg.Text
+		end = seg.Pos.Off + len(seg.Text)
+		*i += 2
+	}
+	return name, nil
+}
+
+// paramLiteral consumes one literal token sequence at toks[*i] and returns
+// its SAQL source form.
+func paramLiteral(toks []lexer.Token, i *int) (string, error) {
+	t := toks[*i]
+	switch t.Type {
+	case lexer.STRING:
+		*i++
+		return strconv.Quote(t.Text), nil
+	case lexer.NUMBER, lexer.IDENT:
+		*i++
+		return t.Text, nil
+	case lexer.MINUS:
+		if toks[*i+1].Type == lexer.NUMBER {
+			*i += 2
+			return "-" + toks[*i-1].Text, nil
+		}
+	}
+	return "", &Error{Pos: t.Pos, Msg: fmt.Sprintf("parameter value must be a literal (string, number, or identifier), found %s", t)}
+}
+
+func paramNames(params map[string]*SetParam) string {
+	if len(params) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, "$"+n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,159 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSet = `
+// shared tuning knobs
+param threshold = 1000000
+param db = "db-1"
+
+query exfil-volume {
+  agentid = $db
+  proc p write ip i as e #time(10 min)
+  state ss { amt := sum(e.amount) } group by p
+  alert ss.amt > $threshold
+  return p, ss.amt
+}
+
+query big-write {
+  proc p write ip i as e
+  alert e.amount > $threshold
+  return p, e.amount
+}
+
+// params may be declared after their uses
+param late = 5
+query uses-late {
+  proc p read file f as e #time(1 min)
+  state ss { n := count(e) } group by p
+  alert ss.n > $late
+  return p, ss.n
+}
+`
+
+func TestParseQuerySetDoc(t *testing.T) {
+	doc, err := ParseQuerySetDoc(sampleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Params) != 3 {
+		t.Errorf("params = %d, want 3", len(doc.Params))
+	}
+	if len(doc.Queries) != 3 {
+		t.Fatalf("queries = %d, want 3", len(doc.Queries))
+	}
+	if doc.Queries[0].Name != "exfil-volume" || doc.Queries[1].Name != "big-write" {
+		t.Errorf("query names = %q, %q", doc.Queries[0].Name, doc.Queries[1].Name)
+	}
+	// Substitution splices the literal source forms.
+	if !strings.Contains(doc.Queries[0].Src, `agentid = "db-1"`) {
+		t.Errorf("string param not substituted:\n%s", doc.Queries[0].Src)
+	}
+	if !strings.Contains(doc.Queries[0].Src, "ss.amt > 1000000") {
+		t.Errorf("numeric param not substituted:\n%s", doc.Queries[0].Src)
+	}
+	if !strings.Contains(doc.Queries[2].Src, "ss.n > 5") {
+		t.Errorf("late-declared param not substituted:\n%s", doc.Queries[2].Src)
+	}
+	for _, q := range doc.Queries {
+		if q.AST == nil {
+			t.Errorf("query %s: nil AST", q.Name)
+		}
+		if strings.Contains(q.Src, "$") {
+			t.Errorf("query %s: unsubstituted reference remains:\n%s", q.Name, q.Src)
+		}
+	}
+}
+
+func TestParseQuerySetDocErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"undeclared-param", `query q { proc p read file f return $oops }`, "undeclared parameter $oops"},
+		{"dup-param", "param a = 1\nparam a = 2\nquery q { proc p read file f return p }", "duplicate parameter"},
+		{"dup-query", `query q { proc p read file f return p } query q { proc p read file f return p }`, "duplicate query name"},
+		{"unterminated", `query q { proc p read file f return p`, "unterminated body"},
+		{"bad-body", `query q { this is not saql }`, `query "q"`},
+		{"bare-query-mixed", "param a = 1\nproc p read file f return p", "expected 'param' or 'query'"},
+		{"non-literal-param", `param a = (1 + 2)
+query q { proc p read file f return p }`, "must be a literal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseQuerySetDoc(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// Query names may contain SAQL keywords as '-'/'.'-joined segments (rule
+// names like exfil-state or detect-in mirror file names).
+func TestQuerySetKeywordNames(t *testing.T) {
+	doc, err := ParseQuerySetDoc(`query exfil-state { proc p read file f return p }
+query detect-in.v2 { proc p write file f return p }
+query state { proc p read file f return f }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"exfil-state", "detect-in.v2", "state"}
+	for i, q := range doc.Queries {
+		if q.Name != want[i] {
+			t.Errorf("query %d name = %q, want %q", i, q.Name, want[i])
+		}
+	}
+	if !LooksLikeQuerySet(`query state-x { proc p read file f return p }`) {
+		t.Error("keyword-leading name not recognised as queryset")
+	}
+}
+
+func TestLooksLikeQuerySet(t *testing.T) {
+	if !LooksLikeQuerySet(sampleSet) {
+		t.Error("queryset document not recognised")
+	}
+	if !LooksLikeQuerySet(`query q { proc p read file f return p }`) {
+		t.Error("query-first document not recognised")
+	}
+	if LooksLikeQuerySet(`proc p read file f return p`) {
+		t.Error("bare query misclassified as queryset")
+	}
+	if LooksLikeQuerySet(`agentid = "db-1"
+proc p read file f return p`) {
+		t.Error("global-constraint query misclassified as queryset")
+	}
+}
+
+// Dollar signs inside string literals and comments must survive
+// substitution untouched.
+func TestQuerySetDollarInString(t *testing.T) {
+	doc, err := ParseQuerySetDoc(`param x = 7
+query q {
+  // $x in a comment stays
+  proc p read file f["%$x%"] as e #time(1 min)
+  state ss { n := count(e) } group by p
+  alert ss.n > $x
+  return p
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := doc.Queries[0].Src
+	if !strings.Contains(src, `"%$x%"`) {
+		t.Errorf("string literal rewritten:\n%s", src)
+	}
+	if !strings.Contains(src, "ss.n > 7") {
+		t.Errorf("reference outside string not substituted:\n%s", src)
+	}
+}
+
+// A stray $ref in a plain query gets the friendly redirect error.
+func TestPlainQueryParamError(t *testing.T) {
+	_, err := Parse(`proc p read file f
+alert $threshold > 1
+return p`)
+	if err == nil || !strings.Contains(err.Error(), "queryset") {
+		t.Errorf("error = %v, want queryset hint", err)
+	}
+}

@@ -19,19 +19,42 @@ type AlertSubscription struct {
 	ch      chan *engine.Alert
 	done    chan struct{} // closed on unsubscribe, releases blocked senders
 	policy  stream.OverflowPolicy
+	filter  func(*engine.Alert) bool // nil = every alert
 	id      int
 	dropped atomic.Int64
 	fan     *AlertFanout
-	closed  bool // guarded by fan.mu
+	closed  bool  // guarded by fan.mu
+	err     error // guarded by fan.mu; why the stream ended (see Err)
 }
 
 // Dropped reports how many alerts overflow discarded for this subscriber
 // (stream.DropNewest policy only).
 func (s *AlertSubscription) Dropped() int64 { return s.dropped.Load() }
 
+// Err reports why the subscription's channel was closed by its producer:
+// ErrClosed when the engine closed (or the subscription was created on an
+// already-closed engine), the query-closed sentinel when the owning query
+// handle closed, and nil while the subscription is live or after the
+// subscriber cancelled it itself. It lets callers distinguish "I closed
+// this" from "the engine ended my stream" — previously a subscription
+// handed out by a closed engine was dead with no way to tell.
+func (s *AlertSubscription) Err() error {
+	s.fan.mu.Lock()
+	defer s.fan.mu.Unlock()
+	return s.err
+}
+
 // Close cancels the subscription and closes C. It is safe to call more than
 // once and after the engine has closed.
-func (s *AlertSubscription) Close() { s.fan.unsubscribe(s) }
+func (s *AlertSubscription) Close() { s.fan.end(s, nil) }
+
+// Ended reports whether the subscription's channel has been closed (by the
+// subscriber, the query handle, or the engine).
+func (s *AlertSubscription) Ended() bool {
+	s.fan.mu.Lock()
+	defer s.fan.mu.Unlock()
+	return s.closed
+}
 
 // AlertFanout fans alerts out to any number of subscribers plus an optional
 // serialized callback. It is the alert-side counterpart of stream.Broker.
@@ -57,8 +80,15 @@ func NewAlertFanout(onAlert func(*engine.Alert)) *AlertFanout {
 
 // Subscribe registers a consumer with the given buffer size and overflow
 // policy. Subscribing to a closed fan-out returns a subscription whose
-// channel is already closed.
+// channel is already closed and whose Err reports ErrClosed.
 func (f *AlertFanout) Subscribe(buf int, policy stream.OverflowPolicy) *AlertSubscription {
+	return f.SubscribeFunc(buf, policy, nil)
+}
+
+// SubscribeFunc registers a consumer that receives only the alerts filter
+// accepts (nil means all). Filters run inside Publish and must be fast and
+// side-effect free; per-query subscriptions are filters on Alert.Query.
+func (f *AlertFanout) SubscribeFunc(buf int, policy stream.OverflowPolicy, filter func(*engine.Alert) bool) *AlertSubscription {
 	if buf < 1 {
 		buf = 1
 	}
@@ -66,19 +96,34 @@ func (f *AlertFanout) Subscribe(buf int, policy stream.OverflowPolicy) *AlertSub
 	defer f.mu.Unlock()
 	ch := make(chan *engine.Alert, buf)
 	sub := &AlertSubscription{
-		ch: ch, C: ch, done: make(chan struct{}), policy: policy, id: f.nextID, fan: f,
+		ch: ch, C: ch, done: make(chan struct{}), policy: policy, filter: filter, id: f.nextID, fan: f,
 	}
 	f.nextID++
 	if f.closed {
 		close(ch)
 		sub.closed = true
+		sub.err = ErrClosed
 		return sub
 	}
 	f.subs[sub.id] = sub
 	return sub
 }
 
-func (f *AlertFanout) unsubscribe(s *AlertSubscription) {
+// ClosedSubscription returns a born-closed subscription whose Err reports
+// err: what Subscribe hands out when the subscribed-to object (engine or
+// query handle) is already gone.
+func (f *AlertFanout) ClosedSubscription(err error) *AlertSubscription {
+	ch := make(chan *engine.Alert)
+	close(ch)
+	return &AlertSubscription{ch: ch, C: ch, done: make(chan struct{}), fan: f, closed: true, err: err}
+}
+
+// End cancels a subscription on behalf of its producer, recording err as the
+// reason (exposed through Err). A query handle uses it to end its per-query
+// streams when the handle closes.
+func (f *AlertFanout) End(s *AlertSubscription, err error) { f.end(s, err) }
+
+func (f *AlertFanout) end(s *AlertSubscription, err error) {
 	f.mu.Lock()
 	if s.closed {
 		f.mu.Unlock()
@@ -86,6 +131,7 @@ func (f *AlertFanout) unsubscribe(s *AlertSubscription) {
 	}
 	delete(f.subs, s.id)
 	s.closed = true
+	s.err = err
 	close(s.done) // release any Publish blocked on s.ch
 	f.mu.Unlock()
 
@@ -95,8 +141,8 @@ func (f *AlertFanout) unsubscribe(s *AlertSubscription) {
 	f.pubMu.Unlock()
 }
 
-// Publish delivers alerts to the callback and every subscriber. Safe for
-// concurrent use; deliveries are serialised.
+// Publish delivers alerts to the callback and every subscriber whose filter
+// accepts them. Safe for concurrent use; deliveries are serialised.
 func (f *AlertFanout) Publish(alerts []*engine.Alert) {
 	if len(alerts) == 0 {
 		return
@@ -120,6 +166,9 @@ func (f *AlertFanout) Publish(alerts []*engine.Alert) {
 			f.onAlert(a)
 		}
 		for _, s := range subs {
+			if s.filter != nil && !s.filter(a) {
+				continue
+			}
 			switch s.policy {
 			case stream.Block:
 				select {
@@ -147,8 +196,8 @@ func (f *AlertFanout) SubscriberCount() int {
 	return len(f.subs)
 }
 
-// Close closes the fan-out and every subscriber channel. Publish becomes a
-// no-op afterwards.
+// Close closes the fan-out and every subscriber channel (each subscriber's
+// Err reports ErrClosed). Publish becomes a no-op afterwards.
 func (f *AlertFanout) Close() {
 	f.mu.Lock()
 	if f.closed {
@@ -160,6 +209,7 @@ func (f *AlertFanout) Close() {
 	for id, s := range f.subs {
 		subs = append(subs, s)
 		s.closed = true
+		s.err = ErrClosed
 		close(s.done)
 		delete(f.subs, id)
 	}

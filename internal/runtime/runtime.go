@@ -109,12 +109,16 @@ const (
 	ctlRemove
 	ctlFlush
 	ctlStats
+	ctlPause
+	ctlSwap
 )
 
 type control struct {
 	kind     ctlKind
 	name     string
-	replicas []*engine.Query // per-shard replica (nil = not placed), ctlAdd
+	replicas []*engine.Query // per-shard replica (nil = not placed), ctlAdd/ctlSwap
+	paused   bool            // ctlPause: target state
+	carry    bool            // ctlSwap: adopt the old replica's window state
 	ack      chan ctlResult
 }
 
@@ -271,6 +275,18 @@ func (s *shard) apply(c *control, fan *AlertFanout) {
 		}
 	case ctlRemove:
 		res.removed = s.sched.Remove(c.name)
+	case ctlPause:
+		res.found = s.sched.SetPaused(c.name, c.paused)
+	case ctlSwap:
+		// Swap is atomic per shard and, because the control envelope is
+		// broadcast in the single total order, every shard swaps at the
+		// same point of the stream: sharded hot-swap remains
+		// alert-for-alert equivalent to a serial remove+add.
+		if q := c.replicas[s.id]; q != nil {
+			res.err = s.sched.Swap(c.name, q, c.carry)
+		} else {
+			res.removed = s.sched.Remove(c.name)
+		}
 	case ctlFlush:
 		res.alerts = s.sched.Flush()
 		fan.Publish(res.alerts)
@@ -317,6 +333,47 @@ func (r *Runtime) control(c *control) ([]ctlResult, error) {
 // Query management
 // ---------------------------------------------------------------------------
 
+// buildReplicas lays a query out across the shards: one home shard for
+// pinned placements (pinnedHome, or round-robin when negative), a filtered
+// replica per shard otherwise. The caller holds r.mu.
+func (r *Runtime) buildReplicas(primary *engine.Query, clone func() (*engine.Query, error), pinnedHome int) ([]*engine.Query, error) {
+	n := len(r.shards)
+	placement := primary.Placement()
+	replicas := make([]*engine.Query, n)
+	if n == 1 {
+		// Single shard: every placement degenerates to the serial engine.
+		replicas[0] = primary
+		return replicas, nil
+	}
+	switch placement {
+	case engine.PlacePinned:
+		home := pinnedHome
+		if home < 0 || home >= n {
+			home = r.nextPin % n
+			r.nextPin++
+		}
+		replicas[home] = primary
+	case engine.PlaceByGroup, engine.PlaceByEvent:
+		for i := 0; i < n; i++ {
+			q := primary
+			if i > 0 {
+				var err error
+				if q, err = clone(); err != nil {
+					return nil, err
+				}
+			}
+			own := ownerFilter(i, n)
+			if placement == engine.PlaceByGroup {
+				q.SetGroupFilter(func(key string) bool { return own(hashString(key)) })
+			} else {
+				q.SetEventFilter(func(ev *event.Event) bool { return own(hashSubject(ev)) })
+			}
+			replicas[i] = q
+		}
+	}
+	return replicas, nil
+}
+
 // Add registers a compiled query across the shards. primary becomes one of
 // the live replicas; clone compiles an identical fresh replica for each
 // additional shard a distributed placement needs.
@@ -327,36 +384,9 @@ func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)
 	if _, dup := r.queries[name]; dup {
 		return fmt.Errorf("saql: duplicate query name %q", name)
 	}
-	n := len(r.shards)
-	placement := primary.Placement()
-	replicas := make([]*engine.Query, n)
-	if n == 1 {
-		// Single shard: every placement degenerates to the serial engine.
-		replicas[0] = primary
-	} else {
-		switch placement {
-		case engine.PlacePinned:
-			home := r.nextPin % n
-			r.nextPin++
-			replicas[home] = primary
-		case engine.PlaceByGroup, engine.PlaceByEvent:
-			for i := 0; i < n; i++ {
-				q := primary
-				if i > 0 {
-					var err error
-					if q, err = clone(); err != nil {
-						return err
-					}
-				}
-				own := ownerFilter(i, n)
-				if placement == engine.PlaceByGroup {
-					q.SetGroupFilter(func(key string) bool { return own(hashString(key)) })
-				} else {
-					q.SetEventFilter(func(ev *event.Event) bool { return own(hashSubject(ev)) })
-				}
-				replicas[i] = q
-			}
-		}
+	replicas, err := r.buildReplicas(primary, clone, -1)
+	if err != nil {
+		return err
 	}
 
 	results, err := r.control(&control{kind: ctlAdd, name: name, replicas: replicas})
@@ -370,8 +400,76 @@ func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)
 			return res.err
 		}
 	}
-	r.queries[name] = &queryInfo{name: name, placement: placement, replicas: replicas}
+	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas}
 	return nil
+}
+
+// Swap atomically replaces the query registered under primary.Name with
+// primary, at one consistent point of the event stream on every shard. A
+// pinned replacement keeps the old query's home shard, so the swap happens
+// "in place" from the stream's point of view. When carry is set, each new
+// replica adopts its predecessor's sliding-window state on that shard (the
+// caller has verified engine.Query.CanCarryStateFrom; per-shard group
+// ownership is deterministic, so carried state lands on the shard that owns
+// it).
+func (r *Runtime) Swap(primary *engine.Query, clone func() (*engine.Query, error), carry bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := primary.Name
+	qi, ok := r.queries[name]
+	if !ok {
+		return fmt.Errorf("saql: unknown query %q", name)
+	}
+	pinnedHome := -1
+	if qi.placement == engine.PlacePinned && primary.Placement() == engine.PlacePinned {
+		for i, q := range qi.replicas {
+			if q != nil {
+				pinnedHome = i
+			}
+		}
+	}
+	replicas, err := r.buildReplicas(primary, clone, pinnedHome)
+	if err != nil {
+		return err
+	}
+
+	results, err := r.control(&control{kind: ctlSwap, name: name, replicas: replicas, carry: carry})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.err != nil {
+			// A shard failed to install its replacement (practically
+			// unreachable: the old entry was just removed under the same
+			// control). Retire the name everywhere so shards stay
+			// consistent rather than half-swapped.
+			_, _ = r.control(&control{kind: ctlRemove, name: name})
+			delete(r.queries, name)
+			return res.err
+		}
+	}
+	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas}
+	return nil
+}
+
+// Pause marks a query paused or active on every shard, at one consistent
+// point of the stream, reporting whether the name was found.
+func (r *Runtime) Pause(name string, paused bool) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.queries[name]; !ok {
+		return false, nil
+	}
+	results, err := r.control(&control{kind: ctlPause, name: name, paused: paused})
+	if err != nil {
+		return false, err
+	}
+	for _, res := range results {
+		if res.found {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // Remove unregisters a query from every shard it is placed on.

@@ -105,6 +105,10 @@ func (s *Scheduler) Add(q *engine.Query) error {
 func (s *Scheduler) Remove(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.removeLocked(name)
+}
+
+func (s *Scheduler) removeLocked(name string) bool {
 	if _, ok := s.queries[name]; !ok {
 		return false
 	}
@@ -175,6 +179,46 @@ func (s *Scheduler) addLocked(q *engine.Query) {
 	s.groups = append(s.groups, &group{sig: sig, master: q})
 }
 
+// Swap atomically replaces the query registered under name with q (which
+// must carry the same name): alert-for-alert it is Remove(name) followed by
+// Add(q), executed under one lock hold so no event can be processed between
+// the two halves. When carry is set and the old query exists, q adopts the
+// old query's sliding-window state first (the caller has verified
+// CanCarryStateFrom). Group membership is recomputed: the new query joins
+// whichever master–dependent group its constraints now place it in.
+func (s *Scheduler) Swap(name string, q *engine.Query, carry bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.queries[name]
+	if old != nil {
+		s.removeLocked(name)
+	}
+	if _, dup := s.queries[q.Name]; dup {
+		// Unreachable when q.Name == name; guards misuse.
+		return fmt.Errorf("scheduler: duplicate query name %q", q.Name)
+	}
+	if carry && old != nil {
+		q.CarryStateFrom(old)
+	}
+	s.queries[q.Name] = q
+	s.addLocked(q)
+	return nil
+}
+
+// SetPaused marks a registered query paused or active, reporting whether the
+// name was found. The flag flips under the scheduler lock, so it takes
+// effect between events — never mid-ingest.
+func (s *Scheduler) SetPaused(name string, paused bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[name]
+	if !ok {
+		return false
+	}
+	q.SetPaused(paused)
+	return true
+}
+
 // Groups reports the current grouping as master name -> dependent names.
 func (s *Scheduler) Groups() map[string][]string {
 	s.mu.Lock()
@@ -224,15 +268,34 @@ func (s *Scheduler) Process(ev *event.Event) []*engine.Alert {
 	report := s.reportFn()
 
 	for _, g := range s.groups {
+		// Paused queries skip ingestion entirely. A paused master still
+		// evaluates its patterns when an active dependent needs the shared
+		// hits; a fully paused group costs nothing per event.
+		masterActive := !g.master.Paused()
+		depsActive := false
+		for _, d := range g.dependents {
+			if !d.q.Paused() {
+				depsActive = true
+				break
+			}
+		}
+		if !masterActive && !depsActive {
+			continue
+		}
 		s.stats.StreamCopies++
 		nPat := int64(len(g.master.Patterns()))
 		s.stats.PatternEvals += nPat
 		s.stats.NaivePatternEvals += nPat
 
 		hits := g.master.Hits(ev)
-		alerts = append(alerts, g.master.Ingest(ev, hits, report)...)
+		if masterActive {
+			alerts = append(alerts, g.master.Ingest(ev, hits, report)...)
+		}
 
 		for _, d := range g.dependents {
+			if d.q.Paused() {
+				continue
+			}
 			s.stats.NaivePatternEvals += int64(len(d.q.Patterns()))
 			var depHits []int
 			if len(hits) > 0 && d.equal {

@@ -3,7 +3,6 @@ package saql
 import (
 	"context"
 	"errors"
-	"fmt"
 	goruntime "runtime"
 	"sort"
 	"sync"
@@ -38,6 +37,14 @@ const (
 
 // QueryError is a runtime error attributed to a query.
 type QueryError = engine.QueryError
+
+// QueryStats are the per-query runtime counters (see Engine.QueryStats and
+// QueryHandle.Stats).
+type QueryStats = engine.QueryStats
+
+// CompileOptions tune a query's resource bounds (match horizon, partial
+// and distinct table caps, group idle eviction).
+type CompileOptions = engine.CompileOptions
 
 // AlertSubscription is a push-based alert stream returned by Subscribe.
 type AlertSubscription = runtime.AlertSubscription
@@ -102,8 +109,10 @@ type config struct {
 // as the SAQL-side ablation in the concurrency experiments.
 func WithSharing(on bool) Option { return func(c *config) { c.sharing = on } }
 
-// WithCompileOptions overrides per-query resource bounds.
-func WithCompileOptions(opts engine.CompileOptions) Option {
+// WithCompileOptions overrides the default resource bounds applied to every
+// query the engine compiles (Register's WithQueryCompileOptions overrides
+// them per query).
+func WithCompileOptions(opts CompileOptions) Option {
 	return func(c *config) { c.compile = opts }
 }
 
@@ -161,12 +170,25 @@ type Engine struct {
 	rt       atomic.Pointer[runtime.Runtime]
 	closedCh chan struct{}
 
-	mu      sync.Mutex // guards queries/sources and state transitions
-	queries map[string]*engine.Query
-	sources map[string]string
+	mu  sync.Mutex // guards reg and state transitions
+	reg map[string]*queryRecord
 
 	srcMu   sync.Mutex // guards ingest (attached log sources)
 	ingests []*source.Source
+}
+
+// queryRecord is the engine-side state behind one registered query: its
+// source, compile options, live compiled form (the primary replica on a
+// running engine), owning handle, and control-plane flags.
+type queryRecord struct {
+	name    string
+	src     string
+	compile engine.CompileOptions
+	q       *engine.Query
+	handle  *QueryHandle
+	paused  bool
+	managed bool // owned by Engine.Apply reconciliation
+	subs    []*AlertSubscription
 }
 
 // New creates an engine.
@@ -188,8 +210,7 @@ func New(opts ...Option) *Engine {
 		sched:    scheduler.New(rep, cfg.sharing),
 		fan:      runtime.NewAlertFanout(cfg.onAlert),
 		closedCh: make(chan struct{}),
-		queries:  map[string]*engine.Query{},
-		sources:  map[string]string{},
+		reg:      map[string]*queryRecord{},
 	}
 }
 
@@ -221,14 +242,16 @@ func (e *Engine) Start(ctx context.Context) error {
 		Fan:       e.fan,
 	})
 	// Distribute the already-registered queries in name order so pinned
-	// home-shard assignment is deterministic.
-	names := make([]string, 0, len(e.queries))
-	for name := range e.queries {
+	// home-shard assignment is deterministic. The primary replicas carry
+	// their pause flags; cloneFor stamps them onto the extra replicas.
+	names := make([]string, 0, len(e.reg))
+	for name := range e.reg {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := rt.Add(e.queries[name], e.cloneFn(name)); err != nil {
+		rec := e.reg[name]
+		if err := rt.Add(rec.q, cloneFor(rec)); err != nil {
 			rt.Close()
 			return err
 		}
@@ -272,79 +295,64 @@ func (e *Engine) Close() error {
 }
 
 // ---------------------------------------------------------------------------
-// Query management
+// Query management (the handle-based API lives in query.go)
 // ---------------------------------------------------------------------------
 
-func (e *Engine) cloneFn(name string) func() (*engine.Query, error) {
-	src := e.sources[name]
-	compile := e.cfg.compile
-	return func() (*engine.Query, error) { return engine.Compile(name, src, compile) }
+// cloneFor builds the replica factory for a query record: the sharded
+// runtime invokes it once per extra shard a distributed placement needs.
+// Values are captured eagerly so the clone is consistent with the record at
+// the moment the control operation was planned.
+func cloneFor(rec *queryRecord) func() (*engine.Query, error) {
+	name, src, compile, paused := rec.name, rec.src, rec.compile, rec.paused
+	return func() (*engine.Query, error) {
+		q, err := engine.Compile(name, src, compile)
+		if err == nil && paused {
+			q.SetPaused(true)
+		}
+		return q, err
+	}
 }
 
 // AddQuery parses, checks, compiles, and registers a SAQL query under name.
-// It may be called before Start or while running; in the running state the
-// query is installed at a consistent point of the event stream.
+//
+// Deprecated: AddQuery is a thin wrapper over Register that discards the
+// query's handle. Use Register, which returns a QueryHandle for pausing,
+// hot-swapping, per-query alert streams, and removal.
 func (e *Engine) AddQuery(name, src string) error {
-	q, err := engine.Compile(name, src, e.cfg.compile)
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if engineState(e.state.Load()) == stateClosed {
-		return ErrClosed
-	}
-	if _, dup := e.queries[name]; dup {
-		return fmt.Errorf("saql: duplicate query name %q", name)
-	}
-	e.sources[name] = src
-	if rt := e.rt.Load(); rt != nil {
-		if err := rt.Add(q, e.cloneFn(name)); err != nil {
-			delete(e.sources, name)
-			return err
-		}
-	} else {
-		if err := e.sched.Add(q); err != nil {
-			delete(e.sources, name)
-			return err
-		}
-	}
-	e.queries[name] = q
-	return nil
+	_, err := e.Register(name, src)
+	return err
 }
 
-// RemoveQuery unregisters a query. The registry and the scheduler are
-// updated atomically: on a scheduler-side failure the query stays
-// registered and RemoveQuery reports false.
+// RemoveQuery unregisters a query, reporting whether it was found and
+// removed. Lookup and removal happen under one lock hold, so of two
+// concurrent removers exactly one reports true.
+//
+// Deprecated: RemoveQuery is the pre-handle removal API. Hold the
+// *QueryHandle returned by Register and call Close on it.
 func (e *Engine) RemoveQuery(name string) bool {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.queries[name]; !ok {
+	rec := e.reg[name]
+	if rec == nil {
+		e.mu.Unlock()
 		return false
 	}
-	if rt := e.rt.Load(); rt != nil {
-		removed, err := rt.Remove(name)
-		if err != nil || !removed {
-			return false
-		}
-	} else if !e.sched.Remove(name) {
-		// Scheduler disagreed; keep the registry consistent with it.
-		return false
+	subs, err := e.closeLocked(rec)
+	e.mu.Unlock()
+	for _, sub := range subs {
+		e.fan.End(sub, ErrQueryClosed)
 	}
-	delete(e.queries, name)
-	delete(e.sources, name)
-	return true
+	return err == nil
 }
 
 // QueryKind reports the anomaly model family of a registered query.
 func (e *Engine) QueryKind(name string) (ModelKind, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	q, ok := e.queries[name]
+	rec, ok := e.reg[name]
 	if !ok {
 		return 0, false
 	}
-	return q.Kind, true
+	return rec.q.Kind, true
 }
 
 // QueryPlacement reports how a registered query is (or would be)
@@ -352,11 +360,11 @@ func (e *Engine) QueryKind(name string) (ModelKind, bool) {
 func (e *Engine) QueryPlacement(name string) (Placement, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	q, ok := e.queries[name]
+	rec, ok := e.reg[name]
 	if !ok {
 		return 0, false
 	}
-	return q.Placement(), true
+	return rec.q.Placement(), true
 }
 
 // ---------------------------------------------------------------------------
@@ -402,7 +410,10 @@ func (e *Engine) running() (*runtime.Runtime, error) {
 // Multiple subscribers each receive every alert. buf bounds the channel;
 // policy selects Block backpressure or DropNewest when the subscriber
 // falls behind (drops are counted per subscription). Subscribing to a
-// closed engine returns a subscription whose channel is already closed.
+// closed engine returns a subscription whose channel is already closed and
+// whose Err reports ErrClosed, so a late subscriber can tell a dead stream
+// from an idle one. For a stream carrying a single query's alerts, use
+// QueryHandle.Subscribe.
 func (e *Engine) Subscribe(buf int, policy OverflowPolicy) *AlertSubscription {
 	return e.fan.Subscribe(buf, policy)
 }
@@ -441,6 +452,11 @@ func (e *Engine) Process(ev *Event) []*Alert {
 // On a running engine the flush happens at a consistent point of the
 // stream — after everything submitted before the call — and the alerts are
 // also delivered to subscriptions.
+//
+// Deprecated: Flush is part of the legacy serial API; Close flushes every
+// shard and delivers the final alerts to subscriptions. It remains
+// supported on both paths (on a running engine it is a mid-stream
+// checkpoint flush).
 func (e *Engine) Flush() []*Alert {
 	switch engineState(e.state.Load()) {
 	case stateRunning:
@@ -502,17 +518,17 @@ func (e *Engine) ErrorCount() int64 { return e.reporter.Total() }
 // QueryStats returns the per-query runtime counters. On a running engine
 // the counters are aggregated across the query's shard replicas at a
 // consistent point of the stream.
-func (e *Engine) QueryStats(name string) (engine.QueryStats, bool) {
+func (e *Engine) QueryStats(name string) (QueryStats, bool) {
 	if rt := e.rt.Load(); rt != nil {
 		return rt.QueryStats(name)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	q, ok := e.queries[name]
+	rec, ok := e.reg[name]
 	if !ok {
-		return engine.QueryStats{}, false
+		return QueryStats{}, false
 	}
-	return q.Stats(), true
+	return rec.q.Stats(), true
 }
 
 // Groups reports the scheduler's master–dependent grouping (shard 0's view
@@ -538,7 +554,7 @@ func (e *Engine) Shards() int {
 // total work across shards.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	nQueries := len(e.queries)
+	nQueries := len(e.reg)
 	e.mu.Unlock()
 	var out Stats
 	if rt := e.rt.Load(); rt != nil {
