@@ -149,13 +149,13 @@ func BenchmarkE3_ConcurrentQueries(b *testing.B) {
 // variants whose per-group aggregation state partitions across shards
 // (PlaceByGroup). Compare serial vs shards=N events/s for the speedup.
 //
-// The runtime broadcasts events, so each of N shards pays the (cheap)
-// pattern-match work while owning only 1/N of the (expensive) state
-// folding: per-shard cost per event is well below the serial cost, and
-// wall-clock speedup over serial follows wherever GOMAXPROCS >= shards.
-// On a single-core machine ns/op instead reports the summed cost across
-// shards; divide by the shard count for the per-shard (i.e. parallel
-// wall-clock) cost.
+// The router pre-evaluates pattern hits once per event (shared
+// evaluation), so the patevals/ev metric must stay flat as shards grow —
+// it equals the serial count at every shard width. Shards receive
+// (event, hit-set) envelopes and pay only their owned share of the
+// (expensive) state folding; wall-clock speedup over serial follows
+// wherever GOMAXPROCS >= shards. On a single-core machine ns/op instead
+// reports the summed cost across shards.
 func BenchmarkE9_ParallelIngestion(b *testing.B) {
 	_, scenario := benchStream(b)
 	queries := e3Queries(scenario, 16)
@@ -170,6 +170,17 @@ func BenchmarkE9_ParallelIngestion(b *testing.B) {
 		return eng
 	}
 
+	// patEvalsPerEvent reports how much pattern-matching work the engine
+	// performed per event: the tentpole acceptance metric (flat in the
+	// shard count under shared evaluation).
+	patEvalsPerEvent := func(b *testing.B, eng *Engine) {
+		b.Helper()
+		st := eng.Stats()
+		if st.Events > 0 {
+			b.ReportMetric(float64(st.PatternEvals)/float64(st.Events), "patevals/ev")
+		}
+	}
+
 	b.Run("serial", func(b *testing.B) {
 		events, _ := benchStream(b)
 		eng := newEngine(b)
@@ -180,6 +191,7 @@ func BenchmarkE9_ParallelIngestion(b *testing.B) {
 		}
 		b.StopTimer()
 		eng.Flush()
+		patEvalsPerEvent(b, eng)
 	})
 
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -211,6 +223,7 @@ func BenchmarkE9_ParallelIngestion(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.StopTimer()
+			patEvalsPerEvent(b, eng)
 		})
 	}
 }

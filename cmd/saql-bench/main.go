@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +26,16 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run: e1..e8 or all")
+	expFlag  = flag.String("exp", "all", "experiment to run: e1..e9 or all")
 	duration = flag.Duration("duration", 30*time.Minute, "background stream duration")
 	seed     = flag.Int64("seed", 42, "workload seed")
 	window   = flag.Duration("window", 30*time.Second, "window length for demo queries")
 	train    = flag.Int("train", 5, "invariant training windows")
+
+	// E9 machine-readable output and CI regression gate.
+	jsonOut    = flag.String("json", "", "e9: write the measurements as JSON to this path")
+	baseline   = flag.String("baseline", "", "e9: compare events/s against this checked-in baseline JSON")
+	maxRegress = flag.Float64("max-regress", 0.20, "e9: tolerated events/s regression vs the baseline (0.20 = 20%)")
 )
 
 var streamStart = time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
@@ -509,6 +515,33 @@ func e8() {
 
 // --- E9 ---------------------------------------------------------------------
 
+// e9Config is one measured configuration of the E9 experiment; e9Report is
+// the BENCH_e9.json schema CI records (and gates against) per commit.
+type e9Config struct {
+	Name                 string  `json:"name"`
+	Shards               int     `json:"shards"` // 0 = serial Process path
+	EventsPerSec         float64 `json:"events_per_sec"`
+	Alerts               int64   `json:"alerts"`
+	PatternEvalsPerEvent float64 `json:"pattern_evals_per_event"`
+	AllocsPerEvent       float64 `json:"allocs_per_event"`
+}
+
+type e9Report struct {
+	Events     int        `json:"events"`
+	Queries    int        `json:"queries"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Configs    []e9Config `json:"configs"`
+}
+
+func (r *e9Report) config(name string) *e9Config {
+	for i := range r.Configs {
+		if r.Configs[i].Name == name {
+			return &r.Configs[i]
+		}
+	}
+	return nil
+}
+
 func e9() {
 	header("E9  Concurrent ingestion: sharded runtime vs serial Process")
 	events, scenario, _ := buildStream()
@@ -519,10 +552,12 @@ func e9() {
 		queries[i].Name = fmt.Sprintf("v%d", i)
 		queries[i].SAQL = base.SAQL + fmt.Sprintf("\nalert ss[0].avg_amount > %d", 1000000+i*1000)
 	}
+	report := e9Report{Events: len(events), Queries: len(queries), GoMaxProcs: runtime.GOMAXPROCS(0)}
 
 	fmt.Printf("%d sharable queries (placement=by-group), %d events, GOMAXPROCS=%d\n\n",
 		len(queries), len(events), runtime.GOMAXPROCS(0))
-	fmt.Printf("%14s | %14s | %10s | %10s\n", "configuration", "events/s", "alerts", "speedup")
+	fmt.Printf("%14s | %14s | %10s | %12s | %10s | %10s\n",
+		"configuration", "events/s", "alerts", "patevals/ev", "allocs/ev", "speedup")
 
 	mkEngine := func(opts ...saql.Option) *saql.Engine {
 		eng := saql.New(opts...)
@@ -533,15 +568,37 @@ func e9() {
 		}
 		return eng
 	}
+	mallocs := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.Mallocs
+	}
+	record := func(name string, shards int, rate float64, allocs uint64, st saql.Stats) e9Config {
+		cfg := e9Config{
+			Name:           name,
+			Shards:         shards,
+			EventsPerSec:   rate,
+			Alerts:         st.Alerts,
+			AllocsPerEvent: float64(allocs) / float64(len(events)),
+		}
+		if st.Events > 0 {
+			cfg.PatternEvalsPerEvent = float64(st.PatternEvals) / float64(st.Events)
+		}
+		report.Configs = append(report.Configs, cfg)
+		return cfg
+	}
 
 	serial := mkEngine()
+	m0 := mallocs()
 	t0 := time.Now()
 	for _, ev := range events {
 		serial.Process(ev)
 	}
 	serial.Flush()
 	serialRate := float64(len(events)) / time.Since(t0).Seconds()
-	fmt.Printf("%14s | %14.0f | %10d | %10s\n", "serial", serialRate, serial.Stats().Alerts, "1.0x")
+	sc := record("serial", 0, serialRate, mallocs()-m0, serial.Stats())
+	fmt.Printf("%14s | %14.0f | %10d | %12.2f | %10.1f | %10s\n",
+		"serial", serialRate, sc.Alerts, sc.PatternEvalsPerEvent, sc.AllocsPerEvent, "1.0x")
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		eng := mkEngine(saql.WithShards(shards), saql.WithIngestQueue(64))
@@ -549,6 +606,7 @@ func e9() {
 			panic(err)
 		}
 		const batch = 512
+		m0 := mallocs()
 		t0 := time.Now()
 		for i := 0; i < len(events); i += batch {
 			end := i + batch
@@ -563,12 +621,76 @@ func e9() {
 			panic(err)
 		}
 		rate := float64(len(events)) / time.Since(t0).Seconds()
-		fmt.Printf("%12dsh | %14.0f | %10d | %9.1fx\n",
-			shards, rate, eng.Stats().Alerts, rate/serialRate)
+		cfg := record(fmt.Sprintf("shards=%d", shards), shards, rate, mallocs()-m0, eng.Stats())
+		fmt.Printf("%12dsh | %14.0f | %10d | %12.2f | %10.1f | %9.1fx\n",
+			shards, rate, cfg.Alerts, cfg.PatternEvalsPerEvent, cfg.AllocsPerEvent, rate/serialRate)
 	}
-	fmt.Println("\nshape check: identical alert counts in every configuration; with")
-	fmt.Println("GOMAXPROCS >= shards, sharded throughput exceeds serial (each shard")
-	fmt.Println("owns 1/N of the per-group aggregation state).")
+	fmt.Println("\nshape check: identical alert counts in every configuration; shared")
+	fmt.Println("evaluation keeps patevals/ev flat as shards grow; with GOMAXPROCS >=")
+	fmt.Println("shards, sharded throughput exceeds serial.")
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "e9: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+	if err := e9Gate(&report); err != nil {
+		fmt.Fprintf(os.Stderr, "\nE9 REGRESSION GATE FAILED: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// e9Gate enforces the perf trajectory: the structural invariant (shared
+// evaluation keeps per-event pattern work flat in the shard count) always,
+// and events/s against the checked-in baseline when -baseline is given.
+func e9Gate(cur *e9Report) error {
+	// Structural gate, machine-independent: at the widest configuration the
+	// scheduler must not re-evaluate patterns per shard.
+	serial, widest := cur.config("serial"), cur.config("shards=8")
+	if serial != nil && widest != nil && serial.PatternEvalsPerEvent > 0 {
+		if widest.PatternEvalsPerEvent > 1.2*serial.PatternEvalsPerEvent {
+			return fmt.Errorf("shards=8 pattern evals/event %.2f exceeds 1.2x serial %.2f",
+				widest.PatternEvalsPerEvent, serial.PatternEvalsPerEvent)
+		}
+	}
+	if *baseline == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base e9Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", *baseline, err)
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		// Absolute events/s only compares like with like: a baseline from a
+		// different hardware class would fail (or flatter) every commit.
+		// The structural patevals gate above already ran.
+		fmt.Printf("baseline gate skipped: baseline GOMAXPROCS=%d, this run GOMAXPROCS=%d — refresh %s on this hardware class\n",
+			base.GoMaxProcs, cur.GoMaxProcs, *baseline)
+		return nil
+	}
+	for _, bc := range base.Configs {
+		cc := cur.config(bc.Name)
+		if cc == nil || bc.EventsPerSec <= 0 {
+			continue
+		}
+		floor := bc.EventsPerSec * (1 - *maxRegress)
+		if cc.EventsPerSec < floor {
+			return fmt.Errorf("%s: %.0f events/s is below %.0f (baseline %.0f - %.0f%% tolerance)",
+				bc.Name, cc.EventsPerSec, floor, bc.EventsPerSec, *maxRegress*100)
+		}
+	}
+	fmt.Printf("baseline gate passed (tolerance %.0f%%, %s)\n", *maxRegress*100, *baseline)
+	return nil
 }
 
 func benchContext() context.Context { return context.Background() }

@@ -368,6 +368,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "alerts raised    : %d\n", alertCount)
 	fmt.Fprintf(out, "stream copies    : %d (naive per-query: %d, sharing ratio %.2fx)\n",
 		st.StreamCopies, st.NaiveCopies, st.SharingRatio)
+	fmt.Fprintf(out, "pattern evals    : %d (naive per-query: %d)\n",
+		st.PatternEvals, st.NaivePatternEvals)
 	if *input != "" {
 		fmt.Fprintf(out, "log lines read   : %d (%d undecodable, %d reordered, %d dropped out-of-order)\n",
 			logStats.Lines, logStats.DecodeErrors, logStats.Reordered, logStats.Dropped)

@@ -7,6 +7,8 @@ package saql
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -379,6 +381,239 @@ return p, e.amount`,
 		if wantIDs[i] != gotIDs[i] {
 			t.Fatalf("alert sets diverge at #%d:\n  lifecycle: %s\n  restart:   %s", i, gotIDs[i], wantIDs[i])
 		}
+	}
+}
+
+// TestLifecycleHammerMatchesSerial is the conformance hammer for the
+// shared-evaluation router: one deterministic random script of Pause /
+// Resume / Update operations (thresholds tweaked, carry and fresh-state
+// swaps mixed) interleaved with event blocks, applied identically to a
+// never-started serial engine and to sharded engines at 1, 2, and 8
+// shards. Every configuration must emit exactly the same alerts: control
+// operations ride the ingest queue in total order, so they land at the
+// same stream point everywhere, and the router's pre-evaluated hit sets
+// must stay consistent across every layout change the script provokes.
+func TestLifecycleHammerMatchesSerial(t *testing.T) {
+	const procs, perProc, blocks = 96, 25, 24
+	events := concurrencyWorkload(procs, perProc)
+
+	names := []string{"grouped-sum", "big-write", "global-volume"}
+	variant := func(name string, k int) string {
+		switch name {
+		case "grouped-sum":
+			return fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount)
+           n := count(e) } group by p
+alert ss.amt > %d
+return p, ss.amt, ss.n`, 1000000+k*1000)
+		case "big-write":
+			return fmt.Sprintf(`proc p write ip i as e
+alert e.amount > %d
+return p, e.amount`, 1000000+k*500)
+		case "global-volume":
+			return fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { total := sum(e.amount) }
+alert ss.total > %d
+return ss.total`, 5000000+k*10000)
+		}
+		t.Fatalf("unknown query %q", name)
+		return ""
+	}
+
+	// Generate the op script once; every engine replays it verbatim.
+	type step struct {
+		op    string // submit | pause | resume | update
+		block int
+		name  string
+		src   string
+		carry bool
+	}
+	rng := rand.New(rand.NewSource(7))
+	var script []step
+	paused := map[string]bool{}
+	version := map[string]int{}
+	for b := 0; b < blocks; b++ {
+		script = append(script, step{op: "submit", block: b})
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0:
+				if paused[name] {
+					script = append(script, step{op: "resume", name: name})
+					paused[name] = false
+				} else {
+					script = append(script, step{op: "pause", name: name})
+					paused[name] = true
+				}
+			case 1:
+				version[name]++
+				// Carry only where the state layer allows it (stateful
+				// queries); the rule query always swaps fresh.
+				carry := name != "big-write" && rng.Intn(2) == 0
+				script = append(script, step{op: "update", name: name, src: variant(name, version[name]), carry: carry})
+			case 2:
+				// No-op: vary the spacing between control operations.
+			}
+		}
+	}
+
+	run := func(t *testing.T, shards int) []string {
+		t.Helper()
+		var eng *Engine
+		if shards == 0 {
+			eng = New()
+		} else {
+			eng = New(WithShards(shards), WithIngestQueue(64))
+		}
+		handles := map[string]*QueryHandle{}
+		for _, name := range names {
+			h, err := eng.Register(name, variant(name, 0))
+			if err != nil {
+				t.Fatalf("Register(%s): %v", name, err)
+			}
+			handles[name] = h
+		}
+		var got []*Alert
+		var consumer sync.WaitGroup
+		if shards > 0 {
+			if err := eng.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			sub := eng.Subscribe(8192, Block)
+			consumer.Add(1)
+			go func() {
+				defer consumer.Done()
+				for a := range sub.C {
+					got = append(got, a)
+				}
+			}()
+		}
+		blockSize := len(events) / blocks
+		for _, st := range script {
+			switch st.op {
+			case "submit":
+				from, to := st.block*blockSize, (st.block+1)*blockSize
+				if st.block == blocks-1 {
+					to = len(events)
+				}
+				if shards == 0 {
+					for _, ev := range events[from:to] {
+						got = append(got, eng.Process(ev)...)
+					}
+				} else if err := eng.SubmitBatch(events[from:to]); err != nil {
+					t.Fatal(err)
+				}
+			case "pause":
+				if err := handles[st.name].Pause(); err != nil {
+					t.Fatalf("pause %s: %v", st.name, err)
+				}
+			case "resume":
+				if err := handles[st.name].Resume(); err != nil {
+					t.Fatalf("resume %s: %v", st.name, err)
+				}
+			case "update":
+				var opts []UpdateOption
+				if st.carry {
+					opts = append(opts, CarryWindowState())
+				}
+				if err := handles[st.name].Update(st.src, opts...); err != nil {
+					t.Fatalf("update %s: %v", st.name, err)
+				}
+			}
+		}
+		if shards == 0 {
+			got = append(got, eng.Flush()...)
+		} else {
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			consumer.Wait()
+		}
+		ids := make([]string, 0, len(got))
+		for _, a := range got {
+			ids = append(ids, alertIdentity(a))
+		}
+		sort.Strings(ids)
+		return ids
+	}
+
+	want := run(t, 0)
+	if len(want) == 0 {
+		t.Fatal("serial hammer run produced no alerts")
+	}
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got := run(t, shards)
+			if len(got) != len(want) {
+				t.Errorf("alert count: sharded=%d serial=%d", len(got), len(want))
+			}
+			for i := 0; i < len(want) && i < len(got); i++ {
+				if got[i] != want[i] {
+					t.Fatalf("alert sets diverge at #%d:\n  sharded: %s\n  serial:  %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSharedEvaluationPatternEvals pins the tentpole's acceptance
+// criterion: with the router pre-evaluating pattern hits once per event,
+// an 8-shard engine performs exactly the serial number of pattern
+// evaluations (before the shared-evaluation stage it was ~8×), while still
+// raising the same alerts.
+func TestSharedEvaluationPatternEvals(t *testing.T) {
+	events := concurrencyWorkload(60, 20)
+	queries := make([]struct{ name, src string }, 16)
+	for i := range queries {
+		queries[i].name = fmt.Sprintf("v%d", i)
+		queries[i].src = fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > %d
+return p, ss.amt`, 1000000+i*1000)
+	}
+	register := func(eng *Engine) {
+		t.Helper()
+		for _, q := range queries {
+			if err := eng.AddQuery(q.name, q.src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	serial := New()
+	register(serial)
+	for _, ev := range events {
+		serial.Process(ev)
+	}
+	serial.Flush()
+	ss := serial.Stats()
+
+	sharded := New(WithShards(8), WithIngestQueue(64))
+	register(sharded)
+	if err := sharded.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.SubmitBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hs := sharded.Stats()
+
+	if hs.PatternEvals != ss.PatternEvals {
+		t.Errorf("8-shard PatternEvals = %d, serial = %d (want identical: hits are pre-evaluated once)",
+			hs.PatternEvals, ss.PatternEvals)
+	}
+	if float64(hs.PatternEvals) > 1.2*float64(ss.PatternEvals) {
+		t.Errorf("acceptance: 8-shard PatternEvals %d exceeds 1.2x serial %d", hs.PatternEvals, ss.PatternEvals)
+	}
+	if hs.Alerts != ss.Alerts {
+		t.Errorf("alerts: sharded=%d serial=%d", hs.Alerts, ss.Alerts)
+	}
+	if ss.Alerts == 0 {
+		t.Error("workload produced no alerts")
 	}
 }
 

@@ -120,10 +120,14 @@
 //
 // QueryPlacement reports the decision per query.
 //
-// Concurrent queries are scheduled per shard with the master–dependent-query
-// scheme: semantically compatible queries share one copy of the stream, with
-// the weakest query (the master) performing pattern matching and dependents
-// refining its intermediate results.
+// Concurrent queries are scheduled with the master–dependent-query scheme:
+// semantically compatible queries share one copy of the stream, with the
+// weakest query (the master) performing pattern matching and dependents
+// refining its intermediate results. On a multi-shard engine the scheme
+// runs once, in the router, before fan-out: each event's pattern hits are
+// pre-evaluated into a hit set shipped alongside the event, so shards skip
+// pattern matching entirely and per-event matching work stays O(patterns)
+// rather than O(shards × patterns).
 //
 // The module also ships the full demonstration substrate of the paper: a
 // deterministic multi-host workload simulator (NewWorkload), the five-step

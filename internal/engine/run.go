@@ -30,6 +30,24 @@ func (q *Query) Hits(ev *event.Event) []int {
 	return hits
 }
 
+// ResidualHits refines a master query's hit set down to the patterns this
+// (stricter) query itself matches: the dependent-side half of the
+// master–dependent scheme, decoupled from ingestion so it can run once in a
+// shared pre-evaluation stage rather than on every shard. evals reports how
+// many pattern predicates were actually evaluated (for sharing accounting).
+func (q *Query) ResidualHits(ev *event.Event, masterHits []int) (hits []int, evals int) {
+	if len(masterHits) == 0 || !q.global(ev) {
+		return nil, 0
+	}
+	for _, hi := range masterHits {
+		evals++
+		if q.patterns[hi].Matches(ev) {
+			hits = append(hits, hi)
+		}
+	}
+	return hits, evals
+}
+
 // Process feeds one event through the full pipeline (matching + ingestion)
 // and returns any alerts raised.
 func (q *Query) Process(ev *event.Event, report func(error)) []*Alert {

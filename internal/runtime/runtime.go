@@ -1,8 +1,27 @@
 // Package runtime implements the concurrent sharded ingestion runtime
 // beneath the public saql.Engine API: a bounded ingest queue with a
 // configurable backpressure policy, a router establishing one total event
-// order, N shard workers each owning a private scheduler, and an alert
-// fan-out merging every shard's detections into subscriptions.
+// order and pre-evaluating pattern hits once per event, N shard workers
+// each owning a private scheduler, and an alert fan-out merging every
+// shard's detections into subscriptions.
+//
+// # Shared evaluation
+//
+// The router owns an evaluation-only scheduler holding an unfiltered
+// replica of every registered query. Before broadcasting an event it runs
+// the shard-agnostic half of the master–dependent scheme exactly once —
+// each group's master pattern predicates, refined into per-dependent
+// residual hit sets — and ships the resulting (event, HitSet) envelope to
+// the shards. Shards never evaluate pattern predicates: they go straight to
+// owned-state folding via scheduler.ProcessWithHits, and a query whose hit
+// set is empty still ingests the event so its watermark advances and
+// windows close at the same instants everywhere. Per-event pattern work is
+// therefore O(patterns), not O(shards × patterns). Control operations
+// (add/swap/remove/pause) are applied to the evaluation scheduler by the
+// router at the moment their envelope passes through it — before any later
+// event — and every HitSet is stamped with the layout it was computed
+// under, so hot-swap stays consistent: a shard resolves hit-set slots
+// against exactly the registry state the router evaluated with.
 //
 // # Shard placement
 //
@@ -88,6 +107,17 @@ type Runtime struct {
 	mu      sync.Mutex
 	queries map[string]*queryInfo
 	nextPin int
+
+	// evalSched is the shared-evaluation scheduler: an unfiltered replica
+	// of every registered query, mutated only by the routing goroutine (the
+	// router, then Close's final drain) as control envelopes pass through
+	// it. Its own mutex makes concurrent Stats/Groups snapshots safe.
+	evalSched *scheduler.Scheduler
+	// preEval gates the shared-evaluation stage. With a single shard there
+	// is no redundant work to share — the one shard runs the full
+	// scheduler, and skipping the extra router hop keeps the degenerate
+	// configuration as fast as the serial engine.
+	preEval bool
 }
 
 type shard struct {
@@ -96,10 +126,15 @@ type shard struct {
 	sched *scheduler.Scheduler
 }
 
-// envelope is one queue item: an event batch or a control operation.
+// envelope is one queue item: an event batch or a control operation. For
+// event batches the router fills hits (parallel to evs) with the
+// pre-evaluated pattern-hit sets before broadcasting; a nil entry means the
+// event matched no query. HitSets are immutable and shared read-only by
+// every shard.
 type envelope struct {
-	evs []*event.Event
-	ctl *control
+	evs  []*event.Event
+	hits []*scheduler.HitSet
+	ctl  *control
 }
 
 type ctlKind uint8
@@ -117,6 +152,7 @@ type control struct {
 	kind     ctlKind
 	name     string
 	replicas []*engine.Query // per-shard replica (nil = not placed), ctlAdd/ctlSwap
+	eval     *engine.Query   // unfiltered replica for the router's evaluation scheduler
 	paused   bool            // ctlPause: target state
 	carry    bool            // ctlSwap: adopt the old replica's window state
 	ack      chan ctlResult
@@ -155,6 +191,8 @@ func Start(cfg Config) *Runtime {
 		done:       make(chan struct{}),
 		routerDone: make(chan struct{}),
 		queries:    map[string]*queryInfo{},
+		evalSched:  scheduler.New(cfg.Reporter, cfg.Sharing),
+		preEval:    cfg.Shards > 1,
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
@@ -236,8 +274,53 @@ func (r *Runtime) router() {
 			// drain here and have it silently lost).
 			return
 		case env := <-r.ingest:
-			r.broadcast(env)
+			r.route(env)
 		}
+	}
+}
+
+// route is the shared-evaluation stage: control envelopes update the
+// evaluation scheduler (so the hit-set layout changes at exactly this point
+// of the total order), event envelopes get their pattern hits computed
+// once, here, before fan-out. Called only from the routing goroutine — the
+// router, then Close's final drain.
+func (r *Runtime) route(env envelope) {
+	if env.ctl != nil {
+		r.applyEval(env.ctl)
+	} else if r.preEval && len(env.evs) > 0 {
+		env.hits = r.evalSched.EvaluateBatch(env.evs)
+	}
+	r.broadcast(env)
+}
+
+// applyEval applies a control operation to the evaluation scheduler. The
+// registry-level preconditions (duplicate names, unknown names) were
+// checked under r.mu before the envelope was enqueued, so errors here are
+// unreachable; the results that matter flow back through the shard acks.
+func (r *Runtime) applyEval(c *control) {
+	if !r.preEval {
+		// Single shard: no evaluation scheduler to maintain.
+		return
+	}
+	switch c.kind {
+	case ctlAdd:
+		if c.eval != nil {
+			_ = r.evalSched.Add(c.eval)
+		}
+	case ctlRemove:
+		r.evalSched.Remove(c.name)
+	case ctlSwap:
+		if c.eval != nil {
+			// Evaluation replicas hold no window state: never carry.
+			_ = r.evalSched.Swap(c.name, c.eval, false)
+		} else {
+			r.evalSched.Remove(c.name)
+		}
+	case ctlPause:
+		// Pause must reach the evaluation scheduler too: a fully paused
+		// group stops being evaluated (and counted) at the same stream
+		// point where the shards stop ingesting it.
+		r.evalSched.SetPaused(c.name, c.paused)
 	}
 }
 
@@ -256,8 +339,18 @@ func (r *Runtime) worker(s *shard) {
 			s.apply(env.ctl, r.cfg.Fan)
 			continue
 		}
-		for _, ev := range env.evs {
-			if alerts := s.sched.Process(ev); len(alerts) > 0 {
+		if env.hits == nil {
+			// Pre-evaluation bypassed (single shard): run the full
+			// scheduler here, exactly like the serial engine.
+			for _, ev := range env.evs {
+				if alerts := s.sched.Process(ev); len(alerts) > 0 {
+					r.cfg.Fan.Publish(alerts)
+				}
+			}
+			continue
+		}
+		for i, ev := range env.evs {
+			if alerts := s.sched.ProcessWithHits(ev, env.hits[i]); len(alerts) > 0 {
 				r.cfg.Fan.Publish(alerts)
 			}
 		}
@@ -388,8 +481,17 @@ func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)
 	if err != nil {
 		return err
 	}
+	// The router's evaluation scheduler needs its own unfiltered replica:
+	// shard replicas carry ownership filters and are worker-confined. A
+	// single-shard runtime skips the pre-eval stage and pays for none.
+	var evalQ *engine.Query
+	if r.preEval {
+		if evalQ, err = clone(); err != nil {
+			return err
+		}
+	}
 
-	results, err := r.control(&control{kind: ctlAdd, name: name, replicas: replicas})
+	results, err := r.control(&control{kind: ctlAdd, name: name, replicas: replicas, eval: evalQ})
 	if err != nil {
 		return err
 	}
@@ -432,8 +534,14 @@ func (r *Runtime) Swap(primary *engine.Query, clone func() (*engine.Query, error
 	if err != nil {
 		return err
 	}
+	var evalQ *engine.Query
+	if r.preEval {
+		if evalQ, err = clone(); err != nil {
+			return err
+		}
+	}
 
-	results, err := r.control(&control{kind: ctlSwap, name: name, replicas: replicas, carry: carry})
+	results, err := r.control(&control{kind: ctlSwap, name: name, replicas: replicas, eval: evalQ, carry: carry})
 	if err != nil {
 		return err
 	}
@@ -567,36 +675,53 @@ func (r *Runtime) Flush() ([]*engine.Alert, error) {
 	return alerts, nil
 }
 
-// SchedStats sums scheduler counters across shards. Under broadcast every
-// shard genuinely examines every event, so copies and evaluations reflect
-// total work performed.
+// SchedStats reports the scheduler counters. Pattern evaluation and
+// stream-copy work happens exactly once per event in the router's shared
+// evaluation stage, so those counters come straight from the evaluation
+// scheduler — they reflect total work performed, independent of the shard
+// count. Alerts are raised on the shards (disjointly, by state ownership)
+// and summed.
 func (r *Runtime) SchedStats() scheduler.Stats {
-	var out scheduler.Stats
+	if !r.preEval {
+		// Single shard, no shared-evaluation stage: the one shard's
+		// scheduler performed (and counted) all the work itself.
+		var out scheduler.Stats
+		for _, s := range r.shards {
+			st := s.sched.Stats()
+			out.Events += st.Events
+			out.StreamCopies += st.StreamCopies
+			out.NaiveCopies += st.NaiveCopies
+			out.PatternEvals += st.PatternEvals
+			out.NaivePatternEvals += st.NaivePatternEvals
+			out.Alerts += st.Alerts
+		}
+		return out
+	}
+	out := r.evalSched.Stats()
 	for _, s := range r.shards {
-		st := s.sched.Stats()
-		out.Events += st.Events
-		out.StreamCopies += st.StreamCopies
-		out.NaiveCopies += st.NaiveCopies
-		out.PatternEvals += st.PatternEvals
-		out.NaivePatternEvals += st.NaivePatternEvals
-		out.Alerts += st.Alerts
+		out.Alerts += s.sched.Stats().Alerts
 	}
 	return out
 }
 
-// Groups reports shard 0's master–dependent grouping (informational; each
-// shard groups its own replicas independently).
-func (r *Runtime) Groups() map[string][]string { return r.shards[0].sched.Groups() }
-
-// GroupCount reports the largest per-shard group count.
-func (r *Runtime) GroupCount() int {
-	max := 0
-	for _, s := range r.shards {
-		if n := s.sched.GroupCount(); n > max {
-			max = n
-		}
+// Groups reports the master–dependent grouping of the router's evaluation
+// scheduler, which holds an unfiltered replica of every registered query —
+// the same grouping a serial engine would compute. A single-shard runtime
+// has no evaluation scheduler; its one shard holds every query.
+func (r *Runtime) Groups() map[string][]string {
+	if !r.preEval {
+		return r.shards[0].sched.Groups()
 	}
-	return max
+	return r.evalSched.Groups()
+}
+
+// GroupCount reports the evaluation scheduler's group count (the single
+// shard's on a one-shard runtime).
+func (r *Runtime) GroupCount() int {
+	if !r.preEval {
+		return r.shards[0].sched.GroupCount()
+	}
+	return r.evalSched.GroupCount()
 }
 
 // ---------------------------------------------------------------------------
@@ -621,7 +746,9 @@ func (r *Runtime) Close() {
 		for {
 			select {
 			case env := <-r.ingest:
-				r.broadcast(env)
+				// route, not broadcast: drained events still need their
+				// hits computed (the router has already exited).
+				r.route(env)
 				continue
 			default:
 			}

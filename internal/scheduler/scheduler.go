@@ -22,19 +22,23 @@ import (
 )
 
 // Stats aggregates scheduler-level accounting across all events processed.
+// All sharing counters (copies and pattern evaluations, actual and naive)
+// count only active — non-paused — queries, so SharingRatio stays honest
+// while parts of a group are paused.
 type Stats struct {
 	Events int64
 	// StreamCopies counts per-event data copies under the scheme: one per
-	// group whose master examined the event.
+	// group in which any active query examined the event.
 	StreamCopies int64
 	// NaiveCopies counts what a per-query engine would have used: one copy
-	// per registered query per event.
+	// per active query per event.
 	NaiveCopies int64
 	// PatternEvals counts pattern-predicate evaluations actually performed
 	// (masters on all events; dependents only on master-matched events).
 	PatternEvals int64
 	// NaivePatternEvals counts what per-query execution would have
-	// performed (every query evaluates every pattern on every event).
+	// performed (every active query evaluates every pattern on every
+	// event).
 	NaivePatternEvals int64
 	Alerts            int64
 }
@@ -47,6 +51,38 @@ func (s Stats) SharingRatio() float64 {
 	return float64(s.NaiveCopies) / float64(s.StreamCopies)
 }
 
+// Layout is the immutable slot assignment of a HitSet: every registered
+// query name maps to one index of HitSet.Hits. A scheduler rebuilds (and
+// versions) its layout on every Add/Remove/Swap, so a HitSet produced
+// before a registry change can never be misread against the registry that
+// follows it — consumers re-resolve their slot caches whenever the layout
+// pointer changes.
+type Layout struct {
+	Version int64
+	Slots   map[string]int
+}
+
+// slot reports name's index in l, or -1 when absent.
+func (l *Layout) slot(name string) int {
+	if l == nil {
+		return -1
+	}
+	if i, ok := l.Slots[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HitSet carries one event's pattern-hit sets, computed once by an
+// evaluating scheduler (Evaluate) and consumed by any number of ingesting
+// schedulers (ProcessWithHits). Hits is indexed by Layout slot; a nil entry
+// means the query matched nothing. A HitSet is immutable after Evaluate
+// returns and safe to share across shards.
+type HitSet struct {
+	Layout *Layout
+	Hits   [][]int
+}
+
 // dependent is a query executing against its master's intermediate results.
 type dependent struct {
 	q *engine.Query
@@ -55,6 +91,9 @@ type dependent struct {
 	// is skipped entirely (the concurrent-analyst case of same patterns
 	// with different alert thresholds).
 	equal bool
+	// slot is the query's index in the layout the scheduler last resolved
+	// against (see resolveSlotsLocked); -1 when absent from that layout.
+	slot int
 }
 
 // group is one master–dependent group.
@@ -62,6 +101,8 @@ type group struct {
 	sig        string
 	master     *engine.Query
 	dependents []*dependent
+	// slot is the master's index in the last-resolved layout.
+	slot int
 }
 
 // Scheduler routes events to query groups.
@@ -74,6 +115,17 @@ type Scheduler struct {
 	// Sharing can be disabled to obtain the per-query-copy baseline
 	// behaviour for experiments (every query becomes its own master).
 	sharing bool
+
+	// layout is this scheduler's own slot assignment (what Evaluate stamps
+	// onto HitSets); resolvedFor is the layout the group/dependent slot
+	// caches currently reflect — own layout when evaluating, the producer's
+	// layout when consuming foreign HitSets via ProcessWithHits.
+	layout      *Layout
+	resolvedFor *Layout
+	// procScratch is Process's reusable slot table: the serial path
+	// consumes the hits under the same lock hold, so the table never
+	// escapes and one zeroed buffer serves every event.
+	procScratch [][]int
 }
 
 // New creates a scheduler. reporter may be nil. sharing enables the
@@ -97,6 +149,7 @@ func (s *Scheduler) Add(q *engine.Query) error {
 	}
 	s.queries[q.Name] = q
 	s.addLocked(q)
+	s.rebuildLayoutLocked()
 	return nil
 }
 
@@ -105,7 +158,11 @@ func (s *Scheduler) Add(q *engine.Query) error {
 func (s *Scheduler) Remove(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.removeLocked(name)
+	ok := s.removeLocked(name)
+	if ok {
+		s.rebuildLayoutLocked()
+	}
+	return ok
 }
 
 func (s *Scheduler) removeLocked(name string) bool {
@@ -202,7 +259,47 @@ func (s *Scheduler) Swap(name string, q *engine.Query, carry bool) error {
 	}
 	s.queries[q.Name] = q
 	s.addLocked(q)
+	s.rebuildLayoutLocked()
 	return nil
+}
+
+// rebuildLayoutLocked re-derives the slot assignment after a registry
+// change, bumping the version so in-flight HitSets stamped with the old
+// layout are never resolved against the new registry. The caller holds
+// s.mu.
+func (s *Scheduler) rebuildLayoutLocked() {
+	ver := int64(1)
+	if s.layout != nil {
+		ver = s.layout.Version + 1
+	}
+	slots := make(map[string]int, len(s.queries))
+	n := 0
+	for _, g := range s.groups {
+		slots[g.master.Name] = n
+		n++
+		for _, d := range g.dependents {
+			slots[d.q.Name] = n
+			n++
+		}
+	}
+	s.layout = &Layout{Version: ver, Slots: slots}
+	s.resolvedFor = nil
+}
+
+// resolveSlotsLocked refreshes the per-group slot caches against target.
+// It is a no-op when the caches already reflect target, so the map lookups
+// happen once per layout change, never per event.
+func (s *Scheduler) resolveSlotsLocked(target *Layout) {
+	if s.resolvedFor == target {
+		return
+	}
+	for _, g := range s.groups {
+		g.slot = target.slot(g.master.Name)
+		for _, d := range g.dependents {
+			d.slot = target.slot(d.q.Name)
+		}
+	}
+	s.resolvedFor = target
 }
 
 // SetPaused marks a registered query paused or active, reporting whether the
@@ -257,63 +354,182 @@ func (s *Scheduler) GroupCount() int {
 	return len(s.groups)
 }
 
-// Process feeds one event through every group and returns all alerts raised.
+// Process feeds one event through every group and returns all alerts
+// raised: the serial path, equivalent to Evaluate followed by
+// ProcessWithHits under one lock hold.
 func (s *Scheduler) Process(ev *event.Event) []*engine.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-
 	s.stats.Events++
-	s.stats.NaiveCopies += int64(len(s.queries))
-	var alerts []*engine.Alert
-	report := s.reportFn()
+	arena := s.procScratch
+	h := s.evaluateLocked(ev, &arena, 1)
+	alerts := s.ingestLocked(ev, s.layout, h)
+	if h != nil {
+		// The carved table was consumed above; zero it and keep it as the
+		// scratch for the next event (it grows with the layout on demand).
+		for i := range h {
+			h[i] = nil
+		}
+		s.procScratch = h
+	}
+	return alerts
+}
 
+// Evaluate computes the shard-agnostic half of Process: every group's
+// master pattern hits (once), refined into per-dependent residual hit sets.
+// It mutates no query state — only the sharing counters — so a single
+// evaluating scheduler can feed any number of ingesting schedulers that
+// hold replicas of the same queries. Returns nil when no query matched
+// (consumers treat a nil HitSet as all-empty).
+func (s *Scheduler) Evaluate(ev *event.Event) *HitSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	var arena [][]int
+	if h := s.evaluateLocked(ev, &arena, 1); h != nil {
+		return &HitSet{Layout: s.layout, Hits: h}
+	}
+	return nil
+}
+
+// EvaluateBatch evaluates a whole submission batch under one lock hold,
+// returning one HitSet per event (nil entries where nothing matched). The
+// HitSet headers and hit-slot slices are slab-allocated per batch, so the
+// pre-evaluation stage costs O(1) allocations per batch rather than per
+// event — it sits on the router's hot path in front of every shard.
+func (s *Scheduler) EvaluateBatch(evs []*event.Event) []*HitSet {
+	out := make([]*HitSet, len(evs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var slab []HitSet
+	var arena [][]int
+	for i, ev := range evs {
+		s.stats.Events++
+		h := s.evaluateLocked(ev, &arena, len(evs)-i)
+		if h == nil {
+			continue
+		}
+		if slab == nil {
+			slab = make([]HitSet, 0, len(evs)-i)
+		}
+		slab = append(slab, HitSet{Layout: s.layout, Hits: h})
+		out[i] = &slab[len(slab)-1]
+	}
+	return out
+}
+
+// ProcessWithHits is the ingestion half of Process: it folds one event into
+// every active query's state using hit sets computed elsewhere (by an
+// evaluating scheduler over replicas of the same queries, at the same point
+// of the same total event order). Queries absent from the HitSet's layout
+// ingest with no hits — for stateful queries that is exactly the watermark
+// Touch that keeps window cadence identical on every shard.
+func (s *Scheduler) ProcessWithHits(ev *event.Event, hs *HitSet) []*engine.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	if hs == nil {
+		return s.ingestLocked(ev, nil, nil)
+	}
+	return s.ingestLocked(ev, hs.Layout, hs.Hits)
+}
+
+// evaluateLocked computes the per-slot hit sets for ev and maintains the
+// sharing counters. Only active queries count toward the naive baselines,
+// and a fully paused group is skipped outright (a paused master still
+// evaluates its patterns when an active dependent needs the shared hits).
+// Hit-slot slices are carved out of *arena (grown to cover up to remaining
+// further events) so batch evaluation allocates once, not per event. The
+// caller holds s.mu.
+func (s *Scheduler) evaluateLocked(ev *event.Event, arena *[][]int, remaining int) [][]int {
+	s.resolveSlotsLocked(s.layout)
+	var hits [][]int // carved from the arena on the first non-empty hit set
+	put := func(slot int, h []int) {
+		if len(h) == 0 || slot < 0 {
+			return
+		}
+		if hits == nil {
+			n := len(s.layout.Slots)
+			if len(*arena) < n {
+				*arena = make([][]int, n*remaining)
+			}
+			hits = (*arena)[:n:n]
+			*arena = (*arena)[n:]
+		}
+		hits[slot] = h
+	}
 	for _, g := range s.groups {
-		// Paused queries skip ingestion entirely. A paused master still
-		// evaluates its patterns when an active dependent needs the shared
-		// hits; a fully paused group costs nothing per event.
 		masterActive := !g.master.Paused()
-		depsActive := false
+		active := 0
+		if masterActive {
+			active++
+		}
 		for _, d := range g.dependents {
 			if !d.q.Paused() {
-				depsActive = true
-				break
+				active++
 			}
 		}
-		if !masterActive && !depsActive {
+		if active == 0 {
 			continue
 		}
 		s.stats.StreamCopies++
+		s.stats.NaiveCopies += int64(active)
 		nPat := int64(len(g.master.Patterns()))
 		s.stats.PatternEvals += nPat
-		s.stats.NaivePatternEvals += nPat
-
-		hits := g.master.Hits(ev)
 		if masterActive {
-			alerts = append(alerts, g.master.Ingest(ev, hits, report)...)
+			s.stats.NaivePatternEvals += nPat
 		}
+
+		mh := g.master.Hits(ev)
+		put(g.slot, mh)
 
 		for _, d := range g.dependents {
 			if d.q.Paused() {
 				continue
 			}
 			s.stats.NaivePatternEvals += int64(len(d.q.Patterns()))
-			var depHits []int
-			if len(hits) > 0 && d.equal {
+			if len(mh) == 0 {
+				continue
+			}
+			if d.equal {
 				// Equal constraint sets: the master's hits are exactly this
 				// dependent's, no residual re-examination needed.
-				depHits = hits
-			} else if len(hits) > 0 && d.q.GlobalMatches(ev) {
-				pats := d.q.Patterns()
-				for _, hi := range hits {
-					s.stats.PatternEvals++
-					if pats[hi].Matches(ev) {
-						depHits = append(depHits, hi)
-					}
-				}
+				put(d.slot, mh)
+				continue
 			}
-			// Always ingest: stateful dependents must observe the
-			// watermark even when no pattern matched.
-			alerts = append(alerts, d.q.Ingest(ev, depHits, report)...)
+			dh, evals := d.q.ResidualHits(ev, mh)
+			s.stats.PatternEvals += int64(evals)
+			put(d.slot, dh)
+		}
+	}
+	return hits
+}
+
+// ingestLocked folds ev into every active query using the per-slot hit
+// sets (hits may be nil: no query matched). Every active query ingests
+// even with no hits — stateful queries must observe the watermark so
+// windows close on time. The caller holds s.mu.
+func (s *Scheduler) ingestLocked(ev *event.Event, layout *Layout, hits [][]int) []*engine.Alert {
+	if hits != nil {
+		s.resolveSlotsLocked(layout)
+	}
+	get := func(slot int) []int {
+		if slot < 0 || slot >= len(hits) {
+			return nil
+		}
+		return hits[slot]
+	}
+	var alerts []*engine.Alert
+	report := s.reportFn()
+	for _, g := range s.groups {
+		if !g.master.Paused() {
+			alerts = append(alerts, g.master.Ingest(ev, get(g.slot), report)...)
+		}
+		for _, d := range g.dependents {
+			if d.q.Paused() {
+				continue
+			}
+			alerts = append(alerts, d.q.Ingest(ev, get(d.slot), report)...)
 		}
 	}
 	s.stats.Alerts += int64(len(alerts))

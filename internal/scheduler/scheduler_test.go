@@ -168,6 +168,173 @@ func TestCopyAccounting(t *testing.T) {
 	}
 }
 
+// Sharing stats must count only active queries, consistently across
+// NaiveCopies, StreamCopies, and NaivePatternEvals: pausing half a group
+// must not inflate SharingRatio.
+func TestPausedStatsConsistency(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "weak", qAnyStart))
+	_ = s.Add(compile(t, "mid", qCmdStart))
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	evs := startEvents() // 5 events, all matching the master
+
+	if !s.SetPaused("mid", true) {
+		t.Fatal("pause mid failed")
+	}
+	for _, ev := range evs {
+		s.Process(ev)
+	}
+	st := s.Stats()
+	// 2 of 3 queries active: naive copies count exactly those.
+	if st.NaiveCopies != 2*int64(len(evs)) {
+		t.Errorf("NaiveCopies = %d, want %d", st.NaiveCopies, 2*len(evs))
+	}
+	if st.StreamCopies != int64(len(evs)) {
+		t.Errorf("StreamCopies = %d, want %d", st.StreamCopies, len(evs))
+	}
+	if got := st.SharingRatio(); got != 2 {
+		t.Errorf("SharingRatio = %v, want 2 (paused query must not count)", got)
+	}
+	// Each query has 1 pattern: naive = active queries × events.
+	if st.NaivePatternEvals != 2*int64(len(evs)) {
+		t.Errorf("NaivePatternEvals = %d, want %d", st.NaivePatternEvals, 2*len(evs))
+	}
+
+	// Fully pausing the group freezes every sharing counter.
+	for _, name := range []string{"weak", "strict"} {
+		if !s.SetPaused(name, true) {
+			t.Fatalf("pause %s failed", name)
+		}
+	}
+	for _, ev := range evs {
+		s.Process(ev)
+	}
+	st2 := s.Stats()
+	if st2.NaiveCopies != st.NaiveCopies || st2.StreamCopies != st.StreamCopies ||
+		st2.PatternEvals != st.PatternEvals || st2.NaivePatternEvals != st.NaivePatternEvals {
+		t.Errorf("fully paused group still counted: %+v -> %+v", st, st2)
+	}
+	if st2.Events != 2*int64(len(evs)) {
+		t.Errorf("Events = %d, want %d", st2.Events, 2*len(evs))
+	}
+}
+
+// A paused master still evaluates patterns for its active dependents, and
+// the naive baseline then counts only the dependents.
+func TestPausedMasterStillFeedsDependents(t *testing.T) {
+	s := New(nil, true)
+	_ = s.Add(compile(t, "weak", qAnyStart))
+	_ = s.Add(compile(t, "strict", qCmdOsql))
+	_ = s.SetPaused("weak", true)
+	evs := startEvents()
+	var strictAlerts, weakAlerts int
+	for _, ev := range evs {
+		for _, a := range s.Process(ev) {
+			switch a.Query {
+			case "strict":
+				strictAlerts++
+			case "weak":
+				weakAlerts++
+			}
+		}
+	}
+	if weakAlerts != 0 {
+		t.Errorf("paused master alerted %d times", weakAlerts)
+	}
+	if strictAlerts != 2 {
+		t.Errorf("dependent alerts = %d, want 2 (cmd->osql pairs)", strictAlerts)
+	}
+	st := s.Stats()
+	if st.NaiveCopies != int64(len(evs)) {
+		t.Errorf("NaiveCopies = %d, want %d (only the dependent is active)", st.NaiveCopies, len(evs))
+	}
+	// The master's pattern work is real and still counted.
+	if st.PatternEvals < int64(len(evs)) {
+		t.Errorf("PatternEvals = %d, want >= %d", st.PatternEvals, len(evs))
+	}
+}
+
+// Evaluate + ProcessWithHits across replica schedulers must be
+// alert-for-alert identical to serial Process, with pattern evaluation
+// counted only on the evaluating side.
+func TestEvaluateProcessWithHitsEquivalence(t *testing.T) {
+	mk := func() *Scheduler {
+		s := New(nil, true)
+		_ = s.Add(compile(t, "weak", qAnyStart))
+		_ = s.Add(compile(t, "mid", qCmdStart))
+		_ = s.Add(compile(t, "strict", qCmdOsql))
+		_ = s.Add(compile(t, "other", qWriteIP))
+		return s
+	}
+	serial, evalSide, ingestSide := mk(), mk(), mk()
+
+	got := map[string]int{}
+	want := map[string]int{}
+	for _, ev := range startEvents() {
+		for _, a := range serial.Process(ev) {
+			want[a.Query]++
+		}
+		hs := evalSide.Evaluate(ev)
+		for _, a := range ingestSide.ProcessWithHits(ev, hs) {
+			got[a.Query]++
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("serial run produced no alerts")
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("query %s: split=%d serial=%d", k, got[k], want[k])
+		}
+	}
+	es, is := evalSide.Stats(), ingestSide.Stats()
+	if es.PatternEvals != serial.Stats().PatternEvals {
+		t.Errorf("eval-side PatternEvals = %d, serial = %d", es.PatternEvals, serial.Stats().PatternEvals)
+	}
+	if is.PatternEvals != 0 {
+		t.Errorf("ingest-side PatternEvals = %d, want 0", is.PatternEvals)
+	}
+}
+
+// A registry change between Evaluate and a later event re-stamps the
+// layout; hit sets computed under the old layout must still resolve
+// correctly on a consumer that applied the same change.
+func TestHitSetLayoutVersioning(t *testing.T) {
+	evalSide := New(nil, true)
+	ingestSide := New(nil, true)
+	for _, s := range []*Scheduler{evalSide, ingestSide} {
+		_ = s.Add(compile(t, "weak", qAnyStart))
+		_ = s.Add(compile(t, "strict", qCmdOsql))
+	}
+	evs := startEvents()
+	hs1 := evalSide.Evaluate(evs[0])
+	if hs1 == nil || hs1.Layout == nil {
+		t.Fatal("no hits for a matching event")
+	}
+	v1 := hs1.Layout.Version
+
+	// Swap strict for a different residual constraint on both sides.
+	repl := compile(t, "strict", qCmdStart)
+	if err := evalSide.Swap("strict", repl, false); err != nil {
+		t.Fatal(err)
+	}
+	repl2 := compile(t, "strict", qCmdStart)
+	if err := ingestSide.Swap("strict", repl2, false); err != nil {
+		t.Fatal(err)
+	}
+	hs2 := evalSide.Evaluate(evs[0])
+	if hs2 == nil || hs2.Layout.Version <= v1 {
+		t.Fatalf("layout version not bumped by swap: %v -> %v", v1, hs2.Layout.Version)
+	}
+	if hs2.Layout == hs1.Layout {
+		t.Fatal("swap must produce a fresh layout")
+	}
+	// The consumer resolves against whichever layout each HitSet carries.
+	if alerts := ingestSide.ProcessWithHits(evs[0], hs2); len(alerts) != 2 {
+		t.Errorf("alerts after swap = %d, want 2 (weak + swapped strict)", len(alerts))
+	}
+}
+
 func TestNoSharingMode(t *testing.T) {
 	s := New(nil, false)
 	_ = s.Add(compile(t, "a", qAnyStart))

@@ -52,11 +52,33 @@ func (s Spec) eachWindow(ts int64, f func(ID)) {
 // order. For tumbling windows this is exactly one ID; for hopping windows,
 // ceil(Length/Hop) of them.
 func (s Spec) AssignTo(t time.Time) []ID {
-	var ids []ID
-	s.eachWindow(t.UnixNano(), func(id ID) { ids = append(ids, id) })
-	// Ascending order.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return s.AssignAppend(nil, t)
+}
+
+// AssignAppend appends the IDs of all windows containing t to dst, in
+// ascending start order, and returns the extended slice. It sits on the
+// per-pattern-hit hot path: the tumbling case emits its single ID directly,
+// and the hopping case walks starts upward from the earliest containing
+// window, so neither path sorts or allocates beyond dst's growth.
+func (s Spec) AssignAppend(dst []ID, t time.Time) []ID {
+	ts := t.UnixNano()
+	hop := s.EffectiveHop().Nanoseconds()
+	length := s.Length.Nanoseconds()
+	// Latest window start <= ts, aligned to hop.
+	latest := ts - mod(ts, hop)
+	if hop >= length {
+		// Tumbling (or gapped, hop > length): at most one window.
+		if latest+length <= ts {
+			return dst // ts falls in the gap between windows
+		}
+		return append(dst, ID(latest))
+	}
+	// Hopping: the containing starts are latest, latest-hop, ... > ts-length.
+	n := (latest - (ts - length) + hop - 1) / hop
+	for start := latest - (n-1)*hop; start <= latest; start += hop {
+		dst = append(dst, ID(start))
+	}
+	return dst
 }
 
 // mod is a non-negative modulo (events before the unix epoch still align).
@@ -122,6 +144,12 @@ type Manager struct {
 	watermark time.Time
 	hasWM     bool
 
+	// idScratch and groupScratch are reused across GroupFor calls so
+	// per-event window assignment never allocates on the hot path (a
+	// Manager is single-goroutine-confined).
+	idScratch    []ID
+	groupScratch []*Group
+
 	// Stats.
 	LateEvents int64 // events older than an already-closed window
 }
@@ -146,10 +174,13 @@ func (m *Manager) Spec() Spec { return m.spec }
 
 // GroupFor returns (creating if needed) the group accumulator for groupKey in
 // every window containing t. It returns nil if the event is late (belongs
-// only to windows that already closed).
+// only to windows that already closed). The returned slice is reused by the
+// next GroupFor call: iterate it immediately, do not retain it (the *Group
+// elements themselves are stable).
 func (m *Manager) GroupFor(t time.Time, groupKey string) []*Group {
-	ids := m.spec.AssignTo(t)
-	var out []*Group
+	m.idScratch = m.spec.AssignAppend(m.idScratch[:0], t)
+	ids := m.idScratch
+	out := m.groupScratch[:0]
 	for _, id := range ids {
 		if m.hasWM && !m.spec.End(id).After(m.watermark) {
 			// Window already closed; count as late.
@@ -180,6 +211,10 @@ func (m *Manager) GroupFor(t time.Time, groupKey string) []*Group {
 			w.groups[groupKey] = g
 		}
 		out = append(out, g)
+	}
+	m.groupScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -261,10 +296,14 @@ func (m *Manager) EmptySnapshot(id ID) *Snapshot {
 }
 
 // History is a fixed-depth ring of a group's most recent snapshots.
-// Index 0 is the most recently closed window.
+// Index 0 is the most recently closed window. Push runs in O(1) with zero
+// allocations after the ring storage exists: one window close per group
+// per window makes this a hot path at high group cardinality.
 type History struct {
 	depth int
-	buf   []*Snapshot // buf[0] newest
+	buf   []*Snapshot // ring storage, allocated on first Push
+	head  int         // index of the newest snapshot in buf
+	n     int         // retained count (<= depth)
 	total int         // total snapshots ever pushed (training counters)
 }
 
@@ -278,23 +317,35 @@ func NewHistory(depth int) *History {
 
 // Push adds the newest snapshot, evicting the oldest beyond depth.
 func (h *History) Push(s *Snapshot) {
-	h.buf = append([]*Snapshot{s}, h.buf...)
-	if len(h.buf) > h.depth {
-		h.buf = h.buf[:h.depth]
+	if h.buf == nil {
+		h.buf = make([]*Snapshot, h.depth)
+		h.head = h.depth - 1 // first advance lands on index 0
+	}
+	h.head++
+	if h.head == h.depth {
+		h.head = 0
+	}
+	h.buf[h.head] = s
+	if h.n < h.depth {
+		h.n++
 	}
 	h.total++
 }
 
 // At returns the k-th most recent snapshot (0 = newest), or nil.
 func (h *History) At(k int) *Snapshot {
-	if k < 0 || k >= len(h.buf) {
+	if k < 0 || k >= h.n {
 		return nil
 	}
-	return h.buf[k]
+	i := h.head - k
+	if i < 0 {
+		i += h.depth
+	}
+	return h.buf[i]
 }
 
 // Len returns the number of retained snapshots.
-func (h *History) Len() int { return len(h.buf) }
+func (h *History) Len() int { return h.n }
 
 // Total returns how many snapshots have ever been pushed.
 func (h *History) Total() int { return h.total }

@@ -227,6 +227,98 @@ func TestHistoryDepthClamp(t *testing.T) {
 	}
 }
 
+func TestAssignToHoppingAscendingNoSort(t *testing.T) {
+	// Dense hopping spec: every instant is in Length/Hop windows and the
+	// IDs must come out in ascending order straight from the emitter.
+	s := Spec{Length: 10 * time.Minute, Hop: time.Minute}
+	for off := 0; off < 25; off++ {
+		at := base.Add(time.Duration(off) * 37 * time.Second)
+		ids := s.AssignTo(at)
+		if len(ids) != 10 {
+			t.Fatalf("at +%d: %d windows, want 10", off, len(ids))
+		}
+		for i := range ids {
+			if i > 0 && ids[i] <= ids[i-1] {
+				t.Fatalf("at +%d: ids not strictly ascending: %v", off, ids)
+			}
+			if at.Before(ids[i].Start()) || !at.Before(s.End(ids[i])) {
+				t.Fatalf("at +%d: window %v does not contain event", off, ids[i].Start())
+			}
+		}
+	}
+}
+
+func TestAssignToGappedHop(t *testing.T) {
+	// Hop larger than length leaves gaps: events in a gap belong nowhere.
+	s := Spec{Length: time.Minute, Hop: 5 * time.Minute}
+	if ids := s.AssignTo(base.Add(30 * time.Second)); len(ids) != 1 {
+		t.Errorf("in-window event assigned to %v", ids)
+	}
+	if ids := s.AssignTo(base.Add(3 * time.Minute)); len(ids) != 0 {
+		t.Errorf("gap event assigned to %v", ids)
+	}
+}
+
+// The ring must not allocate once its storage exists, and window
+// assignment through the manager's scratch buffer must not allocate at all.
+func TestHotPathAllocations(t *testing.T) {
+	h := NewHistory(8)
+	snap := &Snapshot{}
+	h.Push(snap) // first push allocates the ring storage
+	if allocs := testing.AllocsPerRun(100, func() { h.Push(snap) }); allocs != 0 {
+		t.Errorf("History.Push allocates %.1f objects/op, want 0", allocs)
+	}
+
+	m, err := NewManager(Spec{Length: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := base.Add(10 * time.Second)
+	m.GroupFor(at, "g") // warm: opens the window, sizes the scratch buffer
+	if allocs := testing.AllocsPerRun(100, func() { m.GroupFor(at, "g") }); allocs != 0 {
+		t.Errorf("tumbling GroupFor allocates %.1f objects/op, want 0", allocs)
+	}
+
+	hop, err := NewManager(Spec{Length: time.Minute, Hop: 10 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop.GroupFor(at, "g")
+	if allocs := testing.AllocsPerRun(100, func() { hop.GroupFor(at, "g") }); allocs != 0 {
+		t.Errorf("hopping GroupFor allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistoryPush(b *testing.B) {
+	h := NewHistory(8)
+	snap := &Snapshot{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(snap)
+	}
+}
+
+func BenchmarkAssignAppend(b *testing.B) {
+	at := base.Add(17 * time.Second)
+	b.Run("tumbling", func(b *testing.B) {
+		s := Spec{Length: time.Minute}
+		var ids []ID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ids = s.AssignAppend(ids[:0], at)
+		}
+	})
+	b.Run("hopping", func(b *testing.B) {
+		s := Spec{Length: time.Minute, Hop: 10 * time.Second}
+		var ids []ID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ids = s.AssignAppend(ids[:0], at)
+		}
+	})
+}
+
 func TestNegativeTimeAlignment(t *testing.T) {
 	// Events before the epoch must still align consistently.
 	s := Spec{Length: time.Minute}

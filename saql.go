@@ -69,7 +69,11 @@ var (
 	ErrClosed = runtime.ErrClosed
 )
 
-// Stats summarises engine activity.
+// Stats summarises engine activity. The sharing counters (StreamCopies,
+// NaiveCopies, PatternEvals, NaivePatternEvals, SharingRatio) count only
+// active — non-paused — queries, and on a running engine they reflect the
+// router's shared evaluation stage: pattern predicates are evaluated once
+// per event regardless of the shard count.
 type Stats struct {
 	Events       int64
 	Alerts       int64
@@ -78,6 +82,10 @@ type Stats struct {
 	StreamCopies int64
 	NaiveCopies  int64
 	SharingRatio float64
+	// PatternEvals counts pattern-predicate evaluations actually performed;
+	// NaivePatternEvals what per-query execution would have performed.
+	PatternEvals      int64
+	NaivePatternEvals int64
 	// Dropped counts events discarded by DropNewest ingest overflow.
 	Dropped int64
 
@@ -549,9 +557,10 @@ func (e *Engine) Shards() int {
 	return 0
 }
 
-// Stats returns engine-level counters. Under the sharded runtime every
-// shard examines the broadcast stream, so copy/evaluation counters reflect
-// total work across shards.
+// Stats returns engine-level counters. Under the sharded runtime the
+// copy/evaluation counters come from the router's shared evaluation stage,
+// where pattern hits are computed exactly once per event; they therefore
+// reflect total matching work performed, independent of the shard count.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	nQueries := len(e.reg)
@@ -560,25 +569,29 @@ func (e *Engine) Stats() Stats {
 	if rt := e.rt.Load(); rt != nil {
 		ss := rt.SchedStats()
 		out = Stats{
-			Events:       rt.Events(),
-			Alerts:       ss.Alerts,
-			Queries:      nQueries,
-			QueryGroups:  rt.GroupCount(),
-			StreamCopies: ss.StreamCopies,
-			NaiveCopies:  ss.NaiveCopies,
-			SharingRatio: ss.SharingRatio(),
-			Dropped:      rt.Dropped(),
+			Events:            rt.Events(),
+			Alerts:            ss.Alerts,
+			Queries:           nQueries,
+			QueryGroups:       rt.GroupCount(),
+			StreamCopies:      ss.StreamCopies,
+			NaiveCopies:       ss.NaiveCopies,
+			SharingRatio:      ss.SharingRatio(),
+			PatternEvals:      ss.PatternEvals,
+			NaivePatternEvals: ss.NaivePatternEvals,
+			Dropped:           rt.Dropped(),
 		}
 	} else {
 		s := e.sched.Stats()
 		out = Stats{
-			Events:       s.Events,
-			Alerts:       s.Alerts,
-			Queries:      nQueries,
-			QueryGroups:  e.sched.GroupCount(),
-			StreamCopies: s.StreamCopies,
-			NaiveCopies:  s.NaiveCopies,
-			SharingRatio: s.SharingRatio(),
+			Events:            s.Events,
+			Alerts:            s.Alerts,
+			Queries:           nQueries,
+			QueryGroups:       e.sched.GroupCount(),
+			StreamCopies:      s.StreamCopies,
+			NaiveCopies:       s.NaiveCopies,
+			SharingRatio:      s.SharingRatio(),
+			PatternEvals:      s.PatternEvals,
+			NaivePatternEvals: s.NaivePatternEvals,
 		}
 	}
 	e.srcMu.Lock()
