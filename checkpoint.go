@@ -1,0 +1,440 @@
+package saql
+
+// Durable engine state: checkpoint and restore. Checkpoint captures one
+// consistent cut of the engine — the registry (query sources, compile
+// options, pause flags, labels) plus every query's runtime state (open
+// windows, aggregator accumulators, history rings, invariant training,
+// partial multievent matches, distinct-suppression tables) — at a runtime
+// control-queue barrier, so the cut rides the same total order as events,
+// pause, and hot-swap. The snapshot is written atomically next to the event
+// journal's segments; Restore rebuilds an equivalent engine from it and
+// replays the journaled tail from the recorded stream offset, making
+// recovery alert-for-alert identical to a run that was never interrupted.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"saql/internal/engine"
+	"saql/internal/snapshot"
+	"saql/internal/storage"
+)
+
+// Checkpoint/restore errors (typed, so operators can distinguish "fresh
+// directory" from "incompatible snapshot" from "bit rot").
+var (
+	// ErrNoCheckpoint reports that a directory holds no snapshot file.
+	ErrNoCheckpoint = snapshot.ErrNoSnapshot
+)
+
+// SnapshotVersionError reports a snapshot written by a format version this
+// build cannot read. Restore never guesses at an unknown layout: an
+// unmigratable version fails with this error instead of corrupting state.
+type SnapshotVersionError = snapshot.VersionError
+
+// SnapshotCorruptError reports a snapshot that failed structural validation
+// (bad magic, truncation, CRC mismatch, malformed fields).
+type SnapshotCorruptError = snapshot.CorruptError
+
+// WithJournal attaches a durable event journal: every event the engine
+// ingests (Submit, SubmitBatch, the serial Process path, and attached log
+// sources) is appended to store before it is processed, in exactly the
+// processing order, so a checkpoint's stream offset indexes the journal and
+// Restore can replay the tail. Journalling forces the Block backpressure
+// policy — a journaled event must never be dropped, or replay would
+// reprocess events the original run skipped. Engine.Close seals the store.
+//
+// Use the same directory for the journal store and for Checkpoint, and the
+// directory becomes a self-contained recovery unit. A torn tail record
+// left by a crash mid-append is trimmed automatically on first use.
+// Attaching a journal that already holds records (a previous run died
+// before its first checkpoint) leaves two sound choices: rebuild state
+// from the orphaned records (PinJournalOffset(0), Start, ReplayJournal(0)
+// — see PinJournalOffset), or ingest fresh — the engine then counts the
+// existing records into its offset base so later checkpoints still index
+// true journal positions (the orphans' alerts are forfeited, never
+// replayed into mismatched state).
+func WithJournal(store *Store) Option {
+	return func(c *config) { c.journal = store }
+}
+
+// CheckpointInfo describes one written checkpoint.
+type CheckpointInfo struct {
+	// Path is the snapshot file written (dir/checkpoint.ckpt).
+	Path string
+	// Offset is the stream position of the capture barrier: the number of
+	// journaled events the snapshot's state reflects.
+	Offset int64
+	// Queries is how many registered queries the snapshot holds.
+	Queries int
+}
+
+// Checkpoint serialises a consistent snapshot of the engine into dir,
+// atomically replacing any previous snapshot there. On a running engine the
+// capture rides the runtime control queue: it reaches every shard at one
+// point of the total event order — after everything submitted before the
+// call, before anything submitted after it — exactly like pause and
+// hot-swap, so the captured states, registry, and stream offset are one
+// consistent cut. On a never-started engine the cut is taken under the
+// scheduler lock, between two events.
+//
+// Checkpoint does not interrupt processing: shards resume the moment their
+// state is encoded, and the journal fsync and snapshot file write happen
+// after the engine lock is released, so the control plane (Register,
+// Apply, Pause, Update) never stalls on disk I/O. Concurrent Checkpoint
+// calls serialise against each other, so snapshots are installed in
+// barrier order.
+func (e *Engine) Checkpoint(dir string) (*CheckpointInfo, error) {
+	// ckptMu first: it orders whole checkpoints (capture + install), so a
+	// later barrier's snapshot can never be overwritten by an earlier one.
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	snap, err := e.captureSnapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	// Make the journal durable up to (at least) the barrier offset before
+	// installing the snapshot that names it: a snapshot must never point
+	// past what the journal can replay after a power loss.
+	if store := e.cfg.journal; store != nil {
+		var err error
+		if rt := e.rt.Load(); rt != nil {
+			err = rt.WithJournalLock(store.Sync)
+		} else {
+			e.jmu.Lock()
+			err = store.Sync()
+			e.jmu.Unlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	path, err := snapshot.Write(dir, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointInfo{Path: path, Offset: snap.Offset, Queries: len(snap.Queries)}, nil
+}
+
+// captureSnapshot performs the in-memory half of Checkpoint — the barrier,
+// the state capture, and the registry copy — under the engine lock.
+func (e *Engine) captureSnapshot() (*snapshot.Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if engineState(e.state.Load()) == stateClosed {
+		return nil, ErrClosed
+	}
+	if e.cfg.journal == nil {
+		// Without a journal the snapshot's offset names records that exist
+		// nowhere: Restore would (rightly) refuse it. Fail at capture time,
+		// where the misconfiguration is fixable.
+		return nil, fmt.Errorf("saql: Checkpoint requires an event journal (WithJournal) so the snapshot's stream offset is replayable")
+	}
+
+	snap := &snapshot.Snapshot{TakenAt: time.Now()}
+	var states map[string][][]byte
+	if rt := e.rt.Load(); rt != nil {
+		cs, err := rt.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		snap.Offset = cs.Offset
+		snap.Shards = rt.Shards()
+		states = cs.States
+	} else {
+		m, events, err := e.sched.CaptureStates()
+		if err != nil {
+			return nil, err
+		}
+		base, err := e.journalBase()
+		if err != nil {
+			return nil, err
+		}
+		snap.Offset = base + events
+		states = make(map[string][][]byte, len(m))
+		for name, blob := range m {
+			states[name] = [][]byte{blob}
+		}
+	}
+
+	names := make([]string, 0, len(e.reg))
+	for name := range e.reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := e.reg[name]
+		snap.Queries = append(snap.Queries, snapshot.Query{
+			Name:    name,
+			Src:     rec.src,
+			Compile: rec.compile,
+			Paused:  rec.paused,
+			Managed: rec.managed,
+			Labels:  rec.handle.labels,
+			States:  states[name],
+		})
+	}
+	return snap, nil
+}
+
+// PinJournalOffset fixes a journaled engine's stream-offset origin before
+// Start: the recovery pattern for a journal with no snapshot (a run that
+// died before its first checkpoint) on a sharded engine is
+//
+//	eng.PinJournalOffset(0)   // the replay will advance the engine itself
+//	eng.Start(ctx)
+//	eng.ReplayJournal(0)      // records flow through the sharded runtime,
+//	                          // so state lands on its owning shards
+//
+// Without the pin, Start would count the journal's existing records into
+// the offset base AND the replay would advance past them — double-counting
+// every record. Pinning after Start, or to a second conflicting value,
+// returns an error.
+func (e *Engine) PinJournalOffset(offset int64) error {
+	if e.cfg.journal == nil {
+		return fmt.Errorf("saql: no journal attached (WithJournal)")
+	}
+	if engineState(e.state.Load()) != stateNew {
+		return fmt.Errorf("saql: PinJournalOffset must be called before Start")
+	}
+	return e.pinBaseOffset(offset)
+}
+
+// RestoreOption configures Restore.
+type RestoreOption func(*restoreConfig)
+
+type restoreConfig struct {
+	engineOpts []Option
+	start      bool
+	replay     bool
+}
+
+// WithRestoreEngineOptions forwards engine options (WithShards,
+// WithAlertHandler, WithIngestQueue, ...) to the restored engine. The shard
+// count is free to differ from the capturing engine's: group-keyed state is
+// re-split across shards by the same ownership hashing live execution uses.
+func WithRestoreEngineOptions(opts ...Option) RestoreOption {
+	return func(c *restoreConfig) { c.engineOpts = append(c.engineOpts, opts...) }
+}
+
+// WithoutStart leaves the restored engine in the serial state (no runtime,
+// Process-driven). The journal tail is still replayed — through the serial
+// path — unless WithoutReplay is also given.
+func WithoutStart() RestoreOption {
+	return func(c *restoreConfig) { c.start = false }
+}
+
+// WithoutReplay skips the automatic journal-tail replay: the engine is
+// restored to the exact checkpoint barrier and the caller drives the tail
+// itself — for example to interleave control operations at recorded stream
+// positions. Drive it with Engine.ReplayJournal, which reads the journal
+// back without re-appending. Re-submitting the tail through Submit instead
+// appends duplicate records to the journal, so an engine recovered that
+// way must not write further checkpoints into the same directory (a later
+// restore would replay the duplicated tail on top of state that already
+// reflects it).
+func WithoutReplay() RestoreOption {
+	return func(c *restoreConfig) { c.replay = false }
+}
+
+// RestoreInfo describes one completed restore.
+type RestoreInfo struct {
+	// TakenAt is the wall-clock time the snapshot was captured.
+	TakenAt time.Time
+	// Offset is the snapshot's stream offset: the engine's state reflects
+	// exactly the first Offset journaled events.
+	Offset int64
+	// Replayed is how many journal-tail events were replayed (0 under
+	// WithoutReplay).
+	Replayed int64
+	// Queries is how many queries were re-registered.
+	Queries int
+}
+
+// Restore rebuilds an engine from the checkpoint in dir: the snapshot's
+// queries are re-registered — each with its recorded source, compile
+// options, labels, pause flag, and management flag, under a fresh,
+// pointer-stable QueryHandle — their captured runtime state is folded back
+// in at a pre-stream barrier, and the journaled event tail past the
+// snapshot's offset is replayed, so the engine resumes alert-for-alert
+// exactly where an uninterrupted run would be. The restored engine journals
+// new events to the same directory, making the next Checkpoint incremental
+// in the same coordinate space.
+//
+// By default the engine is started (with any WithRestoreEngineOptions
+// applied) and the tail replayed before Restore returns; alerts raised
+// during replay flow to the WithAlertHandler callback, so pass one in the
+// engine options to observe them (subscriptions attach only after Restore
+// returns). A directory with no snapshot fails with ErrNoCheckpoint; an
+// unreadable snapshot fails with *SnapshotVersionError or
+// *SnapshotCorruptError and touches nothing.
+func Restore(dir string, opts ...RestoreOption) (*Engine, *RestoreInfo, error) {
+	cfg := restoreConfig{start: true, replay: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	snap, err := snapshot.Read(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	// A power loss may leave the journal's final, unsealed segment ending
+	// in a torn record (appends past the checkpoint were not yet synced).
+	// Trim it so recovery proceeds from the durable prefix; corruption in a
+	// sealed segment still fails below.
+	if _, err := store.Repair(); err != nil {
+		_ = store.Close()
+		return nil, nil, err
+	}
+	// The journal must reach at least the snapshot's offset, or the tail
+	// the snapshot's state depends on is gone (truncated journal, wrong
+	// directory): replaying nothing and continuing would silently lose
+	// events, so fail loudly instead.
+	if cnt, err := store.Count(); err != nil {
+		_ = store.Close()
+		return nil, nil, err
+	} else if cnt < snap.Offset {
+		_ = store.Close()
+		return nil, nil, &snapshot.CorruptError{
+			Reason: fmt.Sprintf("journal holds %d records but the snapshot names offset %d (journal truncated or mismatched directory)", cnt, snap.Offset),
+		}
+	}
+	// On any failure past this point, close the engine (which seals the
+	// journal store) so a retrying supervisor does not leak a store handle
+	// per attempt.
+	fail := func(eng *Engine, err error) (*Engine, *RestoreInfo, error) {
+		if eng != nil {
+			_ = eng.Close()
+		} else {
+			_ = store.Close()
+		}
+		return nil, nil, err
+	}
+
+	engOpts := append([]Option{}, cfg.engineOpts...)
+	engOpts = append(engOpts, func(c *config) {
+		c.journal = store
+		c.baseOffset = snap.Offset
+		c.baseOffsetSet = true
+	})
+	eng := New(engOpts...)
+
+	// Re-register the registry. Sources were compiled by the capturing
+	// engine, so failures here mean a build-incompatible language change —
+	// surfaced, never ignored.
+	eng.mu.Lock()
+	for _, qs := range snap.Queries {
+		q, err := engine.Compile(qs.Name, qs.Src, qs.Compile)
+		if err != nil {
+			eng.mu.Unlock()
+			return fail(eng, fmt.Errorf("saql: restore query %q: %w", qs.Name, err))
+		}
+		if _, err := eng.registerLocked(qs.Name, qs.Src, q, queryConfig{labels: qs.Labels, compile: qs.Compile}, qs.Managed); err != nil {
+			eng.mu.Unlock()
+			return fail(eng, fmt.Errorf("saql: restore query %q: %w", qs.Name, err))
+		}
+		if qs.Paused {
+			eng.reg[qs.Name].paused = true
+			q.SetPaused(true)
+		}
+	}
+	eng.mu.Unlock()
+
+	// Fold the captured state back in at a pre-stream barrier.
+	if cfg.start {
+		if err := eng.Start(context.Background()); err != nil {
+			return fail(eng, err)
+		}
+		states := make(map[string][][]byte, len(snap.Queries))
+		for _, qs := range snap.Queries {
+			if len(qs.States) > 0 {
+				states[qs.Name] = qs.States
+			}
+		}
+		if rt := eng.rt.Load(); rt != nil && len(states) > 0 {
+			if err := rt.RestoreStates(states); err != nil {
+				return fail(eng, fmt.Errorf("saql: restore: %w", err))
+			}
+		}
+	} else {
+		eng.mu.Lock()
+		for _, qs := range snap.Queries {
+			rec := eng.reg[qs.Name]
+			for _, blob := range qs.States {
+				if err := rec.q.RestoreState(blob, true); err != nil {
+					eng.mu.Unlock()
+					return fail(eng, fmt.Errorf("saql: restore: %w", err))
+				}
+			}
+		}
+		eng.mu.Unlock()
+	}
+
+	info := &RestoreInfo{TakenAt: snap.TakenAt, Offset: snap.Offset, Queries: len(snap.Queries)}
+	if cfg.replay {
+		n, err := eng.ReplayJournal(snap.Offset)
+		if err != nil {
+			return fail(eng, err)
+		}
+		info.Replayed = n
+	}
+	return eng, info, nil
+}
+
+// ReplayJournal feeds the attached journal's events from the global record
+// offset `from` back through the engine, without re-journaling them, and
+// reports how many were replayed. Restore uses it for the checkpoint tail;
+// call it directly after Restore(..., WithoutReplay()) once subscriptions
+// are attached. Replay preserves journal order; run it to completion before
+// attaching live sources, or new submissions may interleave.
+func (e *Engine) ReplayJournal(from int64) (int64, error) {
+	store := e.cfg.journal
+	if store == nil {
+		return 0, fmt.Errorf("saql: no journal attached (WithJournal)")
+	}
+	if engineState(e.state.Load()) == stateNew {
+		// Pre-Start replay (including recovery of a journal whose run died
+		// before any checkpoint: ReplayJournal(0) on a fresh engine): pin
+		// the offset origin at `from` — the replayed records themselves
+		// advance the engine to the journal's head, so counting them into
+		// the base too would double them.
+		if err := e.pinBaseOffset(from); err != nil {
+			return 0, err
+		}
+	}
+	var n int64
+	var batch []*Event
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		evs := batch
+		batch = nil
+		if rt := e.rt.Load(); rt != nil {
+			return rt.Replay(evs)
+		}
+		for _, ev := range evs {
+			e.fan.Publish(e.sched.Process(ev))
+		}
+		return nil
+	}
+	err := store.ScanFrom(from, storage.Selection{}, func(ev *Event) error {
+		batch = append(batch, ev)
+		n++
+		if len(batch) >= 512 {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, flush()
+}

@@ -1,0 +1,721 @@
+package saql
+
+// Unit tests for the checkpoint/restore subsystem: serial and sharded
+// round trips, registry fidelity (labels, pause flags, compile options),
+// journal offset accounting, and the typed failure modes (no checkpoint,
+// version mismatch, corruption). The randomized recovery-equivalence hammer
+// lives in conformance_test.go.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"saql/internal/snapshot"
+)
+
+// checkpointAlertIdentity is the comparison key for recovery equivalence.
+// Event times compare by instant (UnixNano), not rendered zone: replayed
+// events decoded from the journal carry the same instants as the originals
+// but in the local zone.
+func checkpointAlertIdentity(a *Alert) string {
+	return strconv.FormatInt(a.EventTime.UnixNano(), 10) + "|" + alertCountKey(a)
+}
+
+func sortedIdentities(alerts []*Alert) []string {
+	out := make([]string, 0, len(alerts))
+	for _, a := range alerts {
+		out = append(out, checkpointAlertIdentity(a))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffAlertSets(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: alert count: got %d, want %d", label, len(got), len(want))
+	}
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if want[i] != got[i] {
+			t.Fatalf("%s: alert sets diverge at #%d:\n  got:  %s\n  want: %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointRestoreSerialRoundTrip drives the serial engine with a
+// durable journal, checkpoints at the stream midpoint, "crashes" (abandons
+// the engine unflushed), restores without replay (the journal holds nothing
+// past the barrier), and finishes the stream on the restored engine. The
+// combined alert set must equal an uninterrupted run's.
+func TestCheckpointRestoreSerialRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := concurrencyWorkload(40, 20)
+
+	// Uninterrupted reference.
+	ref := New()
+	for _, q := range concurrencyQueries {
+		if err := ref.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, ref.Process(ev)...)
+	}
+	want = append(want, ref.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no alerts")
+	}
+
+	// Run 1: durable engine up to the cut, then checkpoint, then crash.
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(WithJournal(store))
+	for _, q := range concurrencyQueries {
+		if err := e1.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := len(events) / 2
+	var got []*Alert
+	for _, ev := range events[:cut] {
+		got = append(got, e1.Process(ev)...)
+	}
+	nPre := len(got) // alerts already raised at the barrier
+	info, err := e1.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Offset != int64(cut) {
+		t.Errorf("checkpoint offset = %d, want %d", info.Offset, cut)
+	}
+	if info.Queries != len(concurrencyQueries) {
+		t.Errorf("checkpoint queries = %d, want %d", info.Queries, len(concurrencyQueries))
+	}
+	// Crash: no Close, no Flush — open windows die with the process.
+
+	// Run 2: restore and finish the stream.
+	e2, rinfo, err := Restore(dir, WithoutStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Offset != int64(cut) || rinfo.Replayed != 0 {
+		t.Errorf("restore info = offset %d replayed %d, want offset %d replayed 0", rinfo.Offset, rinfo.Replayed, cut)
+	}
+	if rinfo.Queries != len(concurrencyQueries) {
+		t.Errorf("restore queries = %d, want %d", rinfo.Queries, len(concurrencyQueries))
+	}
+	for _, ev := range events[cut:] {
+		got = append(got, e2.Process(ev)...)
+	}
+	got = append(got, e2.Flush()...)
+
+	diffAlertSets(t, "serial round trip", sortedIdentities(want), sortedIdentities(got))
+
+	// The journal now holds the full stream — run 1's prefix plus run 2's
+	// tail — in one offset coordinate space.
+	if n, err := store.Count(); err != nil || n != int64(len(events)) {
+		t.Errorf("journal count = %d, %v; want %d", n, err, len(events))
+	}
+
+	// Restore the same mid-stream snapshot a second time, now onto 8
+	// shards with the full journal present: the single serial state blob
+	// re-splits across the shards by group ownership, replay covers the
+	// whole tail, and the output must equal the reference's post-barrier
+	// alerts exactly. (Serial alert delivery is synchronous, so the
+	// reference's first nPre alerts are the pre-barrier ones.)
+	var mu sync.Mutex
+	var wide []*Alert
+	e3, rinfo3, err := Restore(dir, WithRestoreEngineOptions(
+		WithShards(8),
+		WithAlertHandler(func(a *Alert) {
+			mu.Lock()
+			wide = append(wide, a)
+			mu.Unlock()
+		}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo3.Replayed != int64(len(events)-cut) {
+		t.Errorf("second restore replayed %d, want %d", rinfo3.Replayed, len(events)-cut)
+	}
+	if err := e3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	diffAlertSets(t, "serial snapshot onto 8 shards", sortedIdentities(want[nPre:]), sortedIdentities(wide))
+}
+
+// TestCheckpointRestoreShardedReplay kills a sharded engine after the
+// checkpoint (events keep flowing and alerts keep firing past the barrier),
+// then restores onto a different shard count with automatic journal-tail
+// replay. Pre-checkpoint alerts plus the restored engine's output must
+// equal an uninterrupted run: nothing lost, nothing duplicated.
+func TestCheckpointRestoreShardedReplay(t *testing.T) {
+	events := concurrencyWorkload(60, 20)
+	cut, kill := len(events)/3, 2*len(events)/3
+
+	ref := New()
+	for _, q := range concurrencyQueries {
+		if err := ref.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, ref.Process(ev)...)
+	}
+	want = append(want, ref.Flush()...)
+
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var preCheckpoint, discard []*Alert
+	sink := &preCheckpoint
+	e1 := New(WithShards(4), WithJournal(store), WithAlertHandler(func(a *Alert) {
+		mu.Lock()
+		*sink = append(*sink, a)
+		mu.Unlock()
+	}))
+	for _, q := range concurrencyQueries {
+		if err := e1.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.SubmitBatch(events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := e1.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Offset != int64(cut) {
+		t.Errorf("checkpoint offset = %d, want %d", info.Offset, cut)
+	}
+	// The checkpoint barrier has passed: everything the handler saw so far
+	// is pre-barrier output; everything later is regenerated by replay.
+	mu.Lock()
+	sink = &discard
+	mu.Unlock()
+	if err := e1.SubmitBatch(events[cut:kill]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil { // "crash": post-checkpoint output is discarded
+		t.Fatal(err)
+	}
+
+	// Restore on a different shard count; replay covers (cut, kill], then
+	// the live feed delivers the rest.
+	var restored []*Alert
+	e2, rinfo, err := Restore(dir, WithRestoreEngineOptions(
+		WithShards(2),
+		WithAlertHandler(func(a *Alert) {
+			mu.Lock()
+			restored = append(restored, a)
+			mu.Unlock()
+		}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Replayed != int64(kill-cut) {
+		t.Errorf("replayed = %d, want %d", rinfo.Replayed, kill-cut)
+	}
+	if err := e2.SubmitBatch(events[kill:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := append(append([]*Alert{}, preCheckpoint...), restored...)
+	diffAlertSets(t, "sharded replay", sortedIdentities(want), sortedIdentities(got))
+
+	// The journal holds run 1's prefix plus run 2's live tail (replayed
+	// events are read back, never re-appended): one coordinate space.
+	if n, err := store.Count(); err != nil || n != int64(len(events)) {
+		t.Errorf("journal count = %d, %v; want %d", n, err, len(events))
+	}
+}
+
+// TestRestoreRegistryFidelity checks the registry round trip: labels,
+// compile options, pause flags, managed flags, and handle identity.
+func TestRestoreRegistryFidelity(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithJournal(store))
+	h, err := eng.Register("labelled", `proc p write ip i as e
+alert e.amount > 10
+return p, e.amount`, WithLabel("team", "secops"), WithLabel("severity", "high"),
+		WithQueryCompileOptions(CompileOptions{MaxDistinct: 99, MatchHorizon: 90 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	set := NewQuerySet()
+	if err := set.Add("managed-one", `proc p read file f return p, f`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _, err := Restore(dir, WithoutStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, ok := e2.Query("labelled")
+	if !ok {
+		t.Fatal("labelled query not restored")
+	}
+	if labels := h2.Labels(); labels["team"] != "secops" || labels["severity"] != "high" {
+		t.Errorf("labels not restored: %v", labels)
+	}
+	if !h2.Paused() {
+		t.Error("pause flag not restored")
+	}
+	if cur, ok := e2.Query("labelled"); !ok || cur != h2 {
+		t.Error("handle not pointer-stable across lookups")
+	}
+	// The restored managed flag must let Apply retire the query.
+	rep, err := e2.Apply(context.Background(), NewQuerySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "managed-one" {
+		t.Errorf("managed flag not restored: Apply removed %v, want [managed-one]", rep.Removed)
+	}
+	if _, ok := e2.Query("labelled"); !ok {
+		t.Error("unmanaged query retired by Apply")
+	}
+}
+
+// TestRestoreErrorsTyped pins the typed failure modes: missing, version
+// mismatch (older format), and corruption are all distinct, and none of
+// them silently yields an engine.
+func TestRestoreErrorsTyped(t *testing.T) {
+	t.Run("no-checkpoint", func(t *testing.T) {
+		_, _, err := Restore(t.TempDir())
+		if !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("err = %v, want ErrNoCheckpoint", err)
+		}
+	})
+
+	t.Run("older-version", func(t *testing.T) {
+		dir := t.TempDir()
+		// A version-1 header: the pre-release format this build cannot
+		// migrate. Restore must fail with the typed version error — never
+		// guess at the layout.
+		file := append([]byte(snapshot.Magic), 1, 0)
+		file = append(file, 0) // empty payload
+		file = binary.LittleEndian.AppendUint32(file, 0)
+		if err := os.WriteFile(filepath.Join(dir, snapshot.FileName), file, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Restore(dir)
+		var verr *SnapshotVersionError
+		if !errors.As(err, &verr) {
+			t.Fatalf("err = %v, want *SnapshotVersionError", err)
+		}
+		if verr.Got != 1 || verr.Supported != snapshot.Version {
+			t.Errorf("version error = got %d supported %d, want got 1 supported %d", verr.Got, verr.Supported, snapshot.Version)
+		}
+	})
+
+	t.Run("newer-version", func(t *testing.T) {
+		dir := t.TempDir()
+		file := append([]byte(snapshot.Magic), byte(snapshot.Version+1), 0)
+		if err := os.WriteFile(filepath.Join(dir, snapshot.FileName), file, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var verr *SnapshotVersionError
+		if _, _, err := Restore(dir); !errors.As(err, &verr) {
+			t.Errorf("err = %v, want *SnapshotVersionError", err)
+		}
+	})
+
+	t.Run("corrupt-crc", func(t *testing.T) {
+		dir := t.TempDir()
+		store, err := OpenStore(dir, StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(WithJournal(store))
+		if err := eng.AddQuery("q", `proc p read file f return p`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, snapshot.FileName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var cerr *SnapshotCorruptError
+		if _, _, err := Restore(dir); !errors.As(err, &cerr) {
+			t.Errorf("err = %v, want *SnapshotCorruptError", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := t.TempDir()
+		store, err := OpenStore(dir, StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(WithJournal(store))
+		if err := eng.AddQuery("q", `proc p read file f return p`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, snapshot.FileName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var cerr *SnapshotCorruptError
+		if _, _, err := Restore(dir); !errors.As(err, &cerr) {
+			t.Errorf("err = %v, want *SnapshotCorruptError", err)
+		}
+	})
+}
+
+// TestCheckpointMultievent covers partial-match recovery: a three-step
+// kill chain split across the checkpoint must still complete after restore.
+func TestCheckpointMultievent(t *testing.T) {
+	src := `proc p1["%mysqldump"] write file f1["%dump.sql"] as e1
+proc p2["%curl"] read file f1 as e2
+proc p2 connect ip i1[dstip="172.16.0.129"] as e3
+with e1 -> e2 -> e3
+return distinct p1, f1, p2, i1`
+
+	at := func(s int) time.Time { return demoStart.Add(time.Duration(s) * time.Second) }
+	chain := []*Event{
+		{Time: at(0), AgentID: "db-1", Subject: Process("mysqldump", 100), Op: OpWrite, Object: File("/tmp/dump.sql"), Amount: 4096},
+		{Time: at(5), AgentID: "db-1", Subject: Process("curl", 200), Op: OpRead, Object: File("/tmp/dump.sql"), Amount: 4096},
+		{Time: at(9), AgentID: "db-1", Subject: Process("curl", 200), Op: OpConnect, Object: NetConn("10.0.0.5", 40000, "172.16.0.129", 443), Amount: 4096},
+	}
+
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(WithJournal(store))
+	if err := e1.AddQuery("exfil", src); err != nil {
+		t.Fatal(err)
+	}
+	// First two steps land before the crash; the partial match must ride
+	// the checkpoint.
+	if alerts := e1.Process(chain[0]); len(alerts) != 0 {
+		t.Fatalf("premature alert: %v", alerts)
+	}
+	if alerts := e1.Process(chain[1]); len(alerts) != 0 {
+		t.Fatalf("premature alert: %v", alerts)
+	}
+	if _, err := e1.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _, err := Restore(dir, WithoutStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := e2.Process(chain[2])
+	if len(alerts) != 1 {
+		t.Fatalf("restored engine raised %d alerts on the completing event, want 1", len(alerts))
+	}
+	if alerts[0].Query != "exfil" {
+		t.Errorf("alert query = %q", alerts[0].Query)
+	}
+	// And exactly once: the distinct table survived too.
+	if again := e2.Process(chain[2]); len(again) != 0 {
+		t.Errorf("completing event re-fired %d alerts after restore", len(again))
+	}
+}
+
+// TestJournalReuseAfterCheckpointlessCrash pins the offset coordinate
+// space when a run dies before writing any checkpoint: the next engine
+// attached to the same journal directory must continue counting from the
+// journal's existing record count, never from zero — otherwise a later
+// restore would replay the dead run's stale events into fresh state.
+func TestJournalReuseAfterCheckpointlessCrash(t *testing.T) {
+	dir := t.TempDir()
+	events := concurrencyWorkload(12, 10)
+
+	// Run 1 journals 40 events and crashes without ever checkpointing.
+	store1, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(WithJournal(store1))
+	if err := e1.AddQuery("q", concurrencyQueries[0].src); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:40] {
+		e1.Process(ev)
+	}
+	// Crash: no checkpoint, no Close.
+
+	// Run 2 starts fresh against the same directory (no snapshot exists)
+	// and processes 20 more events.
+	store2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(WithJournal(store2))
+	if err := e2.AddQuery("q", concurrencyQueries[0].src); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[40:60] {
+		e2.Process(ev)
+	}
+	info, err := e2.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint must index journal coordinates: 40 stale + 20 live.
+	if info.Offset != 60 {
+		t.Fatalf("checkpoint offset = %d, want 60 (40 pre-existing + 20 processed)", info.Offset)
+	}
+
+	// A restore therefore replays nothing — run 1's stale records are
+	// before the offset and never fold into run 2's snapshot state.
+	e3, rinfo, err := Restore(dir, WithoutStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Replayed != 0 {
+		t.Fatalf("replayed %d stale events, want 0", rinfo.Replayed)
+	}
+	if err := e3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrphanJournalShardedRecovery pins the snapshot-less recovery flow on
+// a multi-shard engine: PinJournalOffset(0) + Start + ReplayJournal(0)
+// replays the orphaned records through the sharded runtime, so recovered
+// group state lands on its owning shards and the rest of the stream
+// produces exactly the uninterrupted reference alerts.
+func TestOrphanJournalShardedRecovery(t *testing.T) {
+	events := concurrencyWorkload(48, 20)
+	cut := len(events) / 2
+
+	ref := New()
+	for _, q := range concurrencyQueries {
+		if err := ref.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []*Alert
+	for _, ev := range events {
+		want = append(want, ref.Process(ev)...)
+	}
+	want = append(want, ref.Flush()...)
+
+	// Run 1 journals the prefix and dies with no checkpoint ever written.
+	dir := t.TempDir()
+	store1, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(WithJournal(store1))
+	if err := e1.AddQuery("sink", concurrencyQueries[0].src); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:cut] {
+		e1.Process(ev)
+	}
+
+	// Recovery: fresh 4-shard engine over the orphaned journal.
+	store2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []*Alert
+	e2 := New(WithShards(4), WithJournal(store2), WithAlertHandler(func(a *Alert) {
+		mu.Lock()
+		got = append(got, a)
+		mu.Unlock()
+	}))
+	for _, q := range concurrencyQueries {
+		if err := e2.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.PinJournalOffset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e2.ReplayJournal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(cut) {
+		t.Fatalf("replayed %d orphaned events, want %d", n, cut)
+	}
+	if err := e2.SubmitBatch(events[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets stayed in journal coordinates: prefix replayed (not
+	// re-appended) + tail journaled live.
+	info, err := e2.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Offset != int64(len(events)) {
+		t.Errorf("checkpoint offset = %d, want %d", info.Offset, len(events))
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	diffAlertSets(t, "orphan sharded recovery", sortedIdentities(want), sortedIdentities(got))
+}
+
+// TestQueryStateReencodeIdempotent drives every conformance-corpus query
+// over the demo stream, snapshots its state, restores it into a freshly
+// compiled copy, and re-encodes: the blobs must be byte-identical. This is
+// the strongest cheap property the state codec has — encode∘restore is the
+// identity on every stateful layer (aggregators, windows, histories,
+// invariants, partial matches, distinct tables) — and it runs over real
+// rule/stateful/time-series/invariant/outlier state, not synthetic structs.
+func TestQueryStateReencodeIdempotent(t *testing.T) {
+	events, _ := buildDemoStream(t, 3*time.Minute, time.Minute)
+	for _, c := range conformanceCorpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			q, err := CompileQuery(c.name, c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events {
+				q.Process(ev, nil)
+			}
+			blob, err := q.EncodeState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := CompileQuery(c.name, c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.RestoreState(blob, true); err != nil {
+				t.Fatal(err)
+			}
+			again, err := fresh.EncodeState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(blob) != string(again) {
+				t.Fatalf("re-encoded state differs: %d vs %d bytes", len(blob), len(again))
+			}
+			// And the restored query must keep processing: feed the stream
+			// once more and require no panics and no decode-induced errors.
+			var evalErrs int
+			for _, ev := range events {
+				fresh.Process(ev, func(error) { evalErrs++ })
+			}
+			fresh.Flush(func(error) { evalErrs++ })
+			if evalErrs > 0 {
+				t.Errorf("%d runtime errors on the restored query", evalErrs)
+			}
+		})
+	}
+}
+
+// TestCheckpointWhileStreaming checkpoints concurrently with live submits:
+// the barrier must be race-clean and the engine must keep running.
+func TestCheckpointWhileStreaming(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithShards(4), WithJournal(store))
+	for _, q := range concurrencyQueries {
+		if err := eng.AddQuery(q.name, q.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := concurrencyWorkload(30, 10)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(events); i += 10 {
+			end := i + 10
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := eng.SubmitBatch(events[i:end]); err != nil {
+				return
+			}
+		}
+	}()
+	var lastOffset int64 = -1
+	for i := 0; i < 5; i++ {
+		info, err := eng.Checkpoint(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Offset < lastOffset {
+			t.Errorf("checkpoint offsets went backwards: %d after %d", info.Offset, lastOffset)
+		}
+		lastOffset = info.Offset
+	}
+	wg.Wait()
+	if _, err := eng.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Checkpoint(dir); !errors.Is(err, ErrClosed) {
+		t.Errorf("checkpoint after close = %v, want ErrClosed", err)
+	}
+	// The final pre-close checkpoint is restorable.
+	if _, _, err := Restore(dir, WithoutStart(), WithoutReplay()); err != nil {
+		t.Fatal(err)
+	}
+}

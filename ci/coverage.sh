@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI coverage gate: run the full test suite with a merged cross-package
+# coverage profile and fail if total statement coverage drops below the
+# checked-in minimum (ci/COVERAGE_MIN). The profile and the per-function
+# summary are left in place for upload as CI artifacts. Extra `go test`
+# flags (e.g. -race, so CI needs only one suite execution) come from
+# GOTESTFLAGS.
+#
+# Usage: [GOTESTFLAGS=-race] ci/coverage.sh [output-dir]   (default: .)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-.}"
+mkdir -p "$out"
+profile="$out/coverage.out"
+summary="$out/coverage.txt"
+min="$(cat ci/COVERAGE_MIN)"
+
+# shellcheck disable=SC2086  # GOTESTFLAGS is intentionally word-split
+go test ${GOTESTFLAGS:-} -count=1 -coverprofile="$profile" -coverpkg=./... ./...
+go tool cover -func="$profile" > "$summary"
+
+total="$(tail -n 1 "$summary" | awk '{print $NF}' | tr -d '%')"
+echo "total statement coverage: ${total}% (minimum: ${min}%)"
+
+# awk handles the float comparison portably.
+if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t < m) }'; then
+  echo "FAIL: coverage ${total}% is below the minimum ${min}%" >&2
+  echo "(raise tests, or lower ci/COVERAGE_MIN with justification in the PR)" >&2
+  exit 1
+fi

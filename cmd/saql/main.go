@@ -18,11 +18,25 @@
 // it (changed queries hot-swap in place, removed files retire their
 // queries), printing the change report.
 //
+// With -checkpoint-dir the engine is durable: every ingested event is
+// journaled into the directory, a consistent snapshot of all query state is
+// checkpointed there (periodically with -checkpoint-every, and always at
+// shutdown), and a later start with the same flag restores the snapshot and
+// replays the journaled tail, so a crash or restart loses no sliding-window
+// history, invariant training, or in-flight multievent matches — and
+// neither drops nor duplicates alerts. Recovery is exactly-once relative to
+// the engine's own journal; pair it with a live feed (tcp://, -follow on a
+// growing log) — restarting against the same static -input FILE re-reads
+// the file from the top and re-delivers its events on top of the restored
+// state.
+//
 // Usage:
 //
 //	saql -input audit.log -format auditd -agent db-1 -q exfil.saql
 //	saql -input - -format ndjson -e 'proc p write file f["/etc/%"] return p, f'
 //	saql -input tcp://:6514 -format sysmon -follow -queries ./rules
+//	saql -input tcp://:6514 -format auditd -queries ./rules \
+//	     -checkpoint-dir ./state -checkpoint-every 30s   # durable engine
 //	saql -simulate -duration 10m -q query1.saql -q query2.saql
 //	saql -store ./data -hosts db-1 -speed 100 -q exfil.saql
 //	saql -simulate -demo-queries        # run the paper's 8 demo queries
@@ -93,6 +107,8 @@ func run(args []string, out io.Writer) error {
 		batch       = fs.Int("batch", 256, "SubmitBatch size")
 		validate    = fs.Bool("validate", false, "validate queries and exit")
 		quiet       = fs.Bool("quiet", false, "suppress per-alert output, print only the summary")
+		ckptDir     = fs.String("checkpoint-dir", "", "durable state directory: journal every event there, restore from its snapshot on start, checkpoint into it")
+		ckptEvery   = fs.Duration("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint periodically at this interval (0 = only at exit)")
 	)
 	fs.Var(&queryFiles, "q", "SAQL query file (repeatable)")
 	fs.Var(&inline, "e", "inline SAQL query text (repeatable)")
@@ -177,7 +193,52 @@ func run(args []string, out io.Writer) error {
 	if *shards > 0 {
 		engOpts = append(engOpts, saql.WithShards(*shards))
 	}
-	eng := saql.New(engOpts...)
+	sharded := *shards != 0
+	if *input != "" && !sharded {
+		return fmt.Errorf("-input needs the concurrent runtime (drop -shards 0)")
+	}
+
+	// Durable state: restore from -checkpoint-dir's snapshot when one
+	// exists (replaying the journaled tail so no alert is lost or
+	// duplicated), otherwise start fresh with the directory as the event
+	// journal. Either way the engine checkpoints back into the same
+	// directory. Unreadable snapshots (version mismatch, corruption) fail
+	// loudly — silently starting from zero would discard trained state.
+	var eng *saql.Engine
+	restored := false
+	var orphaned int64 // journaled events from a run that died before any checkpoint
+	if *ckptDir != "" {
+		ropts := []saql.RestoreOption{saql.WithRestoreEngineOptions(engOpts...)}
+		if !sharded {
+			ropts = append(ropts, saql.WithoutStart())
+		}
+		e, info, err := saql.Restore(*ckptDir, ropts...)
+		switch {
+		case err == nil:
+			eng, restored = e, true
+			fmt.Fprintf(out, "restored %d queries from %s (offset %d, %d journaled events replayed)\n",
+				info.Queries, *ckptDir, info.Offset, info.Replayed)
+		case errors.Is(err, saql.ErrNoCheckpoint):
+			store, serr := saql.OpenStore(*ckptDir, saql.StoreOptions{})
+			if serr != nil {
+				return serr
+			}
+			// A crashed run may have left a torn tail record; trim it before
+			// counting and replaying the orphaned journal.
+			if _, serr = store.Repair(); serr != nil {
+				return serr
+			}
+			if orphaned, serr = store.Count(); serr != nil {
+				return serr
+			}
+			engOpts = append(engOpts, saql.WithJournal(store))
+		default:
+			return err
+		}
+	}
+	if eng == nil {
+		eng = saql.New(engOpts...)
+	}
 	if rep, err := eng.Apply(context.Background(), set); err != nil {
 		return err
 	} else if !rep.Empty() {
@@ -185,13 +246,23 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
 
-	sharded := *shards != 0
-	if *input != "" && !sharded {
-		return fmt.Errorf("-input needs the concurrent runtime (drop -shards 0)")
-	}
-	if sharded {
-		if err := eng.Start(context.Background()); err != nil {
+	// A journal with no snapshot means the previous run died before its
+	// first checkpoint: rebuild state by replaying every orphaned record.
+	// The offset origin is pinned at 0 before Start (the replay itself
+	// advances the engine to the journal's head) and the replay runs after
+	// Start, through the sharded runtime, so recovered group state lands on
+	// the shards that own it — ahead of the live feed in the total order.
+	if orphaned > 0 {
+		if err := eng.PinJournalOffset(0); err != nil {
 			return err
+		}
+	}
+
+	if sharded {
+		if !restored {
+			if err := eng.Start(context.Background()); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(out, "concurrent runtime: %d shards\n", eng.Shards())
 		for _, name := range set.Names() {
@@ -200,6 +271,47 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+
+	if orphaned > 0 {
+		n, err := eng.ReplayJournal(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replayed %d journaled events from a run with no checkpoint\n", n)
+	}
+
+	// Periodic checkpoints ride alongside ingestion; the final checkpoint
+	// before shutdown is taken unconditionally. The deferred stop joins the
+	// ticker goroutine on every exit path, including early error returns.
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if *ckptDir != "" && *ckptEvery > 0 {
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-tick.C:
+					if _, err := eng.Checkpoint(*ckptDir); err != nil {
+						fmt.Fprintln(os.Stderr, "saql: checkpoint:", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
+	var ckptStopOnce sync.Once
+	stopCkpt := func() {
+		ckptStopOnce.Do(func() {
+			close(ckptStop)
+			<-ckptDone
+		})
+	}
+	defer stopCkpt()
 
 	// SIGHUP reconciles the running engine against a re-read of the query
 	// files: changed sources hot-swap in place (carrying window state when
@@ -348,17 +460,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no event source: use -input, -store, or -simulate")
 	}
 
-	// Ingestion is over: join the reloader before closing the engine and
-	// printing the summary.
+	// Ingestion is over: join the reloader and the periodic checkpointer,
+	// take the final checkpoint, then close the engine and print the
+	// summary.
 	stopReloader()
-	if sharded {
-		// Close drains the queue, flushes every shard, and delivers the
-		// final alerts before returning.
-		if err := eng.Close(); err != nil {
-			return err
+	stopCkpt()
+	// End-of-input flush happens BEFORE the final checkpoint: shutdown
+	// treats the input's end as end-of-stream, so the snapshot must record
+	// the post-flush state — restoring it must not re-raise the alerts the
+	// flush already emitted.
+	eng.Flush()
+	if *ckptDir != "" {
+		if info, err := eng.Checkpoint(*ckptDir); err != nil {
+			fmt.Fprintln(os.Stderr, "saql: final checkpoint:", err)
+		} else {
+			outMu.Lock()
+			fmt.Fprintf(out, "checkpoint written: %s (offset %d, %d queries)\n", info.Path, info.Offset, info.Queries)
+			outMu.Unlock()
 		}
-	} else {
-		eng.Flush()
+	}
+	// Close on both paths: it drains the (already empty) queue, ends
+	// subscriptions, joins the workers, and seals + syncs the journal store
+	// so the checkpoint directory is left fully durable and indexed.
+	if err := eng.Close(); err != nil {
+		return err
 	}
 
 	wall := time.Since(started)

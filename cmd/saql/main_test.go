@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -229,5 +232,177 @@ func TestRunValidate(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "OK") {
 		t.Errorf("validate output:\n%s", out.String())
+	}
+}
+
+// TestRunCheckpointDir exercises the durable flags end to end: a first run
+// journals its simulated stream into -checkpoint-dir and writes a final
+// checkpoint; a second run restores from it (replaying the journaled tail
+// past the snapshot offset — here none, since the final checkpoint covers
+// the whole stream) and keeps operating.
+func TestRunCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	var out1 strings.Builder
+	err := run([]string{
+		"-simulate", "-duration", "1m", "-quiet",
+		"-checkpoint-dir", dir, "-checkpoint-every", "50ms",
+		"-e", plainRule,
+	}, &out1)
+	if err != nil {
+		t.Fatalf("run 1: %v\noutput:\n%s", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "checkpoint written:") {
+		t.Errorf("no final checkpoint in run 1:\n%s", out1.String())
+	}
+
+	var out2 strings.Builder
+	err = run([]string{
+		"-simulate", "-duration", "1m", "-quiet",
+		"-checkpoint-dir", dir,
+		"-e", plainRule,
+	}, &out2)
+	if err != nil {
+		t.Fatalf("run 2: %v\noutput:\n%s", err, out2.String())
+	}
+	got := out2.String()
+	if !strings.Contains(got, "restored 1 queries from") {
+		t.Errorf("run 2 did not restore:\n%s", got)
+	}
+	if !strings.Contains(got, "checkpoint written:") {
+		t.Errorf("run 2 wrote no checkpoint:\n%s", got)
+	}
+	// The restored registry matches the rule set: Apply reports no changes,
+	// so no "applied query set" line.
+	if strings.Contains(got, "applied query set:") {
+		t.Errorf("restored registry was perturbed by Apply:\n%s", got)
+	}
+
+	// The serial path supports the flag too (restore without start).
+	var out3 strings.Builder
+	err = run([]string{
+		"-simulate", "-duration", "1m", "-quiet", "-shards", "0",
+		"-checkpoint-dir", dir,
+		"-e", plainRule,
+	}, &out3)
+	if err != nil {
+		t.Fatalf("run 3 (serial): %v\noutput:\n%s", err, out3.String())
+	}
+	if !strings.Contains(out3.String(), "restored 1 queries from") {
+		t.Errorf("serial run did not restore:\n%s", out3.String())
+	}
+
+	// A journal without a snapshot — the shape a crash before the first
+	// checkpoint leaves behind — is recovered by replaying every orphaned
+	// record, not by silently discarding it.
+	if err := os.Remove(filepath.Join(dir, "checkpoint.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	var out4 strings.Builder
+	err = run([]string{
+		"-simulate", "-duration", "1m", "-quiet",
+		"-checkpoint-dir", dir,
+		"-e", plainRule,
+	}, &out4)
+	if err != nil {
+		t.Fatalf("run 4 (orphaned journal): %v\noutput:\n%s", err, out4.String())
+	}
+	if !strings.Contains(out4.String(), "journaled events from a run with no checkpoint") {
+		t.Errorf("orphaned journal was not replayed:\n%s", out4.String())
+	}
+}
+
+// --------------------------------------------------------------------------
+// Golden alert corpus: the checked-in auditd sample, decoded and evaluated
+// by three fixed queries (multievent rule, per-event rule, windowed
+// aggregation), must produce exactly the committed alert set. This pins the
+// decode→eval→alert pipeline end to end: any codec, matcher, window, or
+// expression change that shifts an alert shows up as a golden diff. Run
+// with SAQL_UPDATE_GOLDEN=1 to regenerate after an intentional change.
+// --------------------------------------------------------------------------
+
+const goldenPath = "testdata/expected-alerts.golden"
+
+func goldenArgs() []string {
+	return []string{
+		"-input", samplePath, "-format", "auditd", "-agent", "db-1",
+		"-e", `agentid = "db-1"
+proc p1["%mysqldump"] write file f1["%dump.sql"] as evt1
+proc p2["%curl"] read file f1 as evt2
+proc p2 connect ip i1[dstip="172.16.0.129"] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, f1, p2, i1`,
+		"-e", `proc p start proc c as e return p.exe_name, e.id`,
+		"-e", `proc p read || write file f as e #time(2 s)
+state ss { n := count(e) } group by p
+alert ss.n >= 1
+return p, ss.n`,
+	}
+}
+
+func TestGoldenAlertCorpus(t *testing.T) {
+	if os.Getenv("SAQL_GOLDEN_HELPER") == "1" {
+		// Helper mode, re-executed below with TZ=UTC so rendered event
+		// times are zone-independent: run the pipeline and emit each alert
+		// line under a grep-able prefix.
+		var sb strings.Builder
+		if err := run(goldenArgs(), &sb); err != nil {
+			t.Fatalf("golden run: %v\noutput:\n%s", err, sb.String())
+		}
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, "ALERT ") {
+				fmt.Printf("GOLDEN|%s\n", line)
+			}
+		}
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestGoldenAlertCorpus$", "-test.count=1")
+	cmd.Env = append(os.Environ(), "SAQL_GOLDEN_HELPER=1", "TZ=UTC")
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper run: %v\noutput:\n%s", err, outBytes)
+	}
+	var got []string
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		if rest, ok := strings.CutPrefix(line, "GOLDEN|"); ok {
+			got = append(got, rest)
+		}
+	}
+	sort.Strings(got) // alert delivery order varies across shards; the set must not
+	if len(got) == 0 {
+		t.Fatalf("golden run produced no alerts:\n%s", outBytes)
+	}
+	rendered := strings.Join(got, "\n") + "\n"
+
+	if os.Getenv("SAQL_UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(rendered), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d alerts)", goldenPath, len(got))
+		return
+	}
+
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with SAQL_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(wantBytes), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Errorf("alert count: got %d, want %d (golden)", len(got), len(want))
+	}
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			t.Errorf("golden diff at alert %d:\n  got:  %s\n  want: %s", i, got[i], want[i])
+		}
+	}
+	if t.Failed() {
+		t.Logf("full output (regenerate with SAQL_UPDATE_GOLDEN=1 if intentional):\n%s", rendered)
 	}
 }

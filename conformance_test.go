@@ -9,7 +9,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -614,6 +616,276 @@ return p, ss.amt`, 1000000+i*1000)
 	}
 	if ss.Alerts == 0 {
 		t.Error("workload produced no alerts")
+	}
+}
+
+// TestCheckpointRestoreMatchesUninterrupted is the recovery conformance
+// hammer: one randomized script of event blocks interleaved with Pause /
+// Resume / Update operations runs against a durable engine that is
+// checkpointed at a random block boundary and killed at a random later
+// point; the engine is then restored from the snapshot (onto the same shard
+// count) and the script re-driven from the checkpoint position. The
+// pre-checkpoint alerts plus the restored engine's output must equal,
+// alert for alert, a serial engine that ran the whole script uninterrupted
+// — no lost, duplicated, or reordered detections — at 1, 2, and 8 shards.
+//
+// The script, checkpoint block, and kill block derive from one seed, logged
+// on every run; set SAQL_CONFORMANCE_SEED to reproduce a failure.
+func TestCheckpointRestoreMatchesUninterrupted(t *testing.T) {
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("SAQL_CONFORMANCE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SAQL_CONFORMANCE_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("conformance seed = %d (set SAQL_CONFORMANCE_SEED=%d to reproduce)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	const procs, perProc, blocks = 96, 25, 24
+	events := concurrencyWorkload(procs, perProc)
+	blockSize := len(events) / blocks
+
+	// Six queries covering every stateful layer a checkpoint must carry:
+	// open-window aggregators across all three placements, history rings,
+	// invariant training, and window clustering. Update variants tune only
+	// thresholds, so carry stays legal where the script requests it.
+	names := []string{"grouped-sum", "big-write", "global-volume", "ts-history", "inv-dsts", "outlier-amt"}
+	variant := func(name string, k int) string {
+		switch name {
+		case "grouped-sum":
+			return fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount)
+           n := count(e) } group by p
+alert ss.amt > %d
+return p, ss.amt, ss.n`, 1000000+k*1000)
+		case "big-write":
+			return fmt.Sprintf(`proc p write ip i as e
+alert e.amount > %d
+return p, e.amount`, 1000000+k*500)
+		case "global-volume":
+			return fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { total := sum(e.amount) }
+alert ss.total > %d
+return ss.total`, 5000000+k*10000)
+		case "ts-history":
+			return fmt.Sprintf(`proc p write ip i as e #time(500 ms)
+state[3] ss { amt := sum(e.amount) } group by p
+alert ss[0].amt > ss[1].amt + %d && ss[0].amt > 100
+return p, ss[0].amt, ss[1].amt`, 50+k*10)
+		case "inv-dsts":
+			// Grouped by agent id so the group recurs in every window:
+			// training completes mid-stream and detection windows (with
+			// their fresh destination sets) straddle the checkpoint.
+			return fmt.Sprintf(`proc p write ip i as e #time(600 ms)
+state ss { dsts := set(i.dstip) } group by e.agentid
+invariant[2] {
+  known := empty_set
+  known = known union ss.dsts
+}
+alert |ss.dsts diff known| >= %d
+return ss.dsts`, 1-k%2)
+		case "outlier-amt":
+			return fmt.Sprintf(`proc p write ip i as e #time(700 ms)
+state ss { amt := sum(e.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(%d, 3)")
+alert cluster.outlier && ss.amt > 1000
+return i.dstip, ss.amt`, 100000+k*5000)
+		}
+		t.Fatalf("unknown query %q", name)
+		return ""
+	}
+
+	// Generate the script once; the reference and every recovery run replay
+	// it verbatim.
+	type step struct {
+		op    string // submit | pause | resume | update
+		block int
+		name  string
+		src   string
+		carry bool
+	}
+	var script []step
+	cpStep, killStep := -1, -1
+	cpBlock := blocks/3 + rng.Intn(blocks/3)
+	killBlock := cpBlock + rng.Intn(blocks-cpBlock+1)
+	cpEvents := cpBlock * blockSize
+	paused := map[string]bool{}
+	version := map[string]int{}
+	for b := 0; b < blocks; b++ {
+		if b == cpBlock {
+			cpStep = len(script)
+		}
+		if b == killBlock {
+			killStep = len(script)
+		}
+		script = append(script, step{op: "submit", block: b})
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0:
+				if paused[name] {
+					script = append(script, step{op: "resume", name: name})
+					paused[name] = false
+				} else {
+					script = append(script, step{op: "pause", name: name})
+					paused[name] = true
+				}
+			case 1:
+				version[name]++
+				carry := name != "big-write" && rng.Intn(2) == 0
+				script = append(script, step{op: "update", name: name, src: variant(name, version[name]), carry: carry})
+			case 2:
+				// Spacing no-op.
+			}
+		}
+	}
+	if cpStep < 0 {
+		cpStep = len(script)
+	}
+	if killStep < 0 {
+		killStep = len(script)
+	}
+	t.Logf("checkpoint at block %d (event %d), kill at block %d, %d script steps", cpBlock, cpEvents, killBlock, len(script))
+
+	// drive executes script[from:to] against eng (serial engines process
+	// inline and their alerts are returned; running engines deliver through
+	// their handler).
+	drive := func(t *testing.T, eng *Engine, from, to int, serial bool) []*Alert {
+		t.Helper()
+		var out []*Alert
+		for _, st := range script[from:to] {
+			switch st.op {
+			case "submit":
+				lo, hi := st.block*blockSize, (st.block+1)*blockSize
+				if st.block == blocks-1 {
+					hi = len(events)
+				}
+				if serial {
+					for _, ev := range events[lo:hi] {
+						out = append(out, eng.Process(ev)...)
+					}
+				} else if err := eng.SubmitBatch(events[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			case "pause", "resume":
+				h, ok := eng.Query(st.name)
+				if !ok {
+					t.Fatalf("%s: no handle for %q", st.op, st.name)
+				}
+				var err error
+				if st.op == "pause" {
+					err = h.Pause()
+				} else {
+					err = h.Resume()
+				}
+				if err != nil {
+					t.Fatalf("%s %s: %v", st.op, st.name, err)
+				}
+			case "update":
+				h, ok := eng.Query(st.name)
+				if !ok {
+					t.Fatalf("update: no handle for %q", st.name)
+				}
+				var opts []UpdateOption
+				if st.carry {
+					opts = append(opts, CarryWindowState())
+				}
+				if err := h.Update(st.src, opts...); err != nil {
+					t.Fatalf("update %s: %v", st.name, err)
+				}
+			}
+		}
+		return out
+	}
+	register := func(t *testing.T, eng *Engine) {
+		t.Helper()
+		for _, name := range names {
+			if _, err := eng.Register(name, variant(name, 0)); err != nil {
+				t.Fatalf("Register(%s): %v", name, err)
+			}
+		}
+	}
+
+	// Uninterrupted serial reference.
+	ref := New()
+	register(t, ref)
+	want := drive(t, ref, 0, len(script), true)
+	want = append(want, ref.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no alerts")
+	}
+	wantIDs := sortedIdentities(want)
+
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := OpenStore(dir, StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			var pre, discard, post []*Alert
+			sink := &pre
+			collect := func(a *Alert) {
+				mu.Lock()
+				*sink = append(*sink, a)
+				mu.Unlock()
+			}
+			e1 := New(WithShards(shards), WithJournal(store), WithAlertHandler(collect))
+			register(t, e1)
+			if err := e1.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			drive(t, e1, 0, cpStep, false)
+			info, err := e1.Checkpoint(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Offset != int64(cpEvents) {
+				t.Errorf("checkpoint offset = %d, want %d", info.Offset, cpEvents)
+			}
+			// Everything the handler saw so far is pre-barrier output; the
+			// barrier guarantees it is complete and exact.
+			mu.Lock()
+			sink = &discard
+			mu.Unlock()
+			// The doomed run keeps going past the checkpoint; its output and
+			// control operations die with it.
+			drive(t, e1, cpStep, killStep, false)
+			if err := e1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Restore on the same shard count and re-drive the script from
+			// the checkpoint position (the recovery plane re-applies the
+			// lost control operations at their recorded stream positions).
+			e2, rinfo, err := Restore(dir,
+				WithoutReplay(),
+				WithRestoreEngineOptions(WithShards(shards), WithAlertHandler(func(a *Alert) {
+					mu.Lock()
+					post = append(post, a)
+					mu.Unlock()
+				})),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rinfo.Offset != int64(cpEvents) {
+				t.Errorf("restore offset = %d, want %d", rinfo.Offset, cpEvents)
+			}
+			drive(t, e2, cpStep, len(script), false)
+			if err := e2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			mu.Lock()
+			got := append(append([]*Alert{}, pre...), post...)
+			mu.Unlock()
+			diffAlertSets(t, fmt.Sprintf("seed %d shards %d", seed, shards), wantIDs, sortedIdentities(got))
+		})
 	}
 }
 

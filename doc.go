@@ -129,6 +129,22 @@
 // pattern matching entirely and per-event matching work stays O(patterns)
 // rather than O(shards × patterns).
 //
+// # Durable state
+//
+// The engine survives crashes and restarts without losing state or alerts.
+// WithJournal(store) write-ahead-logs every ingested event into an embedded
+// event store, in exactly the processing order; Engine.Checkpoint(dir)
+// captures a consistent snapshot — registry, pause flags, labels, and every
+// query's runtime state (open windows, aggregators, history rings,
+// invariant training, partial multievent matches, distinct-suppression
+// tables) — at a runtime control-queue barrier, riding the same total order
+// as events and hot-swaps; and Restore(dir) rebuilds an equivalent engine
+// (on any shard count) and replays the journaled tail from the snapshot's
+// stream offset, so recovery is alert-for-alert identical to a run that was
+// never interrupted. Unreadable snapshots fail with typed errors
+// (ErrNoCheckpoint, *SnapshotVersionError, *SnapshotCorruptError), never
+// with silently corrupted state. See docs/architecture.md, "Durable state".
+//
 // The module also ships the full demonstration substrate of the paper: a
 // deterministic multi-host workload simulator (NewWorkload), the five-step
 // APT kill-chain generator (AttackScenario), an embedded event store and

@@ -1,0 +1,163 @@
+package agg
+
+// Checkpoint support: every aggregator can serialise its accumulator state
+// into the wire format and restore it later, so open windows survive an
+// engine restart byte-exactly. The codec is keyed by a one-byte tag per
+// concrete aggregator type; the decoder validates the tag against the
+// aggregator it is restoring into (recreated from the same FieldSpec), so a
+// snapshot produced under a different state schema fails loudly instead of
+// folding garbage.
+
+import (
+	"fmt"
+	"sort"
+
+	"saql/internal/wire"
+)
+
+// State tags, one per concrete aggregator type.
+const (
+	tagMean byte = iota + 1
+	tagSum
+	tagCount
+	tagMinMax
+	tagSet
+	tagDistinct
+	tagVariance
+	tagPercentile
+	tagFirstLast
+)
+
+// AppendState appends a's accumulator state to b.
+func AppendState(b []byte, a Aggregator) ([]byte, error) {
+	switch ag := a.(type) {
+	case *meanAgg:
+		b = append(b, tagMean)
+		b = wire.AppendFloat64(b, ag.sum)
+		b = wire.AppendVarint(b, int64(ag.n))
+	case *sumAgg:
+		b = append(b, tagSum)
+		b = wire.AppendFloat64(b, ag.sum)
+	case *countAgg:
+		b = append(b, tagCount)
+		b = wire.AppendVarint(b, ag.n)
+	case *minMaxAgg:
+		b = append(b, tagMinMax)
+		b = wire.AppendFloat64(b, ag.cur)
+		b = wire.AppendBool(b, ag.seen)
+	case *setAgg:
+		b = append(b, tagSet)
+		b = appendMembers(b, ag.members)
+	case *distinctAgg:
+		b = append(b, tagDistinct)
+		b = appendMembers(b, ag.set.members)
+	case *varianceAgg:
+		b = append(b, tagVariance)
+		b = wire.AppendVarint(b, int64(ag.n))
+		b = wire.AppendFloat64(b, ag.mean)
+		b = wire.AppendFloat64(b, ag.m2)
+	case *percentileAgg:
+		b = append(b, tagPercentile)
+		b = wire.AppendUvarint(b, uint64(len(ag.vals)))
+		for _, v := range ag.vals {
+			b = wire.AppendFloat64(b, v)
+		}
+	case *firstLastAgg:
+		b = append(b, tagFirstLast)
+		b = wire.AppendBool(b, ag.seen)
+		b = wire.AppendValue(b, ag.val)
+	default:
+		return b, fmt.Errorf("agg: cannot snapshot aggregator type %T", a)
+	}
+	return b, nil
+}
+
+func appendMembers(b []byte, members map[string]struct{}) []byte {
+	sorted := make([]string, 0, len(members))
+	for m := range members {
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+	b = wire.AppendUvarint(b, uint64(len(sorted)))
+	for _, m := range sorted {
+		b = wire.AppendString(b, m)
+	}
+	return b
+}
+
+// ReadState restores a's accumulator state from r. a must be the same
+// aggregator type that produced the state (recreated from the FieldSpec the
+// snapshot was taken under).
+func ReadState(r *wire.Reader, a Aggregator) error {
+	tag := r.Byte()
+	switch ag := a.(type) {
+	case *meanAgg:
+		if tag != tagMean {
+			return tagErr("avg", tag)
+		}
+		ag.sum = r.Float64()
+		ag.n = int(r.Varint())
+	case *sumAgg:
+		if tag != tagSum {
+			return tagErr("sum", tag)
+		}
+		ag.sum = r.Float64()
+	case *countAgg:
+		if tag != tagCount {
+			return tagErr("count", tag)
+		}
+		ag.n = r.Varint()
+	case *minMaxAgg:
+		if tag != tagMinMax {
+			return tagErr("min/max", tag)
+		}
+		ag.cur = r.Float64()
+		ag.seen = r.Bool()
+	case *setAgg:
+		if tag != tagSet {
+			return tagErr("set", tag)
+		}
+		readMembers(r, ag.members)
+	case *distinctAgg:
+		if tag != tagDistinct {
+			return tagErr("distinct", tag)
+		}
+		readMembers(r, ag.set.members)
+	case *varianceAgg:
+		if tag != tagVariance {
+			return tagErr("stddev/variance", tag)
+		}
+		ag.n = int(r.Varint())
+		ag.mean = r.Float64()
+		ag.m2 = r.Float64()
+	case *percentileAgg:
+		if tag != tagPercentile {
+			return tagErr("percentile/median", tag)
+		}
+		n := r.Count(8)
+		ag.vals = ag.vals[:0]
+		for i := 0; i < n && r.Err() == nil; i++ {
+			ag.vals = append(ag.vals, r.Float64())
+		}
+	case *firstLastAgg:
+		if tag != tagFirstLast {
+			return tagErr("first/last", tag)
+		}
+		ag.seen = r.Bool()
+		ag.val = r.ReadValue()
+	default:
+		return fmt.Errorf("agg: cannot restore aggregator type %T", a)
+	}
+	return r.Err()
+}
+
+func readMembers(r *wire.Reader, into map[string]struct{}) {
+	n := r.Count(1)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		into[r.String()] = struct{}{}
+	}
+}
+
+func tagErr(want string, got byte) error {
+	return fmt.Errorf("agg: state tag %d does not match %s aggregator", got, want)
+}

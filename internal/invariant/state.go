@@ -1,0 +1,43 @@
+package invariant
+
+// Checkpoint support: a group's invariant state — the trained variables and
+// the training-window counter — serialises into the wire format, so restored
+// engines resume mid-training or fully trained exactly where the snapshot
+// left them.
+
+import (
+	"sort"
+
+	"saql/internal/wire"
+)
+
+// AppendState appends the invariant's runtime state: observed-window count
+// and the variable values (sorted by name, so equal states encode
+// identically). The spec (training depth, mode) is not encoded — it is part
+// of the compiled query the state is restored into.
+func (s *State) AppendState(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(s.windows))
+	names := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = wire.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = wire.AppendString(b, n)
+		b = wire.AppendValue(b, s.vars[n])
+	}
+	return b
+}
+
+// ReadState restores the invariant's runtime state from r, replacing the
+// variables the constructor initialised.
+func (s *State) ReadState(r *wire.Reader) error {
+	s.windows = int(r.Varint())
+	n := r.Count(2)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		name := r.String()
+		s.vars[name] = r.ReadValue()
+	}
+	return r.Err()
+}

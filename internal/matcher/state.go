@@ -1,0 +1,90 @@
+package matcher
+
+// Checkpoint support: the multievent matcher's partial-match table — the
+// in-flight joins a crash would otherwise forget mid-kill-chain — and its
+// expiry/drop counters serialise into the wire format. Decoding appends, so
+// restoring into a fresh matcher reproduces the table and restoring several
+// per-shard blobs merges them (multievent queries are pinned, so in practice
+// exactly one blob carries partials).
+
+import (
+	"fmt"
+	"sort"
+
+	"saql/internal/event"
+	"saql/internal/wire"
+)
+
+// AppendState appends the matcher's runtime state.
+func (m *SeqMatcher) AppendState(b []byte) []byte {
+	b = wire.AppendVarint(b, m.Expired)
+	b = wire.AppendVarint(b, m.Dropped)
+	b = wire.AppendUvarint(b, uint64(len(m.partials)))
+	for _, pt := range m.partials {
+		b = wire.AppendUvarint(b, uint64(pt.matched))
+		b = wire.AppendVarint(b, int64(pt.nOrdered))
+		b = wire.AppendTime(b, pt.lastTime)
+		b = wire.AppendTime(b, pt.created)
+		b = wire.AppendUvarint(b, uint64(len(pt.events)))
+		for _, ev := range pt.events {
+			if ev == nil {
+				b = wire.AppendBool(b, false)
+				continue
+			}
+			b = wire.AppendBool(b, true)
+			b = wire.AppendEvent(b, ev)
+		}
+		keys := make([]string, 0, len(pt.bindings))
+		for k := range pt.bindings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = wire.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = wire.AppendString(b, k)
+			b = wire.AppendString(b, pt.bindings[k])
+		}
+	}
+	return b
+}
+
+// ReadState folds an encoded matcher state into m: counters accumulate and
+// partials append. The encoded per-partial event-slot count must match m's
+// pattern count (the restoring matcher was compiled from the same source the
+// snapshot was taken under).
+func (m *SeqMatcher) ReadState(r *wire.Reader) error {
+	m.Expired += r.Varint()
+	m.Dropped += r.Varint()
+	n := r.Count(4)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pt := &partial{
+			matched:  int(r.Uvarint()),
+			nOrdered: int(r.Varint()),
+			lastTime: r.Time(),
+			created:  r.Time(),
+		}
+		slots := r.Count(1)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if slots != len(m.patterns) {
+			return fmt.Errorf("matcher: snapshot partial has %d event slots, matcher has %d patterns", slots, len(m.patterns))
+		}
+		pt.events = make([]*event.Event, slots)
+		for j := 0; j < slots && r.Err() == nil; j++ {
+			if r.Bool() {
+				pt.events[j] = r.ReadEvent()
+			}
+		}
+		nBind := r.Count(2)
+		pt.bindings = make(map[string]string, nBind)
+		for j := 0; j < nBind && r.Err() == nil; j++ {
+			k := r.String()
+			pt.bindings[k] = r.String()
+		}
+		if r.Err() == nil {
+			m.partials = append(m.partials, pt)
+		}
+	}
+	return r.Err()
+}

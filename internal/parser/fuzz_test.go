@@ -1,0 +1,57 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuerySet asserts the queryset parser contract under arbitrary
+// input: no panics, no hangs, and a successful parse yields well-formed
+// queries (non-empty names, parseable substituted sources — the property
+// Engine.Apply and snapshot restore both rely on). `go test` runs the seed
+// corpus on every CI run; `go test -fuzz=FuzzParseQuerySet` explores
+// further.
+func FuzzParseQuerySet(f *testing.F) {
+	seeds := []string{
+		"",
+		"param threshold = 1000000\n\nquery exfil {\n  proc p write ip i as e #time(10 min)\n  state ss { amt := sum(e.amount) } group by p\n  alert ss.amt > $threshold\n  return p, ss.amt\n}",
+		"query a { proc p read file f return p }\nquery b { proc p write file f return f }",
+		"param x = \"db-1\"\nquery g { agentid = $x\nproc p read file f return p }",
+		"query dup { proc p read file f return p }\nquery dup { proc p read file f return p }",
+		"param p = ",
+		"query {",
+		"query name { proc p read file f return p",
+		"// comment only",
+		"param a = 1\nparam a = 2",
+		"query q { $missing }",
+		"proc p read file f return p", // bare query, not a set
+		strings.Repeat("query q { proc p read file f return p }\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseQuerySetDoc(src)
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		for _, q := range doc.Queries {
+			if q.Name == "" {
+				t.Fatal("parsed query with empty name")
+			}
+			if seen[q.Name] {
+				t.Fatalf("duplicate query name %q survived parsing", q.Name)
+			}
+			seen[q.Name] = true
+			if q.AST == nil {
+				t.Fatalf("query %q has nil AST", q.Name)
+			}
+			// The substituted source must itself re-parse: restore and
+			// SIGHUP reload both re-feed it through Parse.
+			if _, err := Parse(q.Src); err != nil {
+				t.Fatalf("substituted source of %q does not re-parse: %v\n%s", q.Name, err, q.Src)
+			}
+		}
+	})
+}

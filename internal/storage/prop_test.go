@@ -1,0 +1,318 @@
+package storage
+
+// Property-based tests for the segment record codec and the offset cursors:
+// arbitrary events round-trip encode→decode losslessly, truncated records
+// and corrupted CRCs are rejected cleanly (no panic, no partial event), and
+// ScanFrom/Count agree with append order for every offset.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saql/internal/event"
+)
+
+// randomEntity draws a structurally valid entity.
+func randomEntity(rng *rand.Rand) event.Entity {
+	switch rng.Intn(3) {
+	case 0:
+		return event.Entity{
+			Type:    event.EntityProcess,
+			ExeName: randomString(rng),
+			PID:     int32(rng.Uint32()),
+			User:    randomString(rng),
+			CmdLine: randomString(rng),
+		}
+	case 1:
+		return event.Entity{Type: event.EntityFile, Path: randomString(rng)}
+	default:
+		return event.Entity{
+			Type:     event.EntityNetConn,
+			SrcIP:    randomString(rng),
+			SrcPort:  int32(rng.Uint32()),
+			DstIP:    randomString(rng),
+			DstPort:  int32(rng.Uint32()),
+			Protocol: randomString(rng),
+		}
+	}
+}
+
+func randomString(rng *rand.Rand) string {
+	n := rng.Intn(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+func randomEvent(rng *rand.Rand) *event.Event {
+	return &event.Event{
+		ID:      rng.Uint64(),
+		Time:    time.Unix(0, rng.Int63()-rng.Int63()),
+		AgentID: randomString(rng),
+		Subject: randomEntity(rng),
+		Op:      event.Op(rng.Intn(9)),
+		Object:  randomEntity(rng),
+		Amount:  rng.NormFloat64() * 1e9,
+	}
+}
+
+func eventsEqual(a, b *event.Event) bool {
+	return a.ID == b.ID &&
+		a.Time.Equal(b.Time) &&
+		a.AgentID == b.AgentID &&
+		a.Subject == b.Subject &&
+		a.Op == b.Op &&
+		a.Object == b.Object &&
+		(a.Amount == b.Amount || (a.Amount != a.Amount && b.Amount != b.Amount)) // NaN-safe
+}
+
+func TestEventCodecRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ev := randomEvent(rng)
+		rec := EncodeEvent(ev)
+		got, n, err := DecodeEvent(rec)
+		if err != nil {
+			t.Logf("seed %d: decode failed: %v", seed, err)
+			return false
+		}
+		if n != len(rec) {
+			t.Logf("seed %d: consumed %d of %d bytes", seed, n, len(rec))
+			return false
+		}
+		if !eventsEqual(ev, got) {
+			t.Logf("seed %d: round trip drifted:\n  in:  %+v\n  out: %+v", seed, ev, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventCodecRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		rec := EncodeEvent(randomEvent(rng))
+		// Every truncation must fail cleanly.
+		cut := rng.Intn(len(rec))
+		if ev, _, err := DecodeEvent(rec[:cut]); err == nil && cut < len(rec) {
+			t.Fatalf("truncated record (%d of %d bytes) decoded to %+v", cut, len(rec), ev)
+		}
+		// Any single-byte payload flip must be caught by the CRC (flips in
+		// the length prefix may legally surface as truncation errors
+		// instead; either way no event comes back).
+		flipped := append([]byte(nil), rec...)
+		flipped[rng.Intn(len(flipped))] ^= 1 << uint(rng.Intn(8))
+		if ev, _, err := DecodeEvent(flipped); err == nil {
+			// A flip in the trailing CRC of a record whose recomputed CRC
+			// still matches is impossible; a flip that leaves a valid
+			// shorter record is possible only if lengths collapsed, which
+			// the CRC again guards. Decoding "successfully" is a bug.
+			t.Fatalf("corrupted record decoded to %+v", ev)
+		}
+	}
+}
+
+func TestScanFromOffsetsProperty(t *testing.T) {
+	dir := t.TempDir()
+	// A small segment size forces rotation, so offset skipping crosses
+	// segment boundaries and exercises the sidecar-count fast path.
+	s, err := Open(dir, Options{MaxSegmentSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 300
+	var all []*event.Event
+	for i := 0; i < n; i++ {
+		ev := randomEvent(rng)
+		ev.ID = uint64(i) // make order observable
+		all = append(all, ev)
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count, err := s.Count(); err != nil || count != n {
+		t.Fatalf("Count = %d, %v; want %d", count, err, n)
+	}
+	for _, offset := range []int64{0, 1, 99, 150, 299, 300, 301} {
+		got, err := s.ReadFrom(offset, Selection{})
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", offset, err)
+		}
+		want := 0
+		if offset < n {
+			want = n - int(offset)
+		}
+		if len(got) != want {
+			t.Fatalf("ReadFrom(%d) yielded %d events, want %d", offset, len(got), want)
+		}
+		for i, ev := range got {
+			if ev.ID != uint64(int(offset)+i) {
+				t.Fatalf("ReadFrom(%d)[%d].ID = %d, want %d (order broken)", offset, i, ev.ID, int(offset)+i)
+			}
+		}
+	}
+}
+
+// TestScanFromWithSelection pins the interaction between the offset cursor
+// and sidecar-index segment pruning: a pruned segment (whole time range or
+// host set outside the selection) must still advance the record cursor by
+// its count, so offsets keep indexing the global append order.
+func TestScanFromWithSelection(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxSegmentSize: 1 << 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	const n = 200
+	var all []*event.Event
+	for i := 0; i < n; i++ {
+		host := "a"
+		if i%2 == 1 {
+			host = "b"
+		}
+		ev := &event.Event{
+			ID:      uint64(i),
+			Time:    base.Add(time.Duration(i) * time.Second),
+			AgentID: host,
+			Subject: event.Process("x", 1),
+			Op:      event.OpWrite,
+			Object:  event.File("/f"),
+		}
+		all = append(all, ev)
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := Selection{
+		Hosts: []string{"b"},
+		From:  base.Add(50 * time.Second),
+		To:    base.Add(150 * time.Second),
+	}
+	hosts := sel.hostSet()
+	for _, offset := range []int64{0, 37, 100, 149, 199} {
+		got, err := s.ReadFrom(offset, sel)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d): %v", offset, err)
+		}
+		var want []uint64
+		for i, ev := range all {
+			if int64(i) >= offset && sel.matches(ev, hosts) {
+				want = append(want, ev.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ReadFrom(%d) yielded %d events, want %d", offset, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i] {
+				t.Fatalf("ReadFrom(%d)[%d].ID = %d, want %d", offset, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+// TestRepairTornTail pins crash recovery of the journal file itself: a
+// torn record at the end of the unsealed final segment (what an unsynced
+// append leaves after a power loss) is trimmed by Repair, after which the
+// durable prefix scans cleanly; corruption inside a sealed, indexed
+// segment is never trimmed.
+func TestRepairTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 25
+	for i := 0; i < n; i++ {
+		ev := randomEvent(rng)
+		ev.ID = uint64(i)
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: no seal, and a torn half-record at the tail.
+	segs, err := s.listSegments()
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0])
+	full := EncodeEvent(randomEvent(rng))
+	torn := full[:len(full)/2]
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Before repair, the torn tail is a hard error.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Count(); err == nil {
+		t.Fatal("Count over a torn tail succeeded")
+	}
+	dropped, err := s2.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if dropped != int64(len(torn)) {
+		t.Errorf("Repair dropped %d bytes, want %d", dropped, len(torn))
+	}
+	if cnt, err := s2.Count(); err != nil || cnt != n {
+		t.Fatalf("Count after repair = %d, %v; want %d", cnt, err, n)
+	}
+	// Idempotent on a clean journal.
+	if dropped, err := s2.Repair(); err != nil || dropped != 0 {
+		t.Errorf("second Repair = %d, %v; want 0, nil", dropped, err)
+	}
+
+	// Corruption in a sealed (indexed) segment must not be trimmed:
+	// MaxSegmentSize 1 seals every segment at append time, so the final
+	// segment carries a sidecar index.
+	dir2 := t.TempDir()
+	sealed, err := Open(dir2, Options{MaxSegmentSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sealed.Append(randomEvent(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs2, err := sealed.listSegments()
+	if err != nil || len(segs2) != 3 {
+		t.Fatalf("segments = %v, %v", segs2, err)
+	}
+	lastPath := filepath.Join(dir2, segs2[len(segs2)-1])
+	data, err := os.ReadFile(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xFF
+	if err := os.WriteFile(lastPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Repair(); err == nil {
+		t.Fatal("Repair trimmed a sealed corrupt segment")
+	}
+}

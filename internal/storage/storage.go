@@ -9,10 +9,10 @@ package storage
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"saql/internal/event"
+	"saql/internal/wire"
 )
 
 const (
@@ -28,6 +29,10 @@ const (
 	metaSuffix     = ".idx"
 	defaultSegSize = 8 << 20 // rotate segments at 8 MiB
 )
+
+// ErrActiveStore reports a Repair attempted on a store that has already
+// opened an active segment for appending.
+var ErrActiveStore = errors.New("storage: repair requires a store with no active segment")
 
 // segMeta is the sidecar index of a sealed segment.
 type segMeta struct {
@@ -47,6 +52,11 @@ type Store struct {
 	activeSize int64
 	activeMeta segMeta
 	nextSeg    int
+
+	// failed latches the store after a torn write that could not be rolled
+	// back: appending past torn bytes would poison every later scan, so the
+	// store refuses further appends instead.
+	failed error
 }
 
 // Options configure a store.
@@ -84,17 +94,98 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Append writes one event to the active segment, rotating as needed.
 func (s *Store) Append(ev *event.Event) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	if s.active == nil {
 		if err := s.openSegment(); err != nil {
 			return err
 		}
 	}
-	rec := encodeEvent(ev)
-	n, err := s.active.Write(rec)
-	if err != nil {
-		return fmt.Errorf("storage: append: %w", err)
+	if err := s.writeRecords(encodeEvent(ev)); err != nil {
+		return err
 	}
-	s.activeSize += int64(n)
+	s.foldMeta(ev)
+	if s.activeSize >= s.maxSegSize {
+		return s.seal()
+	}
+	return nil
+}
+
+// writeRecords appends encoded record bytes to the active segment. A failed
+// or short write is rolled back by truncating the file to its pre-write
+// size, so torn bytes never sit in front of later records; if the rollback
+// itself fails the store latches failed (scans stay valid, appends stop).
+func (s *Store) writeRecords(buf []byte) error {
+	start := s.activeSize
+	n, err := s.active.Write(buf)
+	if err == nil && n == len(buf) {
+		s.activeSize += int64(n)
+		return nil
+	}
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	if terr := s.active.Truncate(start); terr != nil {
+		s.failed = fmt.Errorf("storage: segment %s poisoned: write: %v; rollback: %v", s.activeName, err, terr)
+		return s.failed
+	}
+	return fmt.Errorf("storage: append: %w", err)
+}
+
+// AppendAll appends a batch of events with one file write per segment
+// rather than per event: it sits on the engine's journaling hot path, where
+// every submitter serialises behind the append, so record encoding is
+// buffered and flushed in bulk (and at rotation boundaries). The sidecar
+// metadata for buffered events is folded in only after their bytes hit the
+// file, so a failed write can never leave the index claiming records the
+// segment does not hold — a torn tail record then fails its CRC on read
+// (fail-stop), it is never silently skipped over.
+func (s *Store) AppendAll(evs []*event.Event) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	var buf []byte
+	var staged []*event.Event // events encoded into buf, metadata pending
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := s.writeRecords(buf)
+		buf = buf[:0]
+		if err != nil {
+			staged = staged[:0]
+			return err
+		}
+		for _, ev := range staged {
+			s.foldMeta(ev)
+		}
+		staged = staged[:0]
+		return nil
+	}
+	for _, ev := range evs {
+		if s.active == nil {
+			if err := s.openSegment(); err != nil {
+				return err
+			}
+		}
+		buf = append(buf, encodeEvent(ev)...)
+		staged = append(staged, ev)
+		if s.activeSize+int64(len(buf)) >= s.maxSegSize {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := s.seal(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// foldMeta records one durably written event in the active segment's
+// sidecar metadata.
+func (s *Store) foldMeta(ev *event.Event) {
 	ts := ev.Time.UnixNano()
 	if s.activeMeta.Count == 0 || ts < s.activeMeta.MinTime {
 		s.activeMeta.MinTime = ts
@@ -104,20 +195,6 @@ func (s *Store) Append(ev *event.Event) error {
 	}
 	s.activeMeta.Count++
 	s.activeMeta.Hosts[ev.AgentID] = true
-	if s.activeSize >= s.maxSegSize {
-		return s.seal()
-	}
-	return nil
-}
-
-// AppendAll appends a batch of events.
-func (s *Store) AppendAll(evs []*event.Event) error {
-	for _, ev := range evs {
-		if err := s.Append(ev); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (s *Store) openSegment() error {
@@ -155,6 +232,62 @@ func (s *Store) seal() error {
 	}
 	s.active = nil
 	s.activeName = ""
+	return nil
+}
+
+// Repair truncates a torn tail record from the final, unsealed segment —
+// the shape an unsynced append leaves behind after a power loss — and
+// reports how many bytes were dropped (0 when the journal is clean). Only
+// the last segment without a sidecar index is eligible: a decode failure in
+// a sealed segment (whose records were fsynced and counted at seal time) is
+// genuine corruption and reported as an error, never trimmed. Call it once
+// on a journal recovered from a crash, before scanning or appending.
+func (s *Store) Repair() (int64, error) {
+	if s.active != nil {
+		return 0, fmt.Errorf("%w (call before appending)", ErrActiveStore)
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(s.dir, last)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: repair: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		_, n, err := decodeEvent(data[off:])
+		if err != nil {
+			if s.readMeta(last) != nil {
+				return 0, fmt.Errorf("storage: sealed segment %s corrupt at offset %d: %w", last, off, err)
+			}
+			dropped := int64(len(data) - off)
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return 0, fmt.Errorf("storage: repair: %w", err)
+			}
+			return dropped, nil
+		}
+		off += n
+	}
+	return 0, nil
+}
+
+// Sync flushes the active segment's appended records to stable storage
+// without sealing it. The checkpoint path calls it (under the journal
+// lock) before installing a snapshot, so every record a snapshot's offset
+// covers is durable before the snapshot that names it.
+func (s *Store) Sync() error {
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
 	return nil
 }
 
@@ -251,6 +384,16 @@ func (sel *Selection) segmentOverlaps(meta *segMeta) bool {
 // append order; collection agents append in time order), invoking yield for
 // each. A yield error aborts the scan.
 func (s *Store) Scan(sel Selection, yield func(*event.Event) error) error {
+	return s.ScanFrom(0, sel, yield)
+}
+
+// ScanFrom reads stored events starting at the global record offset — the
+// cursor coordinate the engine's checkpoints record: record 0 is the first
+// event ever appended, and offsets count every record in storage order
+// regardless of sel. Sealed segments whose sidecar index shows they end
+// before the offset are skipped without being read; sel then filters the
+// yielded tail. A yield error aborts the scan.
+func (s *Store) ScanFrom(offset int64, sel Selection, yield func(*event.Event) error) error {
 	// Seal the active segment so its data is visible to the scan.
 	if err := s.seal(); err != nil {
 		return err
@@ -260,16 +403,68 @@ func (s *Store) Scan(sel Selection, yield func(*event.Event) error) error {
 		return err
 	}
 	hosts := sel.hostSet()
+	var pos int64 // records before the current segment
 	for _, seg := range segs {
 		meta := s.readMeta(seg)
-		if !sel.segmentOverlaps(meta) {
+		if meta != nil && pos+meta.Count <= offset {
+			// Whole segment precedes the cursor: skip without reading.
+			pos += meta.Count
 			continue
 		}
-		if err := s.scanSegment(seg, sel, hosts, yield); err != nil {
+		if meta != nil && !sel.segmentOverlaps(meta) {
+			// The sidecar index proves no record matches the selection; the
+			// count still advances the offset cursor.
+			pos += meta.Count
+			continue
+		}
+		skip := offset - pos
+		if skip < 0 {
+			skip = 0
+		}
+		n, err := s.scanSegment(seg, sel, hosts, skip, yield)
+		pos += n
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Count reports how many event records the store holds (the offset the next
+// append lands at). Sealed segments are counted from their sidecar index;
+// an unsealed or index-less segment is scanned.
+func (s *Store) Count() (int64, error) {
+	if err := s.seal(); err != nil {
+		return 0, err
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, seg := range segs {
+		if meta := s.readMeta(seg); meta != nil {
+			total += meta.Count
+			continue
+		}
+		n, err := s.scanSegment(seg, Selection{}, nil, 0, func(*event.Event) error { return nil })
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ReadFrom collects all events from the global record offset onward that
+// match sel: the checkpoint-replay tail.
+func (s *Store) ReadFrom(offset int64, sel Selection) ([]*event.Event, error) {
+	var out []*event.Event
+	err := s.ScanFrom(offset, sel, func(ev *event.Event) error {
+		out = append(out, ev)
+		return nil
+	})
+	return out, err
 }
 
 // ReadAll collects all events matching sel.
@@ -295,57 +490,63 @@ func (s *Store) readMeta(seg string) *segMeta {
 	return &m
 }
 
-func (s *Store) scanSegment(seg string, sel Selection, hosts map[string]bool, yield func(*event.Event) error) error {
+// scanSegment yields the segment's events past the first skip records,
+// reporting how many records the segment holds in total.
+func (s *Store) scanSegment(seg string, sel Selection, hosts map[string]bool, skip int64, yield func(*event.Event) error) (int64, error) {
 	f, err := os.Open(filepath.Join(s.dir, seg))
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return 0, fmt.Errorf("storage: %w", err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(f)
 	if err != nil {
-		return fmt.Errorf("storage: read %s: %w", seg, err)
+		return 0, fmt.Errorf("storage: read %s: %w", seg, err)
 	}
 	off := 0
+	var count int64
 	for off < len(data) {
 		ev, n, err := decodeEvent(data[off:])
 		if err != nil {
-			return fmt.Errorf("storage: segment %s offset %d: %w", seg, off, err)
+			return count, fmt.Errorf("storage: segment %s offset %d: %w", seg, off, err)
 		}
 		off += n
+		count++
+		if count <= skip {
+			continue
+		}
 		if sel.matches(ev, hosts) {
 			if err := yield(ev); err != nil {
-				return err
+				return count, err
 			}
 		}
 	}
-	return nil
+	return count, nil
 }
 
 // ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------
 
-// encodeEvent produces: uvarint payloadLen | payload | crc32(payload).
-func encodeEvent(ev *event.Event) []byte {
-	payload := make([]byte, 0, 128)
-	payload = binary.AppendUvarint(payload, ev.ID)
-	payload = binary.AppendVarint(payload, ev.Time.UnixNano())
-	payload = appendString(payload, ev.AgentID)
-	payload = appendEntity(payload, &ev.Subject)
-	payload = append(payload, byte(ev.Op))
-	payload = appendEntity(payload, &ev.Object)
-	payload = binary.LittleEndian.AppendUint64(payload, uint64(float64bits(ev.Amount)))
-
+// EncodeEvent produces one store record: uvarint payloadLen | payload |
+// crc32(payload), with the payload encoded by the shared wire codec.
+func EncodeEvent(ev *event.Event) []byte {
+	payload := wire.AppendEvent(make([]byte, 0, 128), ev)
 	rec := binary.AppendUvarint(nil, uint64(len(payload)))
 	rec = append(rec, payload...)
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
 	return rec
 }
 
-func decodeEvent(data []byte) (*event.Event, int, error) {
+// DecodeEvent decodes one store record from the front of data, returning the
+// event and the record's total length. Truncated records and CRC mismatches
+// are rejected before any payload field is interpreted.
+func DecodeEvent(data []byte) (*event.Event, int, error) {
 	plen, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("bad record length")
+	}
+	if plen > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("truncated record (%d < %d)", len(data), plen)
 	}
 	total := n + int(plen) + 4
 	if len(data) < total {
@@ -356,150 +557,17 @@ func decodeEvent(data []byte) (*event.Event, int, error) {
 	if crc32.ChecksumIEEE(payload) != wantCRC {
 		return nil, 0, fmt.Errorf("crc mismatch")
 	}
-
-	ev := &event.Event{}
-	off := 0
-	id, k := binary.Uvarint(payload[off:])
-	if k <= 0 {
-		return nil, 0, fmt.Errorf("bad id")
+	r := wire.NewReader(payload)
+	ev := r.ReadEvent()
+	if r.Err() != nil {
+		return nil, 0, r.Err()
 	}
-	off += k
-	ev.ID = id
-	ts, k := binary.Varint(payload[off:])
-	if k <= 0 {
-		return nil, 0, fmt.Errorf("bad time")
+	if r.Len() != 0 {
+		return nil, 0, fmt.Errorf("trailing garbage in record payload")
 	}
-	off += k
-	ev.Time = time.Unix(0, ts)
-	agent, k, err := readString(payload[off:])
-	if err != nil {
-		return nil, 0, err
-	}
-	off += k
-	ev.AgentID = agent
-	subj, k, err := readEntity(payload[off:])
-	if err != nil {
-		return nil, 0, err
-	}
-	off += k
-	ev.Subject = subj
-	if off >= len(payload) {
-		return nil, 0, fmt.Errorf("truncated op")
-	}
-	ev.Op = event.Op(payload[off])
-	off++
-	obj, k, err := readEntity(payload[off:])
-	if err != nil {
-		return nil, 0, err
-	}
-	off += k
-	ev.Object = obj
-	if len(payload[off:]) < 8 {
-		return nil, 0, fmt.Errorf("truncated amount")
-	}
-	ev.Amount = float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 	return ev, total, nil
 }
 
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
+func encodeEvent(ev *event.Event) []byte { return EncodeEvent(ev) }
 
-func readString(b []byte) (string, int, error) {
-	l, n := binary.Uvarint(b)
-	if n <= 0 || len(b) < n+int(l) {
-		return "", 0, fmt.Errorf("bad string")
-	}
-	return string(b[n : n+int(l)]), n + int(l), nil
-}
-
-func appendEntity(b []byte, e *event.Entity) []byte {
-	b = append(b, byte(e.Type))
-	switch e.Type {
-	case event.EntityProcess:
-		b = appendString(b, e.ExeName)
-		b = binary.AppendVarint(b, int64(e.PID))
-		b = appendString(b, e.User)
-		b = appendString(b, e.CmdLine)
-	case event.EntityFile:
-		b = appendString(b, e.Path)
-	case event.EntityNetConn:
-		b = appendString(b, e.SrcIP)
-		b = binary.AppendVarint(b, int64(e.SrcPort))
-		b = appendString(b, e.DstIP)
-		b = binary.AppendVarint(b, int64(e.DstPort))
-		b = appendString(b, e.Protocol)
-	}
-	return b
-}
-
-func readEntity(b []byte) (event.Entity, int, error) {
-	var e event.Entity
-	if len(b) == 0 {
-		return e, 0, fmt.Errorf("truncated entity")
-	}
-	e.Type = event.EntityType(b[0])
-	off := 1
-	str := func() (string, error) {
-		s, n, err := readString(b[off:])
-		off += n
-		return s, err
-	}
-	num := func() (int64, error) {
-		v, n := binary.Varint(b[off:])
-		if n <= 0 {
-			return 0, fmt.Errorf("bad varint")
-		}
-		off += n
-		return v, nil
-	}
-	var err error
-	switch e.Type {
-	case event.EntityProcess:
-		if e.ExeName, err = str(); err != nil {
-			return e, 0, err
-		}
-		pid, err := num()
-		if err != nil {
-			return e, 0, err
-		}
-		e.PID = int32(pid)
-		if e.User, err = str(); err != nil {
-			return e, 0, err
-		}
-		if e.CmdLine, err = str(); err != nil {
-			return e, 0, err
-		}
-	case event.EntityFile:
-		if e.Path, err = str(); err != nil {
-			return e, 0, err
-		}
-	case event.EntityNetConn:
-		if e.SrcIP, err = str(); err != nil {
-			return e, 0, err
-		}
-		sp, err := num()
-		if err != nil {
-			return e, 0, err
-		}
-		e.SrcPort = int32(sp)
-		if e.DstIP, err = str(); err != nil {
-			return e, 0, err
-		}
-		dp, err := num()
-		if err != nil {
-			return e, 0, err
-		}
-		e.DstPort = int32(dp)
-		if e.Protocol, err = str(); err != nil {
-			return e, 0, err
-		}
-	default:
-		return e, 0, fmt.Errorf("unknown entity type %d", e.Type)
-	}
-	return e, off, nil
-}
-
-func float64bits(f float64) uint64     { return math.Float64bits(f) }
-func float64frombits(u uint64) float64 { return math.Float64frombits(u) }
+func decodeEvent(data []byte) (*event.Event, int, error) { return DecodeEvent(data) }

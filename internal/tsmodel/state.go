@@ -1,0 +1,106 @@
+package tsmodel
+
+// Checkpoint support: every detector serialises its baseline — trailing
+// buffers, the running EMA — into the wire format, so programmatic detection
+// pipelines built on this package (the network-monitor example's shape) can
+// checkpoint alongside an engine and resume without re-warming their
+// baselines. The codec mirrors the EncodeState/DecodeState split used by the
+// engine's own stateful layers.
+
+import (
+	"fmt"
+
+	"saql/internal/wire"
+)
+
+// Detector state tags.
+const (
+	tagSMA byte = iota + 1
+	tagEMA
+	tagWMA
+	tagZScore
+	tagThreshold
+)
+
+// AppendDetectorState appends d's baseline state to b. Configuration (N,
+// alpha, factors, limits) is not encoded: it belongs to the constructed
+// detector the state is restored into.
+func AppendDetectorState(b []byte, d Detector) ([]byte, error) {
+	switch det := d.(type) {
+	case *SMA:
+		b = append(b, tagSMA)
+		b = appendFloats(b, det.buf)
+	case *EMA:
+		b = append(b, tagEMA)
+		b = wire.AppendFloat64(b, det.ema)
+		b = wire.AppendBool(b, det.seen)
+	case *WMA:
+		b = append(b, tagWMA)
+		b = appendFloats(b, det.buf)
+	case *ZScore:
+		b = append(b, tagZScore)
+		b = appendFloats(b, det.buf)
+	case *Threshold:
+		b = append(b, tagThreshold)
+	default:
+		return b, fmt.Errorf("tsmodel: cannot snapshot detector type %T", d)
+	}
+	return b, nil
+}
+
+// ReadDetectorState restores d's baseline state from r. d must be the same
+// detector type that produced the state.
+func ReadDetectorState(r *wire.Reader, d Detector) error {
+	tag := r.Byte()
+	switch det := d.(type) {
+	case *SMA:
+		if tag != tagSMA {
+			return tagMismatch("SMA", tag)
+		}
+		det.buf = readFloats(r, det.buf)
+	case *EMA:
+		if tag != tagEMA {
+			return tagMismatch("EMA", tag)
+		}
+		det.ema = r.Float64()
+		det.seen = r.Bool()
+	case *WMA:
+		if tag != tagWMA {
+			return tagMismatch("WMA", tag)
+		}
+		det.buf = readFloats(r, det.buf)
+	case *ZScore:
+		if tag != tagZScore {
+			return tagMismatch("ZScore", tag)
+		}
+		det.buf = readFloats(r, det.buf)
+	case *Threshold:
+		if tag != tagThreshold {
+			return tagMismatch("Threshold", tag)
+		}
+	default:
+		return fmt.Errorf("tsmodel: cannot restore detector type %T", d)
+	}
+	return r.Err()
+}
+
+func appendFloats(b []byte, vals []float64) []byte {
+	b = wire.AppendUvarint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = wire.AppendFloat64(b, v)
+	}
+	return b
+}
+
+func readFloats(r *wire.Reader, into []float64) []float64 {
+	n := r.Count(8)
+	into = into[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		into = append(into, r.Float64())
+	}
+	return into
+}
+
+func tagMismatch(want string, got byte) error {
+	return fmt.Errorf("tsmodel: state tag %d does not match %s detector", got, want)
+}

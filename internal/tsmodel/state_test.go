@@ -1,0 +1,68 @@
+package tsmodel
+
+import (
+	"testing"
+
+	"saql/internal/wire"
+)
+
+// TestDetectorStateRoundTrip checks that a restored detector continues the
+// series exactly where the snapshot left it: for every detector type, the
+// scores and verdicts after restore equal those of a never-interrupted
+// detector.
+func TestDetectorStateRoundTrip(t *testing.T) {
+	series := []float64{10, 12, 11, 13, 500, 14, 12, 900, 11, 10, 15, 1200, 9}
+	const cut = 6
+
+	fresh := map[string]func() Detector{
+		"sma": func() Detector { d, _ := NewSMA(3, 5); return d },
+		"ema": func() Detector { d, _ := NewEMA(0.3, 2, 5); return d },
+		"wma": func() Detector { d, _ := NewWMA(4, 2, 5); return d },
+		"z":   func() Detector { d, _ := NewZScore(4, 2); return d },
+		"thr": func() Detector { return &Threshold{Limit: 100} },
+	}
+	for name, mk := range fresh {
+		t.Run(name, func(t *testing.T) {
+			ref := mk()
+			for _, x := range series {
+				ref.Observe(x)
+			}
+
+			live := mk()
+			for _, x := range series[:cut] {
+				live.Observe(x)
+			}
+			blob, err := AppendDetectorState(nil, live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := mk()
+			if err := ReadDetectorState(wire.NewReader(blob), restored); err != nil {
+				t.Fatal(err)
+			}
+
+			for i, x := range series[cut:] {
+				wantScore, wantAnom := live.Observe(x)
+				gotScore, gotAnom := restored.Observe(x)
+				if wantScore != gotScore || wantAnom != gotAnom {
+					t.Fatalf("obs %d: restored (%g, %v) != uninterrupted (%g, %v)", cut+i, gotScore, gotAnom, wantScore, wantAnom)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorStateTagMismatch pins the failure mode: state restored into
+// the wrong detector type errors instead of silently misreading.
+func TestDetectorStateTagMismatch(t *testing.T) {
+	sma, _ := NewSMA(3, 0)
+	sma.Observe(1)
+	blob, err := AppendDetectorState(nil, sma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ema, _ := NewEMA(0.5, 2, 0)
+	if err := ReadDetectorState(wire.NewReader(blob), ema); err == nil {
+		t.Fatal("SMA state restored into an EMA detector without error")
+	}
+}

@@ -1,0 +1,290 @@
+package window
+
+// Checkpoint support: the Manager serialises its open windows (per-group
+// aggregator accumulators and representative bindings) and watermark, and
+// History serialises its snapshot ring, into the wire format. Decoding uses
+// merge semantics so a restore can fold several per-shard state blobs into
+// one manager (or re-split one logical state across a different shard
+// count): windows union, the watermark advances to the max observed, and a
+// keep filter selects which group keys this replica owns — filtered groups
+// are still fully parsed (the blob must decode as a unit) but fold no state,
+// exactly like Touch during live sharded execution.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"saql/internal/agg"
+	"saql/internal/event"
+	"saql/internal/value"
+	"saql/internal/wire"
+)
+
+// AppendState appends the manager's full state: watermark, late-event
+// counter, and every open window's groups with their aggregator
+// accumulators. Windows and groups are emitted in sorted order so equal
+// states encode identically.
+func (m *Manager) AppendState(b []byte) ([]byte, error) {
+	b = wire.AppendBool(b, m.hasWM)
+	if m.hasWM {
+		b = wire.AppendTime(b, m.watermark)
+	} else {
+		b = wire.AppendVarint(b, 0)
+	}
+	b = wire.AppendVarint(b, m.LateEvents)
+
+	ids := make([]ID, 0, len(m.open))
+	for id := range m.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b = wire.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		w := m.open[id]
+		b = wire.AppendVarint(b, int64(id))
+		keys := make([]string, 0, len(w.groups))
+		for k := range w.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = wire.AppendUvarint(b, uint64(len(keys)))
+		for _, key := range keys {
+			var err error
+			if b, err = m.appendGroup(b, w.groups[key]); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func (m *Manager) appendGroup(b []byte, g *Group) ([]byte, error) {
+	b = wire.AppendString(b, g.Key)
+	b = wire.AppendVarint(b, int64(g.Count))
+	b = appendEntities(b, g.Entities)
+	b = appendEvents(b, g.Events)
+	b = wire.AppendUvarint(b, uint64(len(g.Aggs)))
+	for _, a := range g.Aggs {
+		var err error
+		if b, err = agg.AppendState(b, a); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// ReadState folds an encoded manager state into m. keep selects the group
+// keys this replica owns (nil keeps all); disjoint folds the per-owner
+// counters (LateEvents) that must be restored on exactly one replica. The
+// window set and watermark are merged on every replica, so window close
+// cadence stays identical across shards after a restore.
+func (m *Manager) ReadState(r *wire.Reader, keep func(string) bool, disjoint bool) error {
+	hasWM := r.Bool()
+	wmNanos := r.Varint()
+	late := r.Varint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasWM {
+		wm := time.Unix(0, wmNanos)
+		if !m.hasWM || wm.After(m.watermark) {
+			m.watermark = wm
+			m.hasWM = true
+		}
+	}
+	if disjoint {
+		m.LateEvents += late
+	}
+	nWin := r.Count(2)
+	for i := 0; i < nWin && r.Err() == nil; i++ {
+		id := ID(r.Varint())
+		w, ok := m.open[id]
+		if !ok {
+			w = &openWindow{id: id, groups: map[string]*Group{}}
+			m.open[id] = w
+		}
+		nGroups := r.Count(2)
+		for j := 0; j < nGroups && r.Err() == nil; j++ {
+			g, err := m.readGroup(r)
+			if err != nil {
+				return err
+			}
+			if keep == nil || keep(g.Key) {
+				w.groups[g.Key] = g
+			}
+		}
+	}
+	return r.Err()
+}
+
+func (m *Manager) readGroup(r *wire.Reader) (*Group, error) {
+	g := &Group{
+		Key:      r.String(),
+		Count:    int(r.Varint()),
+		Entities: readEntities(r),
+		Events:   readEvents(r),
+	}
+	if g.Entities == nil {
+		g.Entities = map[string]*event.Entity{}
+	}
+	if g.Events == nil {
+		g.Events = map[string]*event.Event{}
+	}
+	nAggs := r.Count(1)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nAggs != len(m.fields) {
+		return nil, fmt.Errorf("window: snapshot has %d aggregators, manager has %d state fields", nAggs, len(m.fields))
+	}
+	g.Aggs = make([]agg.Aggregator, nAggs)
+	for i, f := range m.fields {
+		a, err := agg.New(f.AggName, f.AggParams)
+		if err != nil {
+			return nil, err // validated in NewManager; unreachable
+		}
+		if err := agg.ReadState(r, a); err != nil {
+			return nil, err
+		}
+		g.Aggs[i] = a
+	}
+	return g, r.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot and history codec
+// ---------------------------------------------------------------------------
+
+// AppendSnapshot appends one frozen group snapshot.
+func AppendSnapshot(b []byte, s *Snapshot) []byte {
+	b = wire.AppendVarint(b, int64(s.WindowID))
+	b = wire.AppendVarint(b, int64(s.Count))
+	names := make([]string, 0, len(s.Fields))
+	for n := range s.Fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = wire.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = wire.AppendString(b, n)
+		b = wire.AppendValue(b, s.Fields[n])
+	}
+	b = appendEntities(b, s.Entities)
+	b = appendEvents(b, s.Events)
+	return b
+}
+
+// ReadSnapshot decodes one group snapshot.
+func ReadSnapshot(r *wire.Reader) *Snapshot {
+	s := &Snapshot{
+		WindowID: ID(r.Varint()),
+		Count:    int(r.Varint()),
+	}
+	nFields := r.Count(2)
+	if nFields > 0 {
+		s.Fields = make(map[string]value.Value, nFields)
+	}
+	for i := 0; i < nFields && r.Err() == nil; i++ {
+		n := r.String()
+		s.Fields[n] = r.ReadValue()
+	}
+	s.Entities = readEntities(r)
+	s.Events = readEvents(r)
+	return s
+}
+
+// AppendState appends the history ring: depth, lifetime total, and the
+// retained snapshots oldest first.
+func (h *History) AppendState(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(h.depth))
+	b = wire.AppendVarint(b, int64(h.total))
+	b = wire.AppendUvarint(b, uint64(h.n))
+	for k := h.n - 1; k >= 0; k-- {
+		b = AppendSnapshot(b, h.At(k))
+	}
+	return b
+}
+
+// ReadState restores the ring from r. The encoded depth must match h's
+// (histories are recreated from the same compiled query the snapshot was
+// taken under).
+func (h *History) ReadState(r *wire.Reader) error {
+	depth := int(r.Varint())
+	total := int(r.Varint())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if depth != h.depth {
+		return fmt.Errorf("window: history depth mismatch: snapshot %d, query %d", depth, h.depth)
+	}
+	n := r.Count(4)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		h.Push(ReadSnapshot(r))
+	}
+	if r.Err() == nil {
+		// Total drives invariant/backfill counters; it may exceed the
+		// retained count.
+		h.total = total
+	}
+	return r.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Binding maps
+// ---------------------------------------------------------------------------
+
+func appendEntities(b []byte, m map[string]*event.Entity) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = wire.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = wire.AppendString(b, k)
+		b = wire.AppendEntity(b, m[k])
+	}
+	return b
+}
+
+func readEntities(r *wire.Reader) map[string]*event.Entity {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]*event.Entity, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		e := r.ReadEntity()
+		m[k] = &e
+	}
+	return m
+}
+
+func appendEvents(b []byte, m map[string]*event.Event) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = wire.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = wire.AppendString(b, k)
+		b = wire.AppendEvent(b, m[k])
+	}
+	return b
+}
+
+func readEvents(r *wire.Reader) map[string]*event.Event {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]*event.Event, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		m[k] = r.ReadEvent()
+	}
+	return m
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"saql/internal/event"
+	"saql/internal/value"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, -1234567)
+	b = AppendString(b, "héllo\x00world")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendFloat64(b, math.Pi)
+	b = AppendFloat64(b, math.Inf(-1))
+	b = AppendTime(b, time.Unix(0, 1582794000123456789))
+
+	r := NewReader(b)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -1234567 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.String(); got != "héllo\x00world" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("bytes = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools drifted")
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("float = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("float = %v", got)
+	}
+	if got := r.Time(); got.UnixNano() != 1582794000123456789 {
+		t.Errorf("time = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.Len() != 0 {
+		t.Errorf("%d bytes left over", r.Len())
+	}
+}
+
+func TestReaderStickyErrors(t *testing.T) {
+	// Truncated string: a claimed length past the end must fail without
+	// allocating, and every later read must return zero values.
+	b := AppendUvarint(nil, 1<<40)
+	r := NewReader(b)
+	if s := r.String(); s != "" {
+		t.Errorf("truncated string decoded %q", s)
+	}
+	if r.Err() == nil {
+		t.Fatal("no error after truncated string")
+	}
+	if v := r.Uvarint(); v != 0 {
+		t.Errorf("read after error = %d", v)
+	}
+	if v := r.ReadValue(); !v.IsNull() {
+		t.Errorf("value after error = %v", v)
+	}
+
+	// Bad bool byte.
+	r = NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Error("bool 7 accepted")
+	}
+
+	// Implausible count.
+	r = NewReader(AppendUvarint(nil, 1<<50))
+	r.Count(8)
+	if r.Err() == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null,
+		value.String(""),
+		value.String("x\x1fy"),
+		value.Int(-42),
+		value.Float(2.5),
+		value.Bool(true),
+		value.EmptySet(),
+		value.SetOf("b", "a", "c"),
+	}
+	var b []byte
+	for _, v := range vals {
+		b = AppendValue(b, v)
+	}
+	r := NewReader(b)
+	for i, want := range vals {
+		got := r.ReadValue()
+		if !got.Equal(want) || got.Kind() != want.Kind() {
+			t.Errorf("value %d: got %v (%v), want %v (%v)", i, got, got.Kind(), want, want.Kind())
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+
+	// Unknown kind byte fails typed, not panics.
+	r = NewReader([]byte{0xEE})
+	r.ReadValue()
+	if r.Err() == nil {
+		t.Error("unknown value kind accepted")
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := &event.Event{
+		ID:      7,
+		Time:    time.Unix(0, 99),
+		AgentID: "db-1",
+		Subject: event.Process("sqlservr.exe", 1234),
+		Op:      event.OpWrite,
+		Object:  event.NetConn("10.0.0.2", 1433, "172.16.0.129", 443),
+		Amount:  1e7,
+	}
+	r := NewReader(AppendEvent(nil, ev))
+	got := r.ReadEvent()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if got.ID != ev.ID || !got.Time.Equal(ev.Time) || got.AgentID != ev.AgentID ||
+		got.Subject != ev.Subject || got.Op != ev.Op || got.Object != ev.Object || got.Amount != ev.Amount {
+		t.Errorf("round trip drifted: %+v vs %+v", got, ev)
+	}
+
+	// Unknown entity type fails.
+	r = NewReader([]byte{0xEE})
+	r.ReadEntity()
+	if r.Err() == nil {
+		t.Error("unknown entity type accepted")
+	}
+}

@@ -3,6 +3,7 @@ package saql
 import (
 	"context"
 	"errors"
+	"fmt"
 	goruntime "runtime"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"saql/internal/scheduler"
 	"saql/internal/sema"
 	"saql/internal/source"
+	"saql/internal/storage"
 )
 
 // Alert is a detection raised by a query (re-exported engine type).
@@ -110,6 +112,16 @@ type config struct {
 	shards    int
 	queueSize int
 	overflow  OverflowPolicy
+	// journal, when set, durably records every ingested event (see
+	// WithJournal); baseOffset seeds the stream-offset counter so a
+	// restored engine's checkpoints index the same journal coordinates.
+	// Restore pins baseOffset explicitly (baseOffsetSet); otherwise it is
+	// resolved lazily from the journal's existing record count, so a
+	// journal left by a run that crashed before its first checkpoint is
+	// never re-indexed from zero.
+	journal       *storage.Store
+	baseOffset    int64
+	baseOffsetSet bool
 }
 
 // WithSharing toggles the master–dependent-query scheme (default on).
@@ -183,6 +195,72 @@ type Engine struct {
 
 	srcMu   sync.Mutex // guards ingest (attached log sources)
 	ingests []*source.Source
+
+	// jmu pins the serial path's journal-append order to its processing
+	// order when WithJournal is active (the sharded runtime has its own
+	// equivalent lock). It is never taken unless a journal is configured, so
+	// journal-less serial Process keeps its lock-free callback guarantees.
+	jmu sync.Mutex
+
+	// baseMu guards the one-time resolution of the journal's base offset
+	// (see journalBase / pinBaseOffset).
+	baseMu       sync.Mutex
+	baseResolved bool
+
+	// ckptMu serialises whole checkpoints (barrier capture + snapshot
+	// install) against each other, while the engine lock is held only for
+	// the in-memory capture — the control plane never waits on checkpoint
+	// disk I/O.
+	ckptMu sync.Mutex
+}
+
+// journalBase resolves the stream-offset origin for a journaled engine:
+// the value Restore pinned, the value an early ReplayJournal pinned, or —
+// for a fresh engine attached to a journal directory whose records it will
+// not replay — the journal's existing record count. Either way, stream
+// offsets always equal journal record positions, even when a previous run
+// died before writing any checkpoint.
+func (e *Engine) journalBase() (int64, error) {
+	e.baseMu.Lock()
+	defer e.baseMu.Unlock()
+	if e.baseResolved || e.cfg.journal == nil || e.cfg.baseOffsetSet {
+		e.baseResolved = true
+		return e.cfg.baseOffset, nil
+	}
+	// A crash may have left the journal's unsealed tail ending in a torn
+	// record; trim it before counting so first use of a recovered journal
+	// just works. A store that already has an active segment (the caller
+	// appended through the same handle) is left alone; sealed-segment
+	// corruption still fails below, in Count.
+	if _, err := e.cfg.journal.Repair(); err != nil && !errors.Is(err, storage.ErrActiveStore) {
+		return 0, err
+	}
+	n, err := e.cfg.journal.Count()
+	if err != nil {
+		return 0, err
+	}
+	e.cfg.baseOffset = n
+	e.baseResolved = true
+	return n, nil
+}
+
+// pinBaseOffset fixes the stream-offset origin explicitly — the path
+// ReplayJournal uses on a not-yet-started engine, where the replayed
+// records themselves will advance the engine to the journal's head. It
+// fails once the origin has already been resolved to a different value
+// (events were processed, or the engine started, under other coordinates).
+func (e *Engine) pinBaseOffset(off int64) error {
+	e.baseMu.Lock()
+	defer e.baseMu.Unlock()
+	// An explicitly pinned origin (Restore) counts as resolved even before
+	// journalBase runs: replaying from any other offset into restored state
+	// would fold prefix events in twice.
+	if (e.baseResolved || e.cfg.baseOffsetSet) && e.cfg.baseOffset != off {
+		return fmt.Errorf("saql: journal offset coordinates already fixed at %d", e.cfg.baseOffset)
+	}
+	e.cfg.baseOffset = off
+	e.baseResolved = true
+	return nil
 }
 
 // queryRecord is the engine-side state behind one registered query: its
@@ -241,14 +319,26 @@ func (e *Engine) Start(ctx context.Context) error {
 	case stateClosed:
 		return ErrClosed
 	}
-	rt := runtime.Start(runtime.Config{
+	rtCfg := runtime.Config{
 		Shards:    e.cfg.shards,
 		QueueSize: e.cfg.queueSize,
 		Overflow:  e.cfg.overflow,
 		Sharing:   e.cfg.sharing,
 		Reporter:  e.reporter,
 		Fan:       e.fan,
-	})
+	}
+	if e.cfg.journal != nil {
+		store := e.cfg.journal
+		base, err := e.journalBase()
+		if err != nil {
+			return err
+		}
+		rtCfg.Journal = store.AppendAll
+		// Events the serial path already journaled and processed are part of
+		// the runtime's stream-offset coordinate space.
+		rtCfg.BaseOffset = base + e.sched.Stats().Events
+	}
+	rt := runtime.Start(rtCfg)
 	// Distribute the already-registered queries in name order so pinned
 	// home-shard assignment is deterministic. The primary replicas carry
 	// their pause flags; cloneFor stamps them onto the extra replicas.
@@ -298,6 +388,13 @@ func (e *Engine) Close() error {
 		rt.Close() // idempotent; closes the fan-out
 	} else if prev != stateClosed {
 		e.fan.Close()
+	}
+	if store := e.cfg.journal; store != nil && prev != stateClosed {
+		// Seal the journal after the final drain so every accepted event is
+		// durably indexed; the store stays scannable for replay.
+		if err := store.Close(); err != nil {
+			e.reporter.Report("", err)
+		}
 	}
 	return nil
 }
@@ -450,7 +547,29 @@ func (e *Engine) Process(ev *Event) []*Alert {
 	}
 	// Serial path: the scheduler serialises event processing internally,
 	// and no Engine lock is held here, so alert handlers and subscribers
-	// are free to call back into the Engine.
+	// are free to call back into the Engine. With a journal configured the
+	// append and the processing share one lock hold, pinning the journal
+	// order to the processing order checkpoint offsets index.
+	if store := e.cfg.journal; store != nil {
+		if _, err := e.journalBase(); err != nil {
+			e.reporter.Report("", err)
+			return nil
+		}
+		e.jmu.Lock()
+		if err := store.Append(ev); err != nil {
+			// An unjournaled event must not be processed: counting it would
+			// desync checkpoint offsets from the journal's contents and make
+			// a later replay skip a real tail event. Same contract as the
+			// sharded path, which rejects the whole batch.
+			e.jmu.Unlock()
+			e.reporter.Report("", err)
+			return nil
+		}
+		alerts := e.sched.Process(ev)
+		e.jmu.Unlock()
+		e.fan.Publish(alerts)
+		return alerts
+	}
 	alerts := e.sched.Process(ev)
 	e.fan.Publish(alerts)
 	return alerts
