@@ -1,0 +1,106 @@
+// Command saql-worker is one node of a distributed SAQL cluster: a thin
+// process around a normal saql.Engine that owns a slice of the group-key
+// hash space. It listens for the coordinator (cmd/saql -cluster), receives
+// the broadcast event stream and queryset control operations over the
+// internal/dist frame protocol, journals and checkpoints its state into
+// -dir independently, and streams the alerts its key ranges own back to
+// the coordinator.
+//
+// The worker is stateless above its directory: killing the process and
+// starting a new one with the same -dir resumes from the last checkpoint
+// plus the journaled tail, and the coordinator replays whatever the journal
+// misses from its retained epoch. One coordinator connection is served at a
+// time — a second connection while one is active would race two engines on
+// the same journal, so connections are served strictly sequentially.
+//
+// Usage:
+//
+//	saql-worker -listen :7443 -dir ./worker-state -shards 4
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"saql/internal/dist"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saql-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("saql-worker", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", ":7443", "address to accept the coordinator connection on")
+		dir    = fs.String("dir", "", "journal/checkpoint directory for this worker's state (required)")
+		shards = fs.Int("shards", 0, "shard workers for this node's engine (0 = GOMAXPROCS)")
+		queue  = fs.Int("queue", 0, "ingest queue size (0 = engine default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required: a worker's identity is its state directory")
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	var outMu sync.Mutex
+	logf := func(format string, a ...any) {
+		outMu.Lock()
+		fmt.Fprintf(out, format+"\n", a...)
+		outMu.Unlock()
+	}
+	logf("saql-worker: listening on %s, state in %s", ln.Addr(), *dir)
+
+	// SIGTERM/SIGINT closes the listener; an in-flight Serve finishes its
+	// current session (the coordinator's shutdown frame checkpoints and
+	// seals the journal) before the accept loop observes the closure.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				logf("saql-worker: listener closed, exiting")
+				return nil
+			}
+			return err
+		}
+		logf("saql-worker: coordinator connected from %s", conn.RemoteAddr())
+		w := dist.NewWorker(dist.WorkerConfig{
+			Dir:       *dir,
+			Shards:    *shards,
+			QueueSize: *queue,
+			Logf:      logf,
+		})
+		if err := w.Serve(conn); err != nil {
+			logf("saql-worker: session ended: %v", err)
+		} else {
+			logf("saql-worker: session ended cleanly")
+		}
+	}
+}

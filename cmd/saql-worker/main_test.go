@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"saql"
+	"saql/internal/dist"
+	"saql/internal/leakcheck"
+)
+
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+),`)
+
+// TestWorkerServeLifecycle runs the real binary loop in-process: it comes
+// up on an ephemeral port, serves a coordinator session end to end (hello,
+// queryset, events, alert return, clean shutdown), and exits on SIGTERM.
+func TestWorkerServeLifecycle(t *testing.T) {
+	// The first signal.Notify in a process starts a permanent watcher
+	// goroutine; prime it before the leak baseline so it isn't counted.
+	prime := make(chan os.Signal, 1)
+	signal.Notify(prime, syscall.SIGHUP)
+	signal.Stop(prime)
+	leakcheck.Check(t)
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-dir", t.TempDir(), "-shards", "1"}, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never listened:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var amu sync.Mutex
+	alerts := 0
+	coord := dist.NewCoordinator(dist.Config{
+		OnAlert: func(*saql.Alert) { amu.Lock(); alerts++; amu.Unlock() },
+	})
+	conn, err := dist.TCP{Timeout: 5 * time.Second}.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddWorker("w0", conn, dist.SplitRanges(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Register("big-write", "proc p write ip i as e\nalert e.amount > 1000000\nreturn p, e.amount"); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2020, 2, 27, 9, 0, 0, 0, time.UTC)
+	var evs []*saql.Event
+	for i := 0; i < 20; i++ {
+		evs = append(evs, &saql.Event{
+			Time:    base.Add(time.Duration(i) * time.Millisecond),
+			AgentID: "db-1",
+			Subject: saql.Process(fmt.Sprintf("w-%d.exe", i%5), int32(1000+i%5)),
+			Op:      saql.OpWrite,
+			Object:  saql.NetConn("10.0.0.2", 1433, "10.1.0.3", 443),
+			Amount:  2000000,
+		})
+	}
+	if err := coord.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	amu.Lock()
+	if alerts != len(evs) {
+		t.Errorf("alerts = %d, want %d", alerts, len(evs))
+	}
+	amu.Unlock()
+
+	// SIGTERM ends the accept loop cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("worker did not exit after SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "session ended cleanly") {
+		t.Errorf("no clean session in output:\n%s", out.String())
+	}
+}
+
+// TestWorkerRequiresDir pins the flag validation.
+func TestWorkerRequiresDir(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-listen", "127.0.0.1:0"}, &out); err == nil {
+		t.Error("run without -dir succeeded")
+	}
+}

@@ -1,0 +1,216 @@
+package main
+
+// Cluster coordinator mode: -cluster "host1:7443,host2:7443" turns this
+// process into the coordinator of a distributed SAQL deployment. Each
+// address is a running saql-worker owning a contiguous slice of the
+// group-key hash space; the coordinator broadcasts the event stream and the
+// queryset to every worker and prints the alerts they stream back — the
+// union is alert-for-alert what a single serial engine would have raised.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"saql"
+	"saql/internal/dist"
+)
+
+type clusterParams struct {
+	addrs     []string
+	set       *saql.QuerySet
+	scenario  *saql.AttackScenario
+	storeDir  string
+	hosts     []string
+	from, to  string
+	speed     float64
+	simulate  bool
+	duration  time.Duration
+	seed      int64
+	batch     int
+	quiet     bool
+	ckptEvery time.Duration
+}
+
+func runCluster(out io.Writer, p clusterParams) error {
+	if p.storeDir == "" && !p.simulate {
+		return fmt.Errorf("-cluster needs -store or -simulate as the event source")
+	}
+
+	var outMu sync.Mutex
+	var alertCount int64
+	coord := dist.NewCoordinator(dist.Config{
+		OnAlert: func(a *saql.Alert) {
+			alertCount++
+			if !p.quiet {
+				outMu.Lock()
+				fmt.Fprintln(out, a)
+				outMu.Unlock()
+			}
+		},
+		Logf: func(format string, a ...any) {
+			outMu.Lock()
+			fmt.Fprintf(out, format+"\n", a...)
+			outMu.Unlock()
+		},
+	})
+
+	// Dial every worker and hand each an even slice of the hash space. The
+	// worker's address doubles as its cluster identity.
+	tr := dist.TCP{Timeout: 10 * time.Second}
+	ranges := dist.SplitRanges(len(p.addrs))
+	for i, addr := range p.addrs {
+		conn, err := tr.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", addr, err)
+		}
+		if err := coord.AddWorker(addr, conn, ranges[i]); err != nil {
+			return fmt.Errorf("worker %s: %w", addr, err)
+		}
+	}
+	for id, rs := range coord.Workers() {
+		outMu.Lock()
+		fmt.Fprintf(out, "worker %-24s ranges=%v\n", id, rs)
+		outMu.Unlock()
+	}
+	for _, name := range p.set.Names() {
+		src, _ := p.set.Source(name)
+		if err := coord.Register(name, src); err != nil {
+			return fmt.Errorf("register %s: %w", name, err)
+		}
+	}
+	outMu.Lock()
+	fmt.Fprintf(out, "registered %d queries on %d workers\n", p.set.Len(), len(p.addrs))
+	outMu.Unlock()
+
+	// SIGTERM/SIGINT stops the feed; the coordinator then closes cleanly,
+	// which flushes every worker's open windows, checkpoints each state
+	// directory, and drains the last alerts.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// Heartbeats keep worker leases fresh during idle stretches; periodic
+	// cluster-wide checkpoint barriers bound every worker's replay tail.
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		hb := time.NewTicker(10 * time.Second)
+		defer hb.Stop()
+		var ckpt <-chan time.Time
+		if p.ckptEvery > 0 {
+			t := time.NewTicker(p.ckptEvery)
+			defer t.Stop()
+			ckpt = t.C
+		}
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-hb.C:
+				if err := coord.Heartbeat(); err != nil {
+					fmt.Fprintln(os.Stderr, "saql: heartbeat:", err)
+				}
+			case <-ckpt:
+				if err := coord.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "saql: cluster checkpoint:", err)
+				}
+			}
+		}
+	}()
+	stopTicker := func() { close(tickStop); <-tickDone }
+
+	started := time.Now()
+	var events int64
+	feedErr := func() error {
+		if p.simulate {
+			all, err := simulationEvents(p.scenario, p.duration, p.seed)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < len(all); i += p.batch {
+				if ctx.Err() != nil {
+					return nil
+				}
+				end := min(i+p.batch, len(all))
+				if err := coord.SubmitBatch(all[i:end]); err != nil {
+					return err
+				}
+				events += int64(end - i)
+			}
+			return nil
+		}
+		store, err := saql.OpenStore(p.storeDir, saql.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		opts := saql.ReplayOptions{Hosts: p.hosts, Speed: p.speed}
+		if p.from != "" {
+			t, err := time.Parse(time.RFC3339, p.from)
+			if err != nil {
+				return fmt.Errorf("bad -from: %w", err)
+			}
+			opts.From = t
+		}
+		if p.to != "" {
+			t, err := time.Parse(time.RFC3339, p.to)
+			if err != nil {
+				return fmt.Errorf("bad -to: %w", err)
+			}
+			opts.To = t
+		}
+		rep := saql.NewReplayer(store)
+		ch, wait := rep.ReplayChan(ctx, opts, p.batch)
+		buf := make([]*saql.Event, 0, p.batch)
+		flush := func() error {
+			if len(buf) == 0 {
+				return nil
+			}
+			if err := coord.SubmitBatch(buf); err != nil {
+				return err
+			}
+			events += int64(len(buf))
+			buf = buf[:0]
+			return nil
+		}
+		for ev := range ch {
+			buf = append(buf, ev)
+			if len(buf) == p.batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		if _, err := wait(); err != nil && ctx.Err() == nil {
+			return err
+		}
+		return nil
+	}()
+	stopTicker()
+	stopSignals()
+	if feedErr != nil {
+		coord.Close()
+		return feedErr
+	}
+
+	// Close flushes end-of-stream windows on every worker, takes each one's
+	// final checkpoint, and collects the remaining alerts before the
+	// summary prints.
+	if err := coord.Close(); err != nil {
+		return fmt.Errorf("cluster shutdown: %w", err)
+	}
+	wall := time.Since(started)
+	fmt.Fprintf(out, "\n--- summary ---\n")
+	fmt.Fprintf(out, "events fanned out: %d to %d workers (%.0f events/s)\n",
+		events, len(p.addrs), float64(events)/wall.Seconds())
+	fmt.Fprintf(out, "alerts raised    : %d\n", alertCount)
+	return nil
+}

@@ -109,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		quiet       = fs.Bool("quiet", false, "suppress per-alert output, print only the summary")
 		ckptDir     = fs.String("checkpoint-dir", "", "durable state directory: journal every event there, restore from its snapshot on start, checkpoint into it")
 		ckptEvery   = fs.Duration("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint periodically at this interval (0 = only at exit)")
+		cluster     = fs.String("cluster", "", "comma-separated saql-worker addresses: run as the cluster coordinator instead of a local engine")
 	)
 	fs.Var(&queryFiles, "q", "SAQL query file (repeatable)")
 	fs.Var(&inline, "e", "inline SAQL query text (repeatable)")
@@ -171,6 +172,25 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-40s OK\n", name)
 		}
 		return nil
+	}
+
+	if *cluster != "" {
+		return runCluster(out, clusterParams{
+			addrs:     strings.Split(*cluster, ","),
+			set:       set,
+			scenario:  scenario,
+			storeDir:  *storeDir,
+			hosts:     hosts,
+			from:      *from,
+			to:        *to,
+			speed:     *speed,
+			simulate:  *simulate,
+			duration:  *duration,
+			seed:      *seed,
+			batch:     *batch,
+			quiet:     *quiet,
+			ckptEvery: *ckptEvery,
+		})
 	}
 
 	// The alert handler is invoked serially in both the sharded runtime and
@@ -412,48 +432,54 @@ func run(args []string, out io.Writer) error {
 			}
 			opts.To = t
 		}
+		// SIGTERM/SIGINT cancels the replay mid-stream; everything already
+		// ingested still drains, flushes its open windows, and lands in the
+		// final checkpoint below before the process exits.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		rep := saql.NewReplayer(store)
-		ch, wait := rep.ReplayChan(context.Background(), opts, 256)
+		ch, wait := rep.ReplayChan(ctx, opts, 256)
 		for ev := range ch {
 			feed(ev)
 			events++
 		}
-		if _, err := wait(); err != nil {
-			return err
+		_, werr := wait()
+		interrupted := ctx.Err() != nil
+		stopSignals()
+		if werr != nil && !interrupted {
+			return werr
+		}
+		if interrupted {
+			outMu.Lock()
+			fmt.Fprintf(out, "interrupted: stopping replay after %d events\n", events)
+			outMu.Unlock()
 		}
 
 	case *simulate:
-		start := time.Now().UTC().Truncate(time.Minute)
-		wl, err := saql.NewWorkload(saql.WorkloadConfig{
-			Hosts: []saql.Host{
-				{AgentID: "ws-victim", Kind: saql.Workstation},
-				{AgentID: "ws-2", Kind: saql.Workstation},
-				{AgentID: "mail-1", Kind: saql.MailServer},
-				{AgentID: "web-1", Kind: saql.WebServer},
-				{AgentID: "db-1", Kind: saql.DBServer},
-			},
-			Start: start, Duration: *duration, Seed: *seed,
-		})
+		all, err := simulationEvents(scenario, *duration, *seed)
 		if err != nil {
 			return err
 		}
-		scenario.Start = start.Add(*duration / 3)
-		all := wl.Drain()
-		all = append(all, saql.AttackEventsOnly(scenario.Events())...)
-		sort.SliceStable(all, func(i, j int) bool { return all[i].Time.Before(all[j].Time) })
-		if sharded {
-			for i := 0; i < len(all); i += *batch {
-				end := min(i+*batch, len(all))
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		for i := 0; i < len(all) && ctx.Err() == nil; i += *batch {
+			end := min(i+*batch, len(all))
+			if sharded {
 				if err := eng.SubmitBatch(all[i:end]); err != nil {
+					stopSignals()
 					return err
 				}
+			} else {
+				for _, ev := range all[i:end] {
+					eng.Process(ev)
+				}
 			}
-			events = int64(len(all))
-			break
+			events += int64(end - i)
 		}
-		for _, ev := range all {
-			feed(ev)
-			events++
+		interrupted := ctx.Err() != nil
+		stopSignals()
+		if interrupted {
+			outMu.Lock()
+			fmt.Fprintf(out, "interrupted: stopping simulation after %d events\n", events)
+			outMu.Unlock()
 		}
 
 	default:
@@ -506,6 +532,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "runtime errors   : %d (last: %v)\n", n, eng.Errors()[len(eng.Errors())-1])
 	}
 	return nil
+}
+
+// simulationEvents generates the -simulate dataset: the enterprise
+// workload with the APT attack spliced in, sorted by event time.
+func simulationEvents(scenario *saql.AttackScenario, duration time.Duration, seed int64) ([]*saql.Event, error) {
+	start := time.Now().UTC().Truncate(time.Minute)
+	wl, err := saql.NewWorkload(saql.WorkloadConfig{
+		Hosts: []saql.Host{
+			{AgentID: "ws-victim", Kind: saql.Workstation},
+			{AgentID: "ws-2", Kind: saql.Workstation},
+			{AgentID: "mail-1", Kind: saql.MailServer},
+			{AgentID: "web-1", Kind: saql.WebServer},
+			{AgentID: "db-1", Kind: saql.DBServer},
+		},
+		Start: start, Duration: duration, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenario.Start = start.Add(duration / 3)
+	all := wl.Drain()
+	all = append(all, saql.AttackEventsOnly(scenario.Events())...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time.Before(all[j].Time) })
+	return all, nil
 }
 
 // mergeQueryFile reads one rule file and merges its queries into set: a

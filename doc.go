@@ -145,6 +145,21 @@
 // (ErrNoCheckpoint, *SnapshotVersionError, *SnapshotCorruptError), never
 // with silently corrupted state. See docs/architecture.md, "Durable state".
 //
+// # Distributed operation
+//
+// The checkpoint substrate scales past one process. WithKeyRanges restricts
+// an engine to contiguous ranges of the 32-bit FNV-1a ownership hash space
+// (HashGroupKey, HashSubject expose the hashing; RestoreStateBlobs applies
+// migrated state), and internal/dist builds the cluster on top: a
+// coordinator owning the queryset and the stream, cmd/saql-worker nodes
+// each running a normal engine over their own journal/checkpoint directory,
+// and a framed wire protocol carrying events, control ops, alerts, and
+// checkpoint barriers in one total order. Worker loss and live key-range
+// rebalance both reduce to checkpoint/restore, and the cluster's merged
+// alert stream stays alert-for-alert identical to one serial engine. Run a
+// cluster with cmd/saql's -cluster flag; see docs/architecture.md,
+// "Distributed operation".
+//
 // The module also ships the full demonstration substrate of the paper: a
 // deterministic multi-host workload simulator (NewWorkload), the five-step
 // APT kill-chain generator (AttackScenario), an embedded event store and

@@ -1,0 +1,623 @@
+// Package dist implements the distributed execution layer on top of the
+// checkpoint substrate: a coordinator that owns the queryset, splits the
+// FNV ownership hash space into contiguous key ranges, and broadcasts one
+// total event order to a set of workers; and workers, each a normal
+// saql.Engine restricted to its ranges (saql.WithKeyRanges) that journals
+// and checkpoints independently and streams alerts back.
+//
+// # Equivalence model
+//
+// The cluster inherits the sharded runtime's argument wholesale: every
+// worker observes every event in the same total order, so watermarks and
+// window boundaries are identical everywhere; key-range ownership only
+// gates which worker folds state and raises alerts for a given group, event
+// subject, or pinned query. Worker alert sets are therefore disjoint and
+// their union equals the serial engine's alert set.
+//
+// # Failure and rebalance model
+//
+// All recovery is checkpoint → restore with a new range map. A cluster
+// checkpoint is a barrier frame every worker answers after writing its own
+// snapshot at the same stream offset; the coordinator retains the event
+// batches dispatched since the last completed barrier (the epoch). A killed
+// worker is replaced by restoring from its directory — the local journal
+// replays it to its death point, the coordinator re-sends the retained tail
+// past it, and a per-worker alert-identity multiset suppresses the alerts
+// the dead worker already delivered. A live key-range migration is a
+// barrier, a state-blob transfer from the source's snapshot, and a
+// reconfigure (close + restore under the new range map) of both workers;
+// the target folds the source's blobs through its own ownership filters, so
+// it keeps exactly the migrated range's state. Control operations (register,
+// pause, update, remove) ride the same total order as events and are
+// immediately followed by a barrier, so an epoch's retained tail is pure
+// events and replays into a snapshot without interleaving concerns.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"saql"
+	"saql/internal/engine"
+	"saql/internal/event"
+	"saql/internal/wire"
+)
+
+// ProtocolVersion is the cluster wire-protocol version. Every frame carries
+// it; a mismatch fails the connection rather than guessing at a layout.
+const ProtocolVersion = 1
+
+// MaxFramePayload bounds a frame payload so a corrupted or hostile length
+// prefix cannot drive an arbitrary allocation.
+const MaxFramePayload = 64 << 20
+
+// frameHeaderSize is the fixed frame prelude: u32 payload length, version
+// byte, type byte.
+const frameHeaderSize = 6
+
+// FrameType identifies a frame's payload codec.
+type FrameType uint8
+
+// Frame types. Coordinator→worker frames carry the single total order
+// (events, control, barriers, reconfiguration); worker→coordinator frames
+// are alert returns and acks.
+const (
+	FrameHello          FrameType = iota + 1 // coordinator→worker: id + range map
+	FrameHelloAck                            // worker→coordinator: stream position after restore
+	FrameEvents                              // event fan-out batch
+	FrameControl                             // queryset control op
+	FrameControlAck                          // ack (empty payload, or error via FrameError)
+	FrameAlerts                              // alert return batch
+	FrameCheckpoint                          // checkpoint barrier request
+	FrameCheckpointAck                       // barrier ack: snapshot offset
+	FrameHeartbeat                           // lease ping (nonce)
+	FrameHeartbeatAck                        // lease ack (echoed nonce)
+	FrameStateRequest                        // request last snapshot's state blobs
+	FrameStateBlobs                          // state-blob transfer
+	FrameReconfigure                         // new range map (+ optional folded blobs)
+	FrameReconfigureAck                      // ack: stream position under the new map
+	FrameShutdown                            // graceful stop: flush, final checkpoint, close
+	FrameShutdownAck                         // ack: final offset
+	FrameError                               // worker-side failure report
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameEvents:
+		return "events"
+	case FrameControl:
+		return "control"
+	case FrameControlAck:
+		return "control-ack"
+	case FrameAlerts:
+		return "alerts"
+	case FrameCheckpoint:
+		return "checkpoint"
+	case FrameCheckpointAck:
+		return "checkpoint-ack"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameHeartbeatAck:
+		return "heartbeat-ack"
+	case FrameStateRequest:
+		return "state-request"
+	case FrameStateBlobs:
+		return "state-blobs"
+	case FrameReconfigure:
+		return "reconfigure"
+	case FrameReconfigureAck:
+		return "reconfigure-ack"
+	case FrameShutdown:
+		return "shutdown"
+	case FrameShutdownAck:
+		return "shutdown-ack"
+	case FrameError:
+		return "error"
+	default:
+		return "frame(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+func (t FrameType) valid() bool { return t >= FrameHello && t <= FrameError }
+
+// Frame is one length-prefixed protocol unit.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// AppendFrame appends the framed encoding: u32 little-endian payload
+// length, version byte, type byte, payload.
+func AppendFrame(b []byte, f Frame) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Payload)))
+	b = append(b, ProtocolVersion, byte(f.Type))
+	return append(b, f.Payload...)
+}
+
+// WriteFrame writes one frame. Callers serialise writes per connection.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFramePayload {
+		return fmt.Errorf("dist: frame payload %d exceeds limit %d", len(f.Payload), MaxFramePayload)
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, frameHeaderSize+len(f.Payload)), f))
+	return err
+}
+
+// ReadFrame reads one frame, validating version, type, and payload bound.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFramePayload {
+		return Frame{}, fmt.Errorf("dist: frame payload %d exceeds limit %d", n, MaxFramePayload)
+	}
+	if hdr[4] != ProtocolVersion {
+		return Frame{}, fmt.Errorf("dist: protocol version %d not supported (this build speaks %d)", hdr[4], ProtocolVersion)
+	}
+	t := FrameType(hdr[5])
+	if !t.valid() {
+		return Frame{}, fmt.Errorf("dist: unknown frame type %d", hdr[5])
+	}
+	f := Frame{Type: t}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from a byte image, returning the bytes
+// consumed. It performs the same validation as ReadFrame and additionally
+// decodes the payload through the type's codec, so a fuzzer exercises every
+// decoder from one entry point. Decoding never panics and never allocates
+// past the image's own size.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < frameHeaderSize {
+		return Frame{}, 0, fmt.Errorf("dist: truncated frame header")
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n > MaxFramePayload {
+		return Frame{}, 0, fmt.Errorf("dist: frame payload %d exceeds limit %d", n, MaxFramePayload)
+	}
+	if b[4] != ProtocolVersion {
+		return Frame{}, 0, fmt.Errorf("dist: protocol version %d not supported (this build speaks %d)", b[4], ProtocolVersion)
+	}
+	t := FrameType(b[5])
+	if !t.valid() {
+		return Frame{}, 0, fmt.Errorf("dist: unknown frame type %d", b[5])
+	}
+	if uint64(len(b)-frameHeaderSize) < uint64(n) {
+		return Frame{}, 0, fmt.Errorf("dist: truncated frame payload (%d < %d)", len(b)-frameHeaderSize, n)
+	}
+	f := Frame{Type: t, Payload: b[frameHeaderSize : frameHeaderSize+int(n)]}
+	if err := decodePayload(f); err != nil {
+		return Frame{}, 0, err
+	}
+	return f, frameHeaderSize + int(n), nil
+}
+
+// decodePayload runs the frame's payload through its codec, discarding the
+// result: the structural validation half of DecodeFrame.
+func decodePayload(f Frame) error {
+	var err error
+	switch f.Type {
+	case FrameHello:
+		_, err = DecodeHello(f.Payload)
+	case FrameHelloAck, FrameCheckpointAck, FrameReconfigureAck, FrameShutdownAck:
+		_, err = DecodeOffset(f.Payload)
+	case FrameEvents:
+		_, err = DecodeEvents(f.Payload)
+	case FrameControl:
+		_, err = DecodeControl(f.Payload)
+	case FrameAlerts:
+		_, err = DecodeAlerts(f.Payload)
+	case FrameHeartbeat, FrameHeartbeatAck:
+		_, err = DecodeNonce(f.Payload)
+	case FrameStateBlobs:
+		_, _, err = DecodeStateBlobs(f.Payload)
+	case FrameReconfigure:
+		_, err = DecodeReconfigure(f.Payload)
+	case FrameError, FrameControlAck:
+		_, err = DecodeErrorFrame(f.Payload)
+	case FrameCheckpoint, FrameStateRequest, FrameShutdown:
+		if len(f.Payload) != 0 {
+			err = errors.New("dist: unexpected payload on bare frame")
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Range-map codec
+// ---------------------------------------------------------------------------
+
+// AppendRangeMap appends a worker→key-ranges map, workers sorted by id so
+// equal maps encode identically.
+func AppendRangeMap(b []byte, m map[string][]saql.KeyRange) []byte {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	b = wire.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = wire.AppendString(b, id)
+		b = AppendRanges(b, m[id])
+	}
+	return b
+}
+
+// ReadRangeMap decodes a worker→key-ranges map.
+func ReadRangeMap(r *wire.Reader) map[string][]saql.KeyRange {
+	n := r.Count(2)
+	m := make(map[string][]saql.KeyRange, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := r.String()
+		m[id] = ReadRanges(r)
+	}
+	return m
+}
+
+// AppendRanges appends one worker's key-range list.
+func AppendRanges(b []byte, rs []saql.KeyRange) []byte {
+	b = wire.AppendUvarint(b, uint64(len(rs)))
+	for _, kr := range rs {
+		b = wire.AppendUint32(b, kr.Lo)
+		b = wire.AppendUint32(b, kr.Hi)
+	}
+	return b
+}
+
+// ReadRanges decodes one worker's key-range list.
+func ReadRanges(r *wire.Reader) []saql.KeyRange {
+	n := r.Count(8)
+	out := make([]saql.KeyRange, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, saql.KeyRange{Lo: r.Uint32(), Hi: r.Uint32()})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Hello
+// ---------------------------------------------------------------------------
+
+// Hello opens a coordinator→worker session: it names the worker and carries
+// the full cluster range map (the worker applies its own entry; the rest is
+// observability). The worker builds or restores its engine under those
+// ranges and answers with its stream position.
+type Hello struct {
+	WorkerID string
+	Ranges   map[string][]saql.KeyRange
+}
+
+// EncodeHello encodes a hello payload.
+func EncodeHello(h *Hello) []byte {
+	b := wire.AppendString(nil, h.WorkerID)
+	return AppendRangeMap(b, h.Ranges)
+}
+
+// DecodeHello decodes a hello payload.
+func DecodeHello(p []byte) (*Hello, error) {
+	r := wire.NewReader(p)
+	h := &Hello{WorkerID: r.String(), Ranges: ReadRangeMap(r)}
+	return h, finish(r)
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+// EncodeEvents encodes an event fan-out batch starting at stream offset
+// start.
+func EncodeEvents(start int64, evs []*event.Event) []byte {
+	b := wire.AppendVarint(nil, start)
+	b = wire.AppendUvarint(b, uint64(len(evs)))
+	for _, ev := range evs {
+		b = wire.AppendEvent(b, ev)
+	}
+	return b
+}
+
+// EventsBatch is a decoded event fan-out batch.
+type EventsBatch struct {
+	Start  int64
+	Events []*event.Event
+}
+
+// DecodeEvents decodes an event fan-out batch.
+func DecodeEvents(p []byte) (*EventsBatch, error) {
+	r := wire.NewReader(p)
+	eb := &EventsBatch{Start: r.Varint()}
+	n := r.Count(16)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		eb.Events = append(eb.Events, r.ReadEvent())
+	}
+	return eb, finish(r)
+}
+
+// ---------------------------------------------------------------------------
+// Control
+// ---------------------------------------------------------------------------
+
+// ControlKind is a queryset control operation.
+type ControlKind uint8
+
+// Control operations. They ride the same total order as events: a worker
+// applies one to its engine (whose own control queue orders it against the
+// events submitted before and after), and the coordinator follows every
+// control op with a checkpoint barrier.
+const (
+	CtlRegister ControlKind = iota + 1
+	CtlRemove
+	CtlUpdate
+	CtlPause
+	CtlResume
+)
+
+func (k ControlKind) String() string {
+	switch k {
+	case CtlRegister:
+		return "register"
+	case CtlRemove:
+		return "remove"
+	case CtlUpdate:
+		return "update"
+	case CtlPause:
+		return "pause"
+	case CtlResume:
+		return "resume"
+	default:
+		return "control(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Control is one queryset control operation.
+type Control struct {
+	Kind  ControlKind
+	Name  string
+	Src   string // CtlRegister, CtlUpdate
+	Carry bool   // CtlUpdate: carry compatible window state across the swap
+}
+
+// EncodeControl encodes a control payload.
+func EncodeControl(c *Control) []byte {
+	b := []byte{byte(c.Kind)}
+	b = wire.AppendString(b, c.Name)
+	b = wire.AppendString(b, c.Src)
+	return wire.AppendBool(b, c.Carry)
+}
+
+// DecodeControl decodes a control payload.
+func DecodeControl(p []byte) (*Control, error) {
+	r := wire.NewReader(p)
+	c := &Control{Kind: ControlKind(r.Byte()), Name: r.String(), Src: r.String(), Carry: r.Bool()}
+	if err := finish(r); err != nil {
+		return nil, err
+	}
+	if c.Kind < CtlRegister || c.Kind > CtlResume {
+		return nil, fmt.Errorf("dist: unknown control kind %d", c.Kind)
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Alerts
+// ---------------------------------------------------------------------------
+
+// AppendAlert appends one alert: query, kind, event time, detection time,
+// group key, returned values, matched events.
+func AppendAlert(b []byte, a *engine.Alert) []byte {
+	b = wire.AppendString(b, a.Query)
+	b = append(b, byte(a.Kind))
+	b = wire.AppendTime(b, a.EventTime)
+	b = wire.AppendTime(b, a.Detected)
+	b = wire.AppendString(b, a.GroupKey)
+	b = wire.AppendUvarint(b, uint64(len(a.Values)))
+	for _, nv := range a.Values {
+		b = wire.AppendString(b, nv.Name)
+		b = wire.AppendValue(b, nv.Val)
+	}
+	b = wire.AppendUvarint(b, uint64(len(a.Events)))
+	for _, ev := range a.Events {
+		b = wire.AppendEvent(b, ev)
+	}
+	return b
+}
+
+// ReadAlert decodes one alert.
+func ReadAlert(r *wire.Reader) *engine.Alert {
+	a := &engine.Alert{
+		Query:     r.String(),
+		Kind:      engine.ModelKind(r.Byte()),
+		EventTime: r.Time(),
+		Detected:  r.Time(),
+		GroupKey:  r.String(),
+	}
+	nv := r.Count(2)
+	for i := 0; i < nv && r.Err() == nil; i++ {
+		a.Values = append(a.Values, engine.NamedValue{Name: r.String(), Val: r.ReadValue()})
+	}
+	ne := r.Count(16)
+	for i := 0; i < ne && r.Err() == nil; i++ {
+		a.Events = append(a.Events, r.ReadEvent())
+	}
+	return a
+}
+
+// EncodeAlerts encodes an alert return batch.
+func EncodeAlerts(alerts []*engine.Alert) []byte {
+	b := wire.AppendUvarint(nil, uint64(len(alerts)))
+	for _, a := range alerts {
+		b = AppendAlert(b, a)
+	}
+	return b
+}
+
+// DecodeAlerts decodes an alert return batch.
+func DecodeAlerts(p []byte) ([]*engine.Alert, error) {
+	r := wire.NewReader(p)
+	n := r.Count(8)
+	out := make([]*engine.Alert, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, ReadAlert(r))
+	}
+	return out, finish(r)
+}
+
+// AlertIdentity is the replay-stable comparison key for exactly-once alert
+// delivery: event time (instant), query, group, and returned values — the
+// same identity the recovery-equivalence conformance suite compares on.
+// Detection time is excluded (replay re-detects at a later wall clock), as
+// are matched-event IDs (journal replay re-decodes events; identity must
+// not depend on pointer or ID provenance).
+func AlertIdentity(a *engine.Alert) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatInt(a.EventTime.UnixNano(), 10))
+	sb.WriteByte('|')
+	sb.WriteString(a.Query)
+	sb.WriteByte('|')
+	sb.WriteString(a.GroupKey)
+	for _, nv := range a.Values {
+		sb.WriteByte('|')
+		sb.WriteString(nv.Name)
+		sb.WriteByte('=')
+		sb.WriteString(nv.Val.String())
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Offsets, nonces, errors
+// ---------------------------------------------------------------------------
+
+// EncodeOffset encodes a stream-offset ack payload.
+func EncodeOffset(off int64) []byte { return wire.AppendVarint(nil, off) }
+
+// DecodeOffset decodes a stream-offset ack payload.
+func DecodeOffset(p []byte) (int64, error) {
+	r := wire.NewReader(p)
+	off := r.Varint()
+	return off, finish(r)
+}
+
+// EncodeNonce encodes a heartbeat nonce.
+func EncodeNonce(n uint64) []byte { return wire.AppendUvarint(nil, n) }
+
+// DecodeNonce decodes a heartbeat nonce.
+func DecodeNonce(p []byte) (uint64, error) {
+	r := wire.NewReader(p)
+	n := r.Uvarint()
+	return n, finish(r)
+}
+
+// EncodeErrorFrame encodes a worker failure report.
+func EncodeErrorFrame(msg string) []byte { return wire.AppendString(nil, msg) }
+
+// DecodeErrorFrame decodes a worker failure report.
+func DecodeErrorFrame(p []byte) (string, error) {
+	r := wire.NewReader(p)
+	msg := r.String()
+	return msg, finish(r)
+}
+
+// ---------------------------------------------------------------------------
+// State transfer and reconfiguration
+// ---------------------------------------------------------------------------
+
+// EncodeStateBlobs encodes a barrier-consistent state transfer: the
+// snapshot offset the blobs were captured at plus each query's encoded
+// state blobs.
+func EncodeStateBlobs(offset int64, states map[string][][]byte) []byte {
+	b := wire.AppendVarint(nil, offset)
+	return appendStates(b, states)
+}
+
+// DecodeStateBlobs decodes a state transfer.
+func DecodeStateBlobs(p []byte) (int64, map[string][][]byte, error) {
+	r := wire.NewReader(p)
+	off := r.Varint()
+	states := readStates(r)
+	return off, states, finish(r)
+}
+
+// Reconfigure instructs a worker to re-restore under a new range map —
+// sent only immediately after a checkpoint barrier, so the worker's journal
+// head equals its snapshot offset and the restore replays nothing. States,
+// when non-empty, are a migration source's blobs for the target to fold
+// (its new ownership filters keep only the migrated range).
+type Reconfigure struct {
+	Ranges []saql.KeyRange
+	States map[string][][]byte
+}
+
+// EncodeReconfigure encodes a reconfigure payload.
+func EncodeReconfigure(rc *Reconfigure) []byte {
+	b := AppendRanges(nil, rc.Ranges)
+	return appendStates(b, rc.States)
+}
+
+// DecodeReconfigure decodes a reconfigure payload.
+func DecodeReconfigure(p []byte) (*Reconfigure, error) {
+	r := wire.NewReader(p)
+	rc := &Reconfigure{Ranges: ReadRanges(r), States: readStates(r)}
+	return rc, finish(r)
+}
+
+func appendStates(b []byte, states map[string][][]byte) []byte {
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = wire.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = wire.AppendString(b, name)
+		blobs := states[name]
+		b = wire.AppendUvarint(b, uint64(len(blobs)))
+		for _, blob := range blobs {
+			b = wire.AppendBytes(b, blob)
+		}
+	}
+	return b
+}
+
+func readStates(r *wire.Reader) map[string][][]byte {
+	n := r.Count(2)
+	states := make(map[string][][]byte, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		name := r.String()
+		nb := r.Count(1)
+		blobs := make([][]byte, 0, nb)
+		for j := 0; j < nb && r.Err() == nil; j++ {
+			blobs = append(blobs, append([]byte(nil), r.Bytes()...))
+		}
+		states[name] = blobs
+	}
+	return states
+}
+
+// finish fails a decode that errored or left trailing bytes.
+func finish(r *wire.Reader) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("dist: %d trailing bytes after payload", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package dist_test
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saql"
+	"saql/internal/dist"
+	"saql/internal/engine"
+	"saql/internal/event"
+	"saql/internal/value"
+	"saql/internal/wire"
+)
+
+// seedFrames builds one well-formed frame of every type, used both as the
+// fuzz seed corpus and as the encode/decode round-trip fixture.
+func seedFrames() []dist.Frame {
+	rm := map[string][]saql.KeyRange{
+		"w0": {{Lo: 0, Hi: 0x7fffffff}},
+		"w1": {{Lo: 0x80000000, Hi: 0xbfffffff}, {Lo: 0xc0000000, Hi: 0xffffffff}},
+	}
+	evs := []*event.Event{
+		{
+			ID:      7,
+			Time:    time.Unix(0, 1582794000000000000),
+			AgentID: "db-1",
+			Subject: event.Process("sqlservr.exe", 2001),
+			Op:      event.OpWrite,
+			Object:  event.NetConn("10.0.0.2", 1433, "10.1.0.3", 443),
+			Amount:  4096,
+		},
+	}
+	alert := &engine.Alert{
+		Query:     "grouped-sum",
+		Kind:      engine.KindStateful,
+		EventTime: time.Unix(0, 1582794000000000000),
+		Detected:  time.Unix(0, 1582794001000000000),
+		GroupKey:  "proc:sqlservr.exe",
+		Values: []engine.NamedValue{
+			{Name: "amt", Val: value.Float(1048576)},
+			{Name: "dsts", Val: value.SetOf("10.1.0.3", "10.1.0.4")},
+			{Name: "n", Val: value.Int(12)},
+		},
+		Events: evs,
+	}
+	return []dist.Frame{
+		{Type: dist.FrameHello, Payload: dist.EncodeHello(&dist.Hello{WorkerID: "w1", Ranges: rm})},
+		{Type: dist.FrameHelloAck, Payload: dist.EncodeOffset(42)},
+		{Type: dist.FrameEvents, Payload: dist.EncodeEvents(42, evs)},
+		{Type: dist.FrameControl, Payload: dist.EncodeControl(&dist.Control{Kind: dist.CtlUpdate, Name: "q", Src: "proc p read file f return p", Carry: true})},
+		{Type: dist.FrameControlAck, Payload: dist.EncodeErrorFrame("")},
+		{Type: dist.FrameAlerts, Payload: dist.EncodeAlerts([]*engine.Alert{alert})},
+		{Type: dist.FrameCheckpoint},
+		{Type: dist.FrameCheckpointAck, Payload: dist.EncodeOffset(43)},
+		{Type: dist.FrameHeartbeat, Payload: dist.EncodeNonce(9)},
+		{Type: dist.FrameHeartbeatAck, Payload: dist.EncodeNonce(9)},
+		{Type: dist.FrameStateRequest},
+		{Type: dist.FrameStateBlobs, Payload: dist.EncodeStateBlobs(43, map[string][][]byte{"q": {{1, 2, 3}, {4}}})},
+		{Type: dist.FrameReconfigure, Payload: dist.EncodeReconfigure(&dist.Reconfigure{
+			Ranges: rm["w1"],
+			States: map[string][][]byte{"q": {{5, 6}}},
+		})},
+		{Type: dist.FrameReconfigureAck, Payload: dist.EncodeOffset(43)},
+		{Type: dist.FrameShutdown},
+		{Type: dist.FrameShutdownAck, Payload: dist.EncodeOffset(43)},
+		{Type: dist.FrameError, Payload: dist.EncodeErrorFrame("boom")},
+	}
+}
+
+// TestFrameRoundTrip pushes every frame type through the stream writer and
+// reader and through the byte-image decoder.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range seedFrames() {
+		var buf bytes.Buffer
+		if err := dist.WriteFrame(&buf, f); err != nil {
+			t.Fatalf("%s: write: %v", f.Type, err)
+		}
+		img := append([]byte(nil), buf.Bytes()...)
+		got, err := dist.ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", f.Type, err)
+		}
+		if got.Type != f.Type || !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("%s: stream round-trip mismatch", f.Type)
+		}
+		dec, n, err := dist.DecodeFrame(img)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", f.Type, err)
+		}
+		if n != len(img) || dec.Type != f.Type || !bytes.Equal(dec.Payload, f.Payload) {
+			t.Errorf("%s: image round-trip mismatch (consumed %d of %d)", f.Type, n, len(img))
+		}
+	}
+}
+
+// FuzzFrameDecode drives the full frame decoder — header validation plus
+// every payload codec — with arbitrary bytes. It must never panic,
+// over-allocate, or read out of bounds, and anything it accepts must
+// re-encode and re-decode to the same frame.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range seedFrames() {
+		f.Add(dist.AppendFrame(nil, fr))
+	}
+	// Structural negatives: truncations, a bad version, a bad type.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 1})
+	f.Add([]byte{1, 0, 0, 0, 99, byte(dist.FrameHello), 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 200, 0})
+	f.Add([]byte{255, 255, 255, 255, 1, byte(dist.FrameEvents)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := dist.DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		img := dist.AppendFrame(nil, fr)
+		fr2, _, err := dist.DecodeFrame(img)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if fr2.Type != fr.Type || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatal("re-encoded frame decoded differently")
+		}
+	})
+}
+
+// TestRangeMapRoundTrip is the property check for the range-map codec:
+// any worker→ranges map encodes to a canonical byte string (workers
+// sorted) and decodes back to an equal map.
+func TestRangeMapRoundTrip(t *testing.T) {
+	prop := func(m map[string][]saql.KeyRange) bool {
+		b := dist.AppendRangeMap(nil, m)
+		r := wire.NewReader(b)
+		got := dist.ReadRangeMap(r)
+		if r.Err() != nil || r.Len() != 0 {
+			return false
+		}
+		if len(got) != len(m) {
+			return false
+		}
+		for id, rs := range m {
+			grs, ok := got[id]
+			if !ok || len(grs) != len(rs) {
+				return false
+			}
+			for i := range rs {
+				if grs[i] != rs[i] {
+					return false
+				}
+			}
+		}
+		// Canonical form: re-encoding the decoded map is byte-identical.
+		return bytes.Equal(b, dist.AppendRangeMap(nil, got))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitRangesPartition checks that SplitRanges tiles the whole hash
+// space with no gaps or overlaps for a spread of worker counts.
+func TestSplitRangesPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 16} {
+		sets := dist.SplitRanges(n)
+		if len(sets) != n {
+			t.Fatalf("n=%d: %d sets", n, len(sets))
+		}
+		var next uint64
+		for i, rs := range sets {
+			if len(rs) != 1 {
+				t.Fatalf("n=%d worker %d: %d ranges", n, i, len(rs))
+			}
+			if uint64(rs[0].Lo) != next {
+				t.Fatalf("n=%d worker %d: starts at %#x, want %#x", n, i, rs[0].Lo, next)
+			}
+			next = uint64(rs[0].Hi) + 1
+		}
+		if next != 1<<32 {
+			t.Fatalf("n=%d: space ends at %#x", n, next)
+		}
+	}
+}
+
+// TestSubtractRanges exercises the migration precondition algebra.
+func TestSubtractRanges(t *testing.T) {
+	have := []saql.KeyRange{{Lo: 0, Hi: 99}, {Lo: 200, Hi: 299}}
+	rest, err := dist.SubtractRanges(have, []saql.KeyRange{{Lo: 40, Hi: 59}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []saql.KeyRange{{Lo: 0, Hi: 39}, {Lo: 60, Hi: 99}, {Lo: 200, Hi: 299}}
+	if !reflect.DeepEqual(rest, want) {
+		t.Errorf("subtract interior: %v, want %v", rest, want)
+	}
+	if _, err := dist.SubtractRanges(have, []saql.KeyRange{{Lo: 90, Hi: 110}}); err == nil {
+		t.Error("subtracting an unowned span succeeded")
+	}
+	rest, err = dist.SubtractRanges(have, []saql.KeyRange{{Lo: 200, Hi: 299}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []saql.KeyRange{{Lo: 0, Hi: 99}}
+	if !reflect.DeepEqual(rest, want) {
+		t.Errorf("subtract whole range: %v, want %v", rest, want)
+	}
+}
+
+// TestAlertCodecRoundTrip checks the alert codec preserves everything the
+// identity and the operator-facing fields depend on.
+func TestAlertCodecRoundTrip(t *testing.T) {
+	frames := seedFrames()
+	var alertsPayload []byte
+	for _, f := range frames {
+		if f.Type == dist.FrameAlerts {
+			alertsPayload = f.Payload
+		}
+	}
+	alerts, err := dist.DecodeAlerts(alertsPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts", len(alerts))
+	}
+	a := alerts[0]
+	if a.Query != "grouped-sum" || a.Kind != engine.KindStateful || a.GroupKey != "proc:sqlservr.exe" {
+		t.Errorf("header fields lost: %+v", a)
+	}
+	if len(a.Values) != 3 || a.Values[1].Val.String() != value.SetOf("10.1.0.3", "10.1.0.4").String() {
+		t.Errorf("values lost: %+v", a.Values)
+	}
+	if len(a.Events) != 1 || a.Events[0].Subject.ExeName != "sqlservr.exe" {
+		t.Errorf("events lost: %+v", a.Events)
+	}
+	if dist.AlertIdentity(a) == "" {
+		t.Error("empty identity")
+	}
+}
+
+// TestInProcDialUnregistered pins the transport's error path.
+func TestInProcDialUnregistered(t *testing.T) {
+	p := dist.NewInProc()
+	if _, err := p.Dial("nope"); err == nil {
+		t.Error("dialing an unregistered address succeeded")
+	}
+	var _ net.Conn // keep net import honest if the test grows
+}

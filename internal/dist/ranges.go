@@ -1,0 +1,89 @@
+package dist
+
+// Key-range algebra over the 32-bit ownership hash space: the coordinator
+// splits, migrates, and re-merges contiguous inclusive ranges, and these
+// helpers keep range sets canonical (sorted, non-overlapping, adjacent
+// runs coalesced) so range maps compare and encode deterministically.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"saql"
+)
+
+// SplitRanges partitions the full hash space [0, 1<<32) into n contiguous
+// slices of near-equal width, one single-range set per worker — the default
+// placement for a fresh cluster.
+func SplitRanges(n int) [][]saql.KeyRange {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]saql.KeyRange, n)
+	span := uint64(1) << 32
+	var lo uint64
+	for i := 0; i < n; i++ {
+		size := span / uint64(n)
+		if uint64(i) < span%uint64(n) {
+			size++
+		}
+		hi := lo + size - 1
+		out[i] = []saql.KeyRange{{Lo: uint32(lo), Hi: uint32(hi)}}
+		lo = hi + 1
+	}
+	return out
+}
+
+// NormalizeRanges returns a canonical copy of a range set: sorted by lower
+// bound with overlapping or adjacent ranges merged.
+func NormalizeRanges(rs []saql.KeyRange) []saql.KeyRange {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := append([]saql.KeyRange(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	merged := out[:1]
+	for _, r := range out[1:] {
+		last := &merged[len(merged)-1]
+		// Adjacent (Hi+1 == Lo) or overlapping ranges coalesce; the Hi ==
+		// MaxUint32 guard keeps the +1 from wrapping.
+		if last.Hi != math.MaxUint32 && r.Lo <= last.Hi+1 || r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// SubtractRanges removes take from have, failing unless every taken range
+// lies entirely inside a single held range — the migration precondition: a
+// worker can only give away hash space it owns.
+func SubtractRanges(have, take []saql.KeyRange) ([]saql.KeyRange, error) {
+	rest := NormalizeRanges(have)
+	for _, t := range NormalizeRanges(take) {
+		var next []saql.KeyRange
+		found := false
+		for _, h := range rest {
+			if !found && h.Lo <= t.Lo && t.Hi <= h.Hi {
+				found = true
+				if t.Lo > h.Lo {
+					next = append(next, saql.KeyRange{Lo: h.Lo, Hi: t.Lo - 1})
+				}
+				if t.Hi < h.Hi {
+					next = append(next, saql.KeyRange{Lo: t.Hi + 1, Hi: h.Hi})
+				}
+				continue
+			}
+			next = append(next, h)
+		}
+		if !found {
+			return nil, fmt.Errorf("dist: range %v is not owned (held: %v)", t, rest)
+		}
+		rest = next
+	}
+	return NormalizeRanges(rest), nil
+}

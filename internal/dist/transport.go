@@ -1,0 +1,88 @@
+package dist
+
+// Transports connect the coordinator to workers. TCP is the production
+// path (one cmd/saql-worker process per worker); InProc runs the same
+// worker code over synchronous in-memory pipes, so an entire cluster —
+// coordinator, workers, kills, replacements, migrations — fits in one test
+// binary with no listening sockets. Both hand back a plain net.Conn
+// speaking the same frame protocol, so every layer above is
+// transport-agnostic.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport dials a worker.
+type Transport interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP dials workers over TCP (addr is host:port of a cmd/saql-worker
+// listener).
+type TCP struct {
+	// Timeout bounds connection establishment (default 10s).
+	Timeout time.Duration
+}
+
+// Dial implements Transport.
+func (t TCP) Dial(addr string) (net.Conn, error) {
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// InProc is an in-process transport: each registered address names a worker
+// configuration, and every Dial constructs a fresh Worker from it and
+// serves it over one side of a net.Pipe. Re-dialing an address models
+// worker-process replacement — the new Worker restores from the same
+// directory the previous one journaled into.
+type InProc struct {
+	mu      sync.Mutex
+	configs map[string]WorkerConfig
+	current map[string]*Worker
+}
+
+// NewInProc creates an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{
+		configs: map[string]WorkerConfig{},
+		current: map[string]*Worker{},
+	}
+}
+
+// Register binds a worker configuration to an address.
+func (p *InProc) Register(addr string, cfg WorkerConfig) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.configs[addr] = cfg
+}
+
+// Dial implements Transport: it spins up a fresh Worker for the address and
+// returns the coordinator's end of the pipe.
+func (p *InProc) Dial(addr string) (net.Conn, error) {
+	p.mu.Lock()
+	cfg, ok := p.configs[addr]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("dist: no in-process worker registered at %q", addr)
+	}
+	w := NewWorker(cfg)
+	p.current[addr] = w
+	p.mu.Unlock()
+	client, server := net.Pipe()
+	go func() { _ = w.Serve(server) }()
+	return client, nil
+}
+
+// Worker returns the most recently dialed Worker for addr (nil before the
+// first Dial) — the handle tests use to inject kills.
+func (p *InProc) Worker(addr string) *Worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.current[addr]
+}

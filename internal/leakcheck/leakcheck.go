@@ -1,0 +1,61 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. The
+// engine's lifecycle contract is that Close joins every goroutine it
+// started — shard workers, the router, fan-out subscribers, ingestion
+// sources, cluster readers — so any test that starts engine machinery can
+// call Check first and get the contract enforced at teardown.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and registers a cleanup that
+// fails the test if, after a grace period, more goroutines exist than did
+// at the call. Call it at the top of the test, before starting any
+// engines, sources, workers, or coordinators. Not meant for t.Parallel
+// tests — concurrent tests see each other's goroutines.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Goroutines unwind asynchronously after Close returns (deferred
+		// conn.Close, exiting readers); poll before declaring a leak.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines at teardown, %d at start\n%s",
+			n, base, condense(string(buf)))
+	})
+}
+
+// condense trims the full stack dump to the goroutine headers plus their
+// top frames, which is what identifies a leak without drowning the log.
+func condense(stacks string) string {
+	var b strings.Builder
+	for _, g := range strings.Split(stacks, "\n\n") {
+		lines := strings.Split(g, "\n")
+		max := 5
+		if len(lines) < max {
+			max = len(lines)
+		}
+		b.WriteString(strings.Join(lines[:max], "\n"))
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

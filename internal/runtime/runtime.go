@@ -88,6 +88,15 @@ type Config struct {
 	// continues counting from the snapshot's offset, so its next checkpoint
 	// records positions in the same journal coordinate space.
 	BaseOffset int64
+	// Owns, when set, restricts this runtime to the slice of the 32-bit
+	// FNV-1a ownership hash space it owns — the distributed-worker case.
+	// By-group and by-event replicas fold only owned state (cluster
+	// ownership composes with the per-shard split), and a pinned query
+	// materialises only when the runtime owns the hash of its name. Every
+	// replica still observes every event, so watermarks and window
+	// boundaries stay identical across a cluster, exactly as they do across
+	// shards.
+	Owns func(uint32) bool
 }
 
 // Runtime is the concurrent ingestion core. One Runtime serves one started
@@ -553,13 +562,21 @@ func (r *Runtime) buildReplicas(primary *engine.Query, clone func() (*engine.Que
 	n := len(r.shards)
 	placement := primary.Placement()
 	replicas := make([]*engine.Query, n)
-	if n == 1 {
-		// Single shard: every placement degenerates to the serial engine.
+	owns := r.cfg.Owns
+	if n == 1 && owns == nil {
+		// Single shard owning the whole key space: every placement
+		// degenerates to the serial engine.
 		replicas[0] = primary
 		return replicas, nil
 	}
 	switch placement {
 	case engine.PlacePinned:
+		if owns != nil && !owns(hashString(primary.Name)) {
+			// Another cluster worker owns this query's home hash. The name
+			// stays registered (control ops and stats keep a consistent
+			// registry) but no replica folds state or raises alerts here.
+			return replicas, nil
+		}
 		home := pinnedHome
 		if home < 0 || home >= n {
 			home = r.nextPin % n
@@ -575,7 +592,7 @@ func (r *Runtime) buildReplicas(primary *engine.Query, clone func() (*engine.Que
 					return nil, err
 				}
 			}
-			own := ownerFilter(i, n)
+			own := composeOwner(ownerFilter(i, n), owns)
 			if placement == engine.PlaceByGroup {
 				q.SetGroupFilter(func(key string) bool { return own(hashString(key)) })
 			} else {
@@ -585,6 +602,15 @@ func (r *Runtime) buildReplicas(primary *engine.Query, clone func() (*engine.Que
 		}
 	}
 	return replicas, nil
+}
+
+// composeOwner narrows a per-shard ownership predicate by the runtime's
+// cluster-level key-range ownership, when configured.
+func composeOwner(shard, owns func(uint32) bool) func(uint32) bool {
+	if owns == nil {
+		return shard
+	}
+	return func(h uint32) bool { return owns(h) && shard(h) }
 }
 
 // Add registers a compiled query across the shards. primary becomes one of
@@ -893,6 +919,16 @@ func (r *Runtime) Close() {
 func ownerFilter(i, n int) func(uint32) bool {
 	return func(h uint32) bool { return int(h%uint32(n)) == i }
 }
+
+// HashKey exposes the ownership hash (32-bit FNV-1a) of a group-by key or
+// query name — the value Config.Owns predicates observe for by-group and
+// pinned placements. The distributed layer splits this hash space into
+// worker key ranges.
+func HashKey(s string) uint32 { return hashString(s) }
+
+// HashEventKey exposes the ownership hash of an event's subject entity —
+// the value Config.Owns predicates observe for by-event placements.
+func HashEventKey(ev *event.Event) uint32 { return hashSubject(ev) }
 
 // hashString is 32-bit FNV-1a.
 func hashString(s string) uint32 {

@@ -52,6 +52,13 @@ func AppendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+// AppendUint32 appends a fixed-width little-endian uint32 — the encoding of
+// ownership-hash range bounds in the cluster wire protocol, where the fixed
+// width keeps range maps trivially comparable byte-for-byte.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
 // AppendFloat64 appends a float64 as 8 little-endian IEEE-754 bytes.
 func AppendFloat64(b []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
@@ -176,6 +183,20 @@ func (r *Reader) Bytes() []byte {
 	p := r.data[r.pos : r.pos+int(n) : r.pos+int(n)]
 	r.pos += int(n)
 	return p
+}
+
+// Uint32 reads a fixed-width little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 4 {
+		r.Fail("truncated uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
 }
 
 // Float64 reads 8 little-endian IEEE-754 bytes.

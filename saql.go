@@ -122,6 +122,9 @@ type config struct {
 	journal       *storage.Store
 	baseOffset    int64
 	baseOffsetSet bool
+	// ranges, when non-empty, restrict the engine to the owned slices of
+	// the ownership hash space (WithKeyRanges; the distributed-worker case).
+	ranges []KeyRange
 }
 
 // WithSharing toggles the master–dependent-query scheme (default on).
@@ -326,6 +329,7 @@ func (e *Engine) Start(ctx context.Context) error {
 		Sharing:   e.cfg.sharing,
 		Reporter:  e.reporter,
 		Fan:       e.fan,
+		Owns:      e.cfg.ownsFunc(),
 	}
 	if e.cfg.journal != nil {
 		store := e.cfg.journal
