@@ -151,11 +151,13 @@ func BenchmarkE3_ConcurrentQueries(b *testing.B) {
 //
 // The router pre-evaluates pattern hits once per event (shared
 // evaluation), so the patevals/ev metric must stay flat as shards grow —
-// it equals the serial count at every shard width. Shards receive
-// (event, hit-set) envelopes and pay only their owned share of the
-// (expensive) state folding; wall-clock speedup over serial follows
-// wherever GOMAXPROCS >= shards. On a single-core machine ns/op instead
-// reports the summed cost across shards.
+// it equals the serial count at every shard width. Events are then
+// partition-routed rather than broadcast: each shard receives batched
+// (event, hit-set) entries only for the group/event/pinned state it owns,
+// plus watermark-bearing touch entries that keep window cadence aligned,
+// so per-shard folding work shrinks as shards grow. Wall-clock speedup
+// over serial follows wherever GOMAXPROCS >= shards. On a single-core
+// machine ns/op instead reports the summed cost across shards.
 func BenchmarkE9_ParallelIngestion(b *testing.B) {
 	_, scenario := benchStream(b)
 	queries := e3Queries(scenario, 16)

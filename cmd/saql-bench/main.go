@@ -685,6 +685,39 @@ func e9Gate(cur *e9Report) error {
 			}
 		}
 	}
+	// Multi-core scaling gate, machine-independent: partitioned routing must
+	// make shards pay off. On a box wide enough to actually run the workers
+	// in parallel, the mc- pass must be monotonically non-decreasing from
+	// serial through 8 shards (10% noise tolerance per step) and 8 shards
+	// must reach at least 3x serial. A narrower machine skips visibly: the
+	// numbers would measure scheduling overhead, not scaling.
+	if cur.GoMaxProcsMC >= 8 {
+		order := []string{"mc-serial", "mc-shards=1", "mc-shards=2", "mc-shards=4", "mc-shards=8"}
+		var prev *e9Config
+		for _, name := range order {
+			c := cur.config(name)
+			if c == nil {
+				continue
+			}
+			if prev != nil && c.EventsPerSec < prev.EventsPerSec*0.9 {
+				return fmt.Errorf("multi-core scaling: %s at %.0f events/s falls below %s at %.0f (want monotonically non-decreasing, 10%% tolerance)",
+					c.Name, c.EventsPerSec, prev.Name, prev.EventsPerSec)
+			}
+			prev = c
+		}
+		serial, widest := cur.config("mc-serial"), cur.config("mc-shards=8")
+		if serial != nil && widest != nil && serial.EventsPerSec > 0 {
+			if widest.EventsPerSec < 3*serial.EventsPerSec {
+				return fmt.Errorf("multi-core scaling: 8 shards at %.0f events/s is under 3x serial %.0f (%.1fx)",
+					widest.EventsPerSec, serial.EventsPerSec, widest.EventsPerSec/serial.EventsPerSec)
+			}
+			fmt.Printf("multi-core scaling gate passed: 8 shards at %.1fx serial on %d cores\n",
+				widest.EventsPerSec/serial.EventsPerSec, cur.GoMaxProcsMC)
+		}
+	} else {
+		fmt.Printf("multi-core scaling gate skipped: needs >= 8 cores to run 8 shard workers in parallel, this machine has %d\n",
+			cur.GoMaxProcsMC)
+	}
 	if err := e9BaselineGate(cur, *baseline, ""); err != nil {
 		return err
 	}
@@ -712,8 +745,13 @@ func e9BaselineGate(cur *e9Report, path, prefix string) error {
 		baseProcs, curProcs = base.GoMaxProcsMC, cur.GoMaxProcsMC
 	}
 	if baseProcs != curProcs {
-		fmt.Printf("baseline gate skipped: baseline GOMAXPROCS=%d, this run GOMAXPROCS=%d — refresh %s on this hardware class\n",
-			baseProcs, curProcs, path)
+		if prefix == "mc-" {
+			fmt.Printf("multi-core baseline gate skipped: %s recorded gomaxprocs_multicore=%d, this machine runs the mc- pass on %d cores — refresh it on this hardware class\n",
+				path, baseProcs, curProcs)
+		} else {
+			fmt.Printf("baseline gate skipped: baseline recorded GOMAXPROCS=%d, this run has GOMAXPROCS=%d — refresh %s on this hardware class\n",
+				baseProcs, curProcs, path)
+		}
 		return nil
 	}
 	for _, bc := range base.Configs {

@@ -395,7 +395,22 @@ return p, e.amount`,
 // operations ride the ingest queue in total order, so they land at the
 // same stream point everywhere, and the router's pre-evaluated hit sets
 // must stay consistent across every layout change the script provokes.
+//
+// Sharded engines receive each block in randomly sized sub-batches (from
+// single events up to a few dozen), so the partitioned router's per-shard
+// ring buffers sit in assorted partial-fill states whenever a control
+// operation forces a flush. The script and the batch chopping derive from
+// one seed, logged on every run; set SAQL_CONFORMANCE_SEED to reproduce.
 func TestLifecycleHammerMatchesSerial(t *testing.T) {
+	seed := int64(7)
+	if s := os.Getenv("SAQL_CONFORMANCE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SAQL_CONFORMANCE_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("lifecycle seed = %d (set SAQL_CONFORMANCE_SEED=%d to reproduce)", seed, seed)
 	const procs, perProc, blocks = 96, 25, 24
 	events := concurrencyWorkload(procs, perProc)
 
@@ -430,7 +445,7 @@ return ss.total`, 5000000+k*10000)
 		src   string
 		carry bool
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(seed))
 	var script []step
 	paused := map[string]bool{}
 	version := map[string]int{}
@@ -461,6 +476,10 @@ return ss.total`, 5000000+k*10000)
 
 	run := func(t *testing.T, shards int) []string {
 		t.Helper()
+		// Sub-batch chopping is deterministic per configuration; it changes
+		// envelope boundaries (and so ring-buffer fill at each flush), never
+		// the event order, so alert equality must be unaffected.
+		chop := rand.New(rand.NewSource(seed + int64(shards)*1000003))
 		var eng *Engine
 		if shards == 0 {
 			eng = New()
@@ -502,8 +521,17 @@ return ss.total`, 5000000+k*10000)
 					for _, ev := range events[from:to] {
 						got = append(got, eng.Process(ev)...)
 					}
-				} else if err := eng.SubmitBatch(events[from:to]); err != nil {
-					t.Fatal(err)
+				} else {
+					for lo := from; lo < to; {
+						hi := lo + 1 + chop.Intn(48)
+						if hi > to {
+							hi = to
+						}
+						if err := eng.SubmitBatch(events[lo:hi]); err != nil {
+							t.Fatal(err)
+						}
+						lo = hi
+					}
 				}
 			case "pause":
 				if err := handles[st.name].Pause(); err != nil {
@@ -751,9 +779,14 @@ return i.dstip, ss.amt`, 100000+k*5000)
 
 	// drive executes script[from:to] against eng (serial engines process
 	// inline and their alerts are returned; running engines deliver through
-	// their handler).
+	// their handler). Running engines receive each block in randomly sized
+	// sub-batches — deterministic in (seed, from) — so the partitioned
+	// router's ring buffers are partially drained when the checkpoint
+	// barrier (and the kill) land; batch boundaries must never affect what a
+	// snapshot captures or what recovery replays.
 	drive := func(t *testing.T, eng *Engine, from, to int, serial bool) []*Alert {
 		t.Helper()
+		chop := rand.New(rand.NewSource(seed + int64(from)*7919))
 		var out []*Alert
 		for _, st := range script[from:to] {
 			switch st.op {
@@ -766,8 +799,17 @@ return i.dstip, ss.amt`, 100000+k*5000)
 					for _, ev := range events[lo:hi] {
 						out = append(out, eng.Process(ev)...)
 					}
-				} else if err := eng.SubmitBatch(events[lo:hi]); err != nil {
-					t.Fatal(err)
+				} else {
+					for l := lo; l < hi; {
+						h := l + 1 + chop.Intn(48)
+						if h > hi {
+							h = hi
+						}
+						if err := eng.SubmitBatch(events[l:h]); err != nil {
+							t.Fatal(err)
+						}
+						l = h
+					}
 				}
 			case "pause", "resume":
 				h, ok := eng.Query(st.name)

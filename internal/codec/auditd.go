@@ -52,6 +52,7 @@ type auditdDecoder struct {
 	opts    Options
 	pending map[string]*auditGroup
 	order   []string // group keys in first-seen order
+	tab     internTable
 }
 
 func newAuditdDecoder(opts Options) *auditdDecoder {
@@ -321,6 +322,7 @@ func (d *auditdDecoder) buildEvent(g *auditGroup) ([]*event.Event, error) {
 	default:
 		return nil, nil // syscall outside the event taxonomy (getpid, mmap, ...)
 	}
+	d.tab.intern(ev)
 	return []*event.Event{ev}, nil
 }
 

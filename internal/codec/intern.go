@@ -1,0 +1,59 @@
+package codec
+
+import "saql/internal/event"
+
+// internTable deduplicates the low-cardinality attribute strings a stream
+// repeats on nearly every line — executable names, agent/host IDs, user
+// names, IP addresses, transport protocols — so the millions of retained
+// copies in window state, match partials, and checkpoint snapshots share one
+// backing allocation per distinct value instead of one per event. Decoders
+// are per-stream and single-goroutine, so the table needs no locking.
+//
+// High-cardinality attributes (file paths, command lines) are deliberately
+// not interned: they rarely repeat, and caching them would only grow the
+// table. Two safety valves bound the table even on adversarial input: values
+// longer than internMaxLen bypass it, and once internMaxEntries distinct
+// values have been cached, new ones pass through uncached while existing
+// entries keep deduplicating.
+type internTable struct {
+	m map[string]string
+}
+
+const (
+	internMaxEntries = 1 << 12
+	internMaxLen     = 128
+)
+
+// str returns the canonical copy of s, caching it on first sight.
+func (t *internTable) str(s string) string {
+	if s == "" || len(s) > internMaxLen {
+		return s
+	}
+	if v, ok := t.m[s]; ok {
+		return v
+	}
+	if len(t.m) >= internMaxEntries {
+		return s
+	}
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	t.m[s] = s
+	return t.m[s]
+}
+
+// entity interns an entity's hot attributes in place.
+func (t *internTable) entity(e *event.Entity) {
+	e.ExeName = t.str(e.ExeName)
+	e.User = t.str(e.User)
+	e.SrcIP = t.str(e.SrcIP)
+	e.DstIP = t.str(e.DstIP)
+	e.Protocol = t.str(e.Protocol)
+}
+
+// intern canonicalizes one decoded event's hot strings in place.
+func (t *internTable) intern(ev *event.Event) {
+	ev.AgentID = t.str(ev.AgentID)
+	t.entity(&ev.Subject)
+	t.entity(&ev.Object)
+}

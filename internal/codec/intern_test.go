@@ -1,0 +1,87 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+
+	"saql/internal/event"
+)
+
+func strData(s string) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.StringData(s)))
+}
+
+func TestInternTableDeduplicates(t *testing.T) {
+	var tab internTable
+	a := tab.str(string([]byte("svchost.exe")))
+	b := tab.str(string([]byte("svchost.exe")))
+	if a != b {
+		t.Fatalf("intern changed value: %q vs %q", a, b)
+	}
+	if strData(a) != strData(b) {
+		t.Fatalf("equal strings not deduplicated to one backing array")
+	}
+}
+
+func TestInternTableBounds(t *testing.T) {
+	var tab internTable
+	if got := tab.str(""); got != "" {
+		t.Fatalf("empty string: got %q", got)
+	}
+	long := string(make([]byte, internMaxLen+1))
+	if got := tab.str(long); got != long {
+		t.Fatalf("over-length string mangled")
+	}
+	if len(tab.m) != 0 {
+		t.Fatalf("over-length string cached (%d entries)", len(tab.m))
+	}
+
+	// Fill to capacity; the table must stop growing but keep serving hits.
+	for i := 0; i < internMaxEntries+100; i++ {
+		tab.str(fmt.Sprintf("value-%d", i))
+	}
+	if len(tab.m) > internMaxEntries {
+		t.Fatalf("table exceeded cap: %d > %d", len(tab.m), internMaxEntries)
+	}
+	first := tab.str(string([]byte("value-0")))
+	if strData(first) != strData(tab.str("value-0")) {
+		t.Fatalf("full table stopped deduplicating existing entries")
+	}
+}
+
+// TestNDJSONDecodeInterns proves the ndjson decoder's repeated attribute
+// strings share one backing allocation across lines, while distinct values
+// stay distinct.
+func TestNDJSONDecodeInterns(t *testing.T) {
+	d, err := New("ndjson", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := `{"ts":"2020-02-27T09:00:00Z","agent":"db-1","subject":{"exe":"osql.exe","pid":%d,"user":"svc"},"op":"connect","object":{"type":"ip","dst_ip":"10.0.0.9","dst_port":1433,"proto":"tcp"}}`
+	var evs []*event.Event
+	for pid := 1; pid <= 3; pid++ {
+		out, err := d.Decode([]byte(fmt.Sprintf(line, pid)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, out...)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for _, pick := range []func(*event.Event) string{
+		func(e *event.Event) string { return e.AgentID },
+		func(e *event.Event) string { return e.Subject.ExeName },
+		func(e *event.Event) string { return e.Subject.User },
+		func(e *event.Event) string { return e.Object.DstIP },
+		func(e *event.Event) string { return e.Object.Protocol },
+	} {
+		if strData(pick(evs[0])) != strData(pick(evs[1])) || strData(pick(evs[1])) != strData(pick(evs[2])) {
+			t.Fatalf("attribute %q not interned across events", pick(evs[0]))
+		}
+	}
+	if evs[0].Subject.PID == evs[1].Subject.PID {
+		t.Fatalf("distinct events collapsed")
+	}
+}

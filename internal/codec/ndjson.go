@@ -34,6 +34,7 @@ func init() {
 
 type ndjsonDecoder struct {
 	opts Options
+	tab  internTable
 }
 
 // jsonEntity is the wire form of an entity for both subject and object.
@@ -107,14 +108,16 @@ func (d *ndjsonDecoder) Decode(line []byte) ([]*event.Event, error) {
 	if agent == "" {
 		agent = "ndjson"
 	}
-	return []*event.Event{{
+	ev := &event.Event{
 		Time:    ts,
 		AgentID: agent,
 		Subject: subj,
 		Op:      op,
 		Object:  obj,
 		Amount:  rec.Amount,
-	}}, nil
+	}
+	d.tab.intern(ev)
+	return []*event.Event{ev}, nil
 }
 
 func (d *ndjsonDecoder) Flush() []*event.Event { return nil }

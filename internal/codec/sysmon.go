@@ -38,6 +38,7 @@ func init() {
 
 type sysmonDecoder struct {
 	opts Options
+	tab  internTable
 }
 
 // ecsDoc is one parsed line with nested maps flattened to dotted keys.
@@ -127,6 +128,7 @@ func (d *sysmonDecoder) Decode(line []byte) ([]*event.Event, error) {
 		ev.Object = event.Entity{Type: event.EntityFile, Path: path}
 		ev.Amount = doc.num("file.size")
 	}
+	d.tab.intern(ev)
 	return []*event.Event{ev}, nil
 }
 

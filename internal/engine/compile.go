@@ -279,6 +279,10 @@ func (q *Query) Patterns() []*matcher.Pattern { return q.patterns }
 // GlobalMatches reports whether ev satisfies the query's global constraints.
 func (q *Query) GlobalMatches(ev *event.Event) bool { return q.global(ev) }
 
+// Stateful reports whether the query folds windowed state (as opposed to a
+// rule query completing matches per event).
+func (q *Query) Stateful() bool { return q.stateful }
+
 // GroupCount reports how many groups currently hold state (stateful queries).
 func (q *Query) GroupCount() int { return len(q.groups) }
 

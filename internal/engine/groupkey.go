@@ -115,6 +115,22 @@ func compileFastItem(g ast.Expr, p *ast.EventPattern) itemFn {
 	return nil
 }
 
+// HitGroupKeys appends to dst the group keys ev yields for each hit pattern,
+// using the compiled fast-key path. ok is false when the query has no fast
+// extractor (some group-by item needs full expression evaluation, whose
+// errors must surface through the shard replicas) — the partitioned router
+// then falls back to delivering the event to every shard, where each replica
+// evaluates the key itself, exactly as the broadcast router did.
+func (q *Query) HitGroupKeys(dst []string, ev *event.Event, hits []int) (keys []string, ok bool) {
+	if q.fastKeys == nil {
+		return dst, false
+	}
+	for _, hi := range hits {
+		dst = append(dst, q.fastKeys[hi](ev))
+	}
+	return dst, true
+}
+
 // staticAttrOK reports whether attribute field exists for entity type t:
 // validity depends only on the (type, name) pair, so it is decidable at
 // compile time.

@@ -3,10 +3,12 @@ package engine
 import "saql/internal/event"
 
 // Placement classifies how a query's runtime state may be distributed
-// across parallel scheduler shards. The sharded runtime broadcasts every
-// event to every shard in one total order, so watermarks and window
-// boundaries are identical everywhere; placement decides which shard(s)
-// actually fold an event into query state.
+// across parallel scheduler shards. The sharded runtime establishes one
+// total event order and routes each event to the shards owning state for
+// it, with watermark-bearing touch entries and batch stamps keeping window
+// boundaries identical everywhere; placement decides which shard(s)
+// actually fold an event into query state — and therefore which shards the
+// router must deliver it to.
 type Placement uint8
 
 const (

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"saql/internal/ast"
 	"saql/internal/cluster"
@@ -223,6 +224,42 @@ func (q *Query) bindEnv(p *matcher.Pattern, ev *event.Event) *expr.Env {
 		env.Events[p.Alias] = ev
 	}
 	return env
+}
+
+// AdvanceWatermark advances a stateful query's watermark to t, closing any
+// windows that end at or before it, without folding or touching state. The
+// partitioned router uses it to keep replicas' window-close cadence aligned
+// with the serial engine now that a replica no longer observes every event:
+// before folding a delivered event the replica first advances to the stream
+// watermark the router saw just before that event, and at every batch
+// boundary it advances to the router's running watermark. No-op for rule
+// queries and for t at or behind the current watermark.
+func (q *Query) AdvanceWatermark(t time.Time, report func(error)) []*Alert {
+	if !q.stateful {
+		return nil
+	}
+	if report == nil {
+		report = func(error) {}
+	}
+	var alerts []*Alert
+	for _, closed := range q.winMgr.Advance(t) {
+		alerts = append(alerts, q.closeWindow(closed, report)...)
+	}
+	return alerts
+}
+
+// TouchAt opens the windows containing t without folding any state, then
+// advances the watermark to t: the non-owning replica's half of stateful
+// ingestion, applied when the event itself was delivered only to the shards
+// owning its group state. Window existence, close counts, and empty-snapshot
+// cadence therefore stay identical on every replica — which alert history
+// (ss[k]) backfill and checkpoint re-splitting both depend on.
+func (q *Query) TouchAt(t time.Time, report func(error)) []*Alert {
+	if !q.stateful {
+		return nil
+	}
+	q.winMgr.Touch(t)
+	return q.AdvanceWatermark(t, report)
 }
 
 // Flush closes all open windows (end of stream) and returns final alerts.

@@ -1,0 +1,308 @@
+package runtime
+
+// Ownership-routing property battery: for random event streams and shard
+// counts 1/2/4/8, every event must reach exactly the shards the placement
+// rules say own it — no over-delivery (the point of partitioned routing) and
+// no under-delivery (the correctness bar). The reference owner sets are
+// computed independently from the placement rules and the exported ownership
+// hashes; the runtime's actual deliveries are captured with the testObserve
+// hook, which sees every routed entry exactly as a shard worker processes it.
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saql/internal/engine"
+	"saql/internal/event"
+	"saql/internal/scheduler"
+)
+
+// routingQueries covers every placement mode plus the slow-path broadcast
+// fallback. Write events hit the first four (by-group fast-key, by-event,
+// two pinned); read events hit only the slow-key by-group query, whose
+// group-by expression defeats the fast-key compiler.
+var routingQueries = []struct{ name, src string }{
+	{"grp-fast", `proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > 1000000000000
+return p, ss.amt`},
+	{"by-event", `proc p write ip i as e
+alert e.amount > 1000000000000
+return p`},
+	{"pinned-global", `proc p write ip i as e #time(1 h)
+state ss { total := sum(e.amount) }
+alert ss.total > 1000000000000000
+return ss.total`},
+	{"pinned-distinct", `proc p write ip i as e
+alert e.amount > 1000000000000
+return distinct p`},
+	{"grp-slow", `proc p read file f as e #time(1 h)
+state ss { amt := sum(e.amount) } group by p.pid + 0
+alert ss.amt > 1000000000000
+return ss.amt`},
+}
+
+// obsRecord is what the hook captured for one event (keyed by its HitSet,
+// which the evaluation stage allocates once per hit event).
+type obsRecord struct {
+	ev       *event.Event
+	deliver  []int // shards that received the event itself
+	touch    []int // shards that received a touch-only entry
+	touchAt  []time.Time
+	deliverN map[int]int // delivery multiplicity per shard
+}
+
+type observer struct {
+	mu   sync.Mutex
+	recs map[*scheduler.HitSet]*obsRecord
+}
+
+func (o *observer) hook(shard int, e *routedEntry) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rec := o.recs[e.hits]
+	if rec == nil {
+		rec = &obsRecord{deliverN: map[int]int{}}
+		o.recs[e.hits] = rec
+	}
+	if e.ev != nil {
+		rec.ev = e.ev
+		rec.deliver = append(rec.deliver, shard)
+		rec.deliverN[shard]++
+	} else {
+		rec.touch = append(rec.touch, shard)
+		rec.touchAt = append(rec.touchAt, e.at)
+	}
+}
+
+func compileRouting(t *testing.T, name, src string) (*engine.Query, func() (*engine.Query, error)) {
+	t.Helper()
+	q, err := engine.Compile(name, src, engine.CompileOptions{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return q, func() (*engine.Query, error) { return engine.Compile(name, src, engine.CompileOptions{}) }
+}
+
+// routingWorkload builds a random stream: mostly write events (hit the four
+// write queries), some read events (hit only the slow-path query), and some
+// connect events that hit nothing at all.
+func routingWorkload(rng *rand.Rand, n int) []*event.Event {
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	exes := []string{"nginx", "sshd", "osql.exe", "cmd.exe", "postgres", "redis-server", "curl"}
+	evs := make([]*event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := &event.Event{
+			Time:    base.Add(time.Duration(i) * 37 * time.Millisecond), // monotone
+			AgentID: "host-1",
+			Subject: event.Entity{
+				Type:    event.EntityProcess,
+				ExeName: exes[rng.Intn(len(exes))],
+				PID:     int32(100 + rng.Intn(40)),
+			},
+			Amount: float64(rng.Intn(5000)),
+		}
+		switch rng.Intn(10) {
+		case 0, 1: // read file: slow-path query only
+			ev.Op = event.OpRead
+			ev.Object = event.Entity{Type: event.EntityFile, Path: "/var/log/syslog"}
+		case 2: // connect: matches no registered query
+			ev.Op = event.OpConnect
+			ev.Object = event.Entity{Type: event.EntityNetConn, DstIP: "10.0.0.9", DstPort: 443, Protocol: "tcp"}
+		default: // write ip: the four write queries
+			ev.Op = event.OpWrite
+			ev.Object = event.Entity{Type: event.EntityNetConn, DstIP: "10.0.0.9", DstPort: 443, Protocol: "tcp"}
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// expectedMasks computes the reference owner sets for one event from the
+// placement rules alone: which shards must receive the event, and which must
+// receive a touch-only entry.
+func expectedMasks(ev *event.Event, n int, homes map[string]int) (deliver, touch uint64) {
+	all := uint64(1)<<n - 1
+	switch ev.Op {
+	case event.OpWrite:
+		// grp-fast: owner of the subject's group key.
+		deliver |= 1 << (HashKey(ev.Subject.ExeName) % uint32(n))
+		// by-event: owner of the subject entity hash.
+		deliver |= 1 << (HashEventKey(ev) % uint32(n))
+		// pinned queries: their home shards.
+		deliver |= 1 << homes["pinned-global"]
+		deliver |= 1 << homes["pinned-distinct"]
+		// A by-group query hit, so all non-delivered shards must be touched.
+		touch = all &^ deliver
+	case event.OpRead:
+		// grp-slow has no fast key extractor: broadcast fallback.
+		deliver = all
+	}
+	return deliver, touch
+}
+
+func maskOf(shards []int) uint64 {
+	var m uint64
+	for _, s := range shards {
+		m |= 1 << s
+	}
+	return m
+}
+
+func runRoutingCase(t *testing.T, seed int64, shards int) {
+	rng := rand.New(rand.NewSource(seed))
+	evs := routingWorkload(rng, 240+rng.Intn(120))
+
+	obs := &observer{recs: map[*scheduler.HitSet]*obsRecord{}}
+	r := Start(Config{Shards: shards, Sharing: true})
+	r.testObserve = obs.hook
+	defer r.Close()
+
+	homes := map[string]int{}
+	for _, qs := range routingQueries {
+		primary, clone := compileRouting(t, qs.name, qs.src)
+		if err := r.Add(primary, clone); err != nil {
+			t.Fatalf("seed %d shards %d: add %s: %v", seed, shards, qs.name, err)
+		}
+		if primary.Placement() == engine.PlacePinned {
+			qi := r.queries[qs.name]
+			for i, q := range qi.replicas {
+				if q != nil {
+					homes[qs.name] = i
+				}
+			}
+		}
+	}
+	// Sanity: the slow-path query really has no fast key extractor.
+	if slow := r.queries["grp-slow"].replicas; true {
+		for _, q := range slow {
+			if q == nil {
+				continue
+			}
+			if _, ok := q.HitGroupKeys(nil, evs[0], []int{0}); ok {
+				t.Fatalf("grp-slow unexpectedly compiled a fast group key; the broadcast-fallback path is untested")
+			}
+			break
+		}
+	}
+
+	// Random submission batch sizes keep the per-shard ring buffers in
+	// assorted fill states across flushes.
+	for i := 0; i < len(evs); {
+		j := i + 1 + rng.Intn(16)
+		if j > len(evs) {
+			j = len(evs)
+		}
+		if err := r.SubmitBatch(evs[i:j]); err != nil {
+			t.Fatalf("seed %d shards %d: submit: %v", seed, shards, err)
+		}
+		i = j
+	}
+	total := int64(len(evs))
+	for _, qs := range routingQueries {
+		st, ok := r.QueryStats(qs.name)
+		if !ok {
+			t.Fatalf("seed %d shards %d: %s: stats missing", seed, shards, qs.name)
+		}
+		if st.Events != total {
+			t.Errorf("seed %d shards %d: %s: events offered = %d, want %d", seed, shards, qs.name, st.Events, total)
+		}
+		if st.EvalErrors != 0 {
+			t.Errorf("seed %d shards %d: %s: %d eval errors", seed, shards, qs.name, st.EvalErrors)
+		}
+	}
+	r.Close()
+
+	if shards == 1 {
+		// Single shard runs the unpartitioned path: nothing observed, and the
+		// stats assertions above already pin full delivery to the one shard.
+		if len(obs.recs) != 0 {
+			t.Fatalf("seed %d: 1-shard runtime produced routed batches", seed)
+		}
+		return
+	}
+
+	// Index observations by event; an event whose HitSet was never buffered
+	// anywhere (no-hit events) must simply be absent.
+	byEvent := map[*event.Event]*obsRecord{}
+	for _, rec := range obs.recs {
+		if rec.ev != nil {
+			byEvent[rec.ev] = rec
+		}
+	}
+	for _, ev := range evs {
+		wantDeliver, wantTouch := expectedMasks(ev, shards, homes)
+		rec := byEvent[ev]
+		if rec == nil {
+			if wantDeliver != 0 {
+				t.Fatalf("seed %d shards %d: event %v op=%v delivered nowhere, want shard mask %b", seed, shards, ev.Time, ev.Op, wantDeliver)
+			}
+			continue
+		}
+		if got := maskOf(rec.deliver); got != wantDeliver {
+			t.Fatalf("seed %d shards %d: event %v op=%v delivered to mask %b, want %b", seed, shards, ev.Time, ev.Op, got, wantDeliver)
+		}
+		if got := maskOf(rec.touch); got != wantTouch {
+			t.Fatalf("seed %d shards %d: event %v op=%v touched mask %b, want %b", seed, shards, ev.Time, ev.Op, got, wantTouch)
+		}
+		for shard, cnt := range rec.deliverN {
+			if cnt != 1 {
+				t.Fatalf("seed %d shards %d: event %v delivered %d times to shard %d", seed, shards, ev.Time, cnt, shard)
+			}
+		}
+		for i := range rec.touchAt {
+			if !rec.touchAt[i].Equal(ev.Time) {
+				t.Fatalf("seed %d shards %d: touch entry stamped %v, want event time %v", seed, shards, rec.touchAt[i], ev.Time)
+			}
+		}
+		if wantDeliver != 0 && bits.OnesCount64(wantDeliver|wantTouch) > shards {
+			t.Fatalf("seed %d shards %d: mask wider than shard count", seed, shards)
+		}
+	}
+
+	// Touch entries must never outnumber shards-1 per event, and total
+	// delivery volume must be strictly below broadcast for mixed workloads
+	// (the point of the exercise).
+	var delivered, broadcast int
+	for _, ev := range evs {
+		wantDeliver, _ := expectedMasks(ev, shards, homes)
+		if wantDeliver != 0 {
+			broadcast += shards
+			delivered += bits.OnesCount64(wantDeliver)
+		}
+	}
+	// At 2 shards the two pinned homes alone already span every shard, so the
+	// reduction only has room to appear at wider configurations.
+	if shards >= 4 && delivered >= broadcast {
+		t.Fatalf("seed %d shards %d: partitioned routing delivered %d event copies, broadcast would be %d", seed, shards, delivered, broadcast)
+	}
+}
+
+// TestRoutingOwnershipProperty drives the battery through testing/quick:
+// each generated seed produces a fresh random workload, checked at every
+// shard width. The failing seed is part of the error value quick reports.
+func TestRoutingOwnershipProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 2
+	}
+	property := func(seed int64) bool {
+		for _, shards := range []int{1, 2, 4, 8} {
+			ok := t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				runRoutingCase(t, seed, shards)
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

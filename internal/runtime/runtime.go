@@ -8,14 +8,14 @@
 // # Shared evaluation
 //
 // The router owns an evaluation-only scheduler holding an unfiltered
-// replica of every registered query. Before broadcasting an event it runs
+// replica of every registered query. Before routing an event it runs
 // the shard-agnostic half of the master–dependent scheme exactly once —
 // each group's master pattern predicates, refined into per-dependent
-// residual hit sets — and ships the resulting (event, HitSet) envelope to
-// the shards. Shards never evaluate pattern predicates: they go straight to
-// owned-state folding via scheduler.ProcessWithHits, and a query whose hit
-// set is empty still ingests the event so its watermark advances and
-// windows close at the same instants everywhere. Per-event pattern work is
+// residual hit sets — and attaches the resulting immutable HitSet to every
+// delivery of that event. Shards never evaluate pattern predicates: they go
+// straight to owned-state folding via scheduler.IngestRouted, with the
+// entry's watermark stamp advancing each query before the fold so windows
+// close at the same instants everywhere. Per-event pattern work is
 // therefore O(patterns), not O(shards × patterns). Control operations
 // (add/swap/remove/pause) are applied to the evaluation scheduler by the
 // router at the moment their envelope passes through it — before any later
@@ -23,27 +23,29 @@
 // under, so hot-swap stays consistent: a shard resolves hit-set slots
 // against exactly the registry state the router evaluated with.
 //
-// # Shard placement
+// # Shard placement and partitioned routing
 //
-// The router broadcasts every event to every shard, so each shard observes
-// the identical total order: watermarks advance and windows open and close
-// at the same instants everywhere, which keeps sharded execution
-// alert-for-alert equivalent to the serial engine. What is partitioned is
-// the expensive per-query state folding:
+// The router establishes one total event order and partitions delivery by
+// state ownership (see router.go): an event reaches only the shards that
+// own state it would fold into —
 //
 //   - by-group queries (stateful, group-by, no clustering, no distinct)
 //     replicate onto every shard, and each group-by key is owned by exactly
-//     one shard (FNV hash of the key);
+//     one shard (FNV hash of the key); non-owning replicas receive
+//     lightweight touch entries so window cadence stays identical;
 //   - by-event queries (stateless single-pattern rules) replicate onto
 //     every shard, and each event is owned by exactly one shard (hash of
 //     the subject entity);
 //   - pinned queries (multievent rules, outlier/clustering queries,
 //     global-group stateful queries, `return distinct`) live on a single
-//     home shard, assigned round-robin, where they observe the total order.
+//     home shard, assigned round-robin, which receives every event the
+//     query's patterns hit.
 //
-// Control operations (add/remove query, flush, stats snapshots) ride the
-// same queue as events, so they take effect at a consistent point of the
-// stream on every shard.
+// Deliveries accumulate into per-shard batch buffers flushed on size
+// threshold, queue idleness, and before every control envelope. Control
+// operations (add/remove query, flush, stats snapshots, checkpoints) ride
+// the same queue as events and are broadcast behind a full buffer flush, so
+// they take effect at a consistent point of the stream on every shard.
 package runtime
 
 import (
@@ -91,11 +93,13 @@ type Config struct {
 	// Owns, when set, restricts this runtime to the slice of the 32-bit
 	// FNV-1a ownership hash space it owns — the distributed-worker case.
 	// By-group and by-event replicas fold only owned state (cluster
-	// ownership composes with the per-shard split), and a pinned query
+	// ownership composes with the per-shard split, and the partitioned
+	// router delivers unowned keys nowhere locally), and a pinned query
 	// materialises only when the runtime owns the hash of its name. Every
-	// replica still observes every event, so watermarks and window
-	// boundaries stay identical across a cluster, exactly as they do across
-	// shards.
+	// runtime in a cluster still observes every event in the same order, and
+	// within a runtime watermark stamps and touch entries advance every
+	// replica, so watermarks and window boundaries stay identical across a
+	// cluster.
 	Owns func(uint32) bool
 }
 
@@ -148,6 +152,15 @@ type Runtime struct {
 	// scheduler, and skipping the extra router hop keeps the degenerate
 	// configuration as fast as the serial engine.
 	preEval bool
+	// part is the partitioned-routing state (nil when preEval is off, or
+	// beyond the 64-shard mask width, where envelopes broadcast instead).
+	// Confined to the routing goroutine.
+	part *partitioner
+
+	// testObserve, when set before any event flows, observes every routed
+	// entry a shard receives (tests pin the ownership-routing invariants
+	// with it). Never set in production.
+	testObserve func(shard int, e *routedEntry)
 }
 
 type shard struct {
@@ -162,9 +175,10 @@ type shard struct {
 // event matched no query. HitSets are immutable and shared read-only by
 // every shard.
 type envelope struct {
-	evs  []*event.Event
-	hits []*scheduler.HitSet
-	ctl  *control
+	evs   []*event.Event
+	hits  []*scheduler.HitSet
+	ctl   *control
+	batch *shardBatch // partitioned delivery (router.go); nil otherwise
 }
 
 type ctlKind uint8
@@ -188,9 +202,12 @@ type control struct {
 	paused   bool            // ctlPause: target state
 	carry    bool            // ctlSwap: adopt the old replica's window state
 
-	// ctlCheckpoint: the router stamps the stream offset (events routed
-	// before this barrier) here before broadcasting; the coordinator reads
-	// it after collecting the acks, so the write happens-before the read.
+	// The router stamps the stream offset (events routed before this
+	// control) here before broadcasting; the coordinator reads it after
+	// collecting the acks, so the write happens-before the read. For
+	// ctlCheckpoint it is the barrier's journal position; for ctlAdd and
+	// ctlStats it anchors the events-offered counter under partitioned
+	// routing, where no single replica observes every event.
 	offset int64
 	// ctlRestore: per-query state blobs (in capture-shard order) and the
 	// shard id granted each query's single-owner state.
@@ -214,6 +231,10 @@ type queryInfo struct {
 	name      string
 	placement engine.Placement
 	replicas  []*engine.Query // indexed by shard; nil where absent
+	// addedAt is the stream offset at which the query's add control passed
+	// the router: QueryStats derives events-offered from it, since under
+	// partitioned routing no replica is offered every event.
+	addedAt int64
 }
 
 // Start spins up the runtime: one router plus cfg.Shards workers.
@@ -249,6 +270,11 @@ func Start(cfg Config) *Runtime {
 			sched: scheduler.New(cfg.Reporter, cfg.Sharing),
 		}
 		r.shards = append(r.shards, s)
+	}
+	if r.preEval && cfg.Shards <= maxPartitionedShards {
+		r.part = newPartitioner(r)
+	}
+	for _, s := range r.shards {
 		r.workersDone.Add(1)
 		go r.worker(s)
 	}
@@ -361,10 +387,28 @@ func (r *Runtime) router() {
 			// Stop pulling; Close performs the final drain after it has
 			// barriered out every in-flight Submit (a submitter racing
 			// Close could otherwise enqueue an accepted event after a
-			// drain here and have it silently lost).
+			// drain here and have it silently lost). Buffered entries are
+			// not lost either: Close flushes after the drain.
 			return
 		case env := <-r.ingest:
 			r.route(env)
+			// Keep routing while the queue has work, then flush the
+			// per-shard buffers once it goes idle: batches amortise channel
+			// traffic under load without adding latency when there is none.
+		drain:
+			for {
+				select {
+				case env := <-r.ingest:
+					r.route(env)
+				case <-r.quit:
+					return
+				default:
+					break drain
+				}
+			}
+			if r.part != nil {
+				r.part.flushAll()
+			}
 		}
 	}
 }
@@ -376,19 +420,38 @@ func (r *Runtime) router() {
 // router, then Close's final drain.
 func (r *Runtime) route(env envelope) {
 	if env.ctl != nil {
-		if env.ctl.kind == ctlCheckpoint {
-			// The barrier's stream offset: every event routed before this
-			// envelope (and only those) is covered by the snapshot.
-			env.ctl.offset = r.cfg.BaseOffset + r.routed
+		if r.part != nil {
+			// Flush buffered deliveries first: the control must broadcast
+			// behind everything routed before it (FIFO per shard channel),
+			// so it keeps cutting the stream at one consistent point even
+			// though shards see disjoint event subsets.
+			r.part.flushAll()
 		}
+		// The control's stream offset: for checkpoints, the barrier
+		// position (every event routed before this envelope, and only
+		// those, is covered by the snapshot); for add/stats, the anchor of
+		// the events-offered counter.
+		env.ctl.offset = r.cfg.BaseOffset + r.routed
 		r.applyEval(env.ctl)
-	} else {
-		r.routed += int64(len(env.evs))
-		if r.preEval && len(env.evs) > 0 {
-			env.hits = r.evalSched.EvaluateBatch(env.evs)
-		}
+		r.broadcast(env)
+		return
 	}
-	r.broadcast(env)
+	r.routed += int64(len(env.evs))
+	if !r.preEval {
+		r.broadcast(env)
+		return
+	}
+	if len(env.evs) > 0 {
+		env.hits = r.evalSched.EvaluateBatch(env.evs)
+	}
+	if r.part == nil {
+		// Beyond the partitioned mask width: broadcast like before.
+		r.broadcast(env)
+		return
+	}
+	for i, ev := range env.evs {
+		r.part.routeEvent(ev, env.hits[i])
+	}
 }
 
 // applyEval applies a control operation to the evaluation scheduler. The
@@ -399,6 +462,9 @@ func (r *Runtime) applyEval(c *control) {
 	if !r.preEval {
 		// Single shard: no evaluation scheduler to maintain.
 		return
+	}
+	if r.part != nil {
+		r.part.applyCtl(c)
 	}
 	switch c.kind {
 	case ctlAdd:
@@ -435,6 +501,10 @@ func (r *Runtime) worker(s *shard) {
 	for env := range s.in {
 		if env.ctl != nil {
 			s.apply(env.ctl, r.cfg.Fan)
+			continue
+		}
+		if env.batch != nil {
+			r.processBatch(s, env.batch)
 			continue
 		}
 		if env.hits == nil {
@@ -637,7 +707,8 @@ func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)
 		}
 	}
 
-	results, err := r.control(&control{kind: ctlAdd, name: name, replicas: replicas, eval: evalQ})
+	c := &control{kind: ctlAdd, name: name, replicas: replicas, eval: evalQ}
+	results, err := r.control(c)
 	if err != nil {
 		return err
 	}
@@ -648,7 +719,7 @@ func (r *Runtime) Add(primary *engine.Query, clone func() (*engine.Query, error)
 			return res.err
 		}
 	}
-	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas}
+	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas, addedAt: c.offset}
 	return nil
 }
 
@@ -687,7 +758,8 @@ func (r *Runtime) Swap(primary *engine.Query, clone func() (*engine.Query, error
 		}
 	}
 
-	results, err := r.control(&control{kind: ctlSwap, name: name, replicas: replicas, eval: evalQ, carry: carry})
+	c := &control{kind: ctlSwap, name: name, replicas: replicas, eval: evalQ, carry: carry}
+	results, err := r.control(c)
 	if err != nil {
 		return err
 	}
@@ -702,7 +774,9 @@ func (r *Runtime) Swap(primary *engine.Query, clone func() (*engine.Query, error
 			return res.err
 		}
 	}
-	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas}
+	// The replacement's counters start fresh, exactly like a serial
+	// remove+add, so events-offered anchors at the swap point.
+	r.queries[name] = &queryInfo{name: name, placement: primary.Placement(), replicas: replicas, addedAt: c.offset}
 	return nil
 }
 
@@ -758,9 +832,12 @@ func (r *Runtime) Placement(name string) (engine.Placement, bool) {
 }
 
 // QueryStats aggregates a query's runtime counters across its replicas.
-// Counters that every replica observes identically (events offered, windows
-// closed) aggregate by max; disjoint counters (hits, matches, alerts) sum.
-// It keeps working after Close (counters freeze at their final values).
+// Windows closed aggregates by max (replicas observe identical window
+// cadence); disjoint counters (hits, matches, alerts) sum. Under partitioned
+// routing no replica is offered every event, so events-offered is derived
+// from the router's stream offsets (events routed while the query was
+// registered — pause periods included) rather than any replica's counter. It
+// keeps working after Close (counters freeze at their final values).
 func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
 	r.mu.Lock()
 	qi, ok := r.queries[name]
@@ -768,12 +845,16 @@ func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
 		r.mu.Unlock()
 		return engine.QueryStats{}, false
 	}
-	results, err := r.control(&control{kind: ctlStats, name: name})
+	c := &control{kind: ctlStats, name: name}
+	results, err := r.control(c)
 	r.mu.Unlock()
+	offset := c.offset
 	if err != nil {
 		// Runtime closed: once the drain finishes the workers are gone,
-		// so the worker-confined replicas can be read directly.
+		// so the worker-confined replicas (and the routing goroutine's
+		// final offset) can be read directly.
 		<-r.done
+		offset = r.cfg.BaseOffset + r.routed
 		results = results[:0]
 		for i, q := range qi.replicas {
 			if q != nil {
@@ -800,6 +881,9 @@ func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
 		out.Alerts += s.Alerts
 		out.Suppressed += s.Suppressed
 		out.EvalErrors += s.EvalErrors
+	}
+	if r.part != nil && found {
+		out.Events = offset - qi.addedAt
 	}
 	return out, found
 }
@@ -899,6 +983,11 @@ func (r *Runtime) Close() {
 			default:
 			}
 			break
+		}
+		if r.part != nil {
+			// Deliver whatever the drain (or the router, pre-quit) left
+			// buffered before the channels close.
+			r.part.flushAll()
 		}
 		for _, s := range r.shards {
 			close(s.in)

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"saql/internal/ast"
 	"saql/internal/engine"
@@ -122,21 +123,31 @@ type Scheduler struct {
 	// layout when consuming foreign HitSets via ProcessWithHits.
 	layout      *Layout
 	resolvedFor *Layout
+	// bySlot inverts the resolved layout: slot index -> locally registered
+	// query (nil where the slot's query is not placed on this scheduler).
+	// The partitioned ingestion paths walk a HitSet's non-empty slots
+	// directly instead of iterating every group.
+	bySlot []*engine.Query
 	// procScratch is Process's reusable slot table: the serial path
 	// consumes the hits under the same lock hold, so the table never
 	// escapes and one zeroed buffer serves every event.
 	procScratch [][]int
+	// report adapts the error reporter once at construction so the per-event
+	// paths don't allocate a closure per call.
+	report func(error)
 }
 
 // New creates a scheduler. reporter may be nil. sharing enables the
 // master–dependent-query scheme; with sharing=false every query is executed
 // independently (the configuration E3 uses as the SAQL-side ablation).
 func New(reporter *engine.ErrorReporter, sharing bool) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		queries:  map[string]*engine.Query{},
 		reporter: reporter,
 		sharing:  sharing,
 	}
+	s.report = s.reportFn()
+	return s
 }
 
 // Add registers a compiled query, assigning it to a compatible group or
@@ -293,10 +304,21 @@ func (s *Scheduler) resolveSlotsLocked(target *Layout) {
 	if s.resolvedFor == target {
 		return
 	}
+	n := 0
+	if target != nil {
+		n = len(target.Slots)
+	}
+	s.bySlot = make([]*engine.Query, n)
 	for _, g := range s.groups {
 		g.slot = target.slot(g.master.Name)
+		if g.slot >= 0 {
+			s.bySlot[g.slot] = g.master
+		}
 		for _, d := range g.dependents {
 			d.slot = target.slot(d.q.Name)
+			if d.slot >= 0 {
+				s.bySlot[d.slot] = d.q
+			}
 		}
 	}
 	s.resolvedFor = target
@@ -520,16 +542,97 @@ func (s *Scheduler) ingestLocked(ev *event.Event, layout *Layout, hits [][]int) 
 		return hits[slot]
 	}
 	var alerts []*engine.Alert
-	report := s.reportFn()
 	for _, g := range s.groups {
 		if !g.master.Paused() {
-			alerts = append(alerts, g.master.Ingest(ev, get(g.slot), report)...)
+			alerts = append(alerts, g.master.Ingest(ev, get(g.slot), s.report)...)
 		}
 		for _, d := range g.dependents {
 			if d.q.Paused() {
 				continue
 			}
-			alerts = append(alerts, d.q.Ingest(ev, get(d.slot), report)...)
+			alerts = append(alerts, d.q.Ingest(ev, get(d.slot), s.report)...)
+		}
+	}
+	s.stats.Alerts += int64(len(alerts))
+	return alerts
+}
+
+// IngestRouted folds one delivered event into exactly the queries its hit
+// set names: the partitioned router's ingestion path, where a shard receives
+// only the events whose state it owns. Each stateful target is first
+// advanced to wm — the stream watermark the router observed just before this
+// event — so windows close at the same stream points as in the serial
+// engine, where every event advances every query's watermark. Queries with
+// no hits are left alone here; AdvanceAll at the batch boundary brings them
+// to the stream watermark.
+func (s *Scheduler) IngestRouted(ev *event.Event, hs *HitSet, wm time.Time, hasWM bool) []*engine.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	s.resolveSlotsLocked(hs.Layout)
+	var alerts []*engine.Alert
+	for slot, h := range hs.Hits {
+		if len(h) == 0 {
+			continue
+		}
+		q := s.bySlot[slot]
+		if q == nil || q.Paused() {
+			continue
+		}
+		if hasWM {
+			alerts = append(alerts, q.AdvanceWatermark(wm, s.report)...)
+		}
+		alerts = append(alerts, q.Ingest(ev, h, s.report)...)
+	}
+	s.stats.Alerts += int64(len(alerts))
+	return alerts
+}
+
+// TouchRouted opens (and later closes) windows for the stateful queries a
+// hit set names without folding any state: the partitioned router sends it
+// to the shards that hold a replica of a hit query but do not own the
+// event's group, replacing the full envelope the broadcast router shipped.
+// Window cadence — open instants, close counts, empty-snapshot backfill —
+// thereby stays identical on every replica.
+func (s *Scheduler) TouchRouted(at time.Time, hs *HitSet, wm time.Time, hasWM bool) []*engine.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resolveSlotsLocked(hs.Layout)
+	var alerts []*engine.Alert
+	for slot, h := range hs.Hits {
+		if len(h) == 0 {
+			continue
+		}
+		q := s.bySlot[slot]
+		if q == nil || q.Paused() || !q.Stateful() {
+			continue
+		}
+		if hasWM {
+			alerts = append(alerts, q.AdvanceWatermark(wm, s.report)...)
+		}
+		alerts = append(alerts, q.TouchAt(at, s.report)...)
+	}
+	s.stats.Alerts += int64(len(alerts))
+	return alerts
+}
+
+// AdvanceAll advances every active query's watermark to wm, closing finished
+// windows: the batch-boundary watermark broadcast of the partitioned router.
+// Paused queries are skipped — their watermarks freeze exactly as they do in
+// the serial engine, which stops offering them events entirely.
+func (s *Scheduler) AdvanceAll(wm time.Time) []*engine.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var alerts []*engine.Alert
+	for _, g := range s.groups {
+		if !g.master.Paused() {
+			alerts = append(alerts, g.master.AdvanceWatermark(wm, s.report)...)
+		}
+		for _, d := range g.dependents {
+			if d.q.Paused() {
+				continue
+			}
+			alerts = append(alerts, d.q.AdvanceWatermark(wm, s.report)...)
 		}
 	}
 	s.stats.Alerts += int64(len(alerts))
@@ -540,12 +643,11 @@ func (s *Scheduler) ingestLocked(ev *event.Event, layout *Layout, hits [][]int) 
 func (s *Scheduler) Flush() []*engine.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	report := s.reportFn()
 	var alerts []*engine.Alert
 	for _, g := range s.groups {
-		alerts = append(alerts, g.master.Flush(report)...)
+		alerts = append(alerts, g.master.Flush(s.report)...)
 		for _, d := range g.dependents {
-			alerts = append(alerts, d.q.Flush(report)...)
+			alerts = append(alerts, d.q.Flush(s.report)...)
 		}
 	}
 	s.stats.Alerts += int64(len(alerts))
