@@ -135,7 +135,7 @@ func (e *Engine) captureSnapshot() (*snapshot.Snapshot, error) {
 		return nil, fmt.Errorf("saql: Checkpoint requires an event journal (WithJournal) so the snapshot's stream offset is replayable")
 	}
 
-	snap := &snapshot.Snapshot{TakenAt: time.Now()}
+	snap := &snapshot.Snapshot{TakenAt: time.Now()} //saql:wallclock informational capture timestamp, never replayed
 	var states map[string][][]byte
 	if rt := e.rt.Load(); rt != nil {
 		cs, err := rt.Checkpoint()

@@ -1,0 +1,336 @@
+// Command saql-lint runs the engine's custom analyzer suite (codecpair,
+// hotpath, ctlorder, determinism — see internal/analysis) over the module.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `saql-lint ./...` loads the named packages (go list
+//     patterns, default ./...) and prints diagnostics as file:line:col.
+//     Exit status 1 if any diagnostic is reported.
+//
+//   - Vet tool: `go vet -vettool=$(pwd)/bin/saql-lint ./...` — the binary
+//     implements the cmd/go unitchecker protocol (-V=full version
+//     handshake, per-package .cfg JSON units, vetx fact files), so the
+//     suite runs incrementally under the go tool's action cache exactly
+//     like the built-in vet passes.
+//
+// `saql-lint -list` prints each analyzer with its armed/skip status; CI
+// uses it so a skipped analyzer is never silent.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"saql/internal/analysis"
+	"saql/internal/analysis/codecpair"
+	"saql/internal/analysis/ctlorder"
+	"saql/internal/analysis/determinism"
+	"saql/internal/analysis/hotpath"
+	"saql/internal/analysis/load"
+)
+
+var analyzers = []*analysis.Analyzer{
+	codecpair.Analyzer,
+	ctlorder.Analyzer,
+	determinism.Analyzer,
+	hotpath.Analyzer,
+}
+
+func main() {
+	var patterns []string
+	listMode := false
+	jsonMode := false
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			// Flag-definition handshake used by cmd/go when forwarding
+			// user flags; the suite has none.
+			fmt.Println("[]")
+			return
+		case arg == "-list" || arg == "--list":
+			listMode = true
+		case arg == "-json" || arg == "--json":
+			jsonMode = true
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(runUnit(arg, jsonMode))
+		case strings.HasPrefix(arg, "-"):
+			// Unknown driver flags (e.g. -c=N source context) are ignored
+			// rather than fatal so future cmd/go versions keep working.
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
+	if listMode {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s armed    %s\n", a.Name, firstLine(a.Doc))
+		}
+		// No analyzer in this suite is build-tagged or platform-gated; if
+		// one ever is, it must print "skipped (<reason>)" here instead.
+		fmt.Println("0 analyzers skipped")
+		return
+	}
+	os.Exit(runStandalone(patterns, jsonMode))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion implements the -V=full handshake: cmd/go hashes the line
+// into its action cache key, so it embeds a digest of the executable —
+// rebuilding the tool invalidates cached vet results.
+func printVersion() {
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode
+// ---------------------------------------------------------------------------
+
+func runStandalone(patterns []string, jsonMode bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saql-lint:", err)
+		return 3
+	}
+	pkgs, err := load.Packages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saql-lint:", err)
+		return 3
+	}
+	found := 0
+	var all []located
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "saql-lint: %s: type error: %v\n", pkg.ImportPath, e)
+		}
+		diags := collectDiagnostics(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, os.Stderr)
+		found += len(diags)
+		if jsonMode {
+			all = append(all, diags...)
+		} else {
+			printDiagnostics(os.Stderr, diags)
+		}
+	}
+	if jsonMode {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiag{d.pos.Filename, d.pos.Line, d.pos.Column, d.name, d.msg})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "saql-lint:", err)
+			return 3
+		}
+	}
+	if found > 0 {
+		if !jsonMode {
+			fmt.Fprintf(os.Stderr, "saql-lint: %d finding(s)\n", found)
+		}
+		return 1
+	}
+	return 0
+}
+
+// located is one diagnostic resolved to a file position.
+type located struct {
+	pos  token.Position
+	name string
+	msg  string
+}
+
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, w io.Writer) int {
+	diags := collectDiagnostics(fset, files, pkg, info, w)
+	printDiagnostics(w, diags)
+	return len(diags)
+}
+
+func collectDiagnostics(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, w io.Writer) []located {
+	var all []located
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(w, "saql-lint: %s: %v\n", a.Name, err)
+			continue
+		}
+		for _, d := range diags {
+			all = append(all, located{fset.Position(d.Pos), a.Name, d.Message})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all
+}
+
+func printDiagnostics(w io.Writer, diags []located) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", d.pos, d.name, d.msg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Unitchecker mode (go vet -vettool)
+// ---------------------------------------------------------------------------
+
+// unitConfig is the JSON unit description cmd/go hands to a vet tool. Field
+// names and semantics follow x/tools/go/analysis/unitchecker.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string, jsonMode bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saql-lint:", err)
+		return 3
+	}
+	cfg := &unitConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "saql-lint: parsing %s: %v\n", cfgPath, err)
+		return 3
+	}
+
+	// The driver always expects the facts output file, even though this
+	// suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("saql-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "saql-lint:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "saql-lint:", err)
+			return 3
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("saql-lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErr error
+	tconf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "saql-lint: %s: %v\n", cfg.ImportPath, typeErr)
+		return 1
+	}
+
+	found := runAnalyzers(fset, files, pkg, info, os.Stderr)
+	if found > 0 {
+		return 2
+	}
+	return 0
+}

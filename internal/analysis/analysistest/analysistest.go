@@ -1,0 +1,211 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library.
+//
+// Test packages live under <analyzer>/testdata/src/<path>/ and may import
+// real module packages (saql/internal/wire, ...); imports resolve through
+// `go list -export` against the enclosing module, so the fixtures
+// type-check exactly like production code.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"saql/internal/analysis"
+	"saql/internal/analysis/load"
+)
+
+// Run loads testdata/src/<pkgpath> (relative to the calling test's
+// directory), applies the analyzer, and reports mismatches between the
+// diagnostics and the package's // want comments as test errors. It
+// returns the diagnostics for additional assertions.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: getwd: %v", err)
+	}
+	dir := filepath.Join(cwd, "testdata", "src", filepath.FromSlash(pkgpath))
+	names, err := goFilesIn(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	moduleRoot, err := load.ModuleRoot(cwd)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	imports := importPaths(files)
+	resolver, err := load.NewResolver(moduleRoot, imports...)
+	if err != nil {
+		t.Fatalf("analysistest: resolving imports %v: %v", imports, err)
+	}
+	pkg, info, errs := load.CheckFiles(fset, pkgpath, files, resolver.Importer(fset))
+	for _, e := range errs {
+		t.Errorf("analysistest: type error in fixture: %v", e)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	checkWants(t, fset, files, diags)
+	return diags
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func importPaths(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// want is one expectation parsed from a // want "re" comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`(?:\x60([^\x60]*)\x60|"((?:[^"\\]|\\.)*)")`)
+
+// parseWants extracts expectations: a comment of the form
+//
+//	// want "regexp" "another"
+//
+// attaches to the line it sits on.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//")), "want ") {
+					continue
+				}
+				spec := text[idx+len("want "):]
+				pos := fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(spec, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: malformed want comment: %s", pos, text)
+					continue
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if m[2] != "" || pat == "" {
+						pat = m[2]
+						// Undo the string-literal escaping used in the comment.
+						pat = strings.ReplaceAll(pat, `\\`, `\`)
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// NoDiagnostics asserts the run produced no findings (for clean fixtures).
+func NoDiagnostics(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s: %s", fset.Position(d.Pos), d.Message)
+	}
+}

@@ -1,0 +1,21 @@
+package codecpair_test
+
+import (
+	"testing"
+
+	"saql/internal/analysis/analysistest"
+	"saql/internal/analysis/codecpair"
+)
+
+// TestDrift seeds the drift classes the analyzer exists to catch: field
+// added to one half only, reordered reads, forgotten count prefix, trailing
+// extra read, orphaned half. Each must be reported at the marked position.
+func TestDrift(t *testing.T) {
+	analysistest.Run(t, codecpair.Analyzer, "drift")
+}
+
+// TestClean runs the analyzer over correctly-paired codecs written in the
+// engine's real idioms; any diagnostic is a false positive and fails.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, codecpair.Analyzer, "clean")
+}

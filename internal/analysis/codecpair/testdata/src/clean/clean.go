@@ -1,0 +1,160 @@
+// Package clean exercises the codec idioms the real engine uses — tag
+// switches, count-prefixed loops, optional fields, watermark if/else, nested
+// helper pairs — all correctly paired. codecpair must stay silent here.
+package clean
+
+import (
+	"errors"
+
+	"saql/internal/wire"
+)
+
+var errUnknown = errors.New("unknown aggregate")
+
+const (
+	tagSum  = 1
+	tagHist = 2
+)
+
+type Agg interface{ agg() }
+
+type sumAgg struct {
+	sum float64
+	n   int64
+}
+
+type histAgg struct {
+	vals []float64
+}
+
+func (*sumAgg) agg()  {}
+func (*histAgg) agg() {}
+
+// AppendState writes a tag byte inside each alternative; ReadState reads the
+// tag once before branching. The analyzer factors the lead tag out.
+func AppendState(b []byte, a Agg) ([]byte, error) {
+	switch ag := a.(type) {
+	case *sumAgg:
+		b = append(b, tagSum)
+		b = wire.AppendFloat64(b, ag.sum)
+		b = wire.AppendVarint(b, ag.n)
+	case *histAgg:
+		b = append(b, tagHist)
+		b = wire.AppendUvarint(b, uint64(len(ag.vals)))
+		for _, v := range ag.vals {
+			b = wire.AppendFloat64(b, v)
+		}
+	default:
+		return b, errUnknown
+	}
+	return b, nil
+}
+
+func ReadState(r *wire.Reader, a Agg) error {
+	tag := r.Byte()
+	switch ag := a.(type) {
+	case *sumAgg:
+		if tag != tagSum {
+			return errUnknown
+		}
+		ag.sum = r.Float64()
+		ag.n = r.Varint()
+	case *histAgg:
+		if tag != tagHist {
+			return errUnknown
+		}
+		n := r.Count(1)
+		ag.vals = ag.vals[:0]
+		for i := 0; i < n; i++ {
+			ag.vals = append(ag.vals, r.Float64())
+		}
+	default:
+		return errUnknown
+	}
+	return r.Err()
+}
+
+type Manager struct {
+	hasWM bool
+	wm    int64
+	names []string
+}
+
+// AppendState's watermark if/else writes the same shape on both arms, and
+// the trailing helper call pairs with readNames on the decode side.
+func (m *Manager) AppendState(b []byte) []byte {
+	if m.hasWM {
+		b = wire.AppendVarint(b, m.wm)
+	} else {
+		b = wire.AppendVarint(b, 0)
+	}
+	b = appendNames(b, m.names)
+	return b
+}
+
+func (m *Manager) ReadState(r *wire.Reader) {
+	m.wm = r.Varint()
+	m.hasWM = m.wm != 0
+	m.names = readNames(r)
+}
+
+func appendNames(b []byte, names []string) []byte {
+	b = wire.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = wire.AppendString(b, n)
+	}
+	return b
+}
+
+func readNames(r *wire.Reader) []string {
+	n := r.Count(1)
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+type Note struct {
+	Name string
+}
+
+// Optional value: presence flag plus conditional payload on both sides.
+func AppendMaybe(b []byte, n *Note) []byte {
+	if n == nil {
+		b = wire.AppendBool(b, false)
+		return b
+	}
+	b = wire.AppendBool(b, true)
+	b = wire.AppendString(b, n.Name)
+	return b
+}
+
+func ReadMaybe(r *wire.Reader) *Note {
+	if !r.Bool() {
+		return nil
+	}
+	return &Note{Name: r.String()}
+}
+
+// Count-prefixed list where only the decoder short-circuits on emptiness: a
+// skipped guard is equivalent to the encoder's loop running zero times.
+func appendTags(b []byte, tags []string) []byte {
+	b = wire.AppendUvarint(b, uint64(len(tags)))
+	for _, t := range tags {
+		b = wire.AppendString(b, t)
+	}
+	return b
+}
+
+func readTags(r *wire.Reader) []string {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}

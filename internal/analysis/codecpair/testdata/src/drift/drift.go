@@ -1,0 +1,86 @@
+// Package drift seeds codec pairs whose halves disagree — the bug classes
+// codecpair exists to catch. Each case is a miniature of real drift: a field
+// added to the encoder but not the decoder, a reordered read, a count prefix
+// one half forgot, an orphaned half.
+package drift
+
+import "saql/internal/wire"
+
+type Thing struct {
+	Name string
+	N    int64
+	OK   bool
+}
+
+// AppendThing writes a field ReadThing never reads (the classic "added a
+// field to encode, forgot decode" checkpoint drift).
+func AppendThing(b []byte, t Thing) []byte {
+	b = wire.AppendString(b, t.Name)
+	b = wire.AppendVarint(b, t.N) // want `codec pair AppendThing/ReadThing out of sync: encode writes Varint where decode reads Bool`
+	b = wire.AppendBool(b, t.OK)
+	return b
+}
+
+func ReadThing(r *wire.Reader) Thing {
+	var t Thing
+	t.Name = r.String()
+	t.OK = r.Bool()
+	return t
+}
+
+type St struct {
+	A int64
+	K string
+}
+
+// AppendState and ReadState agree on fields but not on order.
+func (s *St) AppendState(b []byte) []byte {
+	b = wire.AppendVarint(b, s.A) // want `codec pair St.AppendState/St.ReadState out of sync: encode writes Varint where decode reads String`
+	b = wire.AppendString(b, s.K)
+	return b
+}
+
+func (s *St) ReadState(r *wire.Reader) {
+	s.K = r.String()
+	s.A = r.Varint()
+}
+
+// appendList writes a count prefix readList never consumes.
+func appendList(b []byte, xs []string) []byte {
+	b = wire.AppendUvarint(b, uint64(len(xs))) // want `codec pair appendList/readList out of sync: encode has Uvarint where decode has loop`
+	for _, x := range xs {
+		b = wire.AppendString(b, x)
+	}
+	return b
+}
+
+func readList(r *wire.Reader) []string {
+	out := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+type Rec struct {
+	ID   uint64
+	Note string
+}
+
+// DecodeRec reads a trailing flag EncodeRec never writes.
+func EncodeRec(b []byte, rec *Rec) []byte {
+	b = wire.AppendUvarint(b, rec.ID)
+	b = wire.AppendString(b, rec.Note) // want `codec pair EncodeRec/DecodeRec out of sync: decode reads Bool that encode never writes`
+	return b
+}
+
+func DecodeRec(r *wire.Reader, rec *Rec) {
+	rec.ID = r.Uvarint()
+	rec.Note = r.String()
+	_ = r.Bool()
+}
+
+// AppendOrphan has no decode half anywhere in the package.
+func AppendOrphan(b []byte, v uint64) []byte { // want `codec AppendOrphan writes wire data but package drift has no matching decode`
+	return wire.AppendUvarint(b, v)
+}

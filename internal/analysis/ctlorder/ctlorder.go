@@ -1,0 +1,279 @@
+// Package ctlorder machine-checks the engine's total-order discipline: the
+// sharded runtime's guarantee (sharded == serial, alert for alert) holds
+// because every piece of engine state mutates only via control-queue
+// envelopes that all shards observe in the same order.
+//
+// Inside internal/runtime and internal/scheduler the analyzer flags:
+//
+//   - sends on channels whose element type is a control-plane type declared
+//     in those packages (envelope, control, ctlResult) from functions not
+//     annotated //saql:ctlpath — a raw send bypassing the annotated
+//     envelope path is exactly how an out-of-order mutation sneaks in;
+//   - close() of such channels under the same rule;
+//   - direct writes to fields of the runtime's shard struct outside
+//     //saql:ctlpath functions (shard state must change only by applying
+//     envelopes on the shard's own goroutine).
+//
+// Module-wide (every package), it flags lock-bearing values copied by
+// value: a sync.Mutex / sync.RWMutex / sync.Pool / sync.WaitGroup /
+// sync.Once / sync.Cond — or any struct or array containing one — passed,
+// returned, received, assigned from an existing value, or iterated by
+// value. A copied mutex silently stops excluding anything.
+package ctlorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"saql/internal/analysis"
+)
+
+// Analyzer is the ctlorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctlorder",
+	Doc:  "enforce the control-queue envelope discipline in runtime/scheduler and forbid by-value copies of lock-bearing types",
+	Run:  run,
+}
+
+// ctlPackage reports whether the package is under the envelope-path rules.
+func ctlPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/runtime") || strings.HasSuffix(path, "internal/scheduler")
+}
+
+func run(pass *analysis.Pass) error {
+	ctl := pass.Pkg != nil && ctlPackage(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.InTestFile(fn.Pos()) {
+				continue
+			}
+			checkLockCopies(pass, fn)
+			if ctl && !analysis.FuncHasDirective(fn, "ctlpath") {
+				checkEnvelopeDiscipline(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Envelope discipline (internal/runtime, internal/scheduler)
+// ---------------------------------------------------------------------------
+
+func checkEnvelopeDiscipline(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are dispatched elsewhere; annotate their host
+		case *ast.SendStmt:
+			if t := controlElemType(pass, x.Chan); t != "" && !pass.Suppressed(x.Arrow, "ctlpath") {
+				pass.Reportf(x.Arrow,
+					"send of control-plane %s outside the control-queue path: annotate %s with //saql:ctlpath if it is part of the envelope path",
+					t, fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if t := controlElemType(pass, x.Args[0]); t != "" && !pass.Suppressed(x.Pos(), "ctlpath") {
+						pass.Reportf(x.Pos(),
+							"close of control-plane %s channel outside the control-queue path: annotate %s with //saql:ctlpath",
+							t, fn.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if isShardValue(pass, sel.X) && !pass.Suppressed(lhs.Pos(), "ctlpath") {
+					pass.Reportf(lhs.Pos(),
+						"direct write to shard field %s outside the control-queue path: shard state changes only by applying envelopes (//saql:ctlpath)",
+						sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// controlElemType returns the name of the control-plane element type carried
+// by the channel expression, or "" if the channel is not control-plane. A
+// control-plane type is a named type (or pointer to one) declared in
+// internal/runtime or internal/scheduler.
+func controlElemType(pass *analysis.Pass, ch ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[ch]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	c, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return ""
+	}
+	elem := c.Elem()
+	if p, ok := elem.(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return ""
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !ctlPackage(pkg.Path()) {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isShardValue reports whether e is (a pointer to) the runtime's shard
+// struct.
+func isShardValue(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return named.Obj().Name() == "shard" && pkg != nil && strings.HasSuffix(pkg.Path(), "internal/runtime")
+}
+
+// ---------------------------------------------------------------------------
+// Lock copies (module-wide)
+// ---------------------------------------------------------------------------
+
+func checkLockCopies(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// By-value receiver or parameters of lock-bearing type.
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			reportLockField(pass, f, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			reportLockField(pass, f, "parameter")
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			reportLockField(pass, f, "result")
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if !readsExistingValue(rhs) {
+					continue
+				}
+				if name := lockPath(pass.TypesInfo, rhs); name != "" {
+					pass.Reportf(rhs.Pos(), "assignment copies lock value: %s", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value != nil {
+				if tv, ok := pass.TypesInfo.Types[x.Value]; ok && tv.Type != nil {
+					if name := lockName(tv.Type); name != "" {
+						pass.Reportf(x.Value.Pos(), "range iteration copies lock value: %s", name)
+					}
+				} else if id, ok := x.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						if name := lockName(obj.Type()); name != "" {
+							pass.Reportf(x.Value.Pos(), "range iteration copies lock value: %s", name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportLockField(pass *analysis.Pass, f *ast.Field, what string) {
+	tv, ok := pass.TypesInfo.Types[f.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+		return
+	}
+	if name := lockName(tv.Type); name != "" {
+		pass.Reportf(f.Type.Pos(), "%s passes lock by value: %s", what, name)
+	}
+}
+
+// readsExistingValue reports whether the expression reads a value that
+// already exists elsewhere (so assigning it makes a copy). Fresh values —
+// composite literals, calls that construct, & — are fine.
+func readsExistingValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return readsExistingValue(x.X)
+	}
+	return false
+}
+
+// lockPath returns a description if the expression's type carries a lock.
+func lockPath(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return lockName(tv.Type)
+}
+
+// lockName returns the name of the lock type contained (transitively, by
+// value) in t, or "".
+func lockName(t types.Type) string {
+	return lockNameRec(t, map[types.Type]bool{})
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Pool": true,
+	"WaitGroup": true, "Once": true, "Cond": true, "Map": true,
+}
+
+func lockNameRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockNameRec(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockNameRec(u.Elem(), seen)
+	case *types.Named:
+		return lockNameRec(u, seen)
+	}
+	return ""
+}

@@ -1,0 +1,23 @@
+package ctlorder_test
+
+import (
+	"testing"
+
+	"saql/internal/analysis/analysistest"
+	"saql/internal/analysis/ctlorder"
+)
+
+// TestEnvelopeDiscipline checks the control-queue rules inside a package
+// whose import path ends in internal/runtime: raw envelope sends, channel
+// closes, and direct shard-field writes are flagged unless the enclosing
+// function carries //saql:ctlpath (or the line is suppressed).
+func TestEnvelopeDiscipline(t *testing.T) {
+	analysistest.Run(t, ctlorder.Analyzer, "saql/internal/runtime")
+}
+
+// TestLockCopies checks the module-wide by-value lock rules: receivers,
+// parameters, results, assignments, and range copies of lock-bearing
+// structs are flagged; pointer forms are not.
+func TestLockCopies(t *testing.T) {
+	analysistest.Run(t, ctlorder.Analyzer, "locks")
+}

@@ -1,0 +1,58 @@
+// Package locks seeds the by-value lock copies ctlorder flags module-wide,
+// alongside the pointer-based shapes it must leave alone.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pooled struct {
+	pool sync.Pool
+	n    int
+}
+
+func byValueParam(g guarded) int { // want `parameter passes lock by value: sync\.Mutex`
+	return g.n
+}
+
+func (g guarded) byValueRecv() int { // want `receiver passes lock by value: sync\.Mutex`
+	return g.n
+}
+
+func byValueResult() (g guarded) { // want `result passes lock by value: sync\.Mutex`
+	return
+}
+
+func copyAssign(a *guarded) int {
+	b := *a // want `assignment copies lock value: sync\.Mutex`
+	return b.n
+}
+
+func poolCopy(p *pooled) int {
+	q := *p // want `assignment copies lock value: sync\.Pool`
+	return q.n
+}
+
+func rangeCopy(gs []guarded) int {
+	t := 0
+	for _, g := range gs { // want `range iteration copies lock value: sync\.Mutex`
+		t += g.n
+	}
+	return t
+}
+
+// The pointer-based equivalents are all fine.
+func byPointer(g *guarded) int { return g.n }
+
+func (g *guarded) ptrRecv() int { return g.n }
+
+func rangeByIndex(gs []*guarded) int {
+	t := 0
+	for i := range gs {
+		t += gs[i].n
+	}
+	return t
+}

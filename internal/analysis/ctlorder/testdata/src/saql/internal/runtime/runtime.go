@@ -1,0 +1,48 @@
+// Package runtime mirrors the engine's control-plane shapes: an envelope
+// channel per shard, mutated shard state, and a //saql:ctlpath-blessed
+// submit path. The package path ends in internal/runtime, so the envelope
+// discipline rules apply here.
+package runtime
+
+type envelope struct {
+	seq int
+}
+
+type shard struct {
+	id    int
+	in    chan envelope
+	ready bool
+}
+
+type Runtime struct {
+	shards []*shard
+}
+
+// submit is the blessed envelope path.
+//
+//saql:ctlpath
+func (r *Runtime) submit(env envelope) {
+	for _, s := range r.shards {
+		s.in <- env
+	}
+}
+
+// leak sends an envelope without going through the control-queue path.
+func (r *Runtime) leak(env envelope) {
+	r.shards[0].in <- env // want `send of control-plane envelope outside the control-queue path`
+}
+
+// shutdown closes an envelope channel outside the blessed path.
+func (r *Runtime) shutdown() {
+	close(r.shards[0].in) // want `close of control-plane envelope channel outside the control-queue path`
+}
+
+// poke mutates shard state directly instead of applying an envelope.
+func (r *Runtime) poke() {
+	r.shards[0].ready = true // want `direct write to shard field ready outside the control-queue path`
+}
+
+// suppressed demonstrates the line-level opt-out.
+func (r *Runtime) suppressed(env envelope) {
+	r.shards[0].in <- env //saql:ctlpath test rig feeds the queue directly
+}

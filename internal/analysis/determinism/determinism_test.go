@@ -1,0 +1,21 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"saql/internal/analysis/analysistest"
+	"saql/internal/analysis/determinism"
+)
+
+// TestCone runs the analyzer over a fixture claiming a cone import path:
+// wall-clock reads, bare clock references, global math/rand, and
+// map-iteration encoding must each be reported where seeded, while seeded
+// generators and //saql:wallclock opt-outs stay silent.
+func TestCone(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "saql/internal/engine")
+}
+
+// TestOutsideCone checks a package outside the cone is left alone entirely.
+func TestOutsideCone(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "outside")
+}

@@ -1,0 +1,10 @@
+// Package outside sits outside the deterministic cone (its import path
+// matches no cone package), so wall-clock use is none of the analyzer's
+// business.
+package outside
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,76 @@
+// Package engine claims a cone import path (saql/internal/engine), so every
+// determinism rule applies: wall-clock reads, global math/rand, and
+// map-iteration encoding are all flagged unless annotated //saql:wallclock.
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"saql/internal/wire"
+)
+
+func snapshotAt() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now inside the deterministic replay/checkpoint/eval cone`
+}
+
+// Bare references count too: storing the function pointer smuggles the
+// clock in just as surely as calling it.
+var defaultClock = time.Now // want `wall-clock time\.Now inside the deterministic`
+
+func expiry(base time.Time) bool {
+	return time.Since(base) > time.Minute // want `wall-clock time\.Since inside the deterministic`
+}
+
+func jitter() int64 {
+	return rand.Int63() // want `global math/rand\.Int63 inside the deterministic cone`
+}
+
+// seeded uses an explicitly seeded generator: replay-safe, not flagged.
+func seeded(r *rand.Rand) int64 {
+	return r.Int63()
+}
+
+// heartbeat is annotated: wall time is genuinely intended.
+//
+//saql:wallclock
+func heartbeat() time.Time {
+	return time.Now()
+}
+
+// leaseDeadline demonstrates the line-level opt-out.
+func leaseDeadline(lease time.Duration) int64 {
+	return time.Now().Add(-lease).UnixNano() //saql:wallclock lease expiry is wall-time by definition
+}
+
+// encodeCounts iterates a map while encoding: byte order depends on Go's
+// randomized map order, so equal states checkpoint differently.
+func encodeCounts(b []byte, m map[string]int64) []byte {
+	for k, v := range m {
+		b = wire.AppendString(b, k) // want `wire\.AppendString inside map iteration`
+		b = wire.AppendVarint(b, v) // want `wire\.AppendVarint inside map iteration`
+	}
+	return b
+}
+
+// encodeSorted is the deterministic form: collect, sort, then encode.
+func encodeSorted(b []byte, m map[string]int64, keys []string) []byte {
+	keys = keys[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		b = wire.AppendString(b, k)
+		b = wire.AppendVarint(b, m[k])
+	}
+	return b
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"saql/internal/analysis/analysistest"
+	"saql/internal/analysis/hotpath"
+)
+
+// TestHot seeds one of each rejected allocation class inside a
+// //saql:hotpath function and checks each is reported where seeded.
+func TestHot(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "hot")
+}
+
+// TestClean checks the allowed shapes — value composites, slice makes,
+// pointer boxing, cold branches, coldpath opt-outs, unannotated functions —
+// produce no diagnostics.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "hotclean")
+}

@@ -1,0 +1,28 @@
+// Package hot seeds every allocation class hotpath rejects inside a
+// //saql:hotpath function.
+package hot
+
+import "fmt"
+
+type point struct {
+	x, y int
+}
+
+func sink(v any) { _ = v }
+
+//saql:hotpath
+func bad(s string, n int) string {
+	p := &point{x: n} // want `heap-escaping composite literal`
+	_ = p
+	m := make(map[string]int, n) // want `map allocation`
+	_ = m
+	ch := make(chan int) // want `channel allocation`
+	_ = ch
+	q := new(point) // want `new\(T\) allocation`
+	_ = q
+	lit := map[string]int{"a": 1} // want `map literal allocation`
+	_ = lit
+	fmt.Println(s) // want `fmt\.Println call`
+	sink(n)        // want `interface boxing of int`
+	return s + "!" // want `string concatenation`
+}

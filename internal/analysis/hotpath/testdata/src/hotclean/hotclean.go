@@ -1,0 +1,34 @@
+// Package hotclean holds patterns hotpath must NOT flag: value composites,
+// slice makes, pointer boxing, cold error branches, //saql:coldpath
+// opt-outs, and unannotated functions.
+package hotclean
+
+import "fmt"
+
+type point struct {
+	x, y int
+}
+
+func sink(v any) { _ = v }
+
+//saql:hotpath
+func ok(s string, n int, buf []byte) []byte {
+	p := point{x: n} // value composite: no heap escape
+	xs := make([]int, 0, n)
+	_ = xs
+	if n < 0 {
+		// Early-exit error branch is cold; anything goes.
+		fmt.Printf("bad n %d for %s\n", n, s)
+		panic("negative n")
+	}
+	sink(&p)                          // pointer boxing carries no payload copy
+	seed := map[string]int{"init": 1} //saql:coldpath one-time table seed
+	_ = seed
+	return append(buf, s...)
+}
+
+// notHot is unannotated: the analyzer has no opinion about it.
+func notHot() *point {
+	fmt.Println("cold code allocates freely")
+	return &point{}
+}

@@ -1,0 +1,214 @@
+// Package load parses and type-checks Go packages for the analysis
+// framework without any dependency outside the standard library. Import
+// resolution goes through `go list -export`: the go tool (already required
+// to build this module) emits the build cache's compiled export data for
+// every dependency, and go/importer's gc importer reads those files through
+// a lookup function. Loading is therefore fully offline and as fast as an
+// incremental build.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds type-check problems (the package is still returned;
+	// analyzers may run best-effort over partially checked code).
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listEntry, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,ImportMap,DepOnly,Incomplete,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		e := &listEntry{}
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Resolver maps import paths to compiled export data files and hands
+// go/types an importer over them.
+type Resolver struct {
+	exports map[string]string // import path -> export file
+	imports map[string]string // import-as-written -> canonical path
+}
+
+// NewResolver builds a Resolver covering patterns (and all their transitive
+// dependencies), resolved by `go list` running in dir.
+func NewResolver(dir string, patterns ...string) (*Resolver, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	r := &Resolver{exports: map[string]string{}, imports: map[string]string{}}
+	for _, e := range entries {
+		if e.Export != "" {
+			r.exports[e.ImportPath] = e.Export
+		}
+		for from, to := range e.ImportMap {
+			r.imports[from] = to
+		}
+	}
+	return r, nil
+}
+
+// Importer returns a types.Importer reading the resolver's export data.
+func (r *Resolver) Importer(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := r.imports[path]; ok {
+			path = mapped
+		}
+		file, ok := r.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// CheckFiles type-checks already-parsed files as one package.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	return pkg, info, errs
+}
+
+// Packages loads every non-dependency package matched by patterns (go list
+// syntax, e.g. "./...") rooted at dir, parsed with comments and fully
+// type-checked.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	resolver := &Resolver{exports: map[string]string{}, imports: map[string]string{}}
+	for _, e := range entries {
+		if e.Export != "" {
+			resolver.exports[e.ImportPath] = e.Export
+		}
+		for from, to := range e.ImportMap {
+			resolver.imports[from] = to
+		}
+	}
+	var out []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		pkg, err := loadOne(e, resolver)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+func loadOne(e *listEntry, resolver *Resolver) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", e.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	tpkg, info, errs := CheckFiles(fset, e.ImportPath, files, resolver.Importer(fset))
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: errs,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

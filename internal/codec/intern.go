@@ -25,6 +25,8 @@ const (
 )
 
 // str returns the canonical copy of s, caching it on first sight.
+//
+//saql:hotpath
 func (t *internTable) str(s string) string {
 	if s == "" || len(s) > internMaxLen {
 		return s
@@ -36,13 +38,15 @@ func (t *internTable) str(s string) string {
 		return s
 	}
 	if t.m == nil {
-		t.m = make(map[string]string)
+		t.m = make(map[string]string) //saql:coldpath one-time lazy init, amortized over the stream
 	}
 	t.m[s] = s
 	return t.m[s]
 }
 
 // entity interns an entity's hot attributes in place.
+//
+//saql:hotpath
 func (t *internTable) entity(e *event.Entity) {
 	e.ExeName = t.str(e.ExeName)
 	e.User = t.str(e.User)
@@ -52,6 +56,8 @@ func (t *internTable) entity(e *event.Entity) {
 }
 
 // intern canonicalizes one decoded event's hot strings in place.
+//
+//saql:hotpath
 func (t *internTable) intern(ev *event.Event) {
 	ev.AgentID = t.str(ev.AgentID)
 	t.entity(&ev.Subject)

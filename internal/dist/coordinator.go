@@ -186,7 +186,7 @@ func (c *Coordinator) newWorkerState(id string, conn net.Conn, ranges []saql.Key
 		delivered:  map[string]int{},
 		suppress:   map[string]int{},
 	}
-	ws.lastSeen.Store(time.Now().UnixNano())
+	ws.lastSeen.Store(time.Now().UnixNano()) //saql:wallclock lease heartbeat baseline
 	go c.readLoop(ws)
 	return ws
 }
@@ -207,6 +207,8 @@ func (c *Coordinator) handshake(ws *workerState, rm map[string][]saql.KeyRange) 
 // readLoop is the per-worker reader: alerts are delivered through the dedup
 // window, faults mark the worker dead, everything else is an ack for the
 // dispatcher.
+//
+//saql:codecpair-ignore frame dispatcher, not a codec half; each DecodeX it calls is paired individually
 func (c *Coordinator) readLoop(ws *workerState) {
 	defer close(ws.readerDone)
 	for {
@@ -215,7 +217,7 @@ func (c *Coordinator) readLoop(ws *workerState) {
 			c.markDead(ws, err)
 			return
 		}
-		ws.lastSeen.Store(time.Now().UnixNano())
+		ws.lastSeen.Store(time.Now().UnixNano()) //saql:wallclock lease heartbeat
 		switch f.Type {
 		case FrameAlerts:
 			alerts, err := DecodeAlerts(f.Payload)
@@ -286,7 +288,7 @@ func (c *Coordinator) requireAllAliveLocked(op string) error {
 
 // awaitAck waits for one frame of the wanted type from the worker.
 func (c *Coordinator) awaitAck(ws *workerState, want FrameType) (Frame, error) {
-	timer := time.NewTimer(c.cfg.AckTimeout)
+	timer := time.NewTimer(c.cfg.AckTimeout) //saql:wallclock network ack timeout, not stream time
 	defer timer.Stop()
 	select {
 	case f := <-ws.acks:
@@ -768,7 +770,7 @@ func (c *Coordinator) ExpireLeases() []string {
 	if c.cfg.Lease <= 0 {
 		return nil
 	}
-	deadline := time.Now().Add(-c.cfg.Lease).UnixNano()
+	deadline := time.Now().Add(-c.cfg.Lease).UnixNano() //saql:wallclock lease expiry is wall-time by definition
 	var expired []string
 	for _, id := range c.order {
 		ws := c.workers[id]

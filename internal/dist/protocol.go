@@ -212,6 +212,8 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 
 // decodePayload runs the frame's payload through its codec, discarding the
 // result: the structural validation half of DecodeFrame.
+//
+//saql:codecpair-ignore frame-type dispatcher, not a codec half; each DecodeX it calls is paired individually
 func decodePayload(f Frame) error {
 	var err error
 	switch f.Type {

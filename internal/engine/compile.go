@@ -141,7 +141,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 		global:  matcher.CompileGlobals(q.Globals),
 		alerts:  q.Alerts,
 		returnC: q.Return,
-		now:     time.Now,
+		now:     time.Now, //saql:wallclock injectable clock default; feeds Alert.Detected only, never evaluation
 		groups:  map[string]*groupRuntime{},
 	}
 	if q.Return != nil && q.Return.Distinct {

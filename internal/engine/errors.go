@@ -38,7 +38,7 @@ func NewErrorReporter(max int, onError func(*QueryError)) *ErrorReporter {
 	if max <= 0 {
 		max = 128
 	}
-	return &ErrorReporter{max: max, onError: onError, now: time.Now}
+	return &ErrorReporter{max: max, onError: onError, now: time.Now} //saql:wallclock injectable clock default; error timestamps are informational
 }
 
 // Report records a runtime error for query.

@@ -121,6 +121,8 @@ func compileFastItem(g ast.Expr, p *ast.EventPattern) itemFn {
 // errors must surface through the shard replicas) — the partitioned router
 // then falls back to delivering the event to every shard, where each replica
 // evaluates the key itself, exactly as the broadcast router did.
+//
+//saql:hotpath
 func (q *Query) HitGroupKeys(dst []string, ev *event.Event, hits []int) (keys []string, ok bool) {
 	if q.fastKeys == nil {
 		return dst, false

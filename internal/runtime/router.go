@@ -131,10 +131,13 @@ func newPartitioner(r *Runtime) *partitioner {
 	return p
 }
 
+//saql:hotpath
 func (p *partitioner) get() *shardBatch { return p.pool.Get().(*shardBatch) }
 
 // put recycles a processed batch. Called by shard workers, hence the pool:
 // entries are cleared so the slab retains no event or hit-set references.
+//
+//saql:hotpath
 func (p *partitioner) put(b *shardBatch) {
 	clear(b.entries)
 	b.entries = b.entries[:0]
@@ -180,6 +183,7 @@ func (p *partitioner) resolveSlots(layout *scheduler.Layout) {
 	p.slotsFor = layout
 }
 
+//saql:hotpath
 func (p *partitioner) allMask() uint64 {
 	if p.n == 64 {
 		return ^uint64(0)
@@ -190,6 +194,8 @@ func (p *partitioner) allMask() uint64 {
 // routeEvent buffers one evaluated event into the per-shard slabs it needs
 // to reach. Events that matched nothing buffer nowhere: the next flush's
 // batch watermark is all any shard needs from them.
+//
+//saql:hotpath
 func (p *partitioner) routeEvent(ev *event.Event, hs *scheduler.HitSet) {
 	wm, hasWM := p.streamWM, p.hasWM
 	if !p.hasWM || ev.Time.After(p.streamWM) {
@@ -266,6 +272,9 @@ func (p *partitioner) routeEvent(ev *event.Event, hs *scheduler.HitSet) {
 
 // flushShard seals shard i's buffer with the running stream watermark and
 // hands it to the shard's channel (one send per batch, not per event).
+//
+//saql:ctlpath
+//saql:hotpath
 func (p *partitioner) flushShard(i int) {
 	b := p.bufs[i]
 	b.wm, b.hasWM = p.streamWM, p.hasWM
@@ -281,6 +290,8 @@ func (p *partitioner) flushShard(i int) {
 // every control envelope — the latter is what keeps checkpoint barriers a
 // consistent cut: everything routed before the barrier is in a shard channel
 // before the barrier is, and channels are FIFO.
+//
+//saql:hotpath
 func (p *partitioner) flushAll() {
 	for i := range p.bufs {
 		if len(p.bufs[i].entries) > 0 || (p.hasWM && p.streamWM.After(p.lastWM[i])) {
@@ -292,6 +303,8 @@ func (p *partitioner) flushAll() {
 // processBatch applies one routed batch to a shard: deliveries fold, touch
 // entries open windows, and the batch watermark advances every active query.
 // Runs on the shard's worker goroutine.
+//
+//saql:hotpath
 func (r *Runtime) processBatch(s *shard, b *shardBatch) {
 	for i := range b.entries {
 		e := &b.entries[i]

@@ -310,6 +310,10 @@ func (r *Runtime) Replay(evs []*event.Event) error {
 	return r.submitBatch(evs, false)
 }
 
+// submitBatch is the front of the envelope path: journal (if configured),
+// then enqueue on the ingest queue in the same order.
+//
+//saql:ctlpath
 func (r *Runtime) submitBatch(evs []*event.Event, journal bool) error {
 	if len(evs) == 0 {
 		return nil
@@ -490,6 +494,8 @@ func (r *Runtime) applyEval(c *control) {
 
 // broadcast forwards one envelope to every shard in shard order, so all
 // shards observe the identical total order.
+//
+//saql:ctlpath
 func (r *Runtime) broadcast(env envelope) {
 	for _, s := range r.shards {
 		s.in <- env
@@ -527,6 +533,10 @@ func (r *Runtime) worker(s *shard) {
 	r.cfg.Fan.Publish(s.sched.Flush())
 }
 
+// apply executes one control envelope on the shard's own goroutine and
+// acks the result — the only place shard state may change.
+//
+//saql:ctlpath
 func (s *shard) apply(c *control, fan *AlertFanout) {
 	res := ctlResult{shard: s.id}
 	switch c.kind {
@@ -603,6 +613,8 @@ func (s *shard) queriesByName(name string) []*engine.Query {
 
 // control enqueues a control envelope and waits for every shard's ack.
 // Caller must hold r.mu.
+//
+//saql:ctlpath
 func (r *Runtime) control(c *control) ([]ctlResult, error) {
 	if r.closed.Load() {
 		return nil, ErrClosed

@@ -419,6 +419,8 @@ func (s *Scheduler) Evaluate(ev *event.Event) *HitSet {
 // HitSet headers and hit-slot slices are slab-allocated per batch, so the
 // pre-evaluation stage costs O(1) allocations per batch rather than per
 // event — it sits on the router's hot path in front of every shard.
+//
+//saql:hotpath
 func (s *Scheduler) EvaluateBatch(evs []*event.Event) []*HitSet {
 	out := make([]*HitSet, len(evs))
 	s.mu.Lock()
@@ -463,6 +465,8 @@ func (s *Scheduler) ProcessWithHits(ev *event.Event, hs *HitSet) []*engine.Alert
 // Hit-slot slices are carved out of *arena (grown to cover up to remaining
 // further events) so batch evaluation allocates once, not per event. The
 // caller holds s.mu.
+//
+//saql:hotpath
 func (s *Scheduler) evaluateLocked(ev *event.Event, arena *[][]int, remaining int) [][]int {
 	s.resolveSlotsLocked(s.layout)
 	var hits [][]int // carved from the arena on the first non-empty hit set
@@ -531,6 +535,8 @@ func (s *Scheduler) evaluateLocked(ev *event.Event, arena *[][]int, remaining in
 // sets (hits may be nil: no query matched). Every active query ingests
 // even with no hits — stateful queries must observe the watermark so
 // windows close on time. The caller holds s.mu.
+//
+//saql:hotpath
 func (s *Scheduler) ingestLocked(ev *event.Event, layout *Layout, hits [][]int) []*engine.Alert {
 	if hits != nil {
 		s.resolveSlotsLocked(layout)
@@ -565,6 +571,8 @@ func (s *Scheduler) ingestLocked(ev *event.Event, layout *Layout, hits [][]int) 
 // engine, where every event advances every query's watermark. Queries with
 // no hits are left alone here; AdvanceAll at the batch boundary brings them
 // to the stream watermark.
+//
+//saql:hotpath
 func (s *Scheduler) IngestRouted(ev *event.Event, hs *HitSet, wm time.Time, hasWM bool) []*engine.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -594,6 +602,8 @@ func (s *Scheduler) IngestRouted(ev *event.Event, hs *HitSet, wm time.Time, hasW
 // event's group, replacing the full envelope the broadcast router shipped.
 // Window cadence — open instants, close counts, empty-snapshot backfill —
 // thereby stays identical on every replica.
+//
+//saql:hotpath
 func (s *Scheduler) TouchRouted(at time.Time, hs *HitSet, wm time.Time, hasWM bool) []*engine.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -620,6 +630,8 @@ func (s *Scheduler) TouchRouted(at time.Time, hs *HitSet, wm time.Time, hasWM bo
 // windows: the batch-boundary watermark broadcast of the partitioned router.
 // Paused queries are skipped — their watermarks freeze exactly as they do in
 // the serial engine, which stops offering them events entirely.
+//
+//saql:hotpath
 func (s *Scheduler) AdvanceAll(wm time.Time) []*engine.Alert {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -52,7 +52,7 @@ func FromFile(path string, cfg Config) (*Source, error) {
 func (s *Source) follow(ctx context.Context, f *os.File, dec codec.Decoder, b *batcher) error {
 	lf := &lineFeeder{dec: dec, b: b, ctr: &s.ctr, onErr: s.cfg.OnError}
 	page := make([]byte, 64*1024)
-	ticker := time.NewTicker(followPollInterval)
+	ticker := time.NewTicker(followPollInterval) //saql:wallclock tail-follow polling cadence, not stream time
 	defer ticker.Stop()
 	for {
 		n, err := f.Read(page)

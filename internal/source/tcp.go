@@ -85,7 +85,7 @@ func (s *Source) serve(ctx context.Context, ln net.Listener, b *batcher) error {
 
 	// Periodically flush partial batches so low-rate senders see bounded
 	// latency.
-	flusher := time.NewTicker(s.cfg.FlushInterval)
+	flusher := time.NewTicker(s.cfg.FlushInterval) //saql:wallclock batch-flush latency bound, not stream time
 	defer flusher.Stop()
 	flushDone := make(chan struct{})
 	go func() {

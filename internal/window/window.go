@@ -60,6 +60,8 @@ func (s Spec) AssignTo(t time.Time) []ID {
 // per-pattern-hit hot path: the tumbling case emits its single ID directly,
 // and the hopping case walks starts upward from the earliest containing
 // window, so neither path sorts or allocates beyond dst's growth.
+//
+//saql:hotpath
 func (s Spec) AssignAppend(dst []ID, t time.Time) []ID {
 	ts := t.UnixNano()
 	hop := s.EffectiveHop().Nanoseconds()
@@ -316,6 +318,8 @@ func NewHistory(depth int) *History {
 }
 
 // Push adds the newest snapshot, evicting the oldest beyond depth.
+//
+//saql:hotpath
 func (h *History) Push(s *Snapshot) {
 	if h.buf == nil {
 		h.buf = make([]*Snapshot, h.depth)

@@ -99,6 +99,8 @@ func (r *Reader) Fail(format string, args ...any) {
 }
 
 // Uvarint reads an unsigned varint.
+//
+//saql:hotpath
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -113,6 +115,8 @@ func (r *Reader) Uvarint() uint64 {
 }
 
 // Varint reads a signed varint.
+//
+//saql:hotpath
 func (r *Reader) Varint() int64 {
 	if r.err != nil {
 		return 0
@@ -127,6 +131,8 @@ func (r *Reader) Varint() int64 {
 }
 
 // Byte reads one byte.
+//
+//saql:hotpath
 func (r *Reader) Byte() byte {
 	if r.err != nil {
 		return 0
@@ -141,6 +147,8 @@ func (r *Reader) Byte() byte {
 }
 
 // Bool reads a boolean byte (0 or 1; anything else is an error).
+//
+//saql:hotpath
 func (r *Reader) Bool() bool {
 	switch r.Byte() {
 	case 0:
@@ -155,6 +163,8 @@ func (r *Reader) Bool() bool {
 
 // String reads a length-prefixed string. The length is validated against the
 // remaining input before allocating.
+//
+//saql:hotpath
 func (r *Reader) String() string {
 	n := r.Uvarint()
 	if r.err != nil {
@@ -171,6 +181,8 @@ func (r *Reader) String() string {
 
 // Bytes reads a length-prefixed byte slice (a subslice of the input; copy if
 // retaining past the input's lifetime).
+//
+//saql:hotpath
 func (r *Reader) Bytes() []byte {
 	n := r.Uvarint()
 	if r.err != nil {
@@ -186,6 +198,8 @@ func (r *Reader) Bytes() []byte {
 }
 
 // Uint32 reads a fixed-width little-endian uint32.
+//
+//saql:hotpath
 func (r *Reader) Uint32() uint32 {
 	if r.err != nil {
 		return 0
@@ -200,6 +214,8 @@ func (r *Reader) Uint32() uint32 {
 }
 
 // Float64 reads 8 little-endian IEEE-754 bytes.
+//
+//saql:hotpath
 func (r *Reader) Float64() float64 {
 	if r.err != nil {
 		return 0
@@ -214,6 +230,8 @@ func (r *Reader) Float64() float64 {
 }
 
 // Time reads an instant encoded as unix nanoseconds.
+//
+//saql:hotpath
 func (r *Reader) Time() time.Time { return time.Unix(0, r.Varint()) }
 
 // Count reads a uvarint element count and validates it against the remaining
@@ -221,6 +239,8 @@ func (r *Reader) Time() time.Time { return time.Unix(0, r.Varint()) }
 // allocations on corrupted or adversarial inputs: a claimed count that could
 // not possibly fit in the remaining bytes fails immediately instead of
 // driving a huge make().
+//
+//saql:hotpath
 func (r *Reader) Count(min int) int {
 	n := r.Uvarint()
 	if r.err != nil {
