@@ -525,6 +525,11 @@ type e9Config struct {
 	Alerts               int64   `json:"alerts"`
 	PatternEvalsPerEvent float64 `json:"pattern_evals_per_event"`
 	AllocsPerEvent       float64 `json:"allocs_per_event"`
+	// NsPerEvent is wall time per event; NsPerPatternEval divides it by the
+	// nominal pattern evaluations per event — the per-pattern ns/event that
+	// the compiled-vs-interpreted A/B gate compares.
+	NsPerEvent       float64 `json:"ns_per_event"`
+	NsPerPatternEval float64 `json:"ns_per_pattern_eval"`
 }
 
 type e9Report struct {
@@ -627,6 +632,12 @@ func e9Pass(report *e9Report, prefix string, queries []saql.NamedQuery, events [
 		if st.Events > 0 {
 			cfg.PatternEvalsPerEvent = float64(st.PatternEvals) / float64(st.Events)
 		}
+		if rate > 0 {
+			cfg.NsPerEvent = 1e9 / rate
+			if cfg.PatternEvalsPerEvent > 0 {
+				cfg.NsPerPatternEval = cfg.NsPerEvent / cfg.PatternEvalsPerEvent
+			}
+		}
 		report.Configs = append(report.Configs, cfg)
 		return cfg
 	}
@@ -642,6 +653,26 @@ func e9Pass(report *e9Report, prefix string, queries []saql.NamedQuery, events [
 	sc := record("serial", 0, serialRate, mallocs()-m0, serial.Stats())
 	fmt.Printf("%14s | %14.0f | %10d | %12.2f | %10.1f | %10s\n",
 		prefix+"serial", serialRate, sc.Alerts, sc.PatternEvalsPerEvent, sc.AllocsPerEvent, "1.0x")
+
+	// Interpreted A/B leg: the identical serial run with bytecode compilation
+	// force-disabled, isolating what the pcode compiler buys per pattern
+	// evaluation. The gate requires compiled <= interpreted on per-pattern
+	// ns/event and identical alerts.
+	interp := mkEngine(saql.WithCompileOptions(saql.CompileOptions{Interpret: true}))
+	m0 = mallocs()
+	t0 = time.Now()
+	for _, ev := range events {
+		interp.Process(ev)
+	}
+	interp.Flush()
+	interpRate := float64(len(events)) / time.Since(t0).Seconds()
+	ic := record("interpreted", 0, interpRate, mallocs()-m0, interp.Stats())
+	fmt.Printf("%14s | %14.0f | %10d | %12.2f | %10.1f | %9.1fx\n",
+		prefix+"interp", interpRate, ic.Alerts, ic.PatternEvalsPerEvent, ic.AllocsPerEvent, interpRate/serialRate)
+	if ic.NsPerPatternEval > 0 && sc.NsPerPatternEval > 0 {
+		fmt.Printf("%14s   compiled %.0f ns vs interpreted %.0f ns per pattern-eval (%.0f%% faster)\n",
+			"", sc.NsPerPatternEval, ic.NsPerPatternEval, 100*(1-sc.NsPerPatternEval/ic.NsPerPatternEval))
+	}
 
 	for _, shards := range []int{1, 2, 4, 8} {
 		eng := mkEngine(saql.WithShards(shards), saql.WithIngestQueue(64))
@@ -683,6 +714,23 @@ func e9Gate(cur *e9Report) error {
 				return fmt.Errorf("%sshards=8 pattern evals/event %.2f exceeds 1.2x serial %.2f",
 					prefix, widest.PatternEvalsPerEvent, serial.PatternEvalsPerEvent)
 			}
+		}
+	}
+	// Compiled-vs-interpreted gate, machine-independent: the bytecode path
+	// must never be slower than the tree-walking evaluators it replaces, and
+	// must raise the identical alerts.
+	for _, prefix := range []string{"", "mc-"} {
+		comp, interp := cur.config(prefix+"serial"), cur.config(prefix+"interpreted")
+		if comp == nil || interp == nil {
+			continue
+		}
+		if comp.Alerts != interp.Alerts {
+			return fmt.Errorf("%sinterpreted raised %d alerts, compiled %d (must be identical)",
+				prefix, interp.Alerts, comp.Alerts)
+		}
+		if interp.NsPerPatternEval > 0 && comp.NsPerPatternEval > interp.NsPerPatternEval {
+			return fmt.Errorf("%scompiled per-pattern ns/event %.0f exceeds interpreted %.0f",
+				prefix, comp.NsPerPatternEval, interp.NsPerPatternEval)
 		}
 	}
 	// Multi-core scaling gate, machine-independent: partitioned routing must

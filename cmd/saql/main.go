@@ -521,6 +521,8 @@ func run(args []string, out io.Writer) error {
 		st.StreamCopies, st.NaiveCopies, st.SharingRatio)
 	fmt.Fprintf(out, "pattern evals    : %d (naive per-query: %d)\n",
 		st.PatternEvals, st.NaivePatternEvals)
+	fmt.Fprintf(out, "symbol dict      : %d entries (%d hits, %d misses, %d string fallbacks)\n",
+		st.SymbolEntries, st.SymbolHits, st.SymbolMisses, st.SymbolFallbacks)
 	if *input != "" {
 		fmt.Fprintf(out, "log lines read   : %d (%d undecodable, %d reordered, %d dropped out-of-order)\n",
 			logStats.Lines, logStats.DecodeErrors, logStats.Reordered, logStats.Dropped)

@@ -474,17 +474,21 @@ return ss.total`, 5000000+k*10000)
 		}
 	}
 
-	run := func(t *testing.T, shards int) []string {
+	run := func(t *testing.T, shards int, interpret bool) []string {
 		t.Helper()
 		// Sub-batch chopping is deterministic per configuration; it changes
 		// envelope boundaries (and so ring-buffer fill at each flush), never
 		// the event order, so alert equality must be unaffected.
 		chop := rand.New(rand.NewSource(seed + int64(shards)*1000003))
+		var eopts []Option
+		if interpret {
+			eopts = append(eopts, WithCompileOptions(CompileOptions{Interpret: true}))
+		}
 		var eng *Engine
 		if shards == 0 {
-			eng = New()
+			eng = New(eopts...)
 		} else {
-			eng = New(WithShards(shards), WithIngestQueue(64))
+			eng = New(append(eopts, WithShards(shards), WithIngestQueue(64))...)
 		}
 		handles := map[string]*QueryHandle{}
 		for _, name := range names {
@@ -567,20 +571,39 @@ return ss.total`, 5000000+k*10000)
 		return ids
 	}
 
-	want := run(t, 0)
+	want := run(t, 0, false)
 	if len(want) == 0 {
 		t.Fatal("serial hammer run produced no alerts")
 	}
 	for _, shards := range []int{1, 2, 8} {
 		shards := shards
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			got := run(t, shards)
+			got := run(t, shards, false)
 			if len(got) != len(want) {
 				t.Errorf("alert count: sharded=%d serial=%d", len(got), len(want))
 			}
 			for i := 0; i < len(want) && i < len(got); i++ {
 				if got[i] != want[i] {
 					t.Fatalf("alert sets diverge at #%d:\n  sharded: %s\n  serial:  %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+	// Bytecode compilation must be detection-invariant: the same script with
+	// compilation force-disabled (Interpret) must raise the identical alert
+	// set, serially and through the sharded router. Combined with the
+	// compiled shards=1/2/8 legs above, this proves compiled == interpreted
+	// alert for alert at every shard count.
+	for _, shards := range []int{0, 1, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("interpreted-shards=%d", shards), func(t *testing.T) {
+			got := run(t, shards, true)
+			if len(got) != len(want) {
+				t.Errorf("alert count: interpreted=%d compiled=%d", len(got), len(want))
+			}
+			for i := 0; i < len(want) && i < len(got); i++ {
+				if got[i] != want[i] {
+					t.Fatalf("alert sets diverge at #%d:\n  interpreted: %s\n  compiled:    %s", i, got[i], want[i])
 				}
 			}
 		})
@@ -643,6 +666,76 @@ return p, ss.amt`, 1000000+i*1000)
 		t.Errorf("alerts: sharded=%d serial=%d", hs.Alerts, ss.Alerts)
 	}
 	if ss.Alerts == 0 {
+		t.Error("workload produced no alerts")
+	}
+}
+
+// TestSingleShardMatchesMultiShard pins the single-shard runtime to the same
+// compiled programs and accounting as the partitioned router. A 1-shard
+// engine skips the pre-evaluation plane and instead feeds whole batches
+// through the scheduler's columnar ProcessBatch; it must reuse the queries
+// compiled at Register time (no second compile, no interpreter divergence)
+// and therefore report exactly the PatternEvals and alerts of an 8-shard
+// engine — and of the serial baseline — over the same workload.
+func TestSingleShardMatchesMultiShard(t *testing.T) {
+	events := concurrencyWorkload(60, 20)
+	queries := make([]struct{ name, src string }, 12)
+	for i := range queries {
+		queries[i].name = fmt.Sprintf("v%d", i)
+		queries[i].src = fmt.Sprintf(`proc p write ip i as e #time(1 h)
+state ss { amt := sum(e.amount) } group by p
+alert ss.amt > %d
+return p, ss.amt`, 1000000+i*1000)
+	}
+	run := func(shards int) Stats {
+		t.Helper()
+		var eng *Engine
+		if shards == 0 {
+			eng = New()
+		} else {
+			eng = New(WithShards(shards), WithIngestQueue(64))
+		}
+		for _, q := range queries {
+			if err := eng.AddQuery(q.name, q.src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if shards == 0 {
+			for _, ev := range events {
+				eng.Process(ev)
+			}
+			eng.Flush()
+			return eng.Stats()
+		}
+		if err := eng.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SubmitBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Stats()
+	}
+
+	serial := run(0)
+	one := run(1)
+	eight := run(8)
+
+	if one.PatternEvals != eight.PatternEvals {
+		t.Errorf("PatternEvals: 1-shard=%d 8-shard=%d (want identical)", one.PatternEvals, eight.PatternEvals)
+	}
+	if one.PatternEvals != serial.PatternEvals {
+		t.Errorf("PatternEvals: 1-shard=%d serial=%d (want identical)", one.PatternEvals, serial.PatternEvals)
+	}
+	if one.Alerts != eight.Alerts {
+		t.Errorf("Alerts: 1-shard=%d 8-shard=%d (want identical)", one.Alerts, eight.Alerts)
+	}
+	if one.Alerts != serial.Alerts {
+		t.Errorf("Alerts: 1-shard=%d serial=%d (want identical)", one.Alerts, serial.Alerts)
+	}
+	if serial.Alerts == 0 {
 		t.Error("workload produced no alerts")
 	}
 }
@@ -859,6 +952,16 @@ return i.dstip, ss.amt`, 100000+k*5000)
 		t.Fatal("reference run produced no alerts")
 	}
 	wantIDs := sortedIdentities(want)
+
+	// The same uninterrupted script with bytecode compilation force-disabled
+	// must produce the identical alert set: compilation may never change
+	// detections, so every recovery leg below is simultaneously checked
+	// against the interpreted semantics.
+	refInterp := New(WithCompileOptions(CompileOptions{Interpret: true}))
+	register(t, refInterp)
+	interp := drive(t, refInterp, 0, len(script), true)
+	interp = append(interp, refInterp.Flush()...)
+	diffAlertSets(t, fmt.Sprintf("seed %d interpreted-vs-compiled", seed), wantIDs, sortedIdentities(interp))
 
 	for _, shards := range []int{1, 2, 8} {
 		shards := shards

@@ -19,3 +19,10 @@ func TestHot(t *testing.T) {
 func TestClean(t *testing.T) {
 	analysistest.Run(t, hotpath.Analyzer, "hotclean")
 }
+
+// TestVM pins the bytecode dispatch-loop shape (internal/pcode): fixed
+// operand stack, opcode switch, jump threading pass clean; maps, boxing,
+// new(T), and string concat inside the loop are reported.
+func TestVM(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "hotvm")
+}

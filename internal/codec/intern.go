@@ -1,6 +1,9 @@
 package codec
 
-import "saql/internal/event"
+import (
+	"saql/internal/event"
+	"saql/internal/symtab"
+)
 
 // internTable deduplicates the low-cardinality attribute strings a stream
 // repeats on nearly every line — executable names, agent/host IDs, user
@@ -9,14 +12,28 @@ import "saql/internal/event"
 // backing allocation per distinct value instead of one per event. Decoders
 // are per-stream and single-goroutine, so the table needs no locking.
 //
+// Alongside the canonical copy, each entry caches the value's symbol ID from
+// the process-global dictionary (internal/symtab), so decoded events carry
+// small-int symbols for their hot attributes and compiled equality
+// predicates compare one uint32 instead of case-folding strings. The global
+// dictionary is consulted once per distinct string per stream; every repeat
+// resolves from this local table.
+//
 // High-cardinality attributes (file paths, command lines) are deliberately
 // not interned: they rarely repeat, and caching them would only grow the
 // table. Two safety valves bound the table even on adversarial input: values
 // longer than internMaxLen bypass it, and once internMaxEntries distinct
-// values have been cached, new ones pass through uncached while existing
-// entries keep deduplicating.
+// values have been cached, new ones pass through uncached (symbol-less)
+// while existing entries keep deduplicating.
 type internTable struct {
-	m map[string]string
+	m map[string]internEntry
+}
+
+// internEntry is one cached value: the canonical string plus its global
+// symbol ID (0 when the dictionary rejected or overflowed).
+type internEntry struct {
+	s   string
+	sym uint32
 }
 
 const (
@@ -24,42 +41,55 @@ const (
 	internMaxLen     = 128
 )
 
+// val returns the canonical copy of s and its symbol ID, caching both on
+// first sight.
+//
+//saql:hotpath
+func (t *internTable) val(s string) (string, uint32) {
+	if s == "" || len(s) > internMaxLen {
+		return s, 0
+	}
+	if e, ok := t.m[s]; ok {
+		symtab.RecordHit()
+		return e.s, e.sym
+	}
+	symtab.RecordMiss()
+	if len(t.m) >= internMaxEntries {
+		return s, 0
+	}
+	if t.m == nil {
+		t.m = make(map[string]internEntry) //saql:coldpath one-time lazy init, amortized over the stream
+	}
+	e := internEntry{s: s, sym: symtab.Intern(s)}
+	t.m[s] = e
+	return e.s, e.sym
+}
+
 // str returns the canonical copy of s, caching it on first sight.
 //
 //saql:hotpath
 func (t *internTable) str(s string) string {
-	if s == "" || len(s) > internMaxLen {
-		return s
-	}
-	if v, ok := t.m[s]; ok {
-		return v
-	}
-	if len(t.m) >= internMaxEntries {
-		return s
-	}
-	if t.m == nil {
-		t.m = make(map[string]string) //saql:coldpath one-time lazy init, amortized over the stream
-	}
-	t.m[s] = s
-	return t.m[s]
+	v, _ := t.val(s)
+	return v
 }
 
-// entity interns an entity's hot attributes in place.
+// entity interns an entity's hot attributes in place, stamping their symbol
+// IDs.
 //
 //saql:hotpath
 func (t *internTable) entity(e *event.Entity) {
-	e.ExeName = t.str(e.ExeName)
-	e.User = t.str(e.User)
-	e.SrcIP = t.str(e.SrcIP)
-	e.DstIP = t.str(e.DstIP)
-	e.Protocol = t.str(e.Protocol)
+	e.ExeName, e.ExeSym = t.val(e.ExeName)
+	e.User, e.UserSym = t.val(e.User)
+	e.SrcIP, e.SrcIPSym = t.val(e.SrcIP)
+	e.DstIP, e.DstIPSym = t.val(e.DstIP)
+	e.Protocol, e.ProtoSym = t.val(e.Protocol)
 }
 
 // intern canonicalizes one decoded event's hot strings in place.
 //
 //saql:hotpath
 func (t *internTable) intern(ev *event.Event) {
-	ev.AgentID = t.str(ev.AgentID)
+	ev.AgentID, ev.AgentSym = t.val(ev.AgentID)
 	t.entity(&ev.Subject)
 	t.entity(&ev.Object)
 }

@@ -10,6 +10,7 @@ import (
 	"saql/internal/invariant"
 	"saql/internal/matcher"
 	"saql/internal/parser"
+	"saql/internal/pcode"
 	"saql/internal/sema"
 	"saql/internal/value"
 	"saql/internal/window"
@@ -28,6 +29,12 @@ type CompileOptions struct {
 	// state survives before it is evicted. Zero derives it from the
 	// query's history/training depth.
 	GroupIdleWindows int
+	// Interpret disables bytecode compilation (internal/pcode) entirely,
+	// pinning every predicate and aggregation argument to the tree-walking
+	// evaluators. It exists for the interpreted-vs-compiled benchmark
+	// baseline and the differential correctness suites; production paths
+	// leave it false.
+	Interpret bool
 }
 
 func (o CompileOptions) withDefaults() CompileOptions {
@@ -61,6 +68,12 @@ type Query struct {
 	fieldArgs  []ast.Expr // aggregation argument per state field
 	groupBy    []ast.Expr
 	fastKeys   []keyFn // per-pattern fast group-key extractor (may be nil)
+	// fastArgs[pattern][field] is the compiled aggregation-argument program
+	// for one pattern's bindings; a nil row means that pattern keeps the
+	// tree-walker for all fields (all-or-nothing per pattern). Only built
+	// when fastKeys exists, so the hot ingest path can skip environment
+	// construction entirely.
+	fastArgs   [][]*pcode.Prog
 	historyLen int
 	idleLimit  int
 	groups     map[string]*groupRuntime
@@ -138,7 +151,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 		AST:     q,
 		Info:    info,
 		opts:    opts,
-		global:  matcher.CompileGlobals(q.Globals),
+		global:  matcher.CompileGlobalsWith(q.Globals, opts.Interpret),
 		alerts:  q.Alerts,
 		returnC: q.Return,
 		now:     time.Now, //saql:wallclock injectable clock default; feeds Alert.Detected only, never evaluation
@@ -150,7 +163,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 
 	// Compile patterns.
 	for i, p := range q.Patterns {
-		cp, err := matcher.Compile(i, p)
+		cp, err := matcher.CompileWith(i, p, opts.Interpret)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +214,9 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 	cq.winMgr = mgr
 	cq.groupBy = q.State.GroupBy
 	cq.fastKeys = compileFastGroupKeys(q)
+	if !opts.Interpret && cq.fastKeys != nil {
+		cq.fastArgs = compileFastArgs(q, cq.fieldArgs)
+	}
 
 	cq.historyLen = q.State.History
 	if cq.historyLen < info.MaxStateIndex+1 {
@@ -256,6 +272,40 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 		cq.Kind = KindStateful
 	}
 	return cq, nil
+}
+
+// compileFastArgs compiles each aggregation argument against each pattern's
+// bindings. A pattern's row is kept only if every field compiles, so one hit
+// evaluates either all-compiled or all-interpreted (simplifying the per-hit
+// error accounting). Returns nil when no pattern compiled.
+func compileFastArgs(q *ast.Query, args []ast.Expr) [][]*pcode.Prog {
+	out := make([][]*pcode.Prog, len(q.Patterns))
+	any := false
+	for pi, p := range q.Patterns {
+		b := pcode.Binding{
+			SubjVar:  p.Subject.Var,
+			ObjVar:   p.Object.Var,
+			Alias:    p.Alias,
+			SubjType: p.Subject.Type,
+			ObjType:  p.Object.Type,
+		}
+		progs := make([]*pcode.Prog, len(args))
+		ok := true
+		for ai, a := range args {
+			if progs[ai] = pcode.CompileExpr(a, b); progs[ai] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[pi] = progs
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
 }
 
 // rewriteBareAlias rewrites a bare event-alias argument (count(evt)) into

@@ -11,6 +11,7 @@ import (
 	"saql/internal/expr"
 	"saql/internal/invariant"
 	"saql/internal/matcher"
+	"saql/internal/pcode"
 	"saql/internal/value"
 	"saql/internal/window"
 )
@@ -47,6 +48,29 @@ func (q *Query) ResidualHits(ev *event.Event, masterHits []int) (hits []int, eva
 		}
 	}
 	return hits, evals
+}
+
+// MatchBatch evaluates the query's patterns across a whole batch in
+// pattern-major (columnar) order: one compiled pattern sweeps all events
+// before the next pattern runs, keeping its programs hot in cache. Bit p of
+// masks[i] is set iff pattern p matches evs[i] (and the event passed the
+// global constraints). masks and globalOK are caller-owned scratch of
+// len(evs); masks must arrive zeroed. Requires at most 64 patterns — the
+// scheduler falls back to per-event Hits beyond that.
+//
+//saql:hotpath
+func (q *Query) MatchBatch(evs []*event.Event, masks []uint64, globalOK []bool) {
+	for i, ev := range evs {
+		globalOK[i] = q.global(ev)
+	}
+	for pi, p := range q.patterns {
+		bit := uint64(1) << uint(pi)
+		for i, ev := range evs {
+			if globalOK[i] && p.Matches(ev) {
+				masks[i] |= bit
+			}
+		}
+	}
 }
 
 // Process feeds one event through the full pipeline (matching + ingestion)
@@ -138,6 +162,7 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 		p := q.patterns[hi]
 		var env *expr.Env
 		var key string
+		var progs []*pcode.Prog
 		if q.fastKeys != nil {
 			// Fast path: extract the group key straight from the event, so
 			// shard replicas reject non-owned groups before paying for the
@@ -147,7 +172,15 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 				touched = true
 				continue
 			}
-			env = q.bindEnv(p, ev)
+			if q.fastArgs != nil {
+				progs = q.fastArgs[hi]
+			}
+			if progs == nil {
+				env = q.bindEnv(p, ev)
+			}
+			// With compiled argument programs the environment is not built
+			// at all: the programs read the event directly, and the group's
+			// representative bindings are written by bindGroupRep below.
 		} else {
 			env = q.bindEnv(p, ev)
 			var err error
@@ -167,18 +200,38 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 		for _, g := range q.winMgr.GroupFor(ev.Time, key) {
 			g.Count++
 			// Remember representative bindings for alert/return output.
-			for k, v := range env.Entities {
-				if _, ok := g.Entities[k]; !ok {
-					g.Entities[k] = v
+			if env == nil {
+				q.bindGroupRep(p, ev, g)
+			} else {
+				for k, v := range env.Entities {
+					if _, ok := g.Entities[k]; !ok {
+						g.Entities[k] = v
+					}
 				}
-			}
-			for k, v := range env.Events {
-				if _, ok := g.Events[k]; !ok {
-					g.Events[k] = v
+				for k, v := range env.Events {
+					if _, ok := g.Events[k]; !ok {
+						g.Events[k] = v
+					}
 				}
 			}
 			for i, arg := range q.fieldArgs {
-				v, err := expr.Eval(arg, env)
+				var v value.Value
+				var err error
+				if progs != nil {
+					v, err = progs[i].Run(ev)
+					if err == pcode.ErrBindingMismatch {
+						// The event's entity types do not match the compiled
+						// binding (cannot happen for events that matched this
+						// pattern, but stay safe): interpret this hit instead.
+						progs = nil
+					}
+				}
+				if progs == nil {
+					if env == nil {
+						env = q.bindEnv(p, ev)
+					}
+					v, err = expr.Eval(arg, env)
+				}
 				if err != nil {
 					q.stats.EvalErrors++
 					report(&QueryError{Query: q.Name, Err: err})
@@ -207,6 +260,30 @@ func (q *Query) ingestStateful(ev *event.Event, hits []int, report func(error)) 
 		alerts = append(alerts, q.closeWindow(closed, report)...)
 	}
 	return alerts
+}
+
+// bindGroupRep records the group's representative bindings straight from the
+// event, reproducing exactly what copying bindEnv's maps would store: the
+// object binding wins when subject and object share a variable name (bindEnv
+// writes the subject first and the object over it).
+func (q *Query) bindGroupRep(p *matcher.Pattern, ev *event.Event, g *window.Group) {
+	if p.ObjVar != "" {
+		if _, ok := g.Entities[p.ObjVar]; !ok {
+			o := ev.Object
+			g.Entities[p.ObjVar] = &o
+		}
+	}
+	if p.SubjVar != "" && p.SubjVar != p.ObjVar {
+		if _, ok := g.Entities[p.SubjVar]; !ok {
+			s := ev.Subject
+			g.Entities[p.SubjVar] = &s
+		}
+	}
+	if p.Alias != "" {
+		if _, ok := g.Events[p.Alias]; !ok {
+			g.Events[p.Alias] = ev
+		}
+	}
 }
 
 // bindEnv builds the expression environment for one pattern's bindings.

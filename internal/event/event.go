@@ -170,6 +170,19 @@ type Entity struct {
 	SrcPort  int32
 	DstPort  int32
 	Protocol string // "tcp" or "udp"
+
+	// Symbol IDs for the hot string attributes above, assigned by the codec
+	// intern tables from the process-global dictionary (internal/symtab).
+	// Zero means "no symbol" — the value was never interned (programmatic
+	// events, table overflow, non-ASCII) — and compiled predicates fall back
+	// to string comparison with identical results. Symbol IDs are
+	// process-local and never persisted: the wire/journal/snapshot codecs
+	// serialise the named string fields only.
+	ExeSym   uint32
+	UserSym  uint32
+	SrcIPSym uint32
+	DstIPSym uint32
+	ProtoSym uint32
 }
 
 // Process constructs a process entity.
@@ -294,6 +307,10 @@ type Event struct {
 	Op      Op
 	Object  Entity
 	Amount  float64 // bytes moved, when applicable
+
+	// AgentSym is AgentID's process-local symbol ID (see Entity's symbol
+	// fields); zero means no symbol and is always valid.
+	AgentSym uint32
 }
 
 // EventType categorises the event by its object entity.

@@ -451,6 +451,11 @@ func setOp(l, r value.Value, op string) (value.Value, error) {
 	}
 }
 
+// EqualValues reports SAQL equality between two values — the semantics of
+// the == and != expression operators. Exported for the compiled evaluator
+// (internal/pcode), which must reproduce interpretation bit for bit.
+func EqualValues(l, r value.Value) bool { return equalWithWildcards(l, r) }
+
 // equalWithWildcards implements SAQL equality: exact for non-strings, and
 // SQL-LIKE '%' wildcards when either string operand contains '%' (the
 // paper's constraints and alert conditions use "%osql.exe" patterns).

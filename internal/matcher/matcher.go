@@ -12,6 +12,7 @@ import (
 
 	"saql/internal/ast"
 	"saql/internal/event"
+	"saql/internal/pcode"
 	"saql/internal/value"
 )
 
@@ -92,6 +93,18 @@ func compare(got value.Value, op ast.CompareOp, want value.Value) bool {
 // such as agentid = "db-1").
 type GlobalPred func(*event.Event) bool
 
+// CompileGlobalsWith compiles the query's global constraints, preferring a
+// pcode program over the interpreting closure unless interpret forces the
+// tree-walking path (the A/B baseline and differential tests).
+func CompileGlobalsWith(globals []*ast.Constraint, interpret bool) GlobalPred {
+	if !interpret && len(globals) > 0 {
+		if prog := pcode.CompileGlobals(globals); prog != nil {
+			return prog.Match
+		}
+	}
+	return CompileGlobals(globals)
+}
+
 // CompileGlobals compiles the query's global constraints.
 func CompileGlobals(globals []*ast.Constraint) GlobalPred {
 	if len(globals) == 0 {
@@ -129,9 +142,17 @@ type Pattern struct {
 	ops      map[event.Op]bool
 	subjPred EntityPred
 	objPred  EntityPred
+
+	// Compiled fast path: when opsMask is non-zero the operation check is a
+	// bit test, and the pcode programs (when compilable) replace the
+	// interpreting closures. All nil/zero under CompileOptions.Interpret,
+	// which pins the pre-compilation evaluation path.
+	opsMask  uint32
+	fastSubj *pcode.EntityProg
+	fastObj  *pcode.EntityProg
 }
 
-// Compile compiles an AST event pattern.
+// Compile compiles an AST event pattern to the interpreting predicates.
 func Compile(idx int, p *ast.EventPattern) (*Pattern, error) {
 	sp, err := CompileEntityPattern(p.Subject)
 	if err != nil {
@@ -156,9 +177,46 @@ func Compile(idx int, p *ast.EventPattern) (*Pattern, error) {
 	}, nil
 }
 
+// CompileWith compiles an AST event pattern, additionally attaching the
+// pcode fast path unless interpret is set. The interpreting closures are
+// always built too: they are the fallback for constraint shapes pcode
+// declines, and the reference path for differential testing.
+func CompileWith(idx int, p *ast.EventPattern, interpret bool) (*Pattern, error) {
+	cp, err := Compile(idx, p)
+	if err != nil || interpret {
+		return cp, err
+	}
+	var mask uint32
+	for _, o := range p.Ops {
+		mask |= 1 << uint(o)
+	}
+	cp.opsMask = mask
+	cp.fastSubj = pcode.CompileEntity(p.Subject)
+	cp.fastObj = pcode.CompileEntity(p.Object)
+	return cp, nil
+}
+
 // Matches reports whether ev satisfies the pattern's operation set and both
 // entity predicates.
+//
+//saql:hotpath
 func (p *Pattern) Matches(ev *event.Event) bool {
+	if p.opsMask != 0 {
+		if p.opsMask&(1<<uint(ev.Op)) == 0 {
+			return false
+		}
+		if p.fastSubj != nil {
+			if !p.fastSubj.Match(&ev.Subject) {
+				return false
+			}
+		} else if !p.subjPred(&ev.Subject) {
+			return false
+		}
+		if p.fastObj != nil {
+			return p.fastObj.Match(&ev.Object)
+		}
+		return p.objPred(&ev.Object)
+	}
 	if !p.ops[ev.Op] {
 		return false
 	}

@@ -1,0 +1,577 @@
+// Package pcode compiles SAQL pattern predicates and aggregate-argument
+// expressions to flat bytecode executed by small dispatch loops, replacing
+// per-event AST interpretation on the engine's hot path.
+//
+// Three program shapes exist:
+//
+//   - EntityProg: an entity pattern's attribute constraints compiled to typed
+//     comparison instructions. Field accesses are resolved to direct struct
+//     reads at compile time (every constraint value is a literal, and
+//     attribute validity depends only on the (entity type, name) pair), and
+//     string equality compares interned symbol IDs (internal/symtab) when
+//     both sides carry one, with a case-folding string fallback otherwise.
+//   - EventProg: the same for a query's global constraints (agentid, amount,
+//     optype, ...), compiled over whole events.
+//   - Prog (prog.go): a stack machine for general expressions — the
+//     aggregation arguments of stateful queries — compiled against one
+//     pattern's variable bindings.
+//
+// Compilation is conservative: any shape the compiler does not fully
+// understand yields a nil program and the caller keeps the existing
+// tree-walking path, so error semantics and results are always preserved.
+// The differential suite in this package pins compiled == interpreted on
+// randomized inputs.
+package pcode
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/symtab"
+	"saql/internal/value"
+)
+
+// strFallbacks counts compiled string comparisons that could not use symbol
+// IDs and fell back to a string compare (folded in place when both sides are
+// ASCII, or the allocating value.WildcardMatch otherwise). A high rate
+// relative to event volume means the stream's hot values are not reaching
+// the dictionary (programmatic submission, table overflow, non-ASCII data).
+var strFallbacks atomic.Int64
+
+// StringFallbacks reports the process-wide fallback-to-string comparison
+// count.
+func StringFallbacks() int64 { return strFallbacks.Load() }
+
+// fld selects one directly-readable field of an entity or event.
+type fld uint8
+
+const (
+	fldNone fld = iota
+	// Entity string fields.
+	fldExe
+	fldUser
+	fldCmd
+	fldPath
+	fldBase // basename of Path
+	fldSrcIP
+	fldDstIP
+	fldProto
+	// Entity numeric fields.
+	fldPID
+	fldSPort
+	fldDPort
+	// Event fields (EventProg / Prog only).
+	fldAmount
+	fldAgent
+	fldTime
+	fldID
+	fldOp
+)
+
+// resolveEntityAttr maps a SAQL attribute name to a field selector for one
+// entity type, mirroring event.Entity.Attr exactly. str reports whether the
+// field reads as a string (false: numeric). ok is false when the attribute
+// does not exist for the type — in the interpreter that read fails, so
+// constraint compilation turns the predicate constant-false and expression
+// compilation falls back (the tree-walker owns the error).
+func resolveEntityAttr(t event.EntityType, name string) (f fld, str bool, ok bool) {
+	switch t {
+	case event.EntityProcess:
+		switch name {
+		case "", "exe_name", "exename", "exe", "name":
+			return fldExe, true, true
+		case "pid":
+			return fldPID, false, true
+		case "user", "username":
+			return fldUser, true, true
+		case "cmdline", "cmd", "args":
+			return fldCmd, true, true
+		}
+	case event.EntityFile:
+		switch name {
+		case "", "name", "path", "filename", "file_name":
+			return fldPath, true, true
+		case "basename":
+			return fldBase, true, true
+		}
+	case event.EntityNetConn:
+		switch name {
+		case "":
+			return fldDstIP, true, true
+		case "srcip", "src_ip", "sip":
+			return fldSrcIP, true, true
+		case "dstip", "dst_ip", "dip":
+			return fldDstIP, true, true
+		case "sport", "src_port", "srcport":
+			return fldSPort, false, true
+		case "dport", "dst_port", "dstport":
+			return fldDPort, false, true
+		case "protocol", "proto":
+			return fldProto, true, true
+		}
+	}
+	return fldNone, false, false
+}
+
+// resolveEventAttr maps an event-level attribute name to a selector,
+// mirroring event.Event.Attr. str reports string-valued selectors.
+func resolveEventAttr(name string) (f fld, str bool, ok bool) {
+	switch name {
+	case "amount", "amt", "bytes":
+		return fldAmount, false, true
+	case "agentid", "agent_id", "host":
+		return fldAgent, true, true
+	case "time", "ts", "timestamp":
+		return fldTime, false, true
+	case "id":
+		return fldID, false, true
+	case "optype", "op", "operation":
+		return fldOp, true, true
+	}
+	return fldNone, false, false
+}
+
+// strField reads a string field and its symbol ID (0 when the field carries
+// no symbol).
+//
+//saql:hotpath
+func strField(e *event.Entity, f fld) (string, uint32) {
+	switch f {
+	case fldExe:
+		return e.ExeName, e.ExeSym
+	case fldUser:
+		return e.User, e.UserSym
+	case fldCmd:
+		return e.CmdLine, 0
+	case fldPath:
+		return e.Path, 0
+	case fldBase:
+		return baseName(e.Path), 0
+	case fldSrcIP:
+		return e.SrcIP, e.SrcIPSym
+	case fldDstIP:
+		return e.DstIP, e.DstIPSym
+	case fldProto:
+		return e.Protocol, e.ProtoSym
+	}
+	return "", 0
+}
+
+// numField reads a numeric entity field as float64 — the representation
+// value.Value comparisons reduce numeric pairs to.
+//
+//saql:hotpath
+func numField(e *event.Entity, f fld) float64 {
+	switch f {
+	case fldPID:
+		return float64(e.PID)
+	case fldSPort:
+		return float64(e.SrcPort)
+	case fldDPort:
+		return float64(e.DstPort)
+	}
+	return 0
+}
+
+// baseName mirrors event's basename attribute without allocating.
+func baseName(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// eOp is an entity/event predicate opcode. Every instruction is an ANDed
+// conjunct: the dispatch loop fails the predicate on the first false one.
+type eOp uint8
+
+const (
+	eStrEq  eOp = iota // string equality (symbol fast path, fold fallback)
+	eStrNe             // negated eStrEq
+	eLike              // '%'-wildcard match
+	eNotLike           // negated eLike
+	eStrOrd            // ordered string comparison (case-sensitive, as value.Compare)
+	eNumCmp            // numeric comparison, all six operators
+)
+
+// eInstr is one compiled constraint.
+type eInstr struct {
+	op   eOp
+	fld  fld
+	cmp  ast.CompareOp
+	sym  uint32  // interned symbol of the constant (0: none)
+	fold bool    // low is a valid pre-lowered ASCII form of raw
+	low  string  // strings.ToLower(raw), ASCII constants only
+	raw  string  // original constant (WildcardMatch fallback)
+	num  float64 // numeric constant
+}
+
+// EntityProg is a compiled entity predicate: type check plus a flat conjunct
+// list. never marks predicates that are statically unsatisfiable (invalid
+// attribute, impossible type mix) — the interpreter returns false for those
+// on every event, so the program does too, without executing anything.
+type EntityProg struct {
+	typ   event.EntityType
+	never bool
+	ins   []eInstr
+}
+
+// CompileEntity compiles an entity pattern's constraints, or returns nil for
+// shapes that must keep the interpreted closure (non-scalar constants).
+func CompileEntity(p *ast.EntityPattern) *EntityProg {
+	prog := &EntityProg{typ: p.Type}
+	for _, c := range p.Constraints {
+		if prog.never {
+			break // already unsatisfiable; no need to compile the rest
+		}
+		f, isStr, ok := resolveEntityAttr(p.Type, c.Attr)
+		if !ok {
+			// Attribute invalid for this type: the interpreted closure fails
+			// the check on every entity of this type.
+			prog.never = true
+			break
+		}
+		in, never, drop := compileCheck(f, isStr, c.Op, c.Val.Val)
+		switch {
+		case in == nil && !never && !drop:
+			return nil // unsupported constant kind: keep the closure
+		case never:
+			prog.never = true
+		case drop:
+			// Statically always-true (e.g. != across kinds): no instruction.
+		default:
+			prog.ins = append(prog.ins, *in)
+		}
+	}
+	return prog
+}
+
+// compileCheck compiles one constraint against a resolved field. Exactly one
+// of the results is meaningful: an instruction, never (statically false),
+// drop (statically true), or all-zero (unsupported; caller bails).
+func compileCheck(f fld, isStr bool, cmp ast.CompareOp, want value.Value) (in *eInstr, never, drop bool) {
+	switch want.Kind() {
+	case value.KindString:
+		raw := want.Str()
+		if !isStr {
+			// Numeric field against a string constant: value.Equal is false
+			// across kinds and value.Compare errors (compare() maps errors
+			// to false), so only != passes.
+			return nil, cmp != ast.CmpNe, cmp == ast.CmpNe
+		}
+		in := &eInstr{fld: f, cmp: cmp, raw: raw}
+		if isASCII(raw) {
+			in.fold = true
+			in.low = strings.ToLower(raw)
+		}
+		switch cmp {
+		case ast.CmpEq, ast.CmpNe:
+			if strings.ContainsRune(raw, '%') {
+				in.op = eLike
+				if cmp == ast.CmpNe {
+					in.op = eNotLike
+				}
+			} else {
+				in.op = eStrEq
+				if cmp == ast.CmpNe {
+					in.op = eStrNe
+				}
+				in.sym = symtab.Intern(raw)
+			}
+		default:
+			in.op = eStrOrd
+		}
+		return in, false, false
+
+	case value.KindInt, value.KindFloat:
+		if isStr {
+			// String field against a numeric constant: mirror image of the
+			// mixed case above.
+			return nil, cmp != ast.CmpNe, cmp == ast.CmpNe
+		}
+		num, _ := want.AsFloat()
+		return &eInstr{op: eNumCmp, fld: f, cmp: cmp, num: num}, false, false
+
+	default:
+		// Bool/set/null constants never appear in parsed constraints; keep
+		// the interpreted closure for safety.
+		return nil, false, false
+	}
+}
+
+// Match runs the compiled predicate against one entity: the bytecode
+// dispatch loop of pattern matching.
+//
+//saql:hotpath
+func (p *EntityProg) Match(e *event.Entity) bool {
+	if e.Type != p.typ || p.never {
+		return false
+	}
+	for i := range p.ins {
+		in := &p.ins[i]
+		ok := false
+		switch in.op {
+		case eStrEq, eStrNe:
+			got, gsym := strField(e, in.fld)
+			var eq bool
+			switch {
+			case gsym != 0 && in.sym != 0:
+				// Both sides interned: symbol equality IS case-folded string
+				// equality (the dictionary is canonical under ToLower).
+				eq = gsym == in.sym
+			case in.fold && isASCII(got):
+				eq = foldEqASCII(in.low, got)
+				strFallbacks.Add(1)
+			default:
+				eq = value.WildcardMatch(in.raw, got)
+				strFallbacks.Add(1)
+			}
+			ok = eq == (in.op == eStrEq)
+		case eLike, eNotLike:
+			got, _ := strField(e, in.fld)
+			var m bool
+			if in.fold && isASCII(got) {
+				m = likeFoldASCII(in.low, got)
+			} else {
+				m = value.WildcardMatch(in.raw, got)
+				strFallbacks.Add(1)
+			}
+			ok = m == (in.op == eLike)
+		case eStrOrd:
+			got, _ := strField(e, in.fld)
+			ok = cmpOK(strings.Compare(got, in.raw), in.cmp)
+		case eNumCmp:
+			ok = numCmpOK(numField(e, in.fld), in.num, in.cmp)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EventProg is a compiled global-constraint predicate over whole events.
+type EventProg struct {
+	never bool
+	ins   []eInstr
+}
+
+// CompileGlobals compiles a query's global constraints, or returns nil when
+// a constant kind is unsupported (caller keeps the interpreted closure).
+func CompileGlobals(globals []*ast.Constraint) *EventProg {
+	prog := &EventProg{}
+	for _, g := range globals {
+		if prog.never {
+			break
+		}
+		f, isStr, ok := resolveEventAttr(g.Attr)
+		if !ok {
+			prog.never = true // unknown event attribute fails every event
+			break
+		}
+		in, never, drop := compileCheck(f, isStr, g.Op, g.Val.Val)
+		switch {
+		case in == nil && !never && !drop:
+			return nil
+		case never:
+			prog.never = true
+		case drop:
+		default:
+			prog.ins = append(prog.ins, *in)
+		}
+	}
+	return prog
+}
+
+// evtStrField reads a string-valued event attribute and its symbol.
+//
+//saql:hotpath
+func evtStrField(ev *event.Event, f fld) (string, uint32) {
+	switch f {
+	case fldAgent:
+		return ev.AgentID, ev.AgentSym
+	case fldOp:
+		return ev.Op.String(), 0
+	}
+	return "", 0
+}
+
+// evtNumField reads a numeric event attribute as float64. Time reduces
+// through float64 exactly like the interpreter, which compares
+// value.Int(UnixNano) via AsFloat.
+//
+//saql:hotpath
+func evtNumField(ev *event.Event, f fld) float64 {
+	switch f {
+	case fldAmount:
+		return ev.Amount
+	case fldTime:
+		return float64(ev.Time.UnixNano())
+	case fldID:
+		return float64(int64(ev.ID))
+	}
+	return 0
+}
+
+// Match runs the compiled global predicate against one event.
+//
+//saql:hotpath
+func (p *EventProg) Match(ev *event.Event) bool {
+	if p.never {
+		return false
+	}
+	for i := range p.ins {
+		in := &p.ins[i]
+		ok := false
+		switch in.op {
+		case eStrEq, eStrNe:
+			got, gsym := evtStrField(ev, in.fld)
+			var eq bool
+			switch {
+			case gsym != 0 && in.sym != 0:
+				eq = gsym == in.sym
+			case in.fold && isASCII(got):
+				eq = foldEqASCII(in.low, got)
+				strFallbacks.Add(1)
+			default:
+				eq = value.WildcardMatch(in.raw, got)
+				strFallbacks.Add(1)
+			}
+			ok = eq == (in.op == eStrEq)
+		case eLike, eNotLike:
+			got, _ := evtStrField(ev, in.fld)
+			var m bool
+			if in.fold && isASCII(got) {
+				m = likeFoldASCII(in.low, got)
+			} else {
+				m = value.WildcardMatch(in.raw, got)
+				strFallbacks.Add(1)
+			}
+			ok = m == (in.op == eLike)
+		case eStrOrd:
+			got, _ := evtStrField(ev, in.fld)
+			ok = cmpOK(strings.Compare(got, in.raw), in.cmp)
+		case eNumCmp:
+			ok = numCmpOK(evtNumField(ev, in.fld), in.num, in.cmp)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpOK applies an ordered comparison operator to a three-way compare
+// result, exactly as matcher.compare does (Eq/Ne never reach here).
+func cmpOK(c int, op ast.CompareOp) bool {
+	switch op {
+	case ast.CmpLt:
+		return c < 0
+	case ast.CmpLe:
+		return c <= 0
+	case ast.CmpGt:
+		return c > 0
+	case ast.CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// numCmpOK compares two numerics the way value.Equal/value.Compare do:
+// through float64.
+func numCmpOK(a, b float64, op ast.CompareOp) bool {
+	switch op {
+	case ast.CmpEq:
+		return a == b
+	case ast.CmpNe:
+		return a != b
+	case ast.CmpLt:
+		return a < b
+	case ast.CmpLe:
+		return a <= b
+	case ast.CmpGt:
+		return a > b
+	case ast.CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// isASCII reports whether s is pure 7-bit. The fold fast paths require it:
+// for ASCII strings, byte-wise case folding equals strings.ToLower, so the
+// non-allocating comparisons below reproduce value.WildcardMatch exactly.
+//
+//saql:hotpath
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldByte lowers one ASCII byte.
+//
+//saql:hotpath
+func foldByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+// foldEqASCII reports ToLower(s) == low for a pre-lowered ASCII low and an
+// ASCII s, without allocating.
+//
+//saql:hotpath
+func foldEqASCII(low, s string) bool {
+	if len(low) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if foldByte(s[i]) != low[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// likeFoldASCII is value's likeMatch over a pre-lowered ASCII pattern and an
+// ASCII subject folded byte-by-byte: the same two-pointer '%' backtracking,
+// minus the two ToLower allocations.
+//
+//saql:hotpath
+func likeFoldASCII(p, s string) bool {
+	var pi, si int
+	star := -1
+	match := 0
+	for si < len(s) {
+		if pi < len(p) && p[pi] == foldByte(s[si]) {
+			pi++
+			si++
+			continue
+		}
+		if pi < len(p) && p[pi] == '%' {
+			star = pi
+			match = si
+			pi++
+			continue
+		}
+		if star != -1 {
+			pi = star + 1
+			match++
+			si = match
+			continue
+		}
+		return false
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

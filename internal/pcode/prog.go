@@ -1,0 +1,717 @@
+package pcode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"saql/internal/ast"
+	"saql/internal/event"
+	"saql/internal/expr"
+	"saql/internal/value"
+)
+
+// ErrBindingMismatch is returned by Prog.Run when the event's entities do not
+// have the types the program was compiled against. The engine falls back to
+// the tree-walking path for that hit; under normal operation this cannot
+// happen (an event only reaches a pattern's programs after matching the
+// pattern's typed entity predicates).
+var ErrBindingMismatch = errors.New("pcode: entity type does not match compiled binding")
+
+// progMaxStack bounds the operand stack. Expressions deeper than this are
+// rare (aggregation arguments are typically one or two operators) and keep
+// the tree-walker.
+const progMaxStack = 16
+
+// Binding names the variables one pattern makes visible to its aggregation
+// arguments: the subject/object entity variables with their static types,
+// and the event alias. It mirrors engine.bindEnv — in particular the object
+// binding shadows the subject when both use one variable name, and entity
+// variables shadow the event alias.
+type Binding struct {
+	SubjVar  string
+	ObjVar   string
+	Alias    string
+	SubjType event.EntityType
+	ObjType  event.EntityType
+}
+
+// xOp is a stack-machine opcode.
+type xOp uint8
+
+const (
+	xConst       xOp = iota // push in.val
+	xSubjDefault            // push String(subject.DefaultAttr())
+	xObjDefault             // push String(object.DefaultAttr())
+	xSubjStr                // push String(subject.<fld>)
+	xObjStr                 // push String(object.<fld>)
+	xSubjInt                // push Int(subject.<fld>)
+	xObjInt                 // push Int(object.<fld>)
+	xEvtStr                 // push String(event.<fld>)
+	xEvtInt                 // push Int(event.<fld>)
+	xEvtFloat               // push Float(event.amount)
+	xNot                    // pop b; push !b (error on non-boolean)
+	xNeg                    // pop v; push -v (null stays null)
+	xCard                   // pop v; push |v|
+	xEq                     // pop r, l; push l == r (wildcard-aware)
+	xNe                     // pop r, l; push l != r
+	xLt                     // pop r, l; ordered comparisons (null -> false)
+	xLe                     //
+	xGt                     //
+	xGe                     //
+	xArith                  // pop r, l; push l <in.ab> r (null propagates)
+	xAndJump                // pop b; false: push false, jump in.idx
+	xOrJump                 // pop b; true: push true, jump in.idx
+	xBool                   // pop v; push Bool(v) (error on non-boolean)
+)
+
+// xInstr is one stack-machine instruction.
+type xInstr struct {
+	op  xOp
+	fld fld         // attribute selector for load ops
+	ab  byte        // arithmetic operator for xArith ('+','-','*','/','%')
+	idx int32       // jump target for xAndJump/xOrJump
+	val value.Value // constant for xConst
+	s   string      // operator text for xAndJump/xOrJump/xBool error messages
+}
+
+// Prog is a compiled expression: a flat instruction sequence over a fixed
+// operand stack, evaluating one pattern's aggregation argument against a
+// matched event without building an environment. Values are a tagged struct,
+// so the stack lives in the frame and nothing boxes or allocates.
+type Prog struct {
+	ins      []xInstr
+	needSubj bool
+	needObj  bool
+	subjType event.EntityType
+	objType  event.EntityType
+}
+
+// CompileExpr compiles e against one pattern's bindings. It returns nil for
+// any shape outside the compiled subset — calls, state/cluster/set
+// operations, statically erroneous expressions, over-deep stacks — in which
+// case the caller keeps the tree-walking evaluator (which owns all error
+// semantics for those shapes).
+func CompileExpr(e ast.Expr, b Binding) *Prog {
+	c := &compiler{b: b}
+	if !c.expr(e) || c.maxDepth > progMaxStack {
+		return nil
+	}
+	return &Prog{
+		ins:      c.ins,
+		needSubj: c.usedSubj,
+		needObj:  c.usedObj,
+		subjType: b.SubjType,
+		objType:  b.ObjType,
+	}
+}
+
+// Run evaluates the program against one matched event. Errors are exactly
+// the tree-walker's (same strings, raised under the same conditions); the
+// returned value on error is always Null, which callers ignore.
+//
+//saql:hotpath
+func (p *Prog) Run(ev *event.Event) (value.Value, error) {
+	if p.needSubj && ev.Subject.Type != p.subjType {
+		return value.Null, ErrBindingMismatch
+	}
+	if p.needObj && ev.Object.Type != p.objType {
+		return value.Null, ErrBindingMismatch
+	}
+	var stack [progMaxStack]value.Value
+	sp := 0
+	ins := p.ins
+	for i := 0; i < len(ins); i++ {
+		in := &ins[i]
+		switch in.op {
+		case xConst:
+			stack[sp] = in.val
+			sp++
+		case xSubjDefault:
+			stack[sp] = value.String(ev.Subject.DefaultAttr())
+			sp++
+		case xObjDefault:
+			stack[sp] = value.String(ev.Object.DefaultAttr())
+			sp++
+		case xSubjStr:
+			s, _ := strField(&ev.Subject, in.fld)
+			stack[sp] = value.String(s)
+			sp++
+		case xObjStr:
+			s, _ := strField(&ev.Object, in.fld)
+			stack[sp] = value.String(s)
+			sp++
+		case xSubjInt:
+			stack[sp] = value.Int(intField(&ev.Subject, in.fld))
+			sp++
+		case xObjInt:
+			stack[sp] = value.Int(intField(&ev.Object, in.fld))
+			sp++
+		case xEvtStr:
+			s, _ := evtStrField(ev, in.fld)
+			stack[sp] = value.String(s)
+			sp++
+		case xEvtInt:
+			stack[sp] = value.Int(evtIntField(ev, in.fld))
+			sp++
+		case xEvtFloat:
+			stack[sp] = value.Float(ev.Amount)
+			sp++
+		case xNot:
+			b, ok := stack[sp-1].AsBool()
+			if !ok {
+				return value.Null, errNotBool(stack[sp-1].Kind())
+			}
+			stack[sp-1] = value.Bool(!b)
+		case xNeg:
+			v := stack[sp-1]
+			if v.IsNull() {
+				stack[sp-1] = value.Null
+				break
+			}
+			nv, err := v.Neg()
+			if err != nil {
+				return value.Null, err
+			}
+			stack[sp-1] = nv
+		case xCard:
+			nv, err := card(stack[sp-1])
+			if err != nil {
+				return value.Null, err
+			}
+			stack[sp-1] = nv
+		case xEq:
+			stack[sp-2] = value.Bool(expr.EqualValues(stack[sp-2], stack[sp-1]))
+			sp--
+		case xNe:
+			stack[sp-2] = value.Bool(!expr.EqualValues(stack[sp-2], stack[sp-1]))
+			sp--
+		case xLt, xLe, xGt, xGe:
+			l, r := stack[sp-2], stack[sp-1]
+			sp--
+			if l.IsNull() || r.IsNull() {
+				stack[sp-1] = value.Bool(false)
+				break
+			}
+			c, err := l.Compare(r)
+			if err != nil {
+				return value.Null, err
+			}
+			var b bool
+			switch in.op {
+			case xLt:
+				b = c < 0
+			case xLe:
+				b = c <= 0
+			case xGt:
+				b = c > 0
+			default:
+				b = c >= 0
+			}
+			stack[sp-1] = value.Bool(b)
+		case xArith:
+			l, r := stack[sp-2], stack[sp-1]
+			sp--
+			if l.IsNull() || r.IsNull() {
+				stack[sp-1] = value.Null
+				break
+			}
+			nv, err := l.Arith(in.ab, r)
+			if err != nil {
+				return value.Null, err
+			}
+			stack[sp-1] = nv
+		case xAndJump:
+			b, ok := stack[sp-1].AsBool()
+			if !ok {
+				return value.Null, errBoolOperand(in.s, stack[sp-1].Kind())
+			}
+			sp--
+			if !b {
+				stack[sp] = value.Bool(false)
+				sp++
+				i = int(in.idx) - 1
+			}
+		case xOrJump:
+			b, ok := stack[sp-1].AsBool()
+			if !ok {
+				return value.Null, errBoolOperand(in.s, stack[sp-1].Kind())
+			}
+			sp--
+			if b {
+				stack[sp] = value.Bool(true)
+				sp++
+				i = int(in.idx) - 1
+			}
+		case xBool:
+			b, ok := stack[sp-1].AsBool()
+			if !ok {
+				return value.Null, errBoolOperand(in.s, stack[sp-1].Kind())
+			}
+			stack[sp-1] = value.Bool(b)
+		}
+	}
+	return stack[0], nil
+}
+
+// intField reads a numeric entity field at its native integer width,
+// preserving the Int value kind the interpreter produces (Int/Int arithmetic
+// differs from Float: '+' stays integral, '/' promotes).
+//
+//saql:hotpath
+func intField(e *event.Entity, f fld) int64 {
+	switch f {
+	case fldPID:
+		return int64(e.PID)
+	case fldSPort:
+		return int64(e.SrcPort)
+	case fldDPort:
+		return int64(e.DstPort)
+	}
+	return 0
+}
+
+// evtIntField reads an integer event attribute.
+//
+//saql:hotpath
+func evtIntField(ev *event.Event, f fld) int64 {
+	switch f {
+	case fldTime:
+		return ev.Time.UnixNano()
+	case fldID:
+		return int64(ev.ID)
+	}
+	return 0
+}
+
+// card implements the |...| operator exactly as the interpreter does.
+func card(v value.Value) (value.Value, error) {
+	switch v.Kind() {
+	case value.KindSet:
+		return value.Int(int64(v.SetLen())), nil
+	case value.KindInt:
+		iv := v.IntVal()
+		if iv < 0 {
+			iv = -iv
+		}
+		return value.Int(iv), nil
+	case value.KindFloat:
+		return value.Float(math.Abs(v.FloatVal())), nil
+	case value.KindNull:
+		return value.Int(0), nil
+	default:
+		return value.Null, errCard(v.Kind())
+	}
+}
+
+// Error constructors live outside the hot-path functions (fmt formatting
+// allocates); they fire at most once per reported evaluation error.
+
+func errNotBool(k value.Kind) error {
+	return fmt.Errorf("expr: ! requires a boolean, got %s", k)
+}
+
+func errBoolOperand(op string, k value.Kind) error {
+	return fmt.Errorf("expr: %s requires boolean operands, got %s", op, k)
+}
+
+func errCard(k value.Kind) error {
+	return fmt.Errorf("expr: |...| requires a set or number, got %s", k)
+}
+
+// compiler accumulates instructions and tracks operand-stack depth.
+type compiler struct {
+	b        Binding
+	ins      []xInstr
+	depth    int
+	maxDepth int
+	usedSubj bool
+	usedObj  bool
+}
+
+func (c *compiler) emit(in xInstr, stackDelta int) {
+	c.ins = append(c.ins, in)
+	c.depth += stackDelta
+	if c.depth > c.maxDepth {
+		c.maxDepth = c.depth
+	}
+}
+
+// expr compiles one node, reporting false to bail out to the tree-walker.
+func (c *compiler) expr(e ast.Expr) bool {
+	// Constant subtrees fold to a single push. A constant subtree that
+	// evaluates with an error is NOT folded or compiled: the interpreter
+	// raises that error per event, so the tree-walker keeps the expression.
+	if v, isConst, err := constEval(e); isConst {
+		if err != nil {
+			return false
+		}
+		c.emit(xInstr{op: xConst, val: v}, 1)
+		return true
+	}
+
+	switch x := e.(type) {
+	case *ast.Ident:
+		return c.ident(x.Name)
+
+	case *ast.FieldExpr:
+		return c.field(x)
+
+	case *ast.UnaryExpr:
+		if !c.expr(x.X) {
+			return false
+		}
+		switch x.Op {
+		case '!':
+			c.emit(xInstr{op: xNot}, 0)
+		case '-':
+			c.emit(xInstr{op: xNeg}, 0)
+		default:
+			return false
+		}
+		return true
+
+	case *ast.CardExpr:
+		if !c.expr(x.X) {
+			return false
+		}
+		c.emit(xInstr{op: xCard}, 0)
+		return true
+
+	case *ast.BinaryExpr:
+		return c.binary(x)
+	}
+	// Calls, state indexing, and anything else stay interpreted.
+	return false
+}
+
+func (c *compiler) binary(x *ast.BinaryExpr) bool {
+	switch x.Op {
+	case ast.OpAnd, ast.OpOr:
+		return c.logical(x)
+
+	case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe,
+		ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv, ast.OpMod:
+		if !c.expr(x.Left) || !c.expr(x.Right) {
+			return false
+		}
+		switch x.Op {
+		case ast.OpEq:
+			c.emit(xInstr{op: xEq}, -1)
+		case ast.OpNe:
+			c.emit(xInstr{op: xNe}, -1)
+		case ast.OpLt:
+			c.emit(xInstr{op: xLt}, -1)
+		case ast.OpLe:
+			c.emit(xInstr{op: xLe}, -1)
+		case ast.OpGt:
+			c.emit(xInstr{op: xGt}, -1)
+		case ast.OpGe:
+			c.emit(xInstr{op: xGe}, -1)
+		case ast.OpAdd:
+			c.emit(xInstr{op: xArith, ab: '+'}, -1)
+		case ast.OpSub:
+			c.emit(xInstr{op: xArith, ab: '-'}, -1)
+		case ast.OpMul:
+			c.emit(xInstr{op: xArith, ab: '*'}, -1)
+		case ast.OpDiv:
+			c.emit(xInstr{op: xArith, ab: '/'}, -1)
+		default:
+			c.emit(xInstr{op: xArith, ab: '%'}, -1)
+		}
+		return true
+	}
+	// Set operators and 'in' work over window state, not per-event values.
+	return false
+}
+
+// logical compiles && / || with short-circuit jump threading. A constant
+// left side is resolved at compile time: the deciding value folds the whole
+// node (done by constEval upstream), the pass-through value reduces the node
+// to the right operand plus a boolean coercion — exactly the instruction the
+// interpreter's final AsBool performs.
+func (c *compiler) logical(x *ast.BinaryExpr) bool {
+	opstr := x.Op.String()
+	if lv, lc, lerr := constEval(x.Left); lc {
+		if lerr != nil {
+			return false
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return false // interpreter errors on every event; keep it
+		}
+		// (false && R) and (true || R) were folded by constEval before we
+		// got here, so the left side must be the pass-through value.
+		_ = lb
+		if !c.expr(x.Right) {
+			return false
+		}
+		c.emit(xInstr{op: xBool, s: opstr}, 0)
+		return true
+	}
+
+	if !c.expr(x.Left) {
+		return false
+	}
+	jmp := len(c.ins)
+	op := xAndJump
+	if x.Op == ast.OpOr {
+		op = xOrJump
+	}
+	c.emit(xInstr{op: op, s: opstr}, -1)
+	if !c.expr(x.Right) {
+		return false
+	}
+	c.emit(xInstr{op: xBool, s: opstr}, 0)
+	c.ins[jmp].idx = int32(len(c.ins))
+	return true
+}
+
+// ident compiles a bare identifier, mirroring expr.evalIdent against the
+// engine's per-hit environments (no invariant vars, no state).
+func (c *compiler) ident(name string) bool {
+	// Object binding shadows subject (bindEnv writes subject first, object
+	// second into one map); entity variables shadow the event alias.
+	if name != "" && name == c.b.ObjVar {
+		c.usedObj = true
+		c.emit(xInstr{op: xObjDefault}, 1)
+		return true
+	}
+	if name != "" && name == c.b.SubjVar {
+		c.usedSubj = true
+		c.emit(xInstr{op: xSubjDefault}, 1)
+		return true
+	}
+	if name != "" && name == c.b.Alias {
+		return false // "event alias is not a value" — interpreter's error
+	}
+	// Unbound identifiers tolerate to null.
+	c.emit(xInstr{op: xConst, val: value.Null}, 1)
+	return true
+}
+
+// field compiles base.attr accesses, mirroring expr.evalField's resolution
+// order: cluster, entity variables (object shadowing subject), event alias,
+// then null for unbound bases.
+func (c *compiler) field(x *ast.FieldExpr) bool {
+	base, ok := x.Base.(*ast.Ident)
+	if !ok {
+		return false // state indexing and stranger bases stay interpreted
+	}
+	name := base.Name
+	if name == "cluster" {
+		// Per-hit environments carry no cluster view; nil resolves to null.
+		c.emit(xInstr{op: xConst, val: value.Null}, 1)
+		return true
+	}
+	if name != "" && name == c.b.ObjVar {
+		return c.entityAttr(false, c.b.ObjType, x.Field)
+	}
+	if name != "" && name == c.b.SubjVar {
+		return c.entityAttr(true, c.b.SubjType, x.Field)
+	}
+	if name != "" && name == c.b.Alias {
+		return c.eventAttr(x.Field)
+	}
+	c.emit(xInstr{op: xConst, val: value.Null}, 1)
+	return true
+}
+
+// entityAttr compiles a typed attribute load. Attributes invalid for the
+// bound type raise an error in the interpreter, so those bail out.
+func (c *compiler) entityAttr(subj bool, typ event.EntityType, attr string) bool {
+	f, isStr, ok := resolveEntityAttr(typ, attr)
+	if !ok {
+		return false
+	}
+	var in xInstr
+	switch {
+	case subj && isStr:
+		in = xInstr{op: xSubjStr, fld: f}
+	case subj:
+		in = xInstr{op: xSubjInt, fld: f}
+	case isStr:
+		in = xInstr{op: xObjStr, fld: f}
+	default:
+		in = xInstr{op: xObjInt, fld: f}
+	}
+	if subj {
+		c.usedSubj = true
+	} else {
+		c.usedObj = true
+	}
+	c.emit(in, 1)
+	return true
+}
+
+// eventAttr compiles an event-attribute load off the alias.
+func (c *compiler) eventAttr(attr string) bool {
+	f, _, ok := resolveEventAttr(attr)
+	if !ok {
+		return false
+	}
+	switch f {
+	case fldAmount:
+		c.emit(xInstr{op: xEvtFloat, fld: f}, 1)
+	case fldAgent, fldOp:
+		c.emit(xInstr{op: xEvtStr, fld: f}, 1)
+	default: // time, id
+		c.emit(xInstr{op: xEvtInt, fld: f}, 1)
+	}
+	return true
+}
+
+// constEval evaluates statically constant subtrees with the interpreter's
+// exact semantics. isConst=false means the subtree reads runtime state; an
+// error with isConst=true means the interpreter would raise that error on
+// every evaluation (the caller then declines to compile).
+func constEval(e ast.Expr) (v value.Value, isConst bool, err error) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return x.Val, true, nil
+
+	case *ast.UnaryExpr:
+		xv, xc, xerr := constEval(x.X)
+		if !xc {
+			return value.Null, false, nil
+		}
+		if xerr != nil {
+			return value.Null, true, xerr
+		}
+		switch x.Op {
+		case '!':
+			b, ok := xv.AsBool()
+			if !ok {
+				return value.Null, true, errNotBool(xv.Kind())
+			}
+			return value.Bool(!b), true, nil
+		case '-':
+			if xv.IsNull() {
+				return value.Null, true, nil
+			}
+			nv, err := xv.Neg()
+			return nv, true, err
+		default:
+			return value.Null, true, fmt.Errorf("expr: unknown unary operator %q", string(x.Op))
+		}
+
+	case *ast.CardExpr:
+		xv, xc, xerr := constEval(x.X)
+		if !xc {
+			return value.Null, false, nil
+		}
+		if xerr != nil {
+			return value.Null, true, xerr
+		}
+		nv, err := card(xv)
+		return nv, true, err
+
+	case *ast.BinaryExpr:
+		return constBinary(x)
+	}
+	return value.Null, false, nil
+}
+
+func constBinary(x *ast.BinaryExpr) (v value.Value, isConst bool, err error) {
+	if x.Op == ast.OpAnd || x.Op == ast.OpOr {
+		lv, lc, lerr := constEval(x.Left)
+		if !lc {
+			return value.Null, false, nil
+		}
+		if lerr != nil {
+			return value.Null, true, lerr
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return value.Null, true, errBoolOperand(x.Op.String(), lv.Kind())
+		}
+		// Short-circuit decides without the right side — exactly like the
+		// interpreter, which never evaluates it (so a non-constant or even
+		// erroneous right side does not matter here).
+		if x.Op == ast.OpAnd && !lb {
+			return value.Bool(false), true, nil
+		}
+		if x.Op == ast.OpOr && lb {
+			return value.Bool(true), true, nil
+		}
+		rv, rc, rerr := constEval(x.Right)
+		if !rc {
+			return value.Null, false, nil
+		}
+		if rerr != nil {
+			return value.Null, true, rerr
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return value.Null, true, errBoolOperand(x.Op.String(), rv.Kind())
+		}
+		return value.Bool(rb), true, nil
+	}
+
+	lv, lc, lerr := constEval(x.Left)
+	if !lc {
+		return value.Null, false, nil
+	}
+	if lerr != nil {
+		return value.Null, true, lerr
+	}
+	rv, rc, rerr := constEval(x.Right)
+	if !rc {
+		return value.Null, false, nil
+	}
+	if rerr != nil {
+		return value.Null, true, rerr
+	}
+
+	switch x.Op {
+	case ast.OpEq, ast.OpNe:
+		eq := expr.EqualValues(lv, rv)
+		if x.Op == ast.OpNe {
+			eq = !eq
+		}
+		return value.Bool(eq), true, nil
+
+	case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		if lv.IsNull() || rv.IsNull() {
+			return value.Bool(false), true, nil
+		}
+		c, err := lv.Compare(rv)
+		if err != nil {
+			return value.Null, true, err
+		}
+		var b bool
+		switch x.Op {
+		case ast.OpLt:
+			b = c < 0
+		case ast.OpLe:
+			b = c <= 0
+		case ast.OpGt:
+			b = c > 0
+		default:
+			b = c >= 0
+		}
+		return value.Bool(b), true, nil
+
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv, ast.OpMod:
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null, true, nil
+		}
+		var op byte
+		switch x.Op {
+		case ast.OpAdd:
+			op = '+'
+		case ast.OpSub:
+			op = '-'
+		case ast.OpMul:
+			op = '*'
+		case ast.OpDiv:
+			op = '/'
+		default:
+			op = '%'
+		}
+		nv, err := lv.Arith(op, rv)
+		return nv, true, err
+	}
+	// Set operators / 'in' never fold (the compiler bails on them anyway).
+	return value.Null, false, nil
+}

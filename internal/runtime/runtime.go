@@ -515,11 +515,12 @@ func (r *Runtime) worker(s *shard) {
 		}
 		if env.hits == nil {
 			// Pre-evaluation bypassed (single shard): run the full
-			// scheduler here, exactly like the serial engine.
-			for _, ev := range env.evs {
-				if alerts := s.sched.Process(ev); len(alerts) > 0 {
-					r.cfg.Fan.Publish(alerts)
-				}
+			// scheduler here, batch-columnar over the shard's own compiled
+			// queries — the same programs and evaluation order the pre-eval
+			// stage would use, with no second compile and no divergence onto
+			// the per-event interpreter path.
+			if alerts := s.sched.ProcessBatch(env.evs); len(alerts) > 0 {
+				r.cfg.Fan.Publish(alerts)
 			}
 			continue
 		}

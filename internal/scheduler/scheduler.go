@@ -12,6 +12,7 @@ package scheduler
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -420,24 +421,181 @@ func (s *Scheduler) Evaluate(ev *event.Event) *HitSet {
 // pre-evaluation stage costs O(1) allocations per batch rather than per
 // event — it sits on the router's hot path in front of every shard.
 //
-//saql:hotpath
+// Evaluation runs in pattern-major (columnar) order: each group's master
+// sweeps its compiled patterns across the whole batch before the next group
+// runs (see evaluateBatchLocked), rather than re-touching every group's
+// programs once per event.
 func (s *Scheduler) EvaluateBatch(evs []*event.Event) []*HitSet {
-	out := make([]*HitSet, len(evs))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var slab []HitSet
-	var arena [][]int
+	s.stats.Events += int64(len(evs))
+	return s.evaluateBatchLocked(evs)
+}
+
+// ProcessBatch is the serial (single-shard) counterpart of the pre-eval +
+// ProcessWithHits split: it evaluates the whole batch in the same columnar
+// order as EvaluateBatch — reusing this scheduler's own compiled programs —
+// then folds each event into query state in stream order. Alert-for-alert
+// and counter-for-counter it equals calling Process once per event: pattern
+// evaluation is stateless, and pause flags only flip under the scheduler
+// lock, which is held for the whole batch.
+func (s *Scheduler) ProcessBatch(evs []*event.Event) []*engine.Alert {
+	if len(evs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events += int64(len(evs))
+	hsets := s.evaluateBatchLocked(evs)
+	var alerts []*engine.Alert
 	for i, ev := range evs {
-		s.stats.Events++
-		h := s.evaluateLocked(ev, &arena, len(evs)-i)
-		if h == nil {
+		var layout *Layout
+		var hits [][]int
+		if hsets[i] != nil {
+			layout = hsets[i].Layout
+			hits = hsets[i].Hits
+		}
+		alerts = append(alerts, s.ingestLocked(ev, layout, hits)...)
+	}
+	return alerts
+}
+
+// evaluateBatchLocked is the columnar core of EvaluateBatch/ProcessBatch.
+// For each group, the master's patterns sweep the entire batch first
+// (engine.MatchBatch writes per-event hit bitmasks, materialised into
+// arena-carved index slices), then each dependent refines the master's hits
+// across the batch. The hit sets, slot tables, and HitSet headers for the
+// whole batch come from three slab allocations. Counters are maintained
+// exactly as the event-major loop did — per-group constants multiplied by
+// the batch length, residual evaluations counted as they happen — so stats
+// are bit-identical to processing the batch event by event. The caller
+// holds s.mu and has already counted Events.
+//
+//saql:hotpath
+func (s *Scheduler) evaluateBatchLocked(evs []*event.Event) []*HitSet {
+	n := len(evs)
+	if n == 0 {
+		return nil
+	}
+	s.resolveSlotsLocked(s.layout)
+	nSlots := 0
+	if s.layout != nil {
+		nSlots = len(s.layout.Slots)
+	}
+	out := make([]*HitSet, n)
+	var slab []HitSet   // one header per event with hits, carved on demand
+	var tblArena [][]int // per-event slot tables
+	put := func(i, slot int, h []int) {
+		if len(h) == 0 || slot < 0 {
+			return
+		}
+		if out[i] == nil {
+			if slab == nil {
+				slab = make([]HitSet, 0, n)
+				tblArena = make([][]int, n*nSlots)
+			}
+			tbl := tblArena[:nSlots:nSlots]
+			tblArena = tblArena[nSlots:]
+			slab = append(slab, HitSet{Layout: s.layout, Hits: tbl})
+			out[i] = &slab[len(slab)-1]
+		}
+		out[i].Hits[slot] = h
+	}
+
+	masterHits := make([][]int, n) // this group's master hits per event
+	var masks []uint64             // per-event pattern bitmasks (≤64 patterns)
+	var globalOK []bool
+
+	for _, g := range s.groups {
+		masterActive := !g.master.Paused()
+		active := 0
+		if masterActive {
+			active++
+		}
+		for _, d := range g.dependents {
+			if !d.q.Paused() {
+				active++
+			}
+		}
+		if active == 0 {
 			continue
 		}
-		if slab == nil {
-			slab = make([]HitSet, 0, len(evs)-i)
+		// Per-event counter bumps fold into one multiplication: the flags
+		// they depend on cannot change while the lock is held.
+		s.stats.StreamCopies += int64(n)
+		s.stats.NaiveCopies += int64(active) * int64(n)
+		nPat := len(g.master.Patterns())
+		s.stats.PatternEvals += int64(nPat) * int64(n)
+		if masterActive {
+			s.stats.NaivePatternEvals += int64(nPat) * int64(n)
 		}
-		slab = append(slab, HitSet{Layout: s.layout, Hits: h})
-		out[i] = &slab[len(slab)-1]
+
+		if nPat <= 64 {
+			// Columnar sweep: one pattern across all events before the next.
+			if masks == nil {
+				masks = make([]uint64, n)
+				globalOK = make([]bool, n)
+			} else {
+				for i := range masks {
+					masks[i] = 0
+				}
+			}
+			g.master.MatchBatch(evs, masks, globalOK)
+			total := 0
+			for _, m := range masks {
+				total += bits.OnesCount64(m)
+			}
+			var buf []int
+			if total > 0 {
+				buf = make([]int, 0, total)
+			}
+			for i, m := range masks {
+				if m == 0 {
+					masterHits[i] = nil
+					continue
+				}
+				start := len(buf)
+				for m != 0 {
+					buf = append(buf, bits.TrailingZeros64(m))
+					m &= m - 1
+				}
+				mh := buf[start:len(buf):len(buf)]
+				masterHits[i] = mh
+				put(i, g.slot, mh)
+			}
+		} else {
+			for i, ev := range evs {
+				mh := g.master.Hits(ev)
+				masterHits[i] = mh
+				put(i, g.slot, mh)
+			}
+		}
+
+		for _, d := range g.dependents {
+			if d.q.Paused() {
+				continue
+			}
+			s.stats.NaivePatternEvals += int64(len(d.q.Patterns())) * int64(n)
+			if d.equal {
+				// Equal constraint sets: the master's hits are exactly this
+				// dependent's, no residual re-examination needed.
+				for i, mh := range masterHits {
+					if len(mh) == 0 {
+						continue
+					}
+					put(i, d.slot, mh)
+				}
+				continue
+			}
+			for i, mh := range masterHits {
+				if len(mh) == 0 {
+					continue
+				}
+				dh, evals := d.q.ResidualHits(evs[i], mh)
+				s.stats.PatternEvals += int64(evals)
+				put(i, d.slot, dh)
+			}
+		}
 	}
 	return out
 }

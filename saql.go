@@ -12,11 +12,13 @@ import (
 	"saql/internal/engine"
 	"saql/internal/event"
 	"saql/internal/parser"
+	"saql/internal/pcode"
 	"saql/internal/runtime"
 	"saql/internal/scheduler"
 	"saql/internal/sema"
 	"saql/internal/source"
 	"saql/internal/storage"
+	"saql/internal/symtab"
 )
 
 // Alert is a detection raised by a query (re-exported engine type).
@@ -90,6 +92,17 @@ type Stats struct {
 	NaivePatternEvals int64
 	// Dropped counts events discarded by DropNewest ingest overflow.
 	Dropped int64
+
+	// Symbol-dictionary counters (the codec intern tables that stamp stable
+	// small-integer symbol IDs on hot string attributes at decode time, so
+	// compiled equality predicates compare integers instead of strings).
+	// Entries/Hits/Misses describe the process-wide dictionary; Fallbacks
+	// counts compiled string comparisons that could not use symbols and fell
+	// back to the full case-folding string path.
+	SymbolEntries   int
+	SymbolHits      int64
+	SymbolMisses    int64
+	SymbolFallbacks int64
 
 	// Ingestion-source counters, aggregated over every Source that has Run
 	// against this engine (see NewSource/OpenLogFile/ListenTCP).
@@ -717,6 +730,11 @@ func (e *Engine) Stats() Stats {
 			NaivePatternEvals: s.NaivePatternEvals,
 		}
 	}
+	sym := symtab.Snapshot()
+	out.SymbolEntries = sym.Entries
+	out.SymbolHits = sym.Hits
+	out.SymbolMisses = sym.Misses
+	out.SymbolFallbacks = pcode.StringFallbacks()
 	e.srcMu.Lock()
 	out.Sources = len(e.ingests)
 	for _, src := range e.ingests {
