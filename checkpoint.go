@@ -178,6 +178,35 @@ func (e *Engine) captureSnapshot() (*snapshot.Snapshot, error) {
 			States:  states[name],
 		})
 	}
+
+	// Tenant control-plane metadata rides the same cut: quotas plus the
+	// budget/throttle counters, so a restored engine keeps enforcing a
+	// mid-window alert budget instead of granting a fresh one. (Lock order:
+	// e.mu, then e.tenMu — same as everywhere else.)
+	e.tenMu.Lock()
+	tenNames := make([]string, 0, len(e.tenants))
+	for name := range e.tenants {
+		tenNames = append(tenNames, name)
+	}
+	sort.Strings(tenNames)
+	for _, name := range tenNames {
+		ts := e.tenants[name]
+		snap.Tenants = append(snap.Tenants, snapshot.Tenant{
+			Name:          name,
+			MaxQueries:    ts.quotas.MaxQueries,
+			MaxStateBytes: ts.quotas.MaxStateBytes,
+			AlertBudget:   ts.quotas.AlertBudget,
+			AlertWindow:   ts.quotas.AlertWindow,
+			IngestRate:    ts.quotas.IngestRate,
+			WinStart:      ts.winStart,
+			WinCount:      ts.winCount,
+			Delivered:     ts.delivered,
+			Suppressed:    ts.suppressed,
+			SrcEvents:     ts.srcEvents,
+			Throttled:     ts.throttled,
+		})
+	}
+	e.tenMu.Unlock()
 	return snap, nil
 }
 
@@ -331,6 +360,10 @@ func Restore(dir string, opts ...RestoreOption) (*Engine, *RestoreInfo, error) {
 	// surfaced, never ignored.
 	eng.mu.Lock()
 	for _, qs := range snap.Queries {
+		// The snapshot codec never persists the per-engine fallback sink (a
+		// pointer); stamp the restoring engine's own counter so restored
+		// queries attribute string fallbacks to it.
+		qs.Compile.Fallbacks = &eng.fallbacks
 		q, err := engine.Compile(qs.Name, qs.Src, qs.Compile)
 		if err != nil {
 			eng.mu.Unlock()
@@ -346,6 +379,28 @@ func Restore(dir string, opts ...RestoreOption) (*Engine, *RestoreInfo, error) {
 		}
 	}
 	eng.mu.Unlock()
+
+	// Reinstall tenant quotas and accounting before any event flows, so the
+	// tail replay enforces the same mid-window budgets the capturing engine
+	// was enforcing.
+	eng.tenMu.Lock()
+	for _, t := range snap.Tenants {
+		ts := eng.tenantLocked(t.Name)
+		ts.quotas = TenantQuotas{
+			MaxQueries:    t.MaxQueries,
+			MaxStateBytes: t.MaxStateBytes,
+			AlertBudget:   t.AlertBudget,
+			AlertWindow:   t.AlertWindow,
+			IngestRate:    t.IngestRate,
+		}
+		ts.winStart = t.WinStart
+		ts.winCount = t.WinCount
+		ts.delivered = t.Delivered
+		ts.suppressed = t.Suppressed
+		ts.srcEvents = t.SrcEvents
+		ts.throttled = t.Throttled
+	}
+	eng.tenMu.Unlock()
 
 	// Fold the captured state back in at a pre-stream barrier.
 	if cfg.start {

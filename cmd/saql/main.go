@@ -49,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -59,6 +61,7 @@ import (
 	"time"
 
 	"saql"
+	"saql/internal/admin"
 )
 
 type multiFlag []string
@@ -110,6 +113,8 @@ func run(args []string, out io.Writer) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "durable state directory: journal every event there, restore from its snapshot on start, checkpoint into it")
 		ckptEvery   = fs.Duration("checkpoint-every", 0, "with -checkpoint-dir: also checkpoint periodically at this interval (0 = only at exit)")
 		cluster     = fs.String("cluster", "", "comma-separated saql-worker addresses: run as the cluster coordinator instead of a local engine")
+		adminAddr   = fs.String("admin-addr", "", "serve the admin API (saqlctl) on this address, e.g. 127.0.0.1:8471 (':0' picks a port)")
+		srcTenant   = fs.String("tenant", "", "attribute -input events to this tenant (enables its ingest-rate quota)")
 	)
 	fs.Var(&queryFiles, "q", "SAQL query file (repeatable)")
 	fs.Var(&inline, "e", "inline SAQL query text (repeatable)")
@@ -266,6 +271,21 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "registered %d queries in %d scheduler groups\n", eng.Stats().Queries, eng.Stats().QueryGroups)
 
+	// The admin API serves the saqlctl DSL (list/get/pause/resume/update/
+	// apply/quota) against this engine for the lifetime of the run.
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return err
+		}
+		adminSrv := &http.Server{Handler: admin.NewServer(eng).Handler()}
+		go func() { _ = adminSrv.Serve(ln) }()
+		defer adminSrv.Close()
+		outMu.Lock()
+		fmt.Fprintf(out, "admin API listening on %s\n", ln.Addr())
+		outMu.Unlock()
+	}
+
 	// A journal with no snapshot means the previous run died before its
 	// first checkpoint: rebuild state by replaying every orphaned record.
 	// The offset origin is pinned at 0 before Start (the replay itself
@@ -391,7 +411,7 @@ func run(args []string, out io.Writer) error {
 	var logStats saql.SourceStats
 	switch {
 	case *input != "":
-		src, err := openInput(*input, *format, *agent, *follow, *strictOrder, *batch)
+		src, err := openInput(*input, *format, *agent, *srcTenant, *follow, *strictOrder, *batch)
 		if err != nil {
 			return err
 		}
@@ -604,13 +624,16 @@ func loadQueryDir(dir string) (*saql.QuerySet, error) {
 
 // openInput builds the log source for -input: "-" reads stdin, a tcp://
 // address listens for connections, anything else opens a file.
-func openInput(input, format, agent string, follow, strictOrder bool, batch int) (*saql.Source, error) {
+func openInput(input, format, agent, tenant string, follow, strictOrder bool, batch int) (*saql.Source, error) {
 	opts := []saql.SourceOption{
 		saql.WithFormat(format),
 		saql.WithBatchSize(batch),
 	}
 	if agent != "" {
 		opts = append(opts, saql.WithSourceAgent(agent))
+	}
+	if tenant != "" {
+		opts = append(opts, saql.WithSourceTenant(tenant))
 	}
 	if strictOrder {
 		opts = append(opts, saql.WithStrictOrder())

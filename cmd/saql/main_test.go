@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"saql/internal/admin"
 )
 
 const samplePath = "../../examples/auditd-replay/sample.log"
@@ -212,6 +214,92 @@ func TestRunSIGHUPReApply(t *testing.T) {
 
 	// SIGTERM is the live-mode shutdown path: the run must flush and exit
 	// cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM:\n%s", out.String())
+	}
+}
+
+// The admin control plane end to end: run tails a live input with
+// -admin-addr, the admin DSL lists the registered queries over HTTP, an
+// unconfirmed mutation is refused, a confirmed pause/resume round-trips,
+// and SIGTERM still shuts the whole process down cleanly with the admin
+// listener attached.
+func TestRunAdminAPI(t *testing.T) {
+	dir := t.TempDir()
+	writeRule(t, dir, "big-write.saql", plainRule)
+	writeRule(t, dir, "pack.saql", setRules)
+	logf := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := os.WriteFile(logf, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-queries", dir, "-input", logf, "-follow", "-quiet",
+			"-admin-addr", "127.0.0.1:0",
+		}, out)
+	}()
+	waitFor := func(substr string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !strings.Contains(out.String(), substr) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %q in output:\n%s", substr, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return out.String()
+	}
+	got := waitFor("admin API listening on ")
+	_, rest, _ := strings.Cut(got, "admin API listening on ")
+	addr := strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+
+	resp, err := admin.Query(addr, `list(queries){id tenant paused}`, false, nil)
+	if err != nil {
+		t.Fatalf("list(queries): %v", err)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("listed %d queries, want 3: %+v", len(resp.Items), resp.Items)
+	}
+	if id := resp.Items[0]["id"]; id != "big-write" {
+		t.Errorf("first query = %v, want big-write (sorted)", id)
+	}
+
+	// Mutations without confirm are refused and change nothing.
+	if _, err := admin.Query(addr, `pause(dir-sum)`, false, nil); err == nil ||
+		!strings.Contains(err.Error(), "confirm") {
+		t.Fatalf("unconfirmed pause error = %v, want confirm refusal", err)
+	}
+	if _, err := admin.Query(addr, `pause(dir-sum)`, true, nil); err != nil {
+		t.Fatalf("confirmed pause: %v", err)
+	}
+	resp, err = admin.Query(addr, `get(dir-sum){id paused}`, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused, _ := resp.Item["paused"].(bool); !paused {
+		t.Errorf("pause did not stick: %+v", resp.Item)
+	}
+	if _, err := admin.Query(addr, `resume(dir-sum)`, true, nil); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	resp, err = admin.Query(addr, `get(dir-sum){paused}`, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused, _ := resp.Item["paused"].(bool); paused {
+		t.Errorf("resume did not stick: %+v", resp.Item)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+// Command saqlctl drives a running saql process's admin API (started with
+// saql -admin-addr) through the compact admin query DSL: one call per
+// invocation, rendered as an aligned table or raw JSON.
+//
+// Reads:
+//
+//	saqlctl -addr 127.0.0.1:8471 q 'list(queries){id tenant paused alerts_1h}'
+//	saqlctl -addr 127.0.0.1:8471 q 'list(tenants)'
+//	saqlctl -addr 127.0.0.1:8471 q 'get(acme/exfil-volume)'
+//
+// Mutations change live engine state and therefore require -confirm — the
+// server refuses them otherwise (HTTP 409), so an agent driving this tool
+// must explicitly acknowledge the side effect:
+//
+//	saqlctl -addr ... -confirm q 'pause(acme/exfil-volume)'
+//	saqlctl -addr ... -confirm q 'quota(acme, alert_budget=100, alert_window=30m)'
+//	saqlctl -addr ... -confirm -f rules.saqlset q 'apply()'
+//	saqlctl -addr ... -confirm -f new.saql q 'update(acme/exfil-volume)'
+//
+// The -f flag supplies the request body (new query source for update, a
+// queryset document for apply); "-" reads it from stdin.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"saql/internal/admin"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saqlctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("saqlctl", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8471", "admin API address of the saql process (-admin-addr)")
+		confirm = fs.Bool("confirm", false, "acknowledge a mutating call (pause/resume/update/apply/quota)")
+		output  = fs.String("o", "table", "output format: table or json")
+		file    = fs.String("f", "", "request body file for update/apply ('-' = stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 || rest[0] != "q" {
+		return fmt.Errorf("usage: saqlctl [-addr HOST:PORT] [-confirm] [-o table|json] [-f FILE] q '<call>'")
+	}
+	dsl := rest[1]
+	call, err := admin.Parse(dsl)
+	if err != nil {
+		return err
+	}
+
+	var body io.Reader
+	if *file != "" {
+		var data []byte
+		if *file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+
+	resp, err := admin.Query(*addr, dsl, *confirm, body)
+	if err != nil {
+		return err
+	}
+	switch *output {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		return enc.Encode(resp)
+	case "table":
+		admin.RenderTable(out, resp, admin.FieldsFor(call))
+		return nil
+	default:
+		return fmt.Errorf("unknown output format %q (want table or json)", *output)
+	}
+}

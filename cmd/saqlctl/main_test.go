@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"saql"
+	"saql/internal/admin"
+)
+
+func startAdmin(t *testing.T) (*saql.Engine, string) {
+	t.Helper()
+	eng := saql.New()
+	t.Cleanup(func() { eng.Close() })
+	for _, name := range []string{"acme/exfil", "solo"} {
+		if _, err := eng.Register(name, `proc p read file f return p`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(admin.NewServer(eng).Handler())
+	t.Cleanup(srv.Close)
+	return eng, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestCtlList(t *testing.T) {
+	_, addr := startAdmin(t)
+	var sb strings.Builder
+	err := run([]string{"-addr", addr, "q", `list(queries){id tenant paused}`}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ID", "TENANT", "acme/exfil", "solo", "default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCtlJSON(t *testing.T) {
+	_, addr := startAdmin(t)
+	var sb strings.Builder
+	if err := run([]string{"-addr", addr, "-o", "json", "q", `list(tenants){name queries}`}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"name": "acme"`) {
+		t.Errorf("json output:\n%s", sb.String())
+	}
+}
+
+func TestCtlMutationNeedsConfirm(t *testing.T) {
+	eng, addr := startAdmin(t)
+	var sb strings.Builder
+	err := run([]string{"-addr", addr, "q", `pause(acme/exfil)`}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "confirm") {
+		t.Fatalf("unconfirmed pause error = %v", err)
+	}
+	if h, _ := eng.Query("acme/exfil"); h.Paused() {
+		t.Fatal("unconfirmed pause took effect")
+	}
+	if err := run([]string{"-addr", addr, "-confirm", "q", `pause(acme/exfil)`}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := eng.Query("acme/exfil"); !h.Paused() {
+		t.Fatal("confirmed pause did not take effect")
+	}
+}
+
+func TestCtlUsage(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"list(queries)"}, &sb); err == nil || !strings.Contains(err.Error(), "usage:") {
+		t.Errorf("bad usage error = %v", err)
+	}
+}

@@ -12,8 +12,8 @@ import (
 	"saql/internal/parser"
 )
 
-// saqlBlocks extracts the ```saql fenced code blocks from markdown.
-func saqlBlocks(t *testing.T, path string) []string {
+// fencedBlocks extracts the ```<lang> fenced code blocks from markdown.
+func fencedBlocks(t *testing.T, path, lang string) []string {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -24,7 +24,7 @@ func saqlBlocks(t *testing.T, path string) []string {
 	in := false
 	for _, line := range strings.Split(string(data), "\n") {
 		switch {
-		case !in && strings.TrimSpace(line) == "```saql":
+		case !in && strings.TrimSpace(line) == "```"+lang:
 			in = true
 			cur = cur[:0]
 		case in && strings.TrimSpace(line) == "```":
@@ -35,9 +35,15 @@ func saqlBlocks(t *testing.T, path string) []string {
 		}
 	}
 	if in {
-		t.Fatalf("%s: unterminated ```saql block", path)
+		t.Fatalf("%s: unterminated ```%s block", path, lang)
 	}
 	return blocks
+}
+
+// saqlBlocks extracts the ```saql fenced code blocks from markdown.
+func saqlBlocks(t *testing.T, path string) []string {
+	t.Helper()
+	return fencedBlocks(t, path, "saql")
 }
 
 func TestLanguageDocSnippetsValidate(t *testing.T) {
@@ -87,7 +93,7 @@ func TestQueriesDocSnippetsValidate(t *testing.T) {
 }
 
 func TestDocsExist(t *testing.T) {
-	for _, path := range []string{"README.md", "docs/language.md", "docs/architecture.md", "docs/queries.md"} {
+	for _, path := range []string{"README.md", "docs/language.md", "docs/architecture.md", "docs/queries.md", "docs/admin.md"} {
 		st, err := os.Stat(path)
 		if err != nil {
 			t.Fatalf("%s missing: %v", path, err)

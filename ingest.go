@@ -2,8 +2,10 @@ package saql
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 
 	"saql/internal/codec"
 	"saql/internal/source"
@@ -23,6 +25,7 @@ type SourceStats = source.Stats
 // ListenTCP; drive it with Run.
 type Source struct {
 	inner *source.Source
+	ran   atomic.Bool // Run is one-shot: attach/detach must pair exactly once
 }
 
 // SourceOption configures a Source.
@@ -51,6 +54,13 @@ func WithBatchSize(n int) SourceOption {
 // ignore it.
 func WithFollow() SourceOption {
 	return func(c *source.Config) { c.Follow = true }
+}
+
+// WithSourceTenant attributes the source's events to the named tenant, so
+// the tenant's ingest-rate quota (TenantQuotas.IngestRate) applies to them
+// and they count into its TenantStats. An empty name means DefaultTenant.
+func WithSourceTenant(tenant string) SourceOption {
+	return func(c *source.Config) { c.Tenant = tenant }
 }
 
 // WithStrictOrder drops events that arrive too late to be reordered into
@@ -114,14 +124,41 @@ func ListenTCP(addr string, opts ...SourceOption) (*Source, error) {
 // Run streams the source into the engine until the input is exhausted (or
 // ctx is cancelled for follow/TCP sources). The engine must be running
 // (Start), since sources ingest through SubmitBatch. The source registers
-// itself with the engine, so its counters aggregate into Stats. Run returns
-// nil on a clean end of input and ctx.Err() on cancellation.
+// itself with the engine for the duration of the run, so its counters
+// aggregate into Stats; when Run returns the source is detached and its
+// final counters are folded into the engine's cumulative totals, so they
+// survive the detach. Run is one-shot: a second call fails. Run returns nil
+// on a clean end of input and ctx.Err() on cancellation.
 func (s *Source) Run(ctx context.Context, eng *Engine) error {
 	if _, err := eng.running(); err != nil {
 		return err
 	}
+	if !s.ran.CompareAndSwap(false, true) {
+		return fmt.Errorf("saql: source already run (sources are one-shot)")
+	}
 	eng.attachSource(s.inner)
-	return s.inner.Run(ctx, eng)
+	defer eng.detachSource(s.inner)
+	var dst source.Submitter = eng
+	if ten := s.inner.Tenant(); ten != "" {
+		dst = &tenantSubmitter{eng: eng, tenant: ten}
+	}
+	return s.inner.Run(ctx, dst)
+}
+
+// tenantSubmitter applies the owning tenant's ingest-rate quota in front of
+// SubmitBatch: over-rate events are dropped (and counted in
+// TenantStats.EventsThrottled) before they reach the engine.
+type tenantSubmitter struct {
+	eng    *Engine
+	tenant string
+}
+
+func (t *tenantSubmitter) SubmitBatch(evs []*Event) error {
+	kept := t.eng.admitEvents(t.tenant, evs)
+	if len(kept) == 0 {
+		return nil
+	}
+	return t.eng.SubmitBatch(kept)
 }
 
 // Stats snapshots the source's counters; safe while Run is in flight.

@@ -1,0 +1,150 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// FieldsFor reports the field order a call's result items render with: the
+// explicit {…} selection, or the verb's default set.
+func FieldsFor(c *Call) []string {
+	if c.Fields != nil {
+		return c.Fields
+	}
+	switch c.Verb {
+	case "list":
+		if c.Arg("", 0) == "tenants" {
+			return defaultTenantFields
+		}
+		return defaultQueryFields
+	case "get", "quota":
+		if c.Named["tenant"] != "" || c.Verb == "quota" {
+			return tenantFields
+		}
+		return queryFields
+	}
+	return nil
+}
+
+// Query sends one DSL call to the admin server at addr (host:port) and
+// decodes the response. Mutating verbs go over POST with confirm=1 when
+// confirm is true (and without it when false, so callers can surface the
+// server's refusal); body carries the request payload for update/apply.
+func Query(addr, dsl string, confirm bool, body io.Reader) (*Response, error) {
+	call, err := Parse(dsl)
+	if err != nil {
+		return nil, err
+	}
+	vals := url.Values{"q": {dsl}}
+	method := http.MethodGet
+	if IsMutation(call.Verb) {
+		method = http.MethodPost
+		if confirm {
+			vals.Set("confirm", "1")
+		}
+	}
+	u := fmt.Sprintf("http://%s/q?%s", addr, vals.Encode())
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("admin: bad response (%s): %w", httpResp.Status, err)
+	}
+	if resp.Error != "" {
+		return &resp, fmt.Errorf("admin: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// RenderTable writes the response's items as an aligned table with one
+// column per field. Single items (get) render as one row; mutation acks
+// render their report or item as key=value lines.
+func RenderTable(w io.Writer, resp *Response, fields []string) {
+	items := resp.Items
+	if items == nil && resp.Item != nil {
+		items = []map[string]any{resp.Item}
+	}
+	if items == nil {
+		if resp.Report != nil {
+			keys := make([]string, 0, len(resp.Report))
+			for k := range resp.Report {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s=%s\n", k, renderCell(resp.Report[k]))
+			}
+		} else if resp.OK {
+			fmt.Fprintln(w, "ok")
+		}
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.ToUpper(strings.Join(fields, "\t")))
+	for _, item := range items {
+		cells := make([]string, len(fields))
+		for i, f := range fields {
+			cells[i] = renderCell(item[f])
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	tw.Flush()
+	if resp.Next != "" {
+		fmt.Fprintf(w, "(more: after=%s)\n", resp.Next)
+	}
+}
+
+func renderCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "-"
+	case string:
+		if x == "" {
+			return "-"
+		}
+		return x
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%.2f", x)
+	case []any:
+		if len(x) == 0 {
+			return "-"
+		}
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = renderCell(e)
+		}
+		return strings.Join(parts, ",")
+	case map[string]any:
+		if len(x) == 0 {
+			return "-"
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + renderCell(x[k])
+		}
+		return strings.Join(parts, ",")
+	default:
+		return fmt.Sprint(x)
+	}
+}

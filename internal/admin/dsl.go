@@ -1,0 +1,194 @@
+// Package admin is the agent-facing control plane: a compact query DSL over
+// HTTP that exposes the engine's registry, tenants, and stats for listing
+// and mutation. It is deliberately outside the deterministic replay cone —
+// it observes and steers the engine but never sits on the event path.
+//
+// One request is one call:
+//
+//	list(queries){id tenant paused alerts_1h}
+//	list(tenants, limit=10, after=acme){name alerts suppressed degraded}
+//	get(query, id=acme/exfil)
+//	pause(acme/exfil)
+//	resume(acme/exfil)
+//	update(acme/exfil)            // new source text in the request body
+//	apply()                       // queryset document in the request body
+//	quota(acme, alert_budget=100, alert_window=30m)
+//
+// Reads go over GET /q?q=<call>; mutations over POST /q?q=<call>&confirm=1
+// (a mutation without confirm=1 is rejected with 409, so an agent must
+// explicitly acknowledge it is changing live state). The optional trailing
+// {field field ...} block selects which fields each result item carries.
+package admin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Call is one parsed DSL call.
+type Call struct {
+	Verb string
+	// Pos holds positional arguments in order; Named holds key=value
+	// arguments. `list(queries, limit=5)` has Pos=["queries"],
+	// Named={"limit":"5"}.
+	Pos   []string
+	Named map[string]string
+	// Fields is the {…} selection; nil means the verb's default set.
+	Fields []string
+}
+
+// Arg returns the named argument, or the positional argument at pos when the
+// name is absent, or "" when neither is present.
+func (c *Call) Arg(name string, pos int) string {
+	if v, ok := c.Named[name]; ok {
+		return v
+	}
+	if pos >= 0 && pos < len(c.Pos) {
+		return c.Pos[pos]
+	}
+	return ""
+}
+
+// IsMutation reports whether the verb changes engine state (and therefore
+// requires POST + confirm).
+func IsMutation(verb string) bool {
+	switch verb {
+	case "pause", "resume", "update", "apply", "quota":
+		return true
+	}
+	return false
+}
+
+// dsl tokens: atoms (identifiers, numbers, names with '/', '-', '.', '_'),
+// double-quoted strings, and the punctuation ( ) { } = ,
+type dslToken struct {
+	kind byte // 'a' atom, 's' string, or the punctuation byte itself
+	text string
+	off  int
+}
+
+func lexDSL(s string) ([]dslToken, error) {
+	var toks []dslToken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '{' || c == '}' || c == '=' || c == ',':
+			toks = append(toks, dslToken{kind: c, text: string(c), off: i})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("admin: unterminated string at offset %d", i)
+			}
+			toks = append(toks, dslToken{kind: 's', text: sb.String(), off: i})
+			i = j + 1
+		case isAtomByte(c):
+			j := i
+			for j < len(s) && isAtomByte(s[j]) {
+				j++
+			}
+			toks = append(toks, dslToken{kind: 'a', text: s[i:j], off: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("admin: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isAtomByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == '/' || c == ':' || c == '*'
+}
+
+// Parse parses one DSL call: verb '(' args? ')' ('{' fields '}')?
+func Parse(input string) (*Call, error) {
+	toks, err := lexDSL(input)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	peek := func() dslToken {
+		if i < len(toks) {
+			return toks[i]
+		}
+		return dslToken{kind: 0, text: "end of input", off: len(input)}
+	}
+	expect := func(kind byte, what string) (dslToken, error) {
+		t := peek()
+		if t.kind != kind {
+			return t, fmt.Errorf("admin: expected %s, found %q at offset %d", what, t.text, t.off)
+		}
+		i++
+		return t, nil
+	}
+
+	verb, err := expect('a', "a verb")
+	if err != nil {
+		return nil, err
+	}
+	c := &Call{Verb: strings.ToLower(verb.text), Named: map[string]string{}}
+	if _, err := expect('(', "'('"); err != nil {
+		return nil, err
+	}
+	for peek().kind != ')' {
+		t := peek()
+		if t.kind != 'a' && t.kind != 's' {
+			return nil, fmt.Errorf("admin: expected an argument, found %q at offset %d", t.text, t.off)
+		}
+		i++
+		if t.kind == 'a' && peek().kind == '=' {
+			i++
+			v := peek()
+			if v.kind != 'a' && v.kind != 's' {
+				return nil, fmt.Errorf("admin: expected a value for %s=, found %q at offset %d", t.text, v.text, v.off)
+			}
+			i++
+			key := strings.ToLower(t.text)
+			if _, dup := c.Named[key]; dup {
+				return nil, fmt.Errorf("admin: duplicate argument %q", key)
+			}
+			c.Named[key] = v.text
+		} else {
+			c.Pos = append(c.Pos, t.text)
+		}
+		if peek().kind == ',' {
+			i++
+		} else if peek().kind != ')' {
+			return nil, fmt.Errorf("admin: expected ',' or ')', found %q at offset %d", peek().text, peek().off)
+		}
+	}
+	i++ // ')'
+	if peek().kind == '{' {
+		i++
+		for peek().kind != '}' {
+			f, err := expect('a', "a field name")
+			if err != nil {
+				return nil, err
+			}
+			c.Fields = append(c.Fields, strings.ToLower(f.text))
+			if peek().kind == ',' { // commas between fields are optional
+				i++
+			}
+		}
+		i++ // '}'
+		if len(c.Fields) == 0 {
+			return nil, fmt.Errorf("admin: empty field selection {}")
+		}
+	}
+	if i != len(toks) {
+		return nil, fmt.Errorf("admin: trailing input after call: %q", toks[i].text)
+	}
+	return c, nil
+}

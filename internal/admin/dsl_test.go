@@ -1,0 +1,94 @@
+package admin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDSL(t *testing.T) {
+	c, err := Parse(`list(queries){id tenant paused alerts_1h}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Verb != "list" || len(c.Pos) != 1 || c.Pos[0] != "queries" {
+		t.Errorf("call = %+v", c)
+	}
+	want := []string{"id", "tenant", "paused", "alerts_1h"}
+	if len(c.Fields) != len(want) {
+		t.Fatalf("fields = %v, want %v", c.Fields, want)
+	}
+	for i, f := range want {
+		if c.Fields[i] != f {
+			t.Errorf("field %d = %q, want %q", i, c.Fields[i], f)
+		}
+	}
+
+	c, err = Parse(`list(tenants, limit=5, after=acme)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Named["limit"] != "5" || c.Named["after"] != "acme" {
+		t.Errorf("named = %v", c.Named)
+	}
+	if c.Fields != nil {
+		t.Errorf("fields = %v, want nil (defaults)", c.Fields)
+	}
+
+	c, err = Parse(`pause(acme/exfil-volume)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Arg("id", 0); got != "acme/exfil-volume" {
+		t.Errorf("target = %q", got)
+	}
+
+	c, err = Parse(`quota(acme, alert_budget=100, alert_window=30m)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Named["alert_budget"] != "100" || c.Named["alert_window"] != "30m" {
+		t.Errorf("named = %v", c.Named)
+	}
+
+	// Quoted strings carry arbitrary values.
+	c, err = Parse(`get("acme/odd name")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pos[0] != "acme/odd name" {
+		t.Errorf("pos = %v", c.Pos)
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	cases := []struct{ src, wantErr string }{
+		{``, "expected a verb"},
+		{`list`, "expected '('"},
+		{`list(queries`, "expected ',' or ')'"},
+		{`list(queries){}`, "empty field selection"},
+		{`list(queries) extra()`, "trailing input"},
+		{`list(queries, limit=)`, "expected a value"},
+		{`list(queries, limit=1, limit=2)`, "duplicate argument"},
+		{`get("unterminated)`, "unterminated string"},
+		{`list(qu#eries)`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestIsMutation(t *testing.T) {
+	for _, v := range []string{"pause", "resume", "update", "apply", "quota"} {
+		if !IsMutation(v) {
+			t.Errorf("%s should be a mutation", v)
+		}
+	}
+	for _, v := range []string{"list", "get"} {
+		if IsMutation(v) {
+			t.Errorf("%s should not be a mutation", v)
+		}
+	}
+}

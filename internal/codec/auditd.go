@@ -56,7 +56,7 @@ type auditdDecoder struct {
 }
 
 func newAuditdDecoder(opts Options) *auditdDecoder {
-	return &auditdDecoder{opts: opts, pending: map[string]*auditGroup{}}
+	return &auditdDecoder{opts: opts, tab: internTable{stats: opts.Intern}, pending: map[string]*auditGroup{}}
 }
 
 // auditGroup accumulates the records of one audit event ID.

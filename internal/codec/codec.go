@@ -31,6 +31,11 @@ type Options struct {
 	// host field (or whose host field is absent on a line). Empty uses the
 	// format's fallback (the format name itself).
 	DefaultAgent string
+	// Intern, when non-nil, receives this decoder's intern-table hit/miss/
+	// entry counts, so callers (one source, one engine) can report symbol
+	// statistics scoped to their own streams rather than the process-global
+	// dictionary totals.
+	Intern *InternStats
 }
 
 // Decoder consumes one raw log line at a time and emits zero or more

@@ -1,9 +1,22 @@
 package codec
 
 import (
+	"sync/atomic"
+
 	"saql/internal/event"
 	"saql/internal/symtab"
 )
+
+// InternStats counts one consumer's intern-table activity. The decoder
+// goroutine writes and any goroutine may read concurrently (engine stats
+// snapshots), hence the atomics. Hits and Misses mirror the process-global
+// symtab counters but are scoped to the streams that share this sink;
+// Entries counts distinct values cached across those streams.
+type InternStats struct {
+	Hits    atomic.Int64
+	Misses  atomic.Int64
+	Entries atomic.Int64
+}
 
 // internTable deduplicates the low-cardinality attribute strings a stream
 // repeats on nearly every line — executable names, agent/host IDs, user
@@ -26,7 +39,8 @@ import (
 // values have been cached, new ones pass through uncached (symbol-less)
 // while existing entries keep deduplicating.
 type internTable struct {
-	m map[string]internEntry
+	m     map[string]internEntry
+	stats *InternStats // optional per-consumer counters (nil: globals only)
 }
 
 // internEntry is one cached value: the canonical string plus its global
@@ -51,9 +65,15 @@ func (t *internTable) val(s string) (string, uint32) {
 	}
 	if e, ok := t.m[s]; ok {
 		symtab.RecordHit()
+		if t.stats != nil {
+			t.stats.Hits.Add(1)
+		}
 		return e.s, e.sym
 	}
 	symtab.RecordMiss()
+	if t.stats != nil {
+		t.stats.Misses.Add(1)
+	}
 	if len(t.m) >= internMaxEntries {
 		return s, 0
 	}
@@ -62,6 +82,9 @@ func (t *internTable) val(s string) (string, uint32) {
 	}
 	e := internEntry{s: s, sym: symtab.Intern(s)}
 	t.m[s] = e
+	if t.stats != nil {
+		t.stats.Entries.Add(1)
+	}
 	return e.s, e.sym
 }
 

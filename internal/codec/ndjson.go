@@ -29,7 +29,7 @@ import (
 )
 
 func init() {
-	Register("ndjson", func(opts Options) Decoder { return &ndjsonDecoder{opts: opts} })
+	Register("ndjson", func(opts Options) Decoder { return &ndjsonDecoder{opts: opts, tab: internTable{stats: opts.Intern}} })
 }
 
 type ndjsonDecoder struct {

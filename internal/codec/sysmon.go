@@ -33,7 +33,7 @@ import (
 )
 
 func init() {
-	Register("sysmon", func(opts Options) Decoder { return &sysmonDecoder{opts: opts} })
+	Register("sysmon", func(opts Options) Decoder { return &sysmonDecoder{opts: opts, tab: internTable{stats: opts.Intern}} })
 }
 
 type sysmonDecoder struct {

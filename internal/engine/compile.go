@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"saql/internal/ast"
@@ -35,6 +36,12 @@ type CompileOptions struct {
 	// baseline and the differential correctness suites; production paths
 	// leave it false.
 	Interpret bool
+	// Fallbacks, when non-nil, receives this query's string-fallback
+	// comparison counts instead of the process-wide pcode counter, so each
+	// engine attributes fallbacks to its own queries. Engine-internal
+	// plumbing: the snapshot codec serialises CompileOptions field by field
+	// and deliberately omits this pointer.
+	Fallbacks *atomic.Int64
 }
 
 func (o CompileOptions) withDefaults() CompileOptions {
@@ -63,11 +70,11 @@ type Query struct {
 	seq      *matcher.SeqMatcher // nil for stateful queries
 
 	// Stateful execution.
-	stateful   bool
-	winMgr     *window.Manager
-	fieldArgs  []ast.Expr // aggregation argument per state field
-	groupBy    []ast.Expr
-	fastKeys   []keyFn // per-pattern fast group-key extractor (may be nil)
+	stateful  bool
+	winMgr    *window.Manager
+	fieldArgs []ast.Expr // aggregation argument per state field
+	groupBy   []ast.Expr
+	fastKeys  []keyFn // per-pattern fast group-key extractor (may be nil)
 	// fastArgs[pattern][field] is the compiled aggregation-argument program
 	// for one pattern's bindings; a nil row means that pattern keeps the
 	// tree-walker for all fields (all-or-nothing per pattern). Only built
@@ -116,6 +123,7 @@ type QueryStats struct {
 	Alerts        int64
 	Suppressed    int64 // alerts dropped by `return distinct`
 	EvalErrors    int64
+	StateBytes    int64 // serialized live-state estimate (see Query.StateBytes)
 }
 
 // groupRuntime is the persistent per-group state across windows.
@@ -151,7 +159,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 		AST:     q,
 		Info:    info,
 		opts:    opts,
-		global:  matcher.CompileGlobalsWith(q.Globals, opts.Interpret),
+		global:  matcher.CompileGlobalsWith(q.Globals, opts.Interpret, opts.Fallbacks),
 		alerts:  q.Alerts,
 		returnC: q.Return,
 		now:     time.Now, //saql:wallclock injectable clock default; feeds Alert.Detected only, never evaluation
@@ -163,7 +171,7 @@ func CompileAST(name string, q *ast.Query, opts CompileOptions) (*Query, error) 
 
 	// Compile patterns.
 	for i, p := range q.Patterns {
-		cp, err := matcher.CompileWith(i, p, opts.Interpret)
+		cp, err := matcher.CompileWith(i, p, opts.Interpret, opts.Fallbacks)
 		if err != nil {
 			return nil, err
 		}
@@ -335,6 +343,19 @@ func (q *Query) Stateful() bool { return q.stateful }
 
 // GroupCount reports how many groups currently hold state (stateful queries).
 func (q *Query) GroupCount() int { return len(q.groups) }
+
+// StateBytes estimates the query's live state footprint as the length of its
+// serialized checkpoint state (EncodeState). It is an estimate — the codec's
+// framing is compact but not the in-memory layout — yet it moves with the
+// real state (partial matches, window history, distinct tables), which is
+// what quota enforcement needs. Returns 0 when encoding fails.
+func (q *Query) StateBytes() int64 {
+	blob, err := q.EncodeState()
+	if err != nil {
+		return 0
+	}
+	return int64(len(blob))
+}
 
 // SetClock overrides the wall clock used for Alert.Detected (tests and the
 // replayer's virtual time).

@@ -8,6 +8,7 @@ package matcher
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"saql/internal/ast"
@@ -95,10 +96,11 @@ type GlobalPred func(*event.Event) bool
 
 // CompileGlobalsWith compiles the query's global constraints, preferring a
 // pcode program over the interpreting closure unless interpret forces the
-// tree-walking path (the A/B baseline and differential tests).
-func CompileGlobalsWith(globals []*ast.Constraint, interpret bool) GlobalPred {
+// tree-walking path (the A/B baseline and differential tests). fb receives
+// string-fallback counts; nil selects the process-wide counter.
+func CompileGlobalsWith(globals []*ast.Constraint, interpret bool, fb *atomic.Int64) GlobalPred {
 	if !interpret && len(globals) > 0 {
-		if prog := pcode.CompileGlobals(globals); prog != nil {
+		if prog := pcode.CompileGlobals(globals, fb); prog != nil {
 			return prog.Match
 		}
 	}
@@ -180,8 +182,9 @@ func Compile(idx int, p *ast.EventPattern) (*Pattern, error) {
 // CompileWith compiles an AST event pattern, additionally attaching the
 // pcode fast path unless interpret is set. The interpreting closures are
 // always built too: they are the fallback for constraint shapes pcode
-// declines, and the reference path for differential testing.
-func CompileWith(idx int, p *ast.EventPattern, interpret bool) (*Pattern, error) {
+// declines, and the reference path for differential testing. fb receives
+// string-fallback counts; nil selects the process-wide counter.
+func CompileWith(idx int, p *ast.EventPattern, interpret bool, fb *atomic.Int64) (*Pattern, error) {
 	cp, err := Compile(idx, p)
 	if err != nil || interpret {
 		return cp, err
@@ -191,8 +194,8 @@ func CompileWith(idx int, p *ast.EventPattern, interpret bool) (*Pattern, error)
 		mask |= 1 << uint(o)
 	}
 	cp.opsMask = mask
-	cp.fastSubj = pcode.CompileEntity(p.Subject)
-	cp.fastObj = pcode.CompileEntity(p.Object)
+	cp.fastSubj = pcode.CompileEntity(p.Subject, fb)
+	cp.fastObj = pcode.CompileEntity(p.Object, fb)
 	return cp, nil
 }
 

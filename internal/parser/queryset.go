@@ -22,12 +22,29 @@ package parser
 // compiles. Parameters may be declared anywhere at top level (before or
 // after their uses); duplicate parameters, duplicate query names, and
 // references to undeclared parameters are document errors.
+//
+// Tenant blocks group queries into a namespace and declare its quotas:
+//
+//	tenant acme {
+//	  quota max_queries  = 10
+//	  quota alert_budget = 100 / 1 h
+//	  quota ingest_rate  = 5000
+//
+//	  query exfil-volume { ... }
+//	}
+//
+// A query declared inside `tenant acme` is named "acme/exfil-volume";
+// params declared inside a tenant block are document-global like top-level
+// ones. Quota keys are max_queries, max_state_kb, alert_budget (optionally
+// windowed with `/ N unit`, default one hour), and ingest_rate (events per
+// second of stream time).
 
 import (
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"saql/internal/ast"
 	"saql/internal/lexer"
@@ -54,10 +71,32 @@ type SetQuery struct {
 	Pos lexer.Pos
 }
 
+// SetQuotas are one tenant block's quota declarations. Zero values mean the
+// quota was not declared (unlimited).
+type SetQuotas struct {
+	MaxQueries  int64
+	MaxStateKB  int64
+	AlertBudget int64
+	// AlertWindow is the alert-budget window (0: the engine default, one
+	// hour). Only meaningful alongside AlertBudget.
+	AlertWindow time.Duration
+	IngestRate  int64
+}
+
+// SetTenant is one `tenant name { ... }` block: the namespace's quotas. The
+// block's queries land in QuerySetDoc.Queries under their qualified
+// "tenant/query" names.
+type SetTenant struct {
+	Name   string
+	Quotas SetQuotas
+	Pos    lexer.Pos
+}
+
 // QuerySetDoc is a parsed queryset document.
 type QuerySetDoc struct {
 	Params  []*SetParam
 	Queries []*SetQuery
+	Tenants []*SetTenant
 }
 
 // LooksLikeQuerySet reports whether src begins with a queryset declaration
@@ -79,6 +118,8 @@ func LooksLikeQuerySet(src string) bool {
 		return wordTok(toks[1])
 	case "param":
 		return toks[1].Type == lexer.IDENT && toks[2].Type == lexer.EQ
+	case "tenant":
+		return wordTok(toks[1])
 	}
 	return false
 }
@@ -113,6 +154,102 @@ func ParseQuerySetDoc(src string) (*QuerySetDoc, error) {
 		i++
 		return tok, nil
 	}
+	parseParam := func() error {
+		name, err := expectTok(lexer.IDENT, "parameter name")
+		if err != nil {
+			return err
+		}
+		if _, err := expectTok(lexer.EQ, "'='"); err != nil {
+			return err
+		}
+		raw, err := paramLiteral(toks, &i)
+		if err != nil {
+			return err
+		}
+		if _, dup := params[name.Text]; dup {
+			return &Error{Pos: name.Pos, Msg: fmt.Sprintf("duplicate parameter %q", name.Text)}
+		}
+		p := &SetParam{Name: name.Text, Raw: raw, Pos: name.Pos}
+		params[name.Text] = p
+		doc.Params = append(doc.Params, p)
+		return nil
+	}
+	parseQuery := func(prefix string) error {
+		name, err := parseSetName(toks, &i)
+		if err != nil {
+			return err
+		}
+		lb, err := expectTok(lexer.LBRACE, "'{' to open the query body")
+		if err != nil {
+			return err
+		}
+		from := i
+		depth := 1
+		for depth > 0 {
+			switch toks[i].Type {
+			case lexer.LBRACE:
+				depth++
+			case lexer.RBRACE:
+				depth--
+			case lexer.EOF:
+				return &Error{Pos: lb.Pos, Msg: fmt.Sprintf("query %q: unterminated body (missing '}')", name.Text)}
+			}
+			if depth > 0 {
+				i++
+			}
+		}
+		rb := toks[i]
+		i++
+		spans = append(spans, bodySpan{name: prefix + name.Text, pos: name.Pos, from: from, to: i - 1, lbrace: lb, rbrace: rb})
+		return nil
+	}
+	parseTenant := func() error {
+		nameTok, err := parseSetName(toks, &i)
+		if err != nil {
+			return &Error{Pos: toks[i].Pos, Msg: fmt.Sprintf("expected tenant name, found %s", toks[i])}
+		}
+		for _, t := range doc.Tenants {
+			if t.Name == nameTok.Text {
+				return &Error{Pos: nameTok.Pos, Msg: fmt.Sprintf("duplicate tenant %q", nameTok.Text)}
+			}
+		}
+		ten := &SetTenant{Name: nameTok.Text, Pos: nameTok.Pos}
+		if _, err := expectTok(lexer.LBRACE, "'{' to open the tenant block"); err != nil {
+			return err
+		}
+		for toks[i].Type != lexer.RBRACE {
+			if toks[i].Type == lexer.SEMI {
+				i++
+				continue
+			}
+			kw := toks[i]
+			if kw.Type == lexer.EOF || kw.Type != lexer.IDENT {
+				return &Error{Pos: kw.Pos, Msg: fmt.Sprintf("tenant %q: expected 'quota', 'param', or 'query' declaration, found %s", ten.Name, kw)}
+			}
+			switch strings.ToLower(kw.Text) {
+			case "quota":
+				i++
+				if err := parseQuota(toks, &i, ten); err != nil {
+					return err
+				}
+			case "param":
+				i++
+				if err := parseParam(); err != nil {
+					return err
+				}
+			case "query":
+				i++
+				if err := parseQuery(ten.Name + "/"); err != nil {
+					return err
+				}
+			default:
+				return &Error{Pos: kw.Pos, Msg: fmt.Sprintf("tenant %q: expected 'quota', 'param', or 'query' declaration, found %s", ten.Name, kw)}
+			}
+		}
+		i++ // consume '}'
+		doc.Tenants = append(doc.Tenants, ten)
+		return nil
+	}
 	for toks[i].Type != lexer.EOF {
 		if toks[i].Type == lexer.SEMI {
 			i++
@@ -120,60 +257,26 @@ func ParseQuerySetDoc(src string) (*QuerySetDoc, error) {
 		}
 		kw := toks[i]
 		if kw.Type != lexer.IDENT {
-			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param' or 'query' declaration, found %s", kw)}
+			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param', 'query', or 'tenant' declaration, found %s", kw)}
 		}
 		switch strings.ToLower(kw.Text) {
 		case "param":
 			i++
-			name, err := expectTok(lexer.IDENT, "parameter name")
-			if err != nil {
+			if err := parseParam(); err != nil {
 				return nil, err
 			}
-			if _, err := expectTok(lexer.EQ, "'='"); err != nil {
-				return nil, err
-			}
-			raw, err := paramLiteral(toks, &i)
-			if err != nil {
-				return nil, err
-			}
-			if _, dup := params[name.Text]; dup {
-				return nil, &Error{Pos: name.Pos, Msg: fmt.Sprintf("duplicate parameter %q", name.Text)}
-			}
-			p := &SetParam{Name: name.Text, Raw: raw, Pos: name.Pos}
-			params[name.Text] = p
-			doc.Params = append(doc.Params, p)
-
 		case "query":
 			i++
-			name, err := parseSetName(toks, &i)
-			if err != nil {
+			if err := parseQuery(""); err != nil {
 				return nil, err
 			}
-			lb, err := expectTok(lexer.LBRACE, "'{' to open the query body")
-			if err != nil {
-				return nil, err
-			}
-			from := i
-			depth := 1
-			for depth > 0 {
-				switch toks[i].Type {
-				case lexer.LBRACE:
-					depth++
-				case lexer.RBRACE:
-					depth--
-				case lexer.EOF:
-					return nil, &Error{Pos: lb.Pos, Msg: fmt.Sprintf("query %q: unterminated body (missing '}')", name.Text)}
-				}
-				if depth > 0 {
-					i++
-				}
-			}
-			rb := toks[i]
+		case "tenant":
 			i++
-			spans = append(spans, bodySpan{name: name.Text, pos: name.Pos, from: from, to: i - 1, lbrace: lb, rbrace: rb})
-
+			if err := parseTenant(); err != nil {
+				return nil, err
+			}
 		default:
-			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param' or 'query' declaration, found %s (a bare query cannot be mixed into a queryset document)", kw)}
+			return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("expected 'param', 'query', or 'tenant' declaration, found %s (a bare query cannot be mixed into a queryset document)", kw)}
 		}
 	}
 
@@ -210,6 +313,82 @@ func ParseQuerySetDoc(src string) (*QuerySetDoc, error) {
 		doc.Queries = append(doc.Queries, q)
 	}
 	return doc, nil
+}
+
+// parseQuota parses one `quota key = N` declaration (the keyword itself is
+// already consumed). alert_budget optionally takes a window: `= N / M unit`
+// with the same unit vocabulary as SAQL durations. Quota values must be
+// positive — zero would be indistinguishable from "not declared" (unlimited).
+func parseQuota(toks []lexer.Token, i *int, ten *SetTenant) error {
+	keyTok := toks[*i]
+	if keyTok.Type != lexer.IDENT {
+		return &Error{Pos: keyTok.Pos, Msg: fmt.Sprintf("expected quota key, found %s", keyTok)}
+	}
+	*i++
+	if toks[*i].Type != lexer.EQ {
+		return &Error{Pos: toks[*i].Pos, Msg: fmt.Sprintf("expected '=', found %s", toks[*i])}
+	}
+	*i++
+	numTok := toks[*i]
+	if numTok.Type != lexer.NUMBER {
+		return &Error{Pos: numTok.Pos, Msg: fmt.Sprintf("quota %s: expected a number, found %s", keyTok.Text, numTok)}
+	}
+	*i++
+	n := int64(numTok.Num)
+	if n < 1 || float64(n) != numTok.Num {
+		return &Error{Pos: numTok.Pos, Msg: fmt.Sprintf("quota %s: value must be a positive integer", keyTok.Text)}
+	}
+	key := strings.ToLower(keyTok.Text)
+	dst := map[string]*int64{
+		"max_queries":  &ten.Quotas.MaxQueries,
+		"max_state_kb": &ten.Quotas.MaxStateKB,
+		"alert_budget": &ten.Quotas.AlertBudget,
+		"ingest_rate":  &ten.Quotas.IngestRate,
+	}[key]
+	if dst == nil {
+		return &Error{Pos: keyTok.Pos, Msg: fmt.Sprintf("unknown quota key %q (want max_queries, max_state_kb, alert_budget, or ingest_rate)", keyTok.Text)}
+	}
+	if *dst != 0 {
+		return &Error{Pos: keyTok.Pos, Msg: fmt.Sprintf("tenant %q: duplicate quota %s", ten.Name, key)}
+	}
+	*dst = n
+	if toks[*i].Type == lexer.SLASH {
+		if key != "alert_budget" {
+			return &Error{Pos: toks[*i].Pos, Msg: fmt.Sprintf("quota %s does not take a window (only alert_budget does)", key)}
+		}
+		*i++
+		winNum := toks[*i]
+		if winNum.Type != lexer.NUMBER {
+			return &Error{Pos: winNum.Pos, Msg: fmt.Sprintf("alert_budget window: expected a number, found %s", winNum)}
+		}
+		*i++
+		unitTok := toks[*i]
+		if unitTok.Type != lexer.IDENT {
+			return &Error{Pos: unitTok.Pos, Msg: fmt.Sprintf("alert_budget window: expected a time unit, found %s", unitTok)}
+		}
+		*i++
+		var unit time.Duration
+		switch strings.ToLower(unitTok.Text) {
+		case "ms", "msec", "millisecond", "milliseconds":
+			unit = time.Millisecond
+		case "s", "sec", "secs", "second", "seconds":
+			unit = time.Second
+		case "min", "mins", "minute", "minutes", "m":
+			unit = time.Minute
+		case "h", "hr", "hrs", "hour", "hours":
+			unit = time.Hour
+		case "d", "day", "days":
+			unit = 24 * time.Hour
+		default:
+			return &Error{Pos: unitTok.Pos, Msg: fmt.Sprintf("unknown time unit %q", unitTok.Text)}
+		}
+		w := time.Duration(winNum.Num * float64(unit))
+		if w <= 0 {
+			return &Error{Pos: winNum.Pos, Msg: "alert_budget window must be positive"}
+		}
+		ten.Quotas.AlertWindow = w
+	}
+	return nil
 }
 
 // wordTok reports whether t is usable as a query-name segment: an

@@ -3,6 +3,7 @@ package parser
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 const sampleSet = `
@@ -68,6 +69,102 @@ func TestParseQuerySetDoc(t *testing.T) {
 	}
 }
 
+func TestParseQuerySetDocTenants(t *testing.T) {
+	doc, err := ParseQuerySetDoc(`
+param threshold = 10
+
+tenant acme {
+  quota max_queries  = 10
+  quota alert_budget = 100 / 30 min
+  quota ingest_rate  = 5000
+  quota max_state_kb = 64
+
+  query exfil-volume {
+    proc p write ip i as e #time(10 min)
+    state ss { amt := sum(e.amount) } group by p
+    alert ss.amt > $threshold
+    return p, ss.amt
+  }
+}
+
+tenant globex {
+  quota alert_budget = 7
+  query watch { proc p read file f return p }
+}
+
+query unscoped { proc p read file f return p }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(doc.Tenants))
+	}
+	acme := doc.Tenants[0]
+	if acme.Name != "acme" {
+		t.Errorf("tenant name = %q, want acme", acme.Name)
+	}
+	if acme.Quotas.MaxQueries != 10 || acme.Quotas.AlertBudget != 100 ||
+		acme.Quotas.IngestRate != 5000 || acme.Quotas.MaxStateKB != 64 {
+		t.Errorf("acme quotas = %+v", acme.Quotas)
+	}
+	if acme.Quotas.AlertWindow != 30*time.Minute {
+		t.Errorf("acme alert window = %v, want 30m", acme.Quotas.AlertWindow)
+	}
+	if w := doc.Tenants[1].Quotas.AlertWindow; w != 0 {
+		t.Errorf("globex alert window = %v, want 0 (engine default)", w)
+	}
+	names := make([]string, len(doc.Queries))
+	for i, q := range doc.Queries {
+		names[i] = q.Name
+	}
+	want := []string{"acme/exfil-volume", "globex/watch", "unscoped"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("query %q missing from %v", w, names)
+		}
+	}
+	// Params declared at top level substitute into tenant-scoped bodies.
+	for _, q := range doc.Queries {
+		if q.Name == "acme/exfil-volume" && !strings.Contains(q.Src, "ss.amt > 10") {
+			t.Errorf("param not substituted into tenant query:\n%s", q.Src)
+		}
+	}
+	if !LooksLikeQuerySet(`tenant acme { query q { proc p read file f return p } }`) {
+		t.Error("tenant-first document not recognised as queryset")
+	}
+}
+
+func TestParseQuerySetDocTenantErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"dup-tenant", `tenant a { } tenant a { }`, "duplicate tenant"},
+		{"dup-quota", `tenant a { quota max_queries = 1 quota max_queries = 2 }`, "duplicate quota"},
+		{"bad-key", `tenant a { quota max_elephants = 1 }`, "unknown quota key"},
+		{"zero-value", `tenant a { quota max_queries = 0 }`, "positive integer"},
+		{"window-on-wrong-key", `tenant a { quota ingest_rate = 5 / 1 h }`, "does not take a window"},
+		{"bad-unit", `tenant a { quota alert_budget = 5 / 1 fortnight }`, "unknown time unit"},
+		{"unterminated", `tenant a { quota max_queries = 1`, "expected 'quota', 'param', or 'query'"},
+		{"dup-in-tenant", `tenant a {
+  query q { proc p read file f return p }
+  query q { proc p read file f return p }
+}`, "duplicate query name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseQuerySetDoc(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestParseQuerySetDocErrors(t *testing.T) {
 	cases := []struct{ name, src, wantErr string }{
 		{"undeclared-param", `query q { proc p read file f return $oops }`, "undeclared parameter $oops"},
@@ -75,7 +172,7 @@ func TestParseQuerySetDocErrors(t *testing.T) {
 		{"dup-query", `query q { proc p read file f return p } query q { proc p read file f return p }`, "duplicate query name"},
 		{"unterminated", `query q { proc p read file f return p`, "unterminated body"},
 		{"bad-body", `query q { this is not saql }`, `query "q"`},
-		{"bare-query-mixed", "param a = 1\nproc p read file f return p", "expected 'param' or 'query'"},
+		{"bare-query-mixed", "param a = 1\nproc p read file f return p", "expected 'param', 'query', or 'tenant'"},
 		{"non-literal-param", `param a = (1 + 2)
 query q { proc p read file f return p }`, "must be a literal"},
 	}

@@ -144,7 +144,7 @@ func genEvent(r *rand.Rand, objType event.EntityType) *event.Event {
 func diffEntity(r *rand.Rand) error {
 	typ := pick(r, entityTypes)
 	p := genEntityPattern(r, typ, "x")
-	prog := pcode.CompileEntity(p)
+	prog := pcode.CompileEntity(p, nil)
 	if prog == nil {
 		return nil // shape outside the compiled subset: closure retained
 	}
@@ -173,7 +173,7 @@ func diffGlobals(r *rand.Rand) error {
 			Val:  genLiteral(r),
 		})
 	}
-	prog := pcode.CompileGlobals(cs)
+	prog := pcode.CompileGlobals(cs, nil)
 	if prog == nil {
 		return nil
 	}

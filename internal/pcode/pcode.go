@@ -38,11 +38,24 @@ import (
 // ASCII, or the allocating value.WildcardMatch otherwise). A high rate
 // relative to event volume means the stream's hot values are not reaching
 // the dictionary (programmatic submission, table overflow, non-ASCII data).
+// Programs compiled with an explicit sink (CompileEntity/CompileGlobals fb
+// argument) count there instead, so each engine attributes fallbacks to its
+// own queries; this process-wide counter is the default for standalone
+// compiles.
 var strFallbacks atomic.Int64
 
 // StringFallbacks reports the process-wide fallback-to-string comparison
-// count.
+// count (programs compiled without an explicit sink).
 func StringFallbacks() int64 { return strFallbacks.Load() }
+
+// sinkOrGlobal resolves a fallback sink: nil selects the process-wide
+// counter.
+func sinkOrGlobal(fb *atomic.Int64) *atomic.Int64 {
+	if fb == nil {
+		return &strFallbacks
+	}
+	return fb
+}
 
 // fld selects one directly-readable field of an entity or event.
 type fld uint8
@@ -190,12 +203,12 @@ func baseName(p string) string {
 type eOp uint8
 
 const (
-	eStrEq  eOp = iota // string equality (symbol fast path, fold fallback)
-	eStrNe             // negated eStrEq
-	eLike              // '%'-wildcard match
-	eNotLike           // negated eLike
-	eStrOrd            // ordered string comparison (case-sensitive, as value.Compare)
-	eNumCmp            // numeric comparison, all six operators
+	eStrEq   eOp = iota // string equality (symbol fast path, fold fallback)
+	eStrNe              // negated eStrEq
+	eLike               // '%'-wildcard match
+	eNotLike            // negated eLike
+	eStrOrd             // ordered string comparison (case-sensitive, as value.Compare)
+	eNumCmp             // numeric comparison, all six operators
 )
 
 // eInstr is one compiled constraint.
@@ -218,12 +231,15 @@ type EntityProg struct {
 	typ   event.EntityType
 	never bool
 	ins   []eInstr
+	fb    *atomic.Int64 // fallback counter (never nil)
 }
 
 // CompileEntity compiles an entity pattern's constraints, or returns nil for
 // shapes that must keep the interpreted closure (non-scalar constants).
-func CompileEntity(p *ast.EntityPattern) *EntityProg {
-	prog := &EntityProg{typ: p.Type}
+// String-compare fallbacks at Match time are counted into fb (nil selects
+// the process-wide counter), so engines can attribute fallbacks per query.
+func CompileEntity(p *ast.EntityPattern, fb *atomic.Int64) *EntityProg {
+	prog := &EntityProg{typ: p.Type, fb: sinkOrGlobal(fb)}
 	for _, c := range p.Constraints {
 		if prog.never {
 			break // already unsatisfiable; no need to compile the rest
@@ -325,10 +341,10 @@ func (p *EntityProg) Match(e *event.Entity) bool {
 				eq = gsym == in.sym
 			case in.fold && isASCII(got):
 				eq = foldEqASCII(in.low, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			default:
 				eq = value.WildcardMatch(in.raw, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			}
 			ok = eq == (in.op == eStrEq)
 		case eLike, eNotLike:
@@ -338,7 +354,7 @@ func (p *EntityProg) Match(e *event.Entity) bool {
 				m = likeFoldASCII(in.low, got)
 			} else {
 				m = value.WildcardMatch(in.raw, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			}
 			ok = m == (in.op == eLike)
 		case eStrOrd:
@@ -358,12 +374,14 @@ func (p *EntityProg) Match(e *event.Entity) bool {
 type EventProg struct {
 	never bool
 	ins   []eInstr
+	fb    *atomic.Int64 // fallback counter (never nil)
 }
 
 // CompileGlobals compiles a query's global constraints, or returns nil when
 // a constant kind is unsupported (caller keeps the interpreted closure).
-func CompileGlobals(globals []*ast.Constraint) *EventProg {
-	prog := &EventProg{}
+// fb receives string-fallback counts; nil selects the process-wide counter.
+func CompileGlobals(globals []*ast.Constraint, fb *atomic.Int64) *EventProg {
+	prog := &EventProg{fb: sinkOrGlobal(fb)}
 	for _, g := range globals {
 		if prog.never {
 			break
@@ -436,10 +454,10 @@ func (p *EventProg) Match(ev *event.Event) bool {
 				eq = gsym == in.sym
 			case in.fold && isASCII(got):
 				eq = foldEqASCII(in.low, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			default:
 				eq = value.WildcardMatch(in.raw, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			}
 			ok = eq == (in.op == eStrEq)
 		case eLike, eNotLike:
@@ -449,7 +467,7 @@ func (p *EventProg) Match(ev *event.Event) bool {
 				m = likeFoldASCII(in.low, got)
 			} else {
 				m = value.WildcardMatch(in.raw, got)
-				strFallbacks.Add(1)
+				p.fb.Add(1)
 			}
 			ok = m == (in.op == eLike)
 		case eStrOrd:

@@ -61,6 +61,12 @@ func (s *AlertSubscription) Ended() bool {
 type AlertFanout struct {
 	onAlert func(*engine.Alert)
 
+	// gate, when set, decides per alert whether it is delivered at all
+	// (callback, subscribers, delivered counter). The engine installs its
+	// tenant alert-budget check here before any publishing goroutine exists;
+	// the gate runs under pubMu, so it is serialised like the callback.
+	gate func(*engine.Alert) bool
+
 	// pubMu serialises Publish: the callback is never invoked concurrently
 	// and every subscriber observes alerts in one global order.
 	pubMu sync.Mutex
@@ -161,6 +167,9 @@ func (f *AlertFanout) Publish(alerts []*engine.Alert) {
 	f.mu.Unlock()
 
 	for _, a := range alerts {
+		if f.gate != nil && !f.gate(a) {
+			continue
+		}
 		f.delivered.Add(1)
 		if f.onAlert != nil {
 			f.onAlert(a)
@@ -185,6 +194,11 @@ func (f *AlertFanout) Publish(alerts []*engine.Alert) {
 		}
 	}
 }
+
+// SetGate installs the per-alert admission check (nil for none). It must be
+// set before the fan-out is first published to — the engine constructor —
+// since Publish reads the field without synchronisation.
+func (f *AlertFanout) SetGate(gate func(*engine.Alert) bool) { f.gate = gate }
 
 // Delivered reports how many alerts have been published.
 func (f *AlertFanout) Delivered() int64 { return f.delivered.Load() }

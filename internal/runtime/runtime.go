@@ -564,9 +564,11 @@ func (s *shard) apply(c *control, fan *AlertFanout) {
 		fan.Publish(res.alerts)
 	case ctlStats:
 		// Query stats are worker-confined; snapshotting them here is what
-		// makes Runtime.QueryStats race-free.
+		// makes Runtime.QueryStats race-free. StateBytes is computed at the
+		// same consistent point (it serialises the replica's live state).
 		for _, q := range s.queriesByName(c.name) {
 			res.stats = q.Stats()
+			res.stats.StateBytes = q.StateBytes()
 			res.found = true
 		}
 	case ctlCheckpoint:
@@ -871,7 +873,9 @@ func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
 		results = results[:0]
 		for i, q := range qi.replicas {
 			if q != nil {
-				results = append(results, ctlResult{shard: i, stats: q.Stats(), found: true})
+				st := q.Stats()
+				st.StateBytes = q.StateBytes()
+				results = append(results, ctlResult{shard: i, stats: st, found: true})
 			}
 		}
 	}
@@ -894,6 +898,7 @@ func (r *Runtime) QueryStats(name string) (engine.QueryStats, bool) {
 		out.Alerts += s.Alerts
 		out.Suppressed += s.Suppressed
 		out.EvalErrors += s.EvalErrors
+		out.StateBytes += s.StateBytes
 	}
 	if r.part != nil && found {
 		out.Events = offset - qi.addedAt

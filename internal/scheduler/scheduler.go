@@ -483,7 +483,7 @@ func (s *Scheduler) evaluateBatchLocked(evs []*event.Event) []*HitSet {
 		nSlots = len(s.layout.Slots)
 	}
 	out := make([]*HitSet, n)
-	var slab []HitSet   // one header per event with hits, carved on demand
+	var slab []HitSet    // one header per event with hits, carved on demand
 	var tblArena [][]int // per-event slot tables
 	put := func(i, slot int, h []int) {
 		if len(h) == 0 || slot < 0 {

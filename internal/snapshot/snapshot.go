@@ -41,9 +41,10 @@ const Magic = "SAQLSNAP"
 
 // Version is the current snapshot format version. Version 1 was the
 // pre-release prototype (single state blob per query, no per-shard framing);
-// it cannot be migrated to the barrier-consistent format and is rejected
-// with a *VersionError, as is any version newer than this build understands.
-const Version = 2
+// version 2 predates tenant metadata. Neither can be migrated to the current
+// layout and both are rejected with a *VersionError, as is any version newer
+// than this build understands.
+const Version = 3
 
 // FileName is the snapshot's name inside a checkpoint directory. Writes go
 // through a temp file and an atomic rename, so the name always refers to a
@@ -96,6 +97,34 @@ type Snapshot struct {
 	Shards int
 	// Queries is the registry at the barrier, sorted by name.
 	Queries []Query
+	// Tenants is the tenant control-plane metadata at the barrier, sorted by
+	// name: quotas plus the budget/throttle counters that must survive a
+	// restart so a restored engine keeps enforcing mid-window budgets. The
+	// per-query recent-alert rings are observability-only and not persisted.
+	Tenants []Tenant
+}
+
+// Tenant is one tenant's quotas and accounting counters at the barrier.
+type Tenant struct {
+	Name string
+
+	// Quotas (zero = unlimited).
+	MaxQueries    int64
+	MaxStateBytes int64
+	AlertBudget   int64
+	AlertWindow   time.Duration
+	IngestRate    int64
+
+	// Alert-budget window accounting (stream time). WinStart is zero when no
+	// window has opened yet.
+	WinStart time.Time
+	WinCount int64
+
+	// Cumulative counters.
+	Delivered  int64
+	Suppressed int64
+	SrcEvents  int64
+	Throttled  int64
 }
 
 // Query is one registered query's registry entry plus its captured state.
@@ -136,6 +165,27 @@ func Encode(s *Snapshot) []byte {
 		for _, blob := range q.States {
 			p = wire.AppendBytes(p, blob)
 		}
+	}
+	p = wire.AppendUvarint(p, uint64(len(s.Tenants)))
+	for _, t := range s.Tenants {
+		p = wire.AppendString(p, t.Name)
+		p = wire.AppendVarint(p, t.MaxQueries)
+		p = wire.AppendVarint(p, t.MaxStateBytes)
+		p = wire.AppendVarint(p, t.AlertBudget)
+		p = wire.AppendVarint(p, int64(t.AlertWindow))
+		p = wire.AppendVarint(p, t.IngestRate)
+		// A zero WinStart (no window opened yet) is encoded as 0, not the
+		// zero time's huge negative UnixNano.
+		var winNS int64
+		if !t.WinStart.IsZero() {
+			winNS = t.WinStart.UnixNano()
+		}
+		p = wire.AppendVarint(p, winNS)
+		p = wire.AppendVarint(p, t.WinCount)
+		p = wire.AppendVarint(p, t.Delivered)
+		p = wire.AppendVarint(p, t.Suppressed)
+		p = wire.AppendVarint(p, t.SrcEvents)
+		p = wire.AppendVarint(p, t.Throttled)
 	}
 
 	out := make([]byte, 0, len(Magic)+2+len(p)+16)
@@ -212,6 +262,26 @@ func Decode(data []byte) (*Snapshot, error) {
 			q.States = append(q.States, append([]byte(nil), blob...))
 		}
 		s.Queries = append(s.Queries, q)
+	}
+	nTenants := r.Count(12)
+	for i := 0; i < nTenants && r.Err() == nil; i++ {
+		t := Tenant{
+			Name:          r.String(),
+			MaxQueries:    r.Varint(),
+			MaxStateBytes: r.Varint(),
+			AlertBudget:   r.Varint(),
+			AlertWindow:   time.Duration(r.Varint()),
+			IngestRate:    r.Varint(),
+		}
+		if winNS := r.Varint(); winNS != 0 {
+			t.WinStart = time.Unix(0, winNS)
+		}
+		t.WinCount = r.Varint()
+		t.Delivered = r.Varint()
+		t.Suppressed = r.Varint()
+		t.SrcEvents = r.Varint()
+		t.Throttled = r.Varint()
+		s.Tenants = append(s.Tenants, t)
 	}
 	if r.Err() != nil {
 		return nil, corrupt("malformed payload", r.Err())

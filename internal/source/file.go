@@ -25,12 +25,12 @@ func FromFile(path string, cfg Config) (*Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	dec, err := cfg.newDecoder()
+	s := &Source{cfg: cfg, desc: "file:" + path}
+	dec, err := s.newDecoder()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	s := &Source{cfg: cfg, desc: "file:" + path}
 	s.run = func(ctx context.Context, b *batcher) error {
 		defer f.Close()
 		if !cfg.Follow {

@@ -69,6 +69,10 @@ type Config struct {
 	// OnError, when set, observes every per-line decode error. Decode
 	// errors never stop the source; they are counted and skipped.
 	OnError func(error)
+	// Tenant attributes this source's events to one tenant for quota
+	// accounting (saql.Engine ingest-rate budgets). Empty means the default
+	// tenant. The source itself does not interpret the value.
+	Tenant string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +94,26 @@ type Stats struct {
 	Late         int64 // events older than the watermark, submitted anyway
 	Dropped      int64 // events older than the watermark, dropped (StrictOrder)
 	Batches      int64 // batches submitted to the engine
+	// Symbol interning, scoped to this source's decoder (not the
+	// process-global dictionary).
+	SymbolHits    int64 // intern-table lookups served from the local table
+	SymbolMisses  int64 // first-sight values (global dictionary consulted)
+	SymbolEntries int64 // distinct values cached by this source's decoder
+}
+
+// Add folds o's counters into s, field by field. Engines use it to keep
+// cumulative totals across detached (finished) sources.
+func (s *Stats) Add(o Stats) {
+	s.Lines += o.Lines
+	s.Events += o.Events
+	s.DecodeErrors += o.DecodeErrors
+	s.Reordered += o.Reordered
+	s.Late += o.Late
+	s.Dropped += o.Dropped
+	s.Batches += o.Batches
+	s.SymbolHits += o.SymbolHits
+	s.SymbolMisses += o.SymbolMisses
+	s.SymbolEntries += o.SymbolEntries
 }
 
 // counters is the atomic backing store for Stats.
@@ -116,6 +140,7 @@ func (c *counters) snapshot() Stats {
 type Source struct {
 	cfg  Config
 	ctr  counters
+	sym  codec.InternStats // decoder intern-table counters for this source
 	run  func(ctx context.Context, b *batcher) error
 	desc string
 	addr net.Addr // bound address for TCP sources
@@ -124,7 +149,17 @@ type Source struct {
 }
 
 // Stats returns a snapshot of the source's counters.
-func (s *Source) Stats() Stats { return s.ctr.snapshot() }
+func (s *Source) Stats() Stats {
+	out := s.ctr.snapshot()
+	out.SymbolHits = s.sym.Hits.Load()
+	out.SymbolMisses = s.sym.Misses.Load()
+	out.SymbolEntries = s.sym.Entries.Load()
+	return out
+}
+
+// Tenant reports the tenant this source's events are attributed to ("" for
+// the default tenant).
+func (s *Source) Tenant() string { return s.cfg.Tenant }
 
 // String describes the source for logs and errors.
 func (s *Source) String() string { return s.desc }
@@ -146,12 +181,13 @@ func (s *Source) Run(ctx context.Context, dst Submitter) error {
 	return err
 }
 
-// newDecoder builds the configured codec decoder.
-func (c Config) newDecoder() (codec.Decoder, error) {
-	if c.Format == "" {
+// newDecoder builds the configured codec decoder, wiring its intern-table
+// counters to this source.
+func (s *Source) newDecoder() (codec.Decoder, error) {
+	if s.cfg.Format == "" {
 		return nil, fmt.Errorf("source: no format configured")
 	}
-	return codec.New(c.Format, codec.Options{DefaultAgent: c.Agent})
+	return codec.New(s.cfg.Format, codec.Options{DefaultAgent: s.cfg.Agent, Intern: &s.sym})
 }
 
 // ---------------------------------------------------------------------------
@@ -360,11 +396,11 @@ func drain(dec codec.Decoder, b *batcher) error {
 // Run ends when the reader reports EOF.
 func FromReader(r io.Reader, cfg Config) (*Source, error) {
 	cfg = cfg.withDefaults()
-	dec, err := cfg.newDecoder()
+	s := &Source{cfg: cfg, desc: "reader:" + cfg.Format}
+	dec, err := s.newDecoder()
 	if err != nil {
 		return nil, err
 	}
-	s := &Source{cfg: cfg, desc: "reader:" + cfg.Format}
 	s.run = func(ctx context.Context, b *batcher) error {
 		if err := pump(ctx, r, dec, b, &s.ctr, cfg.OnError); err != nil {
 			return err

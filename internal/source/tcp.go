@@ -16,15 +16,16 @@ import (
 // address, so addr may use port 0 — and Run serves until ctx is cancelled.
 func Listen(addr string, cfg Config) (*Source, error) {
 	cfg = cfg.withDefaults()
+	s := &Source{cfg: cfg}
 	// Validate the format before binding, not on first connection.
-	if _, err := cfg.newDecoder(); err != nil {
+	if _, err := s.newDecoder(); err != nil {
 		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Source{cfg: cfg, desc: "tcp:" + ln.Addr().String()}
+	s.desc = "tcp:" + ln.Addr().String()
 	s.addr = ln.Addr()
 	s.run = func(ctx context.Context, b *batcher) error {
 		return s.serve(ctx, ln, b)
@@ -113,7 +114,7 @@ func (s *Source) serve(ctx context.Context, ln net.Listener, b *batcher) error {
 			fail(err)
 			break
 		}
-		dec, err := s.cfg.newDecoder()
+		dec, err := s.newDecoder()
 		if err != nil {
 			conn.Close()
 			fail(err)

@@ -381,6 +381,9 @@ func (e *Engine) Register(name, src string, opts ...QueryOption) (*QueryHandle, 
 	for _, o := range opts {
 		o(&qc)
 	}
+	// Per-query compile overrides still charge string fallbacks to this
+	// engine's counter.
+	qc.compile.Fallbacks = &e.fallbacks
 	q, err := engine.Compile(name, src, qc.compile)
 	if err != nil {
 		return nil, err
@@ -398,6 +401,22 @@ func (e *Engine) registerLocked(name, src string, q *engine.Query, qc queryConfi
 	if _, dup := e.reg[name]; dup {
 		return nil, fmt.Errorf("saql: duplicate query name %q", name)
 	}
+	ten := TenantOf(name)
+	if !managed {
+		// Manual registrations check the tenant's query ceiling here; Apply
+		// (managed) validated the whole post-reconciliation shape up front,
+		// and re-checking per add would reject sets that add before they
+		// remove.
+		var have int64
+		for n := range e.reg {
+			if TenantOf(n) == ten {
+				have++
+			}
+		}
+		if err := e.checkQueryQuota(ten, have, 1); err != nil {
+			return nil, err
+		}
+	}
 	rec := &queryRecord{name: name, src: src, compile: qc.compile, q: q, managed: managed}
 	rec.handle = &QueryHandle{eng: e, name: name, labels: qc.labels}
 	if rt := e.rt.Load(); rt != nil {
@@ -408,6 +427,7 @@ func (e *Engine) registerLocked(name, src string, q *engine.Query, qc queryConfi
 		return nil, err
 	}
 	e.reg[name] = rec
+	e.touchTenant(ten)
 	return rec.handle, nil
 }
 
@@ -446,11 +466,36 @@ func (e *Engine) Queries() []*QueryHandle {
 // value: validated at construction and immutable through Apply.
 type QuerySet struct {
 	entries []querySetEntry
+	// quotas are the document's tenant quota declarations; Apply installs
+	// them before reconciling, so a raised quota takes effect for its own
+	// document.
+	quotas map[string]TenantQuotas
 }
 
 type querySetEntry struct {
 	name string
 	src  string
+}
+
+// SetQuotas declares quotas for a tenant, replacing any earlier declaration
+// for the same tenant in this set.
+func (s *QuerySet) SetQuotas(tenant string, q TenantQuotas) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if s.quotas == nil {
+		s.quotas = map[string]TenantQuotas{}
+	}
+	s.quotas[tenant] = q
+}
+
+// Quotas returns a copy of the set's tenant quota declarations.
+func (s *QuerySet) Quotas() map[string]TenantQuotas {
+	out := make(map[string]TenantQuotas, len(s.quotas))
+	for k, v := range s.quotas {
+		out[k] = v
+	}
+	return out
 }
 
 // NewQuerySet returns an empty queryset.
@@ -483,6 +528,15 @@ func ParseQuerySet(src string) (*QuerySet, error) {
 			return nil, fmt.Errorf("query %q: %w", q.Name, err)
 		}
 		qs.entries = append(qs.entries, querySetEntry{name: q.Name, src: q.Src})
+	}
+	for _, t := range doc.Tenants {
+		qs.SetQuotas(t.Name, TenantQuotas{
+			MaxQueries:    t.Quotas.MaxQueries,
+			MaxStateBytes: t.Quotas.MaxStateKB * 1024,
+			AlertBudget:   t.Quotas.AlertBudget,
+			AlertWindow:   t.Quotas.AlertWindow,
+			IngestRate:    t.Quotas.IngestRate,
+		})
 	}
 	return qs, nil
 }
@@ -534,6 +588,9 @@ func (s *QuerySet) Merge(other *QuerySet) error {
 		seen[ent.name] = true
 	}
 	s.entries = append(s.entries, other.entries...)
+	for ten, q := range other.quotas {
+		s.SetQuotas(ten, q)
+	}
 	return nil
 }
 
@@ -669,12 +726,15 @@ func (e *Engine) Apply(ctx context.Context, set *QuerySet) (*ChangeReport, error
 			unchanged = append(unchanged, rec)
 		}
 	}
-	// The plan compiled cleanly: only now may the set adopt its unchanged
-	// matches (a failed Apply must leave manual registrations unmanaged).
-	for _, rec := range unchanged {
-		rec.managed = true
-		report.Unchanged = append(report.Unchanged, rec.name)
+	// Install the document's tenant quota declarations before enforcement,
+	// so a quota raised in this very document admits the document's own
+	// queries (the hot-raise path). Declarations stick even if the
+	// reconciliation below is rejected — they are operator settings, not
+	// part of the query plan.
+	for ten, q := range set.quotas {
+		e.SetTenantQuotas(ten, q)
 	}
+
 	var removals []*queryRecord
 	for name, rec := range e.reg {
 		if rec.managed && !inSet[name] {
@@ -682,6 +742,50 @@ func (e *Engine) Apply(ctx context.Context, set *QuerySet) (*ChangeReport, error
 		}
 	}
 	sort.Slice(removals, func(i, j int) bool { return removals[i].name < removals[j].name })
+
+	// Tenant quota gate: validate the post-reconciliation query counts and
+	// the tenants' current live state before mutating anything, so an
+	// over-quota set fails whole with *QuotaError and no changes.
+	removedNames := make(map[string]bool, len(removals))
+	for _, rec := range removals {
+		removedNames[rec.name] = true
+	}
+	finalCount := map[string]int64{}
+	for name := range e.reg {
+		if !removedNames[name] {
+			finalCount[TenantOf(name)]++
+		}
+	}
+	for _, op := range adds {
+		finalCount[TenantOf(op.name)]++
+	}
+	for ten, n := range finalCount {
+		if err := e.checkQueryQuota(ten, n, 0); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		if e.TenantQuotas(ten).MaxStateBytes <= 0 {
+			continue
+		}
+		var live int64
+		for name := range e.reg {
+			if TenantOf(name) == ten && !removedNames[name] {
+				live += e.queryStateBytesLocked(name)
+			}
+		}
+		if err := e.checkStateQuota(ten, live); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+	}
+
+	// The plan passed compilation and quota checks: only now may the set
+	// adopt its unchanged matches (a failed Apply must leave manual
+	// registrations unmanaged).
+	for _, rec := range unchanged {
+		rec.managed = true
+		report.Unchanged = append(report.Unchanged, rec.name)
+	}
 
 	// Execute. Post-validation failures are practically unreachable (swap
 	// and add cannot conflict after the plan); if one occurs the report

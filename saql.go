@@ -8,17 +8,16 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"saql/internal/engine"
 	"saql/internal/event"
 	"saql/internal/parser"
-	"saql/internal/pcode"
 	"saql/internal/runtime"
 	"saql/internal/scheduler"
 	"saql/internal/sema"
 	"saql/internal/source"
 	"saql/internal/storage"
-	"saql/internal/symtab"
 )
 
 // Alert is a detection raised by a query (re-exported engine type).
@@ -96,17 +95,22 @@ type Stats struct {
 	// Symbol-dictionary counters (the codec intern tables that stamp stable
 	// small-integer symbol IDs on hot string attributes at decode time, so
 	// compiled equality predicates compare integers instead of strings).
-	// Entries/Hits/Misses describe the process-wide dictionary; Fallbacks
-	// counts compiled string comparisons that could not use symbols and fell
-	// back to the full case-folding string path.
+	// All four are scoped to this engine: Entries/Hits/Misses aggregate the
+	// intern tables of sources that fed this engine (live and detached), and
+	// Fallbacks counts string comparisons that could not use symbols in this
+	// engine's compiled queries. Two engines in one process report disjoint
+	// values; symtab.Snapshot still has the process-wide dictionary totals.
 	SymbolEntries   int
 	SymbolHits      int64
 	SymbolMisses    int64
 	SymbolFallbacks int64
 
 	// Ingestion-source counters, aggregated over every Source that has Run
-	// against this engine (see NewSource/OpenLogFile/ListenTCP).
-	Sources       int   // sources attached
+	// against this engine (see NewSource/OpenLogFile/ListenTCP). Sources
+	// counts only currently-attached (running) sources; the cumulative
+	// counters below keep the contributions of sources that have finished
+	// and detached.
+	Sources       int   // sources currently attached
 	SourceLines   int64 // raw log lines consumed
 	SourceEvents  int64 // events decoded and batched
 	DecodeErrors  int64 // log lines the codecs rejected
@@ -209,8 +213,28 @@ type Engine struct {
 	mu  sync.Mutex // guards reg and state transitions
 	reg map[string]*queryRecord
 
-	srcMu   sync.Mutex // guards ingest (attached log sources)
+	srcMu   sync.Mutex // guards ingests and srcTotals
 	ingests []*source.Source
+	// srcTotals accumulates the final counters of detached (finished)
+	// sources, so cumulative line/event/symbol totals survive source churn
+	// while Stats.Sources tracks only live attachments.
+	srcTotals source.Stats
+
+	// fallbacks receives the string-fallback counts of every query this
+	// engine compiles (CompileOptions.Fallbacks points here), keeping the
+	// counter per-engine rather than process-global.
+	fallbacks atomic.Int64
+
+	// final, once non-nil, is the immutable runtime-counter snapshot taken
+	// by Close; Stats and QueryStats serve it afterwards so post-run
+	// summaries stay truthful (see captureFinal).
+	final atomic.Pointer[finalStats]
+
+	// Tenant control plane (tenant.go): per-tenant quota and accounting
+	// state, plus the stream-time high-water mark of alert event times.
+	tenMu    sync.Mutex
+	tenants  map[string]*tenantState
+	alertMax time.Time
 
 	// jmu pins the serial path's journal-append order to its processing
 	// order when WithJournal is active (the sharded runtime has its own
@@ -306,14 +330,23 @@ func New(opts ...Option) *Engine {
 		o(&cfg)
 	}
 	rep := engine.NewErrorReporter(cfg.errDepth, cfg.onError)
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		reporter: rep,
 		sched:    scheduler.New(rep, cfg.sharing),
 		fan:      runtime.NewAlertFanout(cfg.onAlert),
 		closedCh: make(chan struct{}),
 		reg:      map[string]*queryRecord{},
+		tenants:  map[string]*tenantState{},
 	}
+	// Every query compiled through this engine's options charges its string
+	// fallbacks here, not to the process-global counter.
+	e.cfg.compile.Fallbacks = &e.fallbacks
+	// Tenant alert budgets gate delivery at the single fan-out choke point,
+	// on both the serial and sharded paths. Installed before any publishing
+	// goroutine can exist.
+	e.fan.SetGate(e.admitAlert)
+	return e
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +436,7 @@ func (e *Engine) Close() error {
 
 	if rt != nil {
 		rt.Close() // idempotent; closes the fan-out
+		e.captureFinal(rt)
 	} else if prev != stateClosed {
 		e.fan.Close()
 	}
@@ -663,6 +697,10 @@ func (e *Engine) ErrorCount() int64 { return e.reporter.Total() }
 // the counters are aggregated across the query's shard replicas at a
 // consistent point of the stream.
 func (e *Engine) QueryStats(name string) (QueryStats, bool) {
+	if fin := e.final.Load(); fin != nil {
+		qs, ok := fin.queries[name]
+		return qs, ok
+	}
 	if rt := e.rt.Load(); rt != nil {
 		return rt.QueryStats(name)
 	}
@@ -672,7 +710,9 @@ func (e *Engine) QueryStats(name string) (QueryStats, bool) {
 	if !ok {
 		return QueryStats{}, false
 	}
-	return rec.q.Stats(), true
+	qs := rec.q.Stats()
+	qs.StateBytes = rec.q.StateBytes()
+	return qs, true
 }
 
 // Groups reports the scheduler's master–dependent grouping (shard 0's view
@@ -702,7 +742,10 @@ func (e *Engine) Stats() Stats {
 	nQueries := len(e.reg)
 	e.mu.Unlock()
 	var out Stats
-	if rt := e.rt.Load(); rt != nil {
+	if fin := e.final.Load(); fin != nil {
+		out = fin.stats
+		out.Queries = nQueries
+	} else if rt := e.rt.Load(); rt != nil {
 		ss := rt.SchedStats()
 		out = Stats{
 			Events:            rt.Events(),
@@ -730,22 +773,71 @@ func (e *Engine) Stats() Stats {
 			NaivePatternEvals: s.NaivePatternEvals,
 		}
 	}
-	sym := symtab.Snapshot()
-	out.SymbolEntries = sym.Entries
-	out.SymbolHits = sym.Hits
-	out.SymbolMisses = sym.Misses
-	out.SymbolFallbacks = pcode.StringFallbacks()
+	// Symbol and source counters are engine-scoped and live even after
+	// Close: the fallbacks sink is this engine's own, and the symbol
+	// counters aggregate the intern tables of exactly the sources that fed
+	// this engine (live attachments plus folded totals of detached ones).
+	out.SymbolFallbacks = e.fallbacks.Load()
 	e.srcMu.Lock()
 	out.Sources = len(e.ingests)
+	agg := e.srcTotals
 	for _, src := range e.ingests {
-		st := src.Stats()
-		out.SourceLines += st.Lines
-		out.SourceEvents += st.Events
-		out.DecodeErrors += st.DecodeErrors
-		out.SourceDropped += st.Dropped
+		agg.Add(src.Stats())
 	}
 	e.srcMu.Unlock()
+	out.SourceLines = agg.Lines
+	out.SourceEvents = agg.Events
+	out.DecodeErrors = agg.DecodeErrors
+	out.SourceDropped = agg.Dropped
+	out.SymbolHits = agg.SymbolHits
+	out.SymbolMisses = agg.SymbolMisses
+	out.SymbolEntries = int(agg.SymbolEntries)
 	return out
+}
+
+// finalStats is the immutable post-Close snapshot of runtime-derived
+// counters. Source/symbol/tenant counters are excluded: they live on the
+// Engine itself and stay readable after Close.
+type finalStats struct {
+	stats   Stats
+	queries map[string]QueryStats
+}
+
+// captureFinal snapshots engine and per-query runtime counters after the
+// sharded runtime has drained, so Stats/QueryStats keep reporting the final
+// values once the workers are gone. First closer wins; concurrent Close
+// calls race benignly on identical data.
+func (e *Engine) captureFinal(rt *runtime.Runtime) {
+	if e.final.Load() != nil {
+		return
+	}
+	ss := rt.SchedStats()
+	fin := &finalStats{
+		stats: Stats{
+			Events:            rt.Events(),
+			Alerts:            ss.Alerts,
+			QueryGroups:       rt.GroupCount(),
+			StreamCopies:      ss.StreamCopies,
+			NaiveCopies:       ss.NaiveCopies,
+			SharingRatio:      ss.SharingRatio(),
+			PatternEvals:      ss.PatternEvals,
+			NaivePatternEvals: ss.NaivePatternEvals,
+			Dropped:           rt.Dropped(),
+		},
+		queries: map[string]QueryStats{},
+	}
+	e.mu.Lock()
+	names := make([]string, 0, len(e.reg))
+	for name := range e.reg {
+		names = append(names, name)
+	}
+	e.mu.Unlock()
+	for _, name := range names {
+		if qs, ok := rt.QueryStats(name); ok {
+			fin.queries[name] = qs
+		}
+	}
+	e.final.CompareAndSwap(nil, fin)
 }
 
 // attachSource registers a log source with the engine so its counters
@@ -759,6 +851,22 @@ func (e *Engine) attachSource(src *source.Source) {
 		}
 	}
 	e.ingests = append(e.ingests, src)
+}
+
+// detachSource removes a finished source, folding its final counters into
+// the engine's cumulative totals so Stats keeps counting its lines/events
+// while Stats.Sources drops back to the live attachment count. Called by
+// Source.Run on the way out.
+func (e *Engine) detachSource(src *source.Source) {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	for i, s := range e.ingests {
+		if s == src {
+			e.ingests = append(e.ingests[:i], e.ingests[i+1:]...)
+			e.srcTotals.Add(src.Stats())
+			return
+		}
+	}
 }
 
 // CompiledQuery is a compiled, executable SAQL query for direct use with a
